@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Ablations of MERCURY's design choices (not a paper figure, but the
+ * knobs §III motivates): synchronous vs asynchronous PE-set design,
+ * signature-calculation pipelining, initial signature length, and the
+ * adaptive per-layer stoppage.
+ */
+
+#include "bench_common.hpp"
+#include "sim/cycle_model.hpp"
+
+int
+main()
+{
+    using namespace mercury;
+    bench::banner("Ablation: MERCURY design choices",
+                  "async > sync (§III-C1); pipelining ~2x on signature "
+                  "passes (§III-B2); 20-bit signatures balance reuse "
+                  "vs overhead; stoppage rescues unprofitable layers");
+
+    bench::RunParams params;
+    params.batches = 2;
+    params.warmup = 4;
+
+    // 1. Synchronous vs asynchronous PE-set design.
+    Table t1("sync vs async design (speedup over baseline)");
+    t1.header({"model", "synchronous", "asynchronous"});
+    for (const auto &model : {vgg13(), resnet50(), googlenet()}) {
+        AcceleratorConfig sync_cfg;
+        sync_cfg.asyncDesign = false;
+        AcceleratorConfig async_cfg;
+        async_cfg.asyncDesign = true;
+        t1.row({model.name,
+                Table::num(bench::runModel(model, sync_cfg, params)
+                               .speedup(),
+                           3),
+                Table::num(bench::runModel(model, async_cfg, params)
+                               .speedup(),
+                           3)});
+    }
+    t1.print();
+
+    // 2. Filter-buffer depth of the async design.
+    Table t2("async shared-filter-buffer slots M (VGG-13)");
+    t2.header({"M", "speedup"});
+    for (int m : {1, 2, 4, 8}) {
+        AcceleratorConfig cfg;
+        cfg.filterBufferSlots = m;
+        t2.row({std::to_string(m),
+                Table::num(bench::runModel(vgg13(), cfg, params)
+                               .speedup(),
+                           3)});
+    }
+    t2.print();
+
+    // 3. Signature pipelining (pure cycle model, 1024 signatures).
+    Table t3("signature pipelining (x = kernel rows)");
+    t3.header({"x", "unpipelined-cycles", "pipelined-cycles", "gain"});
+    for (uint64_t x : {3u, 5u, 7u}) {
+        const uint64_t up = unpipelinedPassCycles(1024, x);
+        const uint64_t pp = pipelinedPassCycles(1024, x);
+        t3.row({std::to_string(x), std::to_string(up),
+                std::to_string(pp),
+                Table::num(static_cast<double>(up) /
+                               static_cast<double>(pp),
+                           2)});
+    }
+    t3.print();
+
+    // 4. Initial signature length (VGG-13).
+    Table t4("initial signature bits (VGG-13)");
+    t4.header({"bits", "speedup", "signature-fraction"});
+    for (int bits : {8, 12, 20, 32, 48}) {
+        AcceleratorConfig cfg;
+        cfg.initialSignatureBits = bits;
+        const TrainingReport rep = bench::runModel(vgg13(), cfg, params);
+        t4.row({std::to_string(bits), Table::num(rep.speedup(), 3),
+                Table::num(rep.signatureFraction(), 3)});
+    }
+    t4.print();
+
+    // 5. Per-layer stoppage on the model that needs it most.
+    Table t5("adaptive stoppage (MobNet-V2)");
+    t5.header({"stoppage", "speedup", "layers-off"});
+    {
+        AcceleratorConfig with_cfg; // default T
+        const TrainingReport with_stop =
+            bench::runModel(mobilenetV2(), with_cfg, params);
+        AcceleratorConfig without_cfg;
+        without_cfg.stoppageT = 1 << 20; // effectively never
+        const TrainingReport without_stop =
+            bench::runModel(mobilenetV2(), without_cfg, params);
+        t5.row({"enabled", Table::num(with_stop.speedup(), 3),
+                std::to_string(with_stop.layersOff)});
+        t5.row({"disabled", Table::num(without_stop.speedup(), 3),
+                std::to_string(without_stop.layersOff)});
+    }
+    t5.print();
+    return 0;
+}

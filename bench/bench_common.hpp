@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Shared helpers for the experiment harnesses: a standard way to run
+ * a MERCURY training simulation for a model and to print the
+ * paper-style tables.
+ */
+
+#ifndef MERCURY_BENCH_COMMON_HPP
+#define MERCURY_BENCH_COMMON_HPP
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/mercury_accelerator.hpp"
+#include "models/model_zoo.hpp"
+#include "sim/config.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "workloads/profiles.hpp"
+
+namespace mercury {
+namespace bench {
+
+/** Simulation knobs shared by the speedup experiments. */
+struct RunParams
+{
+    int batches = 4;        ///< accounted batches
+    int warmup = 6;         ///< adaptation warmup batches
+    int64_t batch = 1;      ///< minibatch size (cycles scale linearly)
+    int64_t sampleCap = 512;
+    int64_t dimCap = 32;
+    uint64_t seed = 42;
+};
+
+/** Run one model's training simulation under a configuration. */
+inline TrainingReport
+runModel(const ModelConfig &model, const AcceleratorConfig &cfg,
+         const RunParams &params = {})
+{
+    SyntheticSimilaritySource source(model, cfg, params.seed,
+                                     params.sampleCap, params.dimCap);
+    MercuryAccelerator acc(cfg, model.layers);
+    return acc.train(source, params.batches, params.batch, {},
+                     params.warmup);
+}
+
+/** Banner naming the paper artifact a harness regenerates. */
+inline void
+banner(const std::string &what, const std::string &paper_result)
+{
+    std::printf("==========================================================\n");
+    std::printf("%s\n", what.c_str());
+    std::printf("Paper reference result: %s\n", paper_result.c_str());
+    std::printf("==========================================================\n\n");
+}
+
+} // namespace bench
+} // namespace mercury
+
+#endif // MERCURY_BENCH_COMMON_HPP

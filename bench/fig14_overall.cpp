@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Figure 14: overall MERCURY performance on the row-stationary
+ * machine across the twelve models — (a) layers with similarity
+ * detection on/off after adaptation, (b) computational cycle
+ * breakdown (signature vs layer computation), (c) speedup.
+ */
+
+#include "bench_common.hpp"
+
+int
+main()
+{
+    using namespace mercury;
+    bench::banner("Figure 14: adaptivity, cycle breakdown, speedup",
+                  "average speedup 1.97x; signatures a small fraction "
+                  "of cycles; bigger networks save more");
+
+    AcceleratorConfig cfg; // row-stationary, 1024-entry 16-way MCACHE
+    bench::RunParams params;
+
+    Table a("Fig. 14a: similarity detection on/off per model");
+    a.header({"model", "layers-on", "layers-off"});
+    Table b("Fig. 14b: cycle breakdown (millions of cycles)");
+    b.header({"model", "base-compute", "merc-signature", "merc-compute",
+              "merc-total"});
+    Table c("Fig. 14c: speedup over baseline");
+    c.header({"model", "speedup"});
+
+    std::vector<double> speedups;
+    for (const auto &model : allModels()) {
+        const TrainingReport rep = bench::runModel(model, cfg, params);
+        a.row({model.name, std::to_string(rep.layersOn),
+               std::to_string(rep.layersOff)});
+        b.row({model.name,
+               Table::num(static_cast<double>(rep.totals.baseline) / 1e6,
+                          0),
+               Table::num(static_cast<double>(rep.totals.signature) / 1e6,
+                          0),
+               Table::num(static_cast<double>(rep.totals.computation +
+                                              rep.totals.cacheOverhead) /
+                              1e6,
+                          0),
+               Table::num(static_cast<double>(rep.totals.mercuryTotal()) /
+                              1e6,
+                          0)});
+        c.row({model.name, Table::num(rep.speedup(), 2)});
+        speedups.push_back(rep.speedup());
+    }
+    a.print();
+    b.print();
+    c.print();
+    std::printf("geomean speedup: %.2fx (paper: 1.97x average)\n\n",
+                geomean(speedups));
+    return 0;
+}

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Figure 16: impact of MCACHE organization (512 / 1024 / 2048 entries
+ * at 8 / 16 / 32 ways) on MERCURY speedup across the twelve models.
+ */
+
+#include "bench_common.hpp"
+
+int
+main()
+{
+    using namespace mercury;
+    bench::banner("Figure 16: MCACHE organization sweep",
+                  "speedup grows with cache size and associativity; "
+                  "1024-entry 16-way is the sweet spot (2048 adds "
+                  "little)");
+
+    bench::RunParams params;
+    params.batches = 2;
+    params.warmup = 4;
+    params.sampleCap = 384;
+
+    const auto models = allModels();
+    for (int entries : {512, 1024, 2048}) {
+        Table t("Fig. 16: speedup, cache size = " +
+                std::to_string(entries) + " entries");
+        t.header({"model", "8-way", "16-way", "32-way"});
+        std::vector<std::vector<double>> per_way(3);
+        for (const auto &model : models) {
+            std::vector<std::string> row{model.name};
+            int w_idx = 0;
+            for (int ways : {8, 16, 32}) {
+                AcceleratorConfig cfg;
+                cfg.mcacheWays = ways;
+                cfg.mcacheSets = std::max(entries / ways, 1);
+                const TrainingReport rep =
+                    bench::runModel(model, cfg, params);
+                row.push_back(Table::num(rep.speedup(), 2));
+                per_way[static_cast<size_t>(w_idx++)].push_back(
+                    rep.speedup());
+            }
+            t.row(row);
+        }
+        std::vector<std::string> geo{"geomean"};
+        for (const auto &ws : per_way)
+            geo.push_back(Table::num(geomean(ws), 2));
+        t.row(geo);
+        t.print();
+    }
+    return 0;
+}

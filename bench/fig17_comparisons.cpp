@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Figure 17: comparative analysis — (a) MERCURY vs UCNN with 6/7/8-bit
+ * quantization, (b) vs unlimited zero pruning, (c) vs unlimited
+ * similarity detection. All comparison points are maximum-achievable
+ * bounds, as in the paper (§VII-D).
+ */
+
+#include "baselines/ucnn.hpp"
+#include "baselines/unlimited_similarity.hpp"
+#include "baselines/zero_pruning.hpp"
+#include "bench_common.hpp"
+
+int
+main()
+{
+    using namespace mercury;
+    bench::banner("Figure 17: MERCURY vs UCNN / zero pruning / "
+                  "unlimited similarity",
+                  "MERCURY beats UCNN-7/8bit, comparable to 6-bit; +4% "
+                  "vs unlimited zero pruning; +2% vs unlimited "
+                  "similarity");
+
+    AcceleratorConfig cfg;
+    bench::RunParams params;
+    params.batches = 2;
+    params.warmup = 4;
+
+    Table a("Fig. 17a: speedup vs UCNN quantization bounds");
+    a.header({"model", "UCNN-6bit", "UCNN-7bit", "UCNN-8bit", "MERCURY"});
+    Table b("Fig. 17b: speedup vs unlimited zero pruning");
+    b.header({"model", "zero-prune(in+w)", "MERCURY"});
+    Table c("Fig. 17c: speedup vs unlimited similarity detection");
+    c.header({"model", "similarity(in+w)", "MERCURY"});
+
+    std::vector<double> merc, u6, u7, u8, zp, us;
+    for (const auto &model : allModels()) {
+        const double mercury_speedup =
+            bench::runModel(model, cfg, params).speedup();
+        const double ucnn6 = ucnnBound(model, 6, 77).speedupBound;
+        const double ucnn7 = ucnnBound(model, 7, 77).speedupBound;
+        const double ucnn8 = ucnnBound(model, 8, 77).speedupBound;
+        const double zero = zeroPruningModelBound(model, 78);
+        const double sim = unlimitedSimilarityModelBound(model, 79);
+
+        merc.push_back(mercury_speedup);
+        u6.push_back(ucnn6);
+        u7.push_back(ucnn7);
+        u8.push_back(ucnn8);
+        zp.push_back(zero);
+        us.push_back(sim);
+
+        a.row({model.name, Table::num(ucnn6, 2), Table::num(ucnn7, 2),
+               Table::num(ucnn8, 2), Table::num(mercury_speedup, 2)});
+        b.row({model.name, Table::num(zero, 2),
+               Table::num(mercury_speedup, 2)});
+        c.row({model.name, Table::num(sim, 2),
+               Table::num(mercury_speedup, 2)});
+    }
+    auto add_geo = [](Table &t, std::vector<std::vector<double>*> cols) {
+        std::vector<std::string> row{"geomean"};
+        for (auto *c : cols)
+            row.push_back(Table::num(geomean(*c), 2));
+        t.row(row);
+    };
+    add_geo(a, {&u6, &u7, &u8, &merc});
+    add_geo(b, {&zp, &merc});
+    add_geo(c, {&us, &merc});
+    a.print();
+    b.print();
+    c.print();
+
+    std::printf("MERCURY vs zero-pruning bound: %+.1f%% "
+                "(paper: +4%%)\n",
+                100.0 * (geomean(merc) / geomean(zp) - 1.0));
+    std::printf("MERCURY vs unlimited-similarity bound: %+.1f%% "
+                "(paper: +2%%)\n\n",
+                100.0 * (geomean(merc) / geomean(us) - 1.0));
+    return 0;
+}

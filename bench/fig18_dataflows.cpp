@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Figure 18: MERCURY deployed on the input-stationary (a) and
+ * weight-stationary (b) dataflows for the eleven CNN models.
+ */
+
+#include "bench_common.hpp"
+
+int
+main()
+{
+    using namespace mercury;
+    bench::banner("Figure 18: input- and weight-stationary dataflows",
+                  "IS: avg 1.55x (max 1.72x on VGG-19); WS: avg 1.66x "
+                  "(max 1.89x on ResNet101)");
+
+    bench::RunParams params;
+    params.batches = 2;
+    params.warmup = 4;
+
+    for (auto kind : {DataflowKind::InputStationary,
+                      DataflowKind::WeightStationary}) {
+        AcceleratorConfig cfg;
+        cfg.dataflow = kind;
+        Table t(std::string("Fig. 18: speedup, ") + dataflowName(kind));
+        t.header({"model", "speedup"});
+        std::vector<double> speedups;
+        std::string best_model;
+        double best = 0;
+        for (const auto &model : cnnModels()) {
+            const TrainingReport rep =
+                bench::runModel(model, cfg, params);
+            t.row({model.name, Table::num(rep.speedup(), 2)});
+            speedups.push_back(rep.speedup());
+            if (rep.speedup() > best) {
+                best = rep.speedup();
+                best_model = model.name;
+            }
+        }
+        t.row({"geomean", Table::num(geomean(speedups), 2)});
+        t.print();
+        std::printf("best: %.2fx on %s\n\n", best, best_model.c_str());
+    }
+    return 0;
+}

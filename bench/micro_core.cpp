@@ -1,0 +1,132 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the MERCURY core primitives:
+ * RPQ signature generation, MCACHE lookup/insert, the similarity
+ * detection pass, and the reuse-enabled convolution against the exact
+ * convolution.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/conv_reuse_engine.hpp"
+#include "core/mcache.hpp"
+#include "core/rpq.hpp"
+#include "core/similarity_detector.hpp"
+#include "tensor/ops.hpp"
+#include "util/rng.hpp"
+#include "workloads/synthetic.hpp"
+
+namespace mercury {
+namespace {
+
+void
+BM_RpqSignature(benchmark::State &state)
+{
+    const int64_t dim = state.range(0);
+    const int bits = static_cast<int>(state.range(1));
+    RPQEngine rpq(dim, bits, 1);
+    std::vector<float> v(static_cast<size_t>(dim));
+    Rng rng(2);
+    for (auto &x : v)
+        x = static_cast<float>(rng.normal());
+    for (auto _ : state) {
+        Signature s = rpq.signatureOf(v.data(), bits);
+        benchmark::DoNotOptimize(s);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RpqSignature)
+    ->Args({9, 20})
+    ->Args({9, 64})
+    ->Args({49, 20})
+    ->Args({256, 32});
+
+void
+BM_McacheLookup(benchmark::State &state)
+{
+    MCache cache(64, 16, 4);
+    RPQEngine rpq(16, 32, 3);
+    Rng rng(4);
+    std::vector<Signature> sigs;
+    for (int i = 0; i < 1024; ++i) {
+        std::vector<float> v(16);
+        for (auto &x : v)
+            x = static_cast<float>(rng.normal());
+        sigs.push_back(rpq.signatureOf(v.data(), 32));
+    }
+    size_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(cache.lookupOrInsert(sigs[i]));
+        if (++i == sigs.size()) {
+            i = 0;
+            state.PauseTiming();
+            cache.clear();
+            state.ResumeTiming();
+        }
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_McacheLookup);
+
+void
+BM_DetectionPass(benchmark::State &state)
+{
+    const int64_t vectors = state.range(0);
+    Tensor rows = prototypeVectors(vectors, 9, vectors / 4, 0.01f, 5);
+    MCache cache(64, 16, 1);
+    RPQEngine rpq(9, 32, 6);
+    SimilarityDetector det(rpq, cache, 20);
+    for (auto _ : state) {
+        DetectionResult res = det.detect(rows);
+        benchmark::DoNotOptimize(res);
+    }
+    state.SetItemsProcessed(state.iterations() * vectors);
+}
+BENCHMARK(BM_DetectionPass)->Arg(196)->Arg(784);
+
+void
+BM_ConvExact(benchmark::State &state)
+{
+    Rng rng(7);
+    Tensor in({1, 8, 16, 16});
+    in.fillNormal(rng);
+    Tensor w({16, 8, 3, 3});
+    w.fillNormal(rng);
+    ConvSpec spec;
+    spec.inChannels = 8;
+    spec.outChannels = 16;
+    spec.kernelH = spec.kernelW = 3;
+    spec.pad = 1;
+    for (auto _ : state) {
+        Tensor out = conv2dForward(in, w, Tensor(), spec);
+        benchmark::DoNotOptimize(out);
+    }
+}
+BENCHMARK(BM_ConvExact);
+
+void
+BM_ConvWithReuse(benchmark::State &state)
+{
+    Rng rng(8);
+    Dataset ds = makeImageDataset(1, 2, 8, 16, 9, 0.02f);
+    Tensor w({16, 8, 3, 3});
+    w.fillNormal(rng);
+    ConvSpec spec;
+    spec.inChannels = 8;
+    spec.outChannels = 16;
+    spec.kernelH = spec.kernelW = 3;
+    spec.pad = 1;
+    MCache cache(64, 16, 4);
+    ConvReuseEngine engine(cache, 20, 10);
+    for (auto _ : state) {
+        ReuseStats stats;
+        Tensor out = engine.forward(ds.inputs, w, Tensor(), spec, stats);
+        benchmark::DoNotOptimize(out);
+    }
+}
+BENCHMARK(BM_ConvWithReuse);
+
+} // namespace
+} // namespace mercury
+
+BENCHMARK_MAIN();

@@ -1,0 +1,24 @@
+/**
+ * @file
+ * Table I: memory primitive used for each MERCURY component in the
+ * Virtex-7 implementation.
+ */
+
+#include "bench_common.hpp"
+#include "fpga/resource_model.hpp"
+
+int
+main()
+{
+    using namespace mercury;
+    bench::banner("Table I: memory types in the MERCURY design",
+                  "block memory for buffers/signature table; slice "
+                  "registers for MCACHE and per-PE state");
+
+    Table t("Table I");
+    t.header({"memory-type", "mercury-components"});
+    for (const auto &row : memoryTypeTable())
+        t.row({row.memoryType, row.components});
+    t.print();
+    return 0;
+}

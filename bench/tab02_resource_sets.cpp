@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Table II: resource usage and on-chip power of MERCURY for 16 ways
+ * and a sweep of MCACHE set counts (256 to 1024 entries).
+ */
+
+#include "bench_common.hpp"
+#include "fpga/resource_model.hpp"
+
+int
+main()
+{
+    using namespace mercury;
+    bench::banner("Table II: resources & power vs MCACHE sets (16-way)",
+                  "quadrupling sets raises total power only ~6.5%");
+
+    FpgaModel model;
+    Table a("Table II-a: resource usage");
+    a.header({"cache-size", "#sets", "slice-LUTs", "slice-registers",
+              "block-RAM", "#DSP48E1s"});
+    Table b("Table II-b: on-chip power (watt)");
+    b.header({"#sets", "clocks", "logic", "signals", "BRAM", "DSPs",
+              "static", "total"});
+    for (int sets : {16, 32, 48, 64}) {
+        const FpgaResources r = model.resources(sets, 16);
+        a.row({std::to_string(sets * 16), std::to_string(sets),
+               Table::num(r.sliceLuts, 0), Table::num(r.sliceRegisters, 0),
+               Table::num(r.blockRam, 1), Table::num(r.dsp48, 0)});
+        const FpgaPower p = model.power(sets, 16);
+        b.row({std::to_string(sets), Table::num(p.clocks, 3),
+               Table::num(p.logic, 3), Table::num(p.signals, 3),
+               Table::num(p.bram, 3), Table::num(p.dsps, 3),
+               Table::num(p.staticPower, 3), Table::num(p.total(), 3)});
+    }
+    a.print();
+    b.print();
+
+    const double growth = 100.0 * (model.power(64, 16).total() /
+                                       model.power(16, 16).total() -
+                                   1.0);
+    std::printf("power growth 16->64 sets: %.1f%% (paper: 6.5%%)\n\n",
+                growth);
+    return 0;
+}

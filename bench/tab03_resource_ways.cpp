@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Table III: resource usage and on-chip power of MERCURY for 64 sets
+ * and a sweep of associativities (128 to 1024 entries).
+ */
+
+#include "bench_common.hpp"
+#include "fpga/resource_model.hpp"
+
+int
+main()
+{
+    using namespace mercury;
+    bench::banner("Table III: resources & power vs MCACHE ways (64 sets)",
+                  "2 -> 16 ways raises power ~3.98%");
+
+    FpgaModel model;
+    Table a("Table III-a: resource usage");
+    a.header({"cache-size", "#ways", "slice-LUTs", "slice-registers",
+              "block-RAM", "#DSP48E1s"});
+    Table b("Table III-b: on-chip power (watt)");
+    b.header({"#ways", "clocks", "logic", "signals", "BRAM", "DSPs",
+              "static", "total"});
+    for (int ways : {2, 4, 8, 16}) {
+        const FpgaResources r = model.resources(64, ways);
+        a.row({std::to_string(64 * ways), std::to_string(ways),
+               Table::num(r.sliceLuts, 0), Table::num(r.sliceRegisters, 0),
+               Table::num(r.blockRam, 1), Table::num(r.dsp48, 0)});
+        const FpgaPower p = model.power(64, ways);
+        b.row({std::to_string(ways), Table::num(p.clocks, 3),
+               Table::num(p.logic, 3), Table::num(p.signals, 3),
+               Table::num(p.bram, 3), Table::num(p.dsps, 3),
+               Table::num(p.staticPower, 3), Table::num(p.total(), 3)});
+    }
+    a.print();
+    b.print();
+
+    const double growth = 100.0 * (model.power(64, 16).total() /
+                                       model.power(64, 2).total() -
+                                   1.0);
+    std::printf("power growth 2->16 ways: %.2f%% (paper: 3.98%%)\n\n",
+                growth);
+    return 0;
+}

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Table IV: resource usage and on-chip power of MERCURY (1024-entry,
+ * 16-way MCACHE) against the baseline accelerator.
+ */
+
+#include "bench_common.hpp"
+#include "fpga/resource_model.hpp"
+
+int
+main()
+{
+    using namespace mercury;
+    bench::banner("Table IV: MERCURY vs baseline resources & power",
+                  "MERCURY increases resources/power by ~1.135x; DSP "
+                  "count unchanged (PEs are reused for signatures)");
+
+    FpgaModel model;
+    const FpgaResources base_r = model.baselineResources();
+    const FpgaResources merc_r = model.resources(64, 16);
+    Table a("Table IV-a: resource usage");
+    a.header({"method", "slice-LUTs", "slice-registers", "block-RAM",
+              "#DSP48E1s"});
+    a.row({"Baseline", Table::num(base_r.sliceLuts, 0),
+           Table::num(base_r.sliceRegisters, 0),
+           Table::num(base_r.blockRam, 1), Table::num(base_r.dsp48, 0)});
+    a.row({"MERCURY", Table::num(merc_r.sliceLuts, 0),
+           Table::num(merc_r.sliceRegisters, 0),
+           Table::num(merc_r.blockRam, 1), Table::num(merc_r.dsp48, 0)});
+    a.print();
+
+    const FpgaPower base_p = model.baselinePower();
+    const FpgaPower merc_p = model.power(64, 16);
+    Table b("Table IV-b: on-chip power (watt)");
+    b.header({"method", "clocks", "logic", "signals", "BRAM", "DSPs",
+              "static", "total"});
+    auto row = [&](const char *name, const FpgaPower &p) {
+        b.row({name, Table::num(p.clocks, 3), Table::num(p.logic, 3),
+               Table::num(p.signals, 3), Table::num(p.bram, 3),
+               Table::num(p.dsps, 3), Table::num(p.staticPower, 3),
+               Table::num(p.total(), 3)});
+    };
+    row("Baseline", base_p);
+    row("MERCURY", merc_p);
+    b.print();
+
+    std::printf("power ratio MERCURY/baseline: %.3fx (paper: 1.135x)\n\n",
+                model.overheadRatio());
+    return 0;
+}

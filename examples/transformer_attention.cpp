@@ -1,0 +1,65 @@
+/**
+ * @file
+ * MERCURY on an attention layer (§III-C4): token sequences with
+ * repeated tokens let the attention computation Y = (X Xt) X reuse
+ * whole rows. Shows functional reuse on real sequences and the
+ * timing-model view of the transformer workload.
+ *
+ * Build & run:  ./build/examples/transformer_attention
+ */
+
+#include <cstdio>
+
+#include "core/attention_engine.hpp"
+#include "core/mercury_accelerator.hpp"
+#include "models/model_zoo.hpp"
+#include "workloads/profiles.hpp"
+#include "workloads/synthetic.hpp"
+
+int
+main()
+{
+    using namespace mercury;
+
+    // Token sequences: 32 tokens of a 16-wide vocabulary slice, so
+    // sequences repeat tokens heavily (row similarity).
+    Dataset ds = makeTokenDataset(/*n=*/4, /*classes=*/4,
+                                  /*seq_len=*/32, /*embed_dim=*/64,
+                                  /*seed=*/5, /*noise=*/0.01f);
+
+    MCache mcache(64, 16, 1);
+    AttentionEngine engine(mcache, /*sig_bits=*/24, /*seed=*/6);
+
+    std::printf("attention reuse on 4 sequences (32 tokens x 64 dims):\n");
+    double total_skip = 0.0;
+    for (int64_t s = 0; s < ds.size(); ++s) {
+        Tensor x({32, 64});
+        for (int64_t i = 0; i < x.numel(); ++i)
+            x[i] = ds.inputs[s * x.numel() + i];
+        ReuseStats stats;
+        Tensor y = engine.forward(x, stats);
+        std::printf("  seq %lld: HIT %2lld/%lld rows, MACs skipped "
+                    "%.1f%%\n",
+                    static_cast<long long>(s),
+                    static_cast<long long>(stats.mix.hit),
+                    static_cast<long long>(stats.mix.vectors),
+                    100.0 * stats.skipFraction());
+        total_skip += stats.skipFraction();
+    }
+    std::printf("average MACs skipped: %.1f%%\n\n",
+                100.0 * total_skip / ds.size());
+
+    // Whole-transformer timing view (the paper's Multi30k-scale
+    // encoder/decoder stack).
+    const ModelConfig model = transformer();
+    AcceleratorConfig cfg;
+    SyntheticSimilaritySource source(model, cfg, 42);
+    MercuryAccelerator acc(cfg, model.layers);
+    const TrainingReport rep = acc.train(source, 2, 8, {}, 4);
+    std::printf("transformer training simulation: %.2fx speedup, "
+                "%.1f%% of cycles on signatures\n",
+                rep.speedup(), 100.0 * rep.signatureFraction());
+    std::printf("(paper: transformer trains ~1.9x faster, same 33.52 "
+                "BLEU as baseline)\n");
+    return 0;
+}

@@ -1,0 +1,101 @@
+#include "baselines/bloom_filter.hpp"
+
+#include <cmath>
+#include <set>
+#include <string>
+
+#include "core/rpq.hpp"
+#include "util/logging.hpp"
+
+namespace mercury {
+
+BloomFilter::BloomFilter(int bits, int hashes)
+    : filter_(static_cast<size_t>(bits), false), hashes_(hashes)
+{
+    if (bits <= 0 || hashes <= 0)
+        panic("BloomFilter needs positive bits and hashes");
+}
+
+uint64_t
+BloomFilter::hashN(uint64_t key, int n) const
+{
+    // Double hashing: h1 + n*h2 with SplitMix-style mixers.
+    uint64_t h1 = key;
+    h1 = (h1 ^ (h1 >> 30)) * 0xBF58476D1CE4E5B9ull;
+    h1 = (h1 ^ (h1 >> 27)) * 0x94D049BB133111EBull;
+    h1 ^= h1 >> 31;
+    uint64_t h2 = key * 0x9E3779B97F4A7C15ull + 0x2545F4914F6CDD1Dull;
+    h2 = (h2 ^ (h2 >> 29)) * 0xFF51AFD7ED558CCDull;
+    h2 |= 1; // odd stride
+    return h1 + static_cast<uint64_t>(n) * h2;
+}
+
+void
+BloomFilter::insert(uint64_t key)
+{
+    for (int n = 0; n < hashes_; ++n)
+        filter_[static_cast<size_t>(hashN(key, n) % filter_.size())] =
+            true;
+}
+
+bool
+BloomFilter::mightContain(uint64_t key) const
+{
+    for (int n = 0; n < hashes_; ++n) {
+        if (!filter_[static_cast<size_t>(hashN(key, n) %
+                                         filter_.size())]) {
+            return false;
+        }
+    }
+    return true;
+}
+
+void
+BloomFilter::clear()
+{
+    filter_.assign(filter_.size(), false);
+}
+
+uint64_t
+BloomFilter::vectorKey(const float *v, int64_t dim, float q)
+{
+    // Quantize each element to the grid and mix into one key, so
+    // epsilon-close vectors share keys.
+    uint64_t key = 1469598103934665603ull;
+    for (int64_t i = 0; i < dim; ++i) {
+        const int64_t cell =
+            static_cast<int64_t>(std::llround(v[i] / q));
+        key ^= static_cast<uint64_t>(cell);
+        key *= 1099511628211ull;
+    }
+    return key;
+}
+
+int
+bloomUniqueCount(const Tensor &rows, int filter_bits, int hashes, float q)
+{
+    BloomFilter filter(filter_bits, hashes);
+    int uniques = 0;
+    for (int64_t i = 0; i < rows.dim(0); ++i) {
+        const uint64_t key =
+            BloomFilter::vectorKey(rows.data() + i * rows.dim(1),
+                                   rows.dim(1), q);
+        if (!filter.mightContain(key)) {
+            ++uniques;
+            filter.insert(key);
+        }
+    }
+    return uniques;
+}
+
+int
+rpqUniqueCount(const Tensor &rows, int sig_bits, uint64_t seed)
+{
+    RPQEngine rpq(rows.dim(1), sig_bits, seed);
+    std::set<std::string> sigs;
+    for (int64_t i = 0; i < rows.dim(0); ++i)
+        sigs.insert(rpq.signatureOfRow(rows, i, sig_bits).str());
+    return static_cast<int>(sigs.size());
+}
+
+} // namespace mercury

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Bloom-filter-based similarity detection, the comparison point of
+ * the paper's Fig. 3: vectors are quantized to a grid and inserted
+ * into a Bloom filter; a vector whose key might already be present
+ * is declared "seen" (similar). Small filters alias aggressively, so
+ * they under-count unique vectors — which is exactly what the figure
+ * shows relative to RPQ.
+ */
+
+#ifndef MERCURY_BASELINES_BLOOM_FILTER_HPP
+#define MERCURY_BASELINES_BLOOM_FILTER_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace mercury {
+
+/** A classic m-bit, k-hash Bloom filter over 64-bit keys. */
+class BloomFilter
+{
+  public:
+    BloomFilter(int bits, int hashes);
+
+    void insert(uint64_t key);
+    bool mightContain(uint64_t key) const;
+    void clear();
+
+    int bits() const { return static_cast<int>(filter_.size()); }
+
+    /** Quantized key of a vector (grid step q). */
+    static uint64_t vectorKey(const float *v, int64_t dim, float q);
+
+  private:
+    std::vector<bool> filter_;
+    int hashes_;
+
+    uint64_t hashN(uint64_t key, int n) const;
+};
+
+/**
+ * Unique vectors found by Bloom-filter detection over the rows of a
+ * (n, d) matrix (count of rows whose key was not already present).
+ */
+int bloomUniqueCount(const Tensor &rows, int filter_bits, int hashes,
+                     float q = 0.05f);
+
+/** Unique vectors found by RPQ signatures of the given length. */
+int rpqUniqueCount(const Tensor &rows, int sig_bits, uint64_t seed);
+
+} // namespace mercury
+
+#endif // MERCURY_BASELINES_BLOOM_FILTER_HPP

@@ -1,0 +1,94 @@
+#include "baselines/ucnn.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "util/logging.hpp"
+#include "util/rng.hpp"
+
+namespace mercury {
+
+namespace {
+
+/**
+ * Expected unique quantized values among `d` weight draws, estimated
+ * empirically with a few trials.
+ */
+double
+expectedUnique(int64_t d, int levels, Rng &rng)
+{
+    const int trials = 4;
+    double total = 0.0;
+    for (int t = 0; t < trials; ++t) {
+        std::unordered_set<int> seen;
+        for (int64_t i = 0; i < d; ++i) {
+            const double w = rng.normal();
+            // Uniform quantization over +/-3 sigma.
+            int q = static_cast<int>(
+                std::llround((std::clamp(w, -3.0, 3.0) + 3.0) / 6.0 *
+                             (levels - 1)));
+            seen.insert(q);
+        }
+        total += static_cast<double>(seen.size());
+    }
+    return total / trials;
+}
+
+} // namespace
+
+UcnnResult
+ucnnBound(const ModelConfig &model, int quant_bits, uint64_t seed)
+{
+    if (quant_bits < 1 || quant_bits > 16)
+        panic("UCNN quantization bits ", quant_bits, " out of range");
+    Rng rng(seed);
+    const int levels = 1 << quant_bits;
+
+    UcnnResult res;
+    res.quantBits = quant_bits;
+    double total_macs = 0.0;
+    double effective_macs = 0.0;
+    double unique_frac_sum = 0.0;
+    int reusable = 0;
+
+    for (const auto &layer : model.layers) {
+        if (!layer.reusable())
+            continue;
+        // D = weights per dot product (the factorization scope).
+        int64_t d = 0;
+        switch (layer.type) {
+          case LayerType::Conv:
+            d = (layer.inChannels / layer.groups) * layer.kernel *
+                layer.kernel;
+            break;
+          case LayerType::FullyConnected:
+            d = layer.inFeatures;
+            break;
+          case LayerType::Attention:
+            d = layer.embedDim;
+            break;
+          case LayerType::Pool:
+            break;
+        }
+        if (d <= 0)
+            continue;
+        const double u = expectedUnique(d, levels, rng);
+        // Multiplies shrink to u, additions remain: ratio of the
+        // (1 multiply + 1 add) baseline MAC cost.
+        const double ratio =
+            (u + static_cast<double>(d)) / (2.0 * static_cast<double>(d));
+        const double macs = static_cast<double>(layer.macCount(1));
+        total_macs += macs;
+        effective_macs += macs * ratio;
+        unique_frac_sum += u / static_cast<double>(d);
+        ++reusable;
+    }
+    if (total_macs <= 0.0)
+        panic("UCNN bound on a model without reusable layers");
+    res.speedupBound = total_macs / effective_macs;
+    res.avgUniqueFraction = unique_frac_sum / std::max(reusable, 1);
+    return res;
+}
+
+} // namespace mercury

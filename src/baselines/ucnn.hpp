@@ -1,0 +1,41 @@
+/**
+ * @file
+ * UCNN comparison bound (paper §VII-D1, Fig. 17a).
+ *
+ * UCNN exploits weight repetition: with b-bit quantized weights, a
+ * dot product over D weights only needs one multiply per *unique*
+ * weight value (inputs sharing a weight are summed first), while the
+ * additions remain. Lacking the original implementation — as the
+ * paper did — we compute the maximum achievable saving: per layer,
+ * cost ratio = (E[unique quantized values among D] + D) / (2 D),
+ * i.e. multiplies shrink to the unique count and adds stay.
+ */
+
+#ifndef MERCURY_BASELINES_UCNN_HPP
+#define MERCURY_BASELINES_UCNN_HPP
+
+#include <cstdint>
+
+#include "models/model_zoo.hpp"
+
+namespace mercury {
+
+/** Outcome of the UCNN bound analysis for one model. */
+struct UcnnResult
+{
+    int quantBits = 8;
+    double speedupBound = 1.0;      ///< max achievable speedup
+    double avgUniqueFraction = 1.0; ///< mean unique-weight fraction
+};
+
+/**
+ * Maximum achievable UCNN speedup for a model with b-bit weights.
+ * Weights are drawn from the usual He-style normal distribution and
+ * uniformly quantized over +/-3 sigma.
+ */
+UcnnResult ucnnBound(const ModelConfig &model, int quant_bits,
+                     uint64_t seed);
+
+} // namespace mercury
+
+#endif // MERCURY_BASELINES_UCNN_HPP

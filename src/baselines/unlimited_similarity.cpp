@@ -1,0 +1,94 @@
+#include "baselines/unlimited_similarity.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "util/logging.hpp"
+#include "util/rng.hpp"
+#include "workloads/synthetic.hpp"
+
+namespace mercury {
+
+namespace {
+
+int
+quantize(float v, int levels)
+{
+    const float c = std::clamp(v, -3.0f, 3.0f);
+    return static_cast<int>(
+        std::llround((c + 3.0f) / 6.0f * static_cast<float>(levels - 1)));
+}
+
+} // namespace
+
+ElementSimilarityResult
+elementSimilarity(const Tensor &rows, int quant_bits)
+{
+    if (rows.rank() != 2)
+        panic("elementSimilarity expects (n, d), got ", rows.shapeStr());
+    const int levels = 1 << quant_bits;
+    double unique_sum = 0.0;
+    for (int64_t i = 0; i < rows.dim(0); ++i) {
+        std::unordered_set<int> seen;
+        for (int64_t j = 0; j < rows.dim(1); ++j)
+            seen.insert(quantize(rows.at2(i, j), levels));
+        unique_sum += static_cast<double>(seen.size()) /
+                      static_cast<double>(rows.dim(1));
+    }
+    ElementSimilarityResult res;
+    res.uniqueElementFraction =
+        rows.dim(0) ? unique_sum / static_cast<double>(rows.dim(0)) : 1.0;
+    res.speedupBound = res.uniqueElementFraction > 0.0
+                           ? 1.0 / res.uniqueElementFraction
+                           : 1e9;
+    return res;
+}
+
+double
+unlimitedSimilarityModelBound(const ModelConfig &model, uint64_t seed,
+                              int quant_bits)
+{
+    Rng rng(seed);
+    double total = 0.0, effective = 0.0;
+    bool first_reusable = true;
+
+    for (const auto &layer : model.layers) {
+        if (!layer.reusable())
+            continue;
+        int64_t d = layer.vectorDim();
+        if (layer.type == LayerType::Conv && layer.kernel == 1)
+            d = layer.inChannels / layer.groups;
+        d = std::clamp<int64_t>(d, 4, 64);
+
+        // Post-ReLU activations: about half the elements collapse to
+        // zero, the dominant source of element-level repetition. The
+        // first layer consumes dense image pixels instead.
+        Tensor act({64, d});
+        for (int64_t i = 0; i < act.numel(); ++i) {
+            const float x = static_cast<float>(rng.normal());
+            act[i] = first_reusable ? x : std::max(0.0f, x);
+        }
+        first_reusable = false;
+        const double u_in =
+            elementSimilarity(act, quant_bits).uniqueElementFraction;
+
+        // Weights: dense normal draws (little repetition inside one
+        // filter unless d is large relative to the level count).
+        Tensor wts({64, d});
+        wts.fillNormal(rng);
+        const double u_w =
+            elementSimilarity(wts, quant_bits).uniqueElementFraction;
+
+        // A product is computed only if both its elements were first
+        // occurrences (the most optimistic reading of "all similar
+        // elements are saved").
+        const double compute_frac = u_in * u_w;
+        const double macs = static_cast<double>(layer.macCount(1));
+        total += macs;
+        effective += macs * compute_frac;
+    }
+    return effective > 0.0 ? total / effective : 1.0;
+}
+
+} // namespace mercury

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Unlimited Similarity Detection bound (paper §VII-D3, Fig. 17c):
+ * assume the accelerator finds and reuses the computation of *all*
+ * similar elements in inputs and weights, at element granularity and
+ * with no hardware constraints. An element product is skippable when
+ * its quantized input element repeats an earlier element of the same
+ * extracted vector or its quantized weight repeats within the filter.
+ */
+
+#ifndef MERCURY_BASELINES_UNLIMITED_SIMILARITY_HPP
+#define MERCURY_BASELINES_UNLIMITED_SIMILARITY_HPP
+
+#include <cstdint>
+
+#include "models/model_zoo.hpp"
+#include "tensor/tensor.hpp"
+
+namespace mercury {
+
+/** Element-similarity statistics for one vector population. */
+struct ElementSimilarityResult
+{
+    double uniqueElementFraction = 1.0; ///< unique / total per vector
+    double speedupBound = 1.0;
+};
+
+/**
+ * Measure per-vector element repetition over the rows of a (n, d)
+ * matrix with `quant_bits` quantization.
+ */
+ElementSimilarityResult elementSimilarity(const Tensor &rows,
+                                          int quant_bits);
+
+/**
+ * Model-level bound: per layer, generate representative smooth
+ * activation vectors and random weights, measure the fraction of
+ * element products whose input and weight elements both repeat, and
+ * MAC-weight the resulting saving.
+ */
+double unlimitedSimilarityModelBound(const ModelConfig &model,
+                                     uint64_t seed, int quant_bits = 10);
+
+} // namespace mercury
+
+#endif // MERCURY_BASELINES_UNLIMITED_SIMILARITY_HPP

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Unlimited Zero Pruning bound (paper §VII-D2, Fig. 17b): assume the
+ * accelerator detects and skips every multiply-accumulate whose
+ * input *or* weight element is zero, with no hardware constraints.
+ */
+
+#ifndef MERCURY_BASELINES_ZERO_PRUNING_HPP
+#define MERCURY_BASELINES_ZERO_PRUNING_HPP
+
+#include <cstdint>
+
+#include "models/model_zoo.hpp"
+#include "tensor/tensor.hpp"
+
+namespace mercury {
+
+/** Zero statistics and the resulting bound for one tensor pair. */
+struct ZeroPruningResult
+{
+    double zeroInputFraction = 0.0;
+    double zeroWeightFraction = 0.0;
+    double speedupBound = 1.0;
+};
+
+/** Bound from measured tensors (exact zero counting). */
+ZeroPruningResult zeroPruningBound(const Tensor &activations,
+                                   const Tensor &weights);
+
+/**
+ * Model-level bound: layer activations after ReLU are half zero
+ * (standard for normal pre-activations); the first layer's image
+ * inputs and the weights are dense except for quantization-induced
+ * zeros. MAC-weighted across layers.
+ */
+double zeroPruningModelBound(const ModelConfig &model, uint64_t seed);
+
+} // namespace mercury
+
+#endif // MERCURY_BASELINES_ZERO_PRUNING_HPP

@@ -1,0 +1,89 @@
+#include "core/adaptive.hpp"
+
+#include <cmath>
+
+#include "util/logging.hpp"
+
+namespace mercury {
+
+AdaptiveController::AdaptiveController(const AcceleratorConfig &cfg,
+                                       int num_layers)
+    : sigBits_(cfg.initialSignatureBits),
+      maxBits_(cfg.maxSignatureBits),
+      plateauK_(cfg.plateauK),
+      stoppageT_(cfg.stoppageT),
+      lastLoss_(0.0),
+      hasLastLoss_(false),
+      flatIterations_(0)
+{
+    if (num_layers < 0)
+        panic("negative layer count ", num_layers);
+    if (sigBits_ <= 0 || sigBits_ > maxBits_)
+        fatal("initial signature bits ", sigBits_, " outside 1..",
+              maxBits_);
+    layerState_.assign(static_cast<size_t>(num_layers), LayerState{});
+}
+
+void
+AdaptiveController::observeLoss(double loss, double flat_tol)
+{
+    if (hasLastLoss_) {
+        const double denom = std::max(std::fabs(lastLoss_), 1e-12);
+        const bool flat = std::fabs(loss - lastLoss_) / denom < flat_tol;
+        flatIterations_ = flat ? flatIterations_ + 1 : 0;
+        if (flatIterations_ >= plateauK_) {
+            if (sigBits_ < maxBits_)
+                ++sigBits_;
+            flatIterations_ = 0;
+        }
+    }
+    lastLoss_ = loss;
+    hasLastLoss_ = true;
+}
+
+void
+AdaptiveController::checkLayer(int layer) const
+{
+    if (layer < 0 || layer >= numLayers())
+        panic("adaptive layer index ", layer, " out of range");
+}
+
+void
+AdaptiveController::observeLayerCycles(int layer, uint64_t mercury_cycles,
+                                       uint64_t baseline_cycles)
+{
+    checkLayer(layer);
+    LayerState &st = layerState_[static_cast<size_t>(layer)];
+    if (!st.on)
+        return;
+    if (mercury_cycles >= baseline_cycles) {
+        if (++st.consecutiveCostlier >= stoppageT_)
+            st.on = false;
+    } else {
+        st.consecutiveCostlier = 0;
+    }
+}
+
+bool
+AdaptiveController::layerOn(int layer) const
+{
+    checkLayer(layer);
+    return layerState_[static_cast<size_t>(layer)].on;
+}
+
+int
+AdaptiveController::layersOn() const
+{
+    int n = 0;
+    for (const auto &st : layerState_)
+        n += st.on;
+    return n;
+}
+
+int
+AdaptiveController::layersOff() const
+{
+    return numLayers() - layersOn();
+}
+
+} // namespace mercury

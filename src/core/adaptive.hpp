@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Adaptation in MERCURY (§III-D):
+ *
+ *  - Signature length growth: training loss is observed every
+ *    iteration; if it stays flat for K consecutive iterations the
+ *    signature grows by one bit (up to a maximum), so only vectors
+ *    with a higher degree of similarity keep reusing results as the
+ *    model becomes more sensitive.
+ *
+ *  - Per-layer stoppage: for every layer the MERCURY cycle cost
+ *    (computation + signature generation, CS) is compared with the
+ *    baseline cost (CB) each batch; after T consecutive batches where
+ *    CS >= CB the layer's similarity detection is switched off.
+ */
+
+#ifndef MERCURY_CORE_ADAPTIVE_HPP
+#define MERCURY_CORE_ADAPTIVE_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/config.hpp"
+
+namespace mercury {
+
+/** Signature-length and per-layer on/off controller. */
+class AdaptiveController
+{
+  public:
+    /**
+     * @param cfg        source of K, T, initial/max signature bits
+     * @param num_layers number of layers to track
+     */
+    AdaptiveController(const AcceleratorConfig &cfg, int num_layers);
+
+    /** Current signature length. */
+    int signatureBits() const { return sigBits_; }
+
+    /** Number of tracked layers. */
+    int numLayers() const
+    {
+        return static_cast<int>(layerState_.size());
+    }
+
+    /**
+     * Observe this iteration's average loss; grows the signature when
+     * the loss has been flat (relative change below `flat_tol`) for K
+     * consecutive iterations.
+     */
+    void observeLoss(double loss, double flat_tol = 0.01);
+
+    /**
+     * Observe one batch's cycle costs for a layer; turns detection
+     * off after T consecutive batches with mercury_cycles >=
+     * baseline_cycles. Once off, a layer stays off (the paper stops
+     * generating signatures permanently).
+     */
+    void observeLayerCycles(int layer, uint64_t mercury_cycles,
+                            uint64_t baseline_cycles);
+
+    /** Is similarity detection still on for this layer? */
+    bool layerOn(int layer) const;
+
+    /** Number of layers with detection on / off. */
+    int layersOn() const;
+    int layersOff() const;
+
+  private:
+    struct LayerState
+    {
+        int consecutiveCostlier = 0;
+        bool on = true;
+    };
+
+    int sigBits_;
+    int maxBits_;
+    int plateauK_;
+    int stoppageT_;
+    double lastLoss_;
+    bool hasLastLoss_;
+    int flatIterations_;
+    std::vector<LayerState> layerState_;
+
+    void checkLayer(int layer) const;
+};
+
+} // namespace mercury
+
+#endif // MERCURY_CORE_ADAPTIVE_HPP

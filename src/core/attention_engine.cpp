@@ -1,0 +1,92 @@
+#include "core/attention_engine.hpp"
+
+#include "core/rpq.hpp"
+#include "core/similarity_detector.hpp"
+#include "util/logging.hpp"
+
+namespace mercury {
+
+AttentionEngine::AttentionEngine(MCache &cache, int sig_bits, uint64_t seed)
+    : cache_(cache), sigBits_(sig_bits), seed_(seed)
+{
+    if (sig_bits <= 0)
+        panic("AttentionEngine needs positive signature bits");
+}
+
+Tensor
+AttentionEngine::forward(const Tensor &x, ReuseStats &stats)
+{
+    if (x.rank() != 2)
+        panic("AttentionEngine expects (T, D), got ", x.shapeStr());
+    const int64_t t = x.dim(0);
+    const int64_t d = x.dim(1);
+
+    RPQEngine rpq(d, std::max(sigBits_, 1), seed_);
+    SimilarityDetector detector(rpq, cache_, sigBits_);
+    DetectionResult det = detector.detect(x);
+
+    stats = ReuseStats{};
+    stats.mix = det.mix();
+    stats.channelPasses = 1;
+    // W = X Xt costs T*T*D MACs; Y = W X costs T*T*D MACs.
+    stats.macsTotal = 2ull * static_cast<uint64_t>(t) *
+                      static_cast<uint64_t>(t) *
+                      static_cast<uint64_t>(d);
+
+    std::vector<int64_t> owner_of_entry(
+        static_cast<size_t>(cache_.entries()), -1);
+    std::vector<int64_t> owner(static_cast<size_t>(t), -1);
+    for (int64_t i = 0; i < t; ++i) {
+        const McacheOutcome outc = det.hitmap.outcome(i);
+        const int64_t id = det.hitmap.entryId(i);
+        owner[static_cast<size_t>(i)] = i;
+        if (outc == McacheOutcome::Hit &&
+            owner_of_entry[static_cast<size_t>(id)] >= 0) {
+            owner[static_cast<size_t>(i)] =
+                owner_of_entry[static_cast<size_t>(id)];
+        } else if (outc == McacheOutcome::Mau) {
+            owner_of_entry[static_cast<size_t>(id)] = i;
+        }
+    }
+
+    // Stage 1: W = X Xt with row forwarding.
+    Tensor w({t, t});
+    for (int64_t i = 0; i < t; ++i) {
+        const int64_t o = owner[static_cast<size_t>(i)];
+        if (o != i) {
+            for (int64_t j = 0; j < t; ++j)
+                w.at2(i, j) = w.at2(o, j);
+            stats.macsSkipped +=
+                static_cast<uint64_t>(t) * static_cast<uint64_t>(d);
+            continue;
+        }
+        for (int64_t j = 0; j < t; ++j) {
+            float acc = 0.0f;
+            for (int64_t e = 0; e < d; ++e)
+                acc += x.at2(i, e) * x.at2(j, e);
+            w.at2(i, j) = acc;
+        }
+    }
+
+    // Stage 2: Y = W X with the same forwarding pattern.
+    Tensor y({t, d});
+    for (int64_t i = 0; i < t; ++i) {
+        const int64_t o = owner[static_cast<size_t>(i)];
+        if (o != i) {
+            for (int64_t j = 0; j < d; ++j)
+                y.at2(i, j) = y.at2(o, j);
+            stats.macsSkipped +=
+                static_cast<uint64_t>(t) * static_cast<uint64_t>(d);
+            continue;
+        }
+        for (int64_t j = 0; j < d; ++j) {
+            float acc = 0.0f;
+            for (int64_t e = 0; e < t; ++e)
+                acc += w.at2(i, e) * x.at2(e, j);
+            y.at2(i, j) = acc;
+        }
+    }
+    return y;
+}
+
+} // namespace mercury

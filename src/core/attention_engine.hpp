@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Functional attention layer with MERCURY reuse (§III-C4).
+ *
+ * For input rows X (seq_len x embed_dim) the layer computes
+ * W = X Xt followed by Y = W X. Both products are driven by the
+ * similarity of X's rows: a row x_i similar to an earlier x_j yields
+ * similar W and Y rows, so HIT rows copy the owner's rows in both
+ * stages — the same FC-style forwarding the paper applies.
+ */
+
+#ifndef MERCURY_CORE_ATTENTION_ENGINE_HPP
+#define MERCURY_CORE_ATTENTION_ENGINE_HPP
+
+#include "core/conv_reuse_engine.hpp" // ReuseStats
+#include "core/mcache.hpp"
+#include "tensor/tensor.hpp"
+
+namespace mercury {
+
+/** Functional attention engine with MERCURY computation reuse. */
+class AttentionEngine
+{
+  public:
+    AttentionEngine(MCache &cache, int sig_bits, uint64_t seed);
+
+    /**
+     * Reuse-enabled attention: X (T, D) -> Y (T, D) via W = X Xt,
+     * Y = W X. One detection pass over X's rows drives both stages.
+     */
+    Tensor forward(const Tensor &x, ReuseStats &stats);
+
+    int signatureBits() const { return sigBits_; }
+
+  private:
+    MCache &cache_;
+    int sigBits_;
+    uint64_t seed_;
+};
+
+} // namespace mercury
+
+#endif // MERCURY_CORE_ATTENTION_ENGINE_HPP

@@ -1,0 +1,129 @@
+#include "core/conv_reuse_engine.hpp"
+
+#include "util/logging.hpp"
+
+namespace mercury {
+
+ConvReuseEngine::ConvReuseEngine(MCache &cache, int sig_bits, uint64_t seed)
+    : cache_(cache), sigBits_(sig_bits), seed_(seed)
+{
+    if (sig_bits <= 0)
+        panic("ConvReuseEngine needs positive signature bits");
+}
+
+Tensor
+ConvReuseEngine::forward(const Tensor &input, const Tensor &weight,
+                         const Tensor &bias, const ConvSpec &spec,
+                         ReuseStats &stats)
+{
+    if (input.rank() != 4 || weight.rank() != 4)
+        panic("ConvReuseEngine expects rank-4 input and weight");
+    const int64_t n = input.dim(0);
+    const int64_t oh = spec.outH(input.dim(2));
+    const int64_t ow = spec.outW(input.dim(3));
+    const int64_t k = spec.kernelH;
+    if (spec.kernelW != k)
+        panic("ConvReuseEngine expects square kernels");
+    const int64_t d = k * k;
+    const int64_t v = oh * ow;
+    const int64_t cin_g = spec.inChannels / spec.groups;
+    const int64_t cout_g = spec.outChannels / spec.groups;
+
+    RPQEngine rpq(d, std::max(sigBits_, 1), seed_);
+    SimilarityDetector detector(rpq, cache_, sigBits_);
+
+    Tensor out({n, spec.outChannels, oh, ow});
+    if (bias.numel()) {
+        for (int64_t b = 0; b < n; ++b)
+            for (int64_t oc = 0; oc < spec.outChannels; ++oc)
+                for (int64_t i = 0; i < v; ++i)
+                    out[out.offset4(b, oc, 0, 0) + i] = bias[oc];
+    }
+
+    // Channel-at-a-time extraction buffer.
+    Tensor rows({v, d});
+    const int versions = cache_.dataVersions();
+
+    stats = ReuseStats{};
+    for (int64_t b = 0; b < n; ++b) {
+        for (int64_t g = 0; g < spec.groups; ++g) {
+            for (int64_t ic = 0; ic < cin_g; ++ic) {
+                const int64_t c = g * cin_g + ic;
+                // Extract this channel's input vectors (Fig. 7a).
+                int64_t r = 0;
+                for (int64_t y = 0; y < oh; ++y) {
+                    for (int64_t x = 0; x < ow; ++x, ++r) {
+                        int64_t e = 0;
+                        for (int64_t ky = 0; ky < k; ++ky) {
+                            for (int64_t kx = 0; kx < k; ++kx, ++e) {
+                                const int64_t iy =
+                                    y * spec.stride - spec.pad + ky;
+                                const int64_t ix =
+                                    x * spec.stride - spec.pad + kx;
+                                const bool inside =
+                                    iy >= 0 && ix >= 0 &&
+                                    iy < input.dim(2) && ix < input.dim(3);
+                                rows.at2(r, e) =
+                                    inside ? input.at4(b, c, iy, ix)
+                                           : 0.0f;
+                            }
+                        }
+                    }
+                }
+
+                // Detection pass: signatures, MCACHE tags, hitmap.
+                DetectionResult det = detector.detect(rows);
+                const HitMix mix = det.mix();
+                stats.mix.vectors += mix.vectors;
+                stats.mix.hit += mix.hit;
+                stats.mix.mau += mix.mau;
+                stats.mix.mnu += mix.mnu;
+                ++stats.channelPasses;
+                stats.macsTotal += static_cast<uint64_t>(v) *
+                                   static_cast<uint64_t>(cout_g) *
+                                   static_cast<uint64_t>(d);
+
+                // Filter passes in groups of `versions` in-flight
+                // filters (the multi-version data of Fig. 11).
+                for (int64_t oc0 = 0; oc0 < cout_g; oc0 += versions) {
+                    cache_.invalidateAllData();
+                    const int64_t oc1 =
+                        std::min<int64_t>(oc0 + versions, cout_g);
+                    for (int64_t of = oc0; of < oc1; ++of) {
+                        const int64_t oc = g * cout_g + of;
+                        const int ver = static_cast<int>(of - oc0);
+                        const float *w =
+                            weight.data() +
+                            ((oc * cin_g + ic) * k) * k;
+                        for (int64_t i = 0; i < v; ++i) {
+                            float val;
+                            const McacheOutcome outc =
+                                det.hitmap.outcome(i);
+                            const int64_t id = det.hitmap.entryId(i);
+                            if (outc == McacheOutcome::Hit &&
+                                cache_.dataValid(id, ver)) {
+                                // Reuse the earlier vector's result.
+                                val = cache_.readData(id, ver);
+                                stats.macsSkipped +=
+                                    static_cast<uint64_t>(d);
+                            } else {
+                                const float *row =
+                                    rows.data() + i * d;
+                                float acc = 0.0f;
+                                for (int64_t e = 0; e < d; ++e)
+                                    acc += row[e] * w[e];
+                                val = acc;
+                                if (outc == McacheOutcome::Mau)
+                                    cache_.writeData(id, ver, acc);
+                            }
+                            out[out.offset4(b, oc, 0, 0) + i] += val;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace mercury

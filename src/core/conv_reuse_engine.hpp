@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Functional convolution with MERCURY reuse (§III-C1).
+ *
+ * For every (image, channel) the engine extracts the input vectors,
+ * runs the similarity detector, then performs the channel's filter
+ * passes: HIT vectors take their dot product from MCACHE (the value
+ * the matching MAU vector computed), MAU vectors compute and deposit
+ * their result, MNU vectors compute without caching. Results
+ * accumulate over channels exactly like the baseline convolution, so
+ * the output differs from the exact convolution only by the
+ * reuse-induced approximation — which is what the accuracy
+ * experiments measure.
+ *
+ * The engine also reports the measured HIT/MAU/MNU mix and the MACs
+ * skipped, which feed the timing model.
+ */
+
+#ifndef MERCURY_CORE_CONV_REUSE_ENGINE_HPP
+#define MERCURY_CORE_CONV_REUSE_ENGINE_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "core/mcache.hpp"
+#include "core/rpq.hpp"
+#include "core/similarity_detector.hpp"
+#include "sim/dataflow.hpp"
+#include "tensor/ops.hpp"
+#include "tensor/tensor.hpp"
+
+namespace mercury {
+
+/** Aggregated statistics of one reuse-enabled convolution. */
+struct ReuseStats
+{
+    HitMix mix;                ///< summed over all (image, channel) passes
+    uint64_t macsTotal = 0;    ///< baseline MAC count
+    uint64_t macsSkipped = 0;  ///< MACs avoided through reuse
+    int64_t channelPasses = 0; ///< number of detection passes run
+
+    double skipFraction() const
+    {
+        return macsTotal
+                   ? static_cast<double>(macsSkipped) /
+                         static_cast<double>(macsTotal)
+                   : 0.0;
+    }
+};
+
+/** Functional conv-layer engine with MERCURY computation reuse. */
+class ConvReuseEngine
+{
+  public:
+    /**
+     * @param cache    MCACHE instance to run through
+     * @param sig_bits signature length for detection
+     * @param seed     seed for the per-layer random projection
+     */
+    ConvReuseEngine(MCache &cache, int sig_bits, uint64_t seed);
+
+    /**
+     * Reuse-enabled forward convolution, channel by channel.
+     *
+     * @param input  (N, Cin, H, W)
+     * @param weight (Cout, Cin, kH, kW) — groups == 1
+     * @param bias   (Cout) or empty
+     * @param stats  filled with the measured reuse statistics
+     */
+    Tensor forward(const Tensor &input, const Tensor &weight,
+                   const Tensor &bias, const ConvSpec &spec,
+                   ReuseStats &stats);
+
+    int signatureBits() const { return sigBits_; }
+
+  private:
+    MCache &cache_;
+    int sigBits_;
+    uint64_t seed_;
+};
+
+} // namespace mercury
+
+#endif // MERCURY_CORE_CONV_REUSE_ENGINE_HPP

@@ -1,0 +1,80 @@
+#include "core/fc_engine.hpp"
+
+#include "core/rpq.hpp"
+#include "core/similarity_detector.hpp"
+#include "util/logging.hpp"
+
+namespace mercury {
+
+FcEngine::FcEngine(MCache &cache, int sig_bits, uint64_t seed)
+    : cache_(cache), sigBits_(sig_bits), seed_(seed)
+{
+    if (sig_bits <= 0)
+        panic("FcEngine needs positive signature bits");
+}
+
+Tensor
+FcEngine::forward(const Tensor &input, const Tensor &weight,
+                  ReuseStats &stats, std::vector<int64_t> *owner_rows)
+{
+    if (input.rank() != 2 || weight.rank() != 2 ||
+        input.dim(1) != weight.dim(0)) {
+        panic("FcEngine shape mismatch ", input.shapeStr(), " x ",
+              weight.shapeStr());
+    }
+    const int64_t n = input.dim(0);
+    const int64_t d = input.dim(1);
+    const int64_t m = weight.dim(1);
+
+    RPQEngine rpq(d, std::max(sigBits_, 1), seed_);
+    SimilarityDetector detector(rpq, cache_, sigBits_);
+    DetectionResult det = detector.detect(input);
+
+    stats = ReuseStats{};
+    stats.mix = det.mix();
+    stats.channelPasses = 1;
+    stats.macsTotal =
+        static_cast<uint64_t>(n) * static_cast<uint64_t>(d) *
+        static_cast<uint64_t>(m);
+
+    // The owner ("earlier PE", §III-C3) of each MCACHE entry is the
+    // first row that inserted the signature; HIT rows receive the
+    // owner's results.
+    std::vector<int64_t> owner_of_entry(
+        static_cast<size_t>(cache_.entries()), -1);
+    if (owner_rows)
+        owner_rows->assign(static_cast<size_t>(n), -1);
+
+    Tensor out({n, m});
+    for (int64_t i = 0; i < n; ++i) {
+        const McacheOutcome outc = det.hitmap.outcome(i);
+        const int64_t id = det.hitmap.entryId(i);
+        int64_t owner = i;
+        if (outc == McacheOutcome::Hit &&
+            owner_of_entry[static_cast<size_t>(id)] >= 0) {
+            owner = owner_of_entry[static_cast<size_t>(id)];
+        } else if (outc == McacheOutcome::Mau) {
+            owner_of_entry[static_cast<size_t>(id)] = i;
+        }
+        if (owner_rows)
+            (*owner_rows)[static_cast<size_t>(i)] = owner;
+
+        if (owner != i) {
+            // Result forwarding from the earlier PE.
+            for (int64_t j = 0; j < m; ++j)
+                out.at2(i, j) = out.at2(owner, j);
+            stats.macsSkipped += static_cast<uint64_t>(d) *
+                                 static_cast<uint64_t>(m);
+            continue;
+        }
+        for (int64_t j = 0; j < m; ++j) {
+            float acc = 0.0f;
+            for (int64_t e = 0; e < d; ++e)
+                acc += input.at2(i, e) * weight.at2(e, j);
+            out.at2(i, j) = acc;
+        }
+    }
+    return out;
+}
+
+} // namespace mercury

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Functional fully connected layer with MERCURY reuse (§III-C3).
+ *
+ * Input rows of a minibatch are hashed; a row whose signature HITs
+ * receives every weight-column result from the "earlier PE" that owns
+ * the matching signature instead of recomputing the dot products.
+ */
+
+#ifndef MERCURY_CORE_FC_ENGINE_HPP
+#define MERCURY_CORE_FC_ENGINE_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "core/conv_reuse_engine.hpp" // ReuseStats
+#include "core/mcache.hpp"
+#include "tensor/tensor.hpp"
+
+namespace mercury {
+
+/** Functional FC-layer engine with MERCURY computation reuse. */
+class FcEngine
+{
+  public:
+    /**
+     * @param cache    MCACHE instance (only its tag machinery is
+     *                 used; whole output rows live in the forwarding
+     *                 buffer as in §III-C3)
+     * @param sig_bits signature length
+     * @param seed     per-layer projection seed
+     */
+    FcEngine(MCache &cache, int sig_bits, uint64_t seed);
+
+    /**
+     * Reuse-enabled product: (N, D) x (D, M) -> (N, M).
+     *
+     * @param owner_rows filled with the owner row index each input
+     *        row's result came from (own index when computed); lets
+     *        tests verify the forwarding pattern. May be null.
+     */
+    Tensor forward(const Tensor &input, const Tensor &weight,
+                   ReuseStats &stats,
+                   std::vector<int64_t> *owner_rows = nullptr);
+
+    int signatureBits() const { return sigBits_; }
+
+  private:
+    MCache &cache_;
+    int sigBits_;
+    uint64_t seed_;
+};
+
+} // namespace mercury
+
+#endif // MERCURY_CORE_FC_ENGINE_HPP

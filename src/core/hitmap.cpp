@@ -1,0 +1,72 @@
+#include "core/hitmap.hpp"
+
+#include "util/logging.hpp"
+
+namespace mercury {
+
+Hitmap::Hitmap(int64_t vectors)
+{
+    reset(vectors);
+}
+
+void
+Hitmap::reset(int64_t vectors)
+{
+    if (vectors < 0)
+        panic("negative hitmap size ", vectors);
+    entries_.assign(static_cast<size_t>(vectors), Entry{});
+}
+
+const Hitmap::Entry &
+Hitmap::at(int64_t i) const
+{
+    if (i < 0 || i >= size())
+        panic("hitmap index ", i, " out of range for ", size());
+    return entries_[static_cast<size_t>(i)];
+}
+
+void
+Hitmap::record(int64_t i, const McacheResult &result)
+{
+    if (i < 0 || i >= size())
+        panic("hitmap index ", i, " out of range for ", size());
+    Entry &e = entries_[static_cast<size_t>(i)];
+    e.outcome = result.outcome;
+    e.entryId = result.entryId;
+    e.recorded = true;
+}
+
+McacheOutcome
+Hitmap::outcome(int64_t i) const
+{
+    return at(i).outcome;
+}
+
+int64_t
+Hitmap::entryId(int64_t i) const
+{
+    return at(i).entryId;
+}
+
+HitMix
+Hitmap::mix() const
+{
+    HitMix m;
+    m.vectors = size();
+    for (const Entry &e : entries_) {
+        switch (e.outcome) {
+          case McacheOutcome::Hit:
+            ++m.hit;
+            break;
+          case McacheOutcome::Mau:
+            ++m.mau;
+            break;
+          case McacheOutcome::Mnu:
+            ++m.mnu;
+            break;
+        }
+    }
+    return m;
+}
+
+} // namespace mercury

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Hitmap: the per-input-vector HIT / MAU / MNU map that keeps the
+ * dataflow regular while computations are skipped (§III-B3).
+ *
+ * Each entry also records the MCACHE entry id the vector resolved to
+ * (for HIT and MAU), so PE sets can fetch or deposit results by id
+ * without another tag comparison (§V).
+ */
+
+#ifndef MERCURY_CORE_HITMAP_HPP
+#define MERCURY_CORE_HITMAP_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "core/mcache.hpp"
+#include "sim/dataflow.hpp"
+
+namespace mercury {
+
+/** The hitmap over one population of input vectors. */
+class Hitmap
+{
+  public:
+    /** Empty hitmap for `vectors` entries (all MNU until recorded). */
+    explicit Hitmap(int64_t vectors = 0);
+
+    int64_t size() const { return static_cast<int64_t>(entries_.size()); }
+
+    /** Record the MCACHE outcome for vector i. */
+    void record(int64_t i, const McacheResult &result);
+
+    /** Outcome of vector i. */
+    McacheOutcome outcome(int64_t i) const;
+
+    /** MCACHE entry id of vector i (-1 when MNU). */
+    int64_t entryId(int64_t i) const;
+
+    bool isHit(int64_t i) const
+    {
+        return outcome(i) == McacheOutcome::Hit;
+    }
+
+    /** Aggregate counts in the timing model's HitMix form. */
+    HitMix mix() const;
+
+    /** Reset to a new population size. */
+    void reset(int64_t vectors);
+
+  private:
+    struct Entry
+    {
+        McacheOutcome outcome = McacheOutcome::Mnu;
+        int64_t entryId = -1;
+        bool recorded = false;
+    };
+
+    std::vector<Entry> entries_;
+
+    const Entry &at(int64_t i) const;
+};
+
+} // namespace mercury
+
+#endif // MERCURY_CORE_HITMAP_HPP

@@ -1,0 +1,167 @@
+#include "core/mcache.hpp"
+
+#include <algorithm>
+
+#include "util/logging.hpp"
+
+namespace mercury {
+
+const char *
+mcacheOutcomeName(McacheOutcome outcome)
+{
+    switch (outcome) {
+      case McacheOutcome::Hit:
+        return "HIT";
+      case McacheOutcome::Mau:
+        return "MAU";
+      case McacheOutcome::Mnu:
+        return "MNU";
+    }
+    return "?";
+}
+
+MCache::MCache(int sets, int ways, int data_versions)
+    : sets_(sets), ways_(ways), versions_(data_versions),
+      stats_("mcache")
+{
+    if (sets <= 0 || ways <= 0 || data_versions <= 0)
+        fatal("MCACHE needs positive sets/ways/versions, got ", sets, "/",
+              ways, "/", data_versions);
+    lines_.resize(static_cast<size_t>(sets) * static_cast<size_t>(ways));
+    for (auto &l : lines_) {
+        l.data.assign(static_cast<size_t>(versions_), 0.0f);
+        l.validData.assign(static_cast<size_t>(versions_), false);
+    }
+    insertBacklog_.assign(static_cast<size_t>(sets), 0);
+}
+
+MCache::Line &
+MCache::line(int64_t entry_id)
+{
+    if (entry_id < 0 || entry_id >= entries())
+        panic("MCACHE entry id ", entry_id, " out of range");
+    return lines_[static_cast<size_t>(entry_id)];
+}
+
+const MCache::Line &
+MCache::line(int64_t entry_id) const
+{
+    if (entry_id < 0 || entry_id >= entries())
+        panic("MCACHE entry id ", entry_id, " out of range");
+    return lines_[static_cast<size_t>(entry_id)];
+}
+
+int
+MCache::setIndexOf(const Signature &sig) const
+{
+    return static_cast<int>(sig.hash() % static_cast<uint64_t>(sets_));
+}
+
+McacheResult
+MCache::lookupOrInsert(const Signature &sig)
+{
+    const int set = setIndexOf(sig);
+    const int64_t base = static_cast<int64_t>(set) * ways_;
+
+    // Tag search among valid ways.
+    for (int w = 0; w < ways_; ++w) {
+        Line &l = lines_[static_cast<size_t>(base + w)];
+        if (l.validTag && l.tag == sig) {
+            stats_.stat("hits")++;
+            return {McacheOutcome::Hit, base + w};
+        }
+    }
+    // Miss: try to claim a free way (no replacement, §III-B3).
+    for (int w = 0; w < ways_; ++w) {
+        Line &l = lines_[static_cast<size_t>(base + w)];
+        if (!l.validTag) {
+            l.tag = sig;
+            l.validTag = true;
+            std::fill(l.validData.begin(), l.validData.end(), false);
+            stats_.stat("mau")++;
+            stats_.stat("inserts")++;
+            ++insertBacklog_[static_cast<size_t>(set)];
+            return {McacheOutcome::Mau, base + w};
+        }
+    }
+    stats_.stat("mnu")++;
+    return {McacheOutcome::Mnu, -1};
+}
+
+bool
+MCache::dataValid(int64_t entry_id, int version) const
+{
+    const Line &l = line(entry_id);
+    if (version < 0 || version >= versions_)
+        panic("MCACHE data version ", version, " out of range");
+    return l.validData[static_cast<size_t>(version)];
+}
+
+float
+MCache::readData(int64_t entry_id, int version) const
+{
+    const Line &l = line(entry_id);
+    if (version < 0 || version >= versions_)
+        panic("MCACHE data version ", version, " out of range");
+    if (!l.validData[static_cast<size_t>(version)])
+        panic("MCACHE read of invalid data: entry ", entry_id,
+              " version ", version);
+    stats_.stat("dataReads")++;
+    return l.data[static_cast<size_t>(version)];
+}
+
+void
+MCache::writeData(int64_t entry_id, int version, float value)
+{
+    Line &l = line(entry_id);
+    if (version < 0 || version >= versions_)
+        panic("MCACHE data version ", version, " out of range");
+    if (!l.validTag)
+        panic("MCACHE data write to a line with no valid tag: entry ",
+              entry_id);
+    l.data[static_cast<size_t>(version)] = value;
+    l.validData[static_cast<size_t>(version)] = true;
+    stats_.stat("dataWrites")++;
+}
+
+void
+MCache::invalidateAllData()
+{
+    for (auto &l : lines_)
+        std::fill(l.validData.begin(), l.validData.end(), false);
+    stats_.stat("dataInvalidations")++;
+}
+
+void
+MCache::clear()
+{
+    for (auto &l : lines_) {
+        l.validTag = false;
+        std::fill(l.validData.begin(), l.validData.end(), false);
+    }
+    std::fill(insertBacklog_.begin(), insertBacklog_.end(), 0);
+    stats_.stat("clears")++;
+}
+
+int
+MCache::setOccupancy(int set) const
+{
+    if (set < 0 || set >= sets_)
+        panic("set index ", set, " out of range");
+    int occ = 0;
+    const int64_t base = static_cast<int64_t>(set) * ways_;
+    for (int w = 0; w < ways_; ++w)
+        occ += lines_[static_cast<size_t>(base + w)].validTag;
+    return occ;
+}
+
+uint64_t
+MCache::maxInsertBacklog() const
+{
+    uint64_t mx = 0;
+    for (uint64_t b : insertBacklog_)
+        mx = std::max(mx, b);
+    return mx;
+}
+
+} // namespace mercury

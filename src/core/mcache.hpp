@@ -1,0 +1,131 @@
+/**
+ * @file
+ * MCACHE: the signature-indexed result cache at the heart of MERCURY
+ * (§III-B3, §III-C1, §V).
+ *
+ * Differences from an ordinary cache, per the paper:
+ *  - the tag (signature) becomes valid before the data (computed dot
+ *    products), so every line has a Valid-Tag bit and per-version
+ *    Valid-Data bits that are set independently;
+ *  - there is no replacement: inserting into a full set fails (the
+ *    requesting vector becomes Miss-No-Update);
+ *  - the data portion is multi-version (one slot per in-flight
+ *    filter) so the asynchronous design can keep results of several
+ *    filters alive at once;
+ *  - a bitline clears every Valid-Data bit in one operation when the
+ *    PE array moves to the next filter (synchronous design);
+ *  - entries are also addressable by a dense id so later accesses
+ *    skip tag comparison (§V), and per-set insert queues serialize
+ *    simultaneous inserts.
+ */
+
+#ifndef MERCURY_CORE_MCACHE_HPP
+#define MERCURY_CORE_MCACHE_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "core/signature.hpp"
+#include "util/stats.hpp"
+
+namespace mercury {
+
+/** Outcome of presenting a signature to MCACHE (Fig. 9). */
+enum class McacheOutcome
+{
+    Hit, ///< signature already present: reuse
+    Mau, ///< miss-and-update: tag inserted, data to follow
+    Mnu, ///< miss-no-update: set full, nothing inserted
+};
+
+/** Printable name of an outcome. */
+const char *mcacheOutcomeName(McacheOutcome outcome);
+
+/** Result of an MCACHE lookup: outcome plus the entry id (if any). */
+struct McacheResult
+{
+    McacheOutcome outcome = McacheOutcome::Mnu;
+    int64_t entryId = -1; ///< dense id (set * ways + way), -1 for MNU
+};
+
+/** The MERCURY result cache. */
+class MCache
+{
+  public:
+    /**
+     * @param sets          number of sets
+     * @param ways          associativity
+     * @param data_versions data slots per line (in-flight filters M)
+     */
+    MCache(int sets, int ways, int data_versions);
+
+    int sets() const { return sets_; }
+    int ways() const { return ways_; }
+    int dataVersions() const { return versions_; }
+    int64_t entries() const { return static_cast<int64_t>(sets_) * ways_; }
+
+    /**
+     * Present a signature: HIT if present, otherwise insert (MAU) or
+     * report a full set (MNU). Implements the Fig. 9 flow.
+     */
+    McacheResult lookupOrInsert(const Signature &sig);
+
+    /** True if the entry's data for `version` is valid. */
+    bool dataValid(int64_t entry_id, int version) const;
+
+    /** Read a computed result; panics if the version is invalid. */
+    float readData(int64_t entry_id, int version) const;
+
+    /** Write a computed result and set its VD bit. */
+    void writeData(int64_t entry_id, int version, float value);
+
+    /**
+     * Clear every VD bit (the bitline): used by the synchronous
+     * design when PE sets move to the next filter. Tags survive.
+     */
+    void invalidateAllData();
+
+    /** Clear tags and data: a new channel's vectors arrived. */
+    void clear();
+
+    /** Set index a signature maps to (exposed for tests). */
+    int setIndexOf(const Signature &sig) const;
+
+    /** Occupancy (valid tags) of one set. */
+    int setOccupancy(int set) const;
+
+    /**
+     * Drain-cost model of the per-set insert queues (§V): given the
+     * inserts recorded since the last clear, the serialization cost
+     * is the largest per-set insert count.
+     */
+    uint64_t maxInsertBacklog() const;
+
+    /** Lifetime statistics: hits, mau, mnu, inserts, dataReads, ... */
+    const StatGroup &stats() const { return stats_; }
+    StatGroup &stats() { return stats_; }
+
+  private:
+    struct Line
+    {
+        Signature tag;
+        bool validTag = false;
+        std::vector<float> data;
+        std::vector<bool> validData;
+    };
+
+    int sets_;
+    int ways_;
+    int versions_;
+    std::vector<Line> lines_;
+    std::vector<uint64_t> insertBacklog_;
+    /// Mutable: read paths (e.g. readData) count accesses too.
+    mutable StatGroup stats_;
+
+    Line &line(int64_t entry_id);
+    const Line &line(int64_t entry_id) const;
+};
+
+} // namespace mercury
+
+#endif // MERCURY_CORE_MCACHE_HPP

@@ -1,0 +1,93 @@
+#include "core/signature.hpp"
+
+#include "util/logging.hpp"
+
+namespace mercury {
+
+Signature::Signature(int bits)
+    : bits_(bits),
+      words_(static_cast<size_t>(wordsFor(bits)), 0)
+{
+    if (bits < 0)
+        panic("negative signature length ", bits);
+}
+
+void
+Signature::checkIndex(int i) const
+{
+    if (i < 0 || i >= bits_)
+        panic("signature bit index ", i, " out of range for ", bits_,
+              " bits");
+}
+
+bool
+Signature::bit(int i) const
+{
+    checkIndex(i);
+    return (words_[static_cast<size_t>(i / 64)] >> (i % 64)) & 1;
+}
+
+void
+Signature::setBit(int i, bool value)
+{
+    checkIndex(i);
+    const uint64_t mask = 1ull << (i % 64);
+    if (value)
+        words_[static_cast<size_t>(i / 64)] |= mask;
+    else
+        words_[static_cast<size_t>(i / 64)] &= ~mask;
+}
+
+void
+Signature::appendBit(bool value)
+{
+    ++bits_;
+    if (wordsFor(bits_) > static_cast<int>(words_.size()))
+        words_.push_back(0);
+    setBit(bits_ - 1, value);
+}
+
+Signature
+Signature::prefix(int bits) const
+{
+    if (bits > bits_)
+        panic("prefix of ", bits, " bits from a ", bits_,
+              "-bit signature");
+    Signature out(bits);
+    for (int i = 0; i < bits; ++i)
+        out.setBit(i, bit(i));
+    return out;
+}
+
+bool
+Signature::operator==(const Signature &other) const
+{
+    return bits_ == other.bits_ && words_ == other.words_;
+}
+
+uint64_t
+Signature::hash() const
+{
+    // SplitMix64-style mixing over the words plus the length, so
+    // signatures of different lengths never alias.
+    uint64_t h = 0x9E3779B97F4A7C15ull ^ static_cast<uint64_t>(bits_);
+    for (uint64_t w : words_) {
+        h ^= w + 0x9E3779B97F4A7C15ull + (h << 6) + (h >> 2);
+        h *= 0xBF58476D1CE4E5B9ull;
+        h ^= h >> 27;
+    }
+    h *= 0x94D049BB133111EBull;
+    return h ^ (h >> 31);
+}
+
+std::string
+Signature::str() const
+{
+    std::string s;
+    s.reserve(static_cast<size_t>(bits_));
+    for (int i = bits_ - 1; i >= 0; --i)
+        s.push_back(bit(i) ? '1' : '0');
+    return s;
+}
+
+} // namespace mercury

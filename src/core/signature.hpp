@@ -1,0 +1,67 @@
+/**
+ * @file
+ * RPQ signatures: variable-length bit sequences produced by random
+ * projection + sign quantization (§II-A). Two input vectors with the
+ * same signature are considered similar.
+ */
+
+#ifndef MERCURY_CORE_SIGNATURE_HPP
+#define MERCURY_CORE_SIGNATURE_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mercury {
+
+/** A bit sequence of explicit length with value semantics. */
+class Signature
+{
+  public:
+    /** Empty signature (length 0). */
+    Signature() = default;
+
+    /** Zero-initialized signature of the given bit length. */
+    explicit Signature(int bits);
+
+    int bits() const { return bits_; }
+
+    /** Read bit i (0-based). */
+    bool bit(int i) const;
+
+    /** Set bit i (0-based). */
+    void setBit(int i, bool value);
+
+    /** Append one bit, growing the length (adaptive growth §III-D). */
+    void appendBit(bool value);
+
+    /**
+     * Truncated copy with the first `bits` bits (signatures of
+     * different adaptive lengths compare on their common prefix only
+     * via this helper; operator== requires equal lengths).
+     */
+    Signature prefix(int bits) const;
+
+    bool operator==(const Signature &other) const;
+    bool operator!=(const Signature &other) const
+    {
+        return !(*this == other);
+    }
+
+    /** Deterministic 64-bit hash (stable across platforms/runs). */
+    uint64_t hash() const;
+
+    /** Bit string, most significant first, e.g. "10110". */
+    std::string str() const;
+
+  private:
+    int bits_ = 0;
+    std::vector<uint64_t> words_;
+
+    static int wordsFor(int bits) { return (bits + 63) / 64; }
+    void checkIndex(int i) const;
+};
+
+} // namespace mercury
+
+#endif // MERCURY_CORE_SIGNATURE_HPP

@@ -1,0 +1,50 @@
+#include "core/signature_table.hpp"
+
+#include "util/logging.hpp"
+
+namespace mercury {
+
+void
+SignatureTable::append(Signature sig, int64_t entry_id)
+{
+    rows_.push_back({std::move(sig), entry_id});
+}
+
+const SignatureTable::Row &
+SignatureTable::at(int64_t i) const
+{
+    if (i < 0 || i >= size())
+        panic("signature table index ", i, " out of range for ", size());
+    return rows_[static_cast<size_t>(i)];
+}
+
+const Signature &
+SignatureTable::signature(int64_t i) const
+{
+    return at(i).sig;
+}
+
+int64_t
+SignatureTable::entryId(int64_t i) const
+{
+    return at(i).entryId;
+}
+
+void
+SignatureTable::clear()
+{
+    rows_.clear();
+}
+
+uint64_t
+SignatureTable::storageBytes() const
+{
+    uint64_t bytes = 0;
+    for (const Row &r : rows_) {
+        // Signature bits rounded to bytes plus a 4-byte entry id.
+        bytes += static_cast<uint64_t>((r.sig.bits() + 7) / 8) + 4;
+    }
+    return bytes;
+}
+
+} // namespace mercury

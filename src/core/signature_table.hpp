@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Signature Table: per-input-vector signatures indexed by vector
+ * number (§III-B3). Signatures computed during forward propagation
+ * are saved here and reloaded during the previous layer's backward
+ * pass when filter dimensions match (§III-C2).
+ */
+
+#ifndef MERCURY_CORE_SIGNATURE_TABLE_HPP
+#define MERCURY_CORE_SIGNATURE_TABLE_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "core/signature.hpp"
+
+namespace mercury {
+
+/** Dense table of signatures plus their MCACHE entry ids. */
+class SignatureTable
+{
+  public:
+    SignatureTable() = default;
+
+    /** Number of stored signatures. */
+    int64_t size() const { return static_cast<int64_t>(rows_.size()); }
+
+    /** Append the signature of the next vector. */
+    void append(Signature sig, int64_t entry_id);
+
+    /** Signature of vector i. */
+    const Signature &signature(int64_t i) const;
+
+    /** MCACHE entry id vector i resolved to (-1 for MNU). */
+    int64_t entryId(int64_t i) const;
+
+    /** Drop all rows (new channel). */
+    void clear();
+
+    /**
+     * Bytes needed to spill the table to memory between forward and
+     * backward propagation (used by the global-buffer accounting).
+     */
+    uint64_t storageBytes() const;
+
+  private:
+    struct Row
+    {
+        Signature sig;
+        int64_t entryId;
+    };
+
+    std::vector<Row> rows_;
+
+    const Row &at(int64_t i) const;
+};
+
+} // namespace mercury
+
+#endif // MERCURY_CORE_SIGNATURE_TABLE_HPP

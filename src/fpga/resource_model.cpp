@@ -1,0 +1,165 @@
+#include "fpga/resource_model.hpp"
+
+#include <algorithm>
+
+#include "util/logging.hpp"
+
+namespace mercury {
+
+std::vector<MemoryTypeRow>
+memoryTypeTable()
+{
+    return {
+        {"Block Memory",
+         "Global Buffer, Input Buffer, Signature Table"},
+        {"Slice Register",
+         "MCACHE, Filters, Hitmap, Input/Weight registers, "
+         "InUse/FlUse flags, ORg"},
+    };
+}
+
+AnchoredCurve::AnchoredCurve(std::vector<double> xs, std::vector<double> ys)
+    : xs_(std::move(xs)), ys_(std::move(ys))
+{
+    if (xs_.size() != ys_.size() || xs_.size() < 2)
+        panic("AnchoredCurve needs >= 2 matching anchors");
+    for (size_t i = 1; i < xs_.size(); ++i)
+        if (xs_[i] <= xs_[i - 1])
+            panic("AnchoredCurve anchors must be increasing");
+}
+
+double
+AnchoredCurve::eval(double x) const
+{
+    size_t hi = 1;
+    while (hi + 1 < xs_.size() && x > xs_[hi])
+        ++hi;
+    const size_t lo = hi - 1;
+    const double t = (x - xs_[lo]) / (xs_[hi] - xs_[lo]);
+    return ys_[lo] + t * (ys_[hi] - ys_[lo]);
+}
+
+namespace {
+
+// Anchor grids from the paper. Table II: 16 ways, sets sweep.
+const std::vector<double> kSets = {16, 32, 48, 64};
+// Table III: 64 sets, ways sweep.
+const std::vector<double> kWays = {2, 4, 8, 16};
+
+struct AnchoredPair
+{
+    AnchoredCurve bySets;
+    AnchoredCurve byWays;
+    double anchor; ///< value at (64 sets, 16 ways)
+
+    double
+    eval(int sets, int ways) const
+    {
+        return bySets.eval(sets) + byWays.eval(ways) - anchor;
+    }
+};
+
+AnchoredPair
+pairOf(std::vector<double> sets_vals, std::vector<double> ways_vals)
+{
+    const double anchor = sets_vals.back();
+    return {AnchoredCurve(kSets, std::move(sets_vals)),
+            AnchoredCurve(kWays, std::move(ways_vals)), anchor};
+}
+
+// Resources (Tables II-a / III-a).
+const AnchoredPair kLuts =
+    pairOf({140597, 211437, 216544, 216918},
+           {216777, 216618, 216758, 216918});
+const AnchoredPair kRegs =
+    pairOf({62620, 69536, 74925, 81332},
+           {65727, 67897, 71999, 81332});
+const AnchoredPair kBram =
+    pairOf({1177.5, 1193.5, 1209.5, 1225.5},
+           {1225.5, 1225.5, 1225.5, 1225.5});
+
+// Power (Tables II-b / III-b), per component.
+const AnchoredPair kClocks = pairOf({0.138, 0.154, 0.155, 0.166},
+                                    {0.146, 0.151, 0.157, 0.166});
+const AnchoredPair kLogic = pairOf({0.102, 0.104, 0.103, 0.105},
+                                   {0.100, 0.104, 0.101, 0.105});
+const AnchoredPair kSignals = pairOf({0.180, 0.175, 0.201, 0.216},
+                                     {0.176, 0.197, 0.180, 0.216});
+const AnchoredPair kBramPower = pairOf({0.516, 0.524, 0.548, 0.561},
+                                       {0.555, 0.543, 0.559, 0.561});
+const AnchoredPair kStatic = pairOf({0.681, 0.683, 0.685, 0.687},
+                                    {0.686, 0.686, 0.686, 0.687});
+// Residual (I/O etc.): reported totals minus the listed columns.
+const AnchoredPair kOther = pairOf({0.107, 0.106, 0.105, 0.107},
+                                   {0.105, 0.106, 0.106, 0.107});
+
+constexpr double kDspCount = 198;  // constant across organizations
+constexpr double kDspPower = 0.087;
+
+} // namespace
+
+FpgaModel::FpgaModel() = default;
+
+FpgaResources
+FpgaModel::resources(int sets, int ways) const
+{
+    if (sets <= 0 || ways <= 0)
+        panic("resources need positive sets/ways");
+    FpgaResources r;
+    r.sliceLuts = kLuts.eval(sets, ways);
+    r.sliceRegisters = kRegs.eval(sets, ways);
+    r.blockRam = kBram.eval(sets, ways);
+    r.dsp48 = kDspCount;
+    return r;
+}
+
+FpgaPower
+FpgaModel::power(int sets, int ways) const
+{
+    if (sets <= 0 || ways <= 0)
+        panic("power needs positive sets/ways");
+    FpgaPower p;
+    p.clocks = kClocks.eval(sets, ways);
+    p.logic = kLogic.eval(sets, ways);
+    p.signals = kSignals.eval(sets, ways);
+    p.bram = kBramPower.eval(sets, ways);
+    p.dsps = kDspPower;
+    p.staticPower = kStatic.eval(sets, ways);
+    p.other = kOther.eval(sets, ways);
+    return p;
+}
+
+FpgaResources
+FpgaModel::baselineResources() const
+{
+    // Paper Table IV-a.
+    FpgaResources r;
+    r.sliceLuts = 56910;
+    r.sliceRegisters = 48735;
+    r.blockRam = 1161.5;
+    r.dsp48 = kDspCount;
+    return r;
+}
+
+FpgaPower
+FpgaModel::baselinePower() const
+{
+    // Paper Table IV-b.
+    FpgaPower p;
+    p.clocks = 0.112;
+    p.logic = 0.070;
+    p.signals = 0.138;
+    p.bram = 0.511;
+    p.dsps = kDspPower;
+    p.staticPower = 0.678;
+    p.other = 0.107;
+    return p;
+}
+
+double
+FpgaModel::overheadRatio() const
+{
+    return power(64, 16).total() / baselinePower().total();
+}
+
+} // namespace mercury

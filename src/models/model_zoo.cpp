@@ -1,0 +1,389 @@
+#include "models/model_zoo.hpp"
+
+#include "util/logging.hpp"
+
+namespace mercury {
+
+namespace {
+
+constexpr int64_t kClasses = 80; // the paper uses 80 ImageNet classes
+
+/** Shorthand builders keeping the tables readable. */
+LayerShape
+C(const std::string &name, int64_t ci, int64_t co, int64_t hw, int64_t k,
+  int64_t s = 1, int64_t p = -1, int64_t groups = 1)
+{
+    if (p < 0)
+        p = k / 2; // "same" padding by default
+    return LayerShape::conv(name, ci, co, hw, hw, k, s, p, groups);
+}
+
+LayerShape
+P(const std::string &name, int64_t c, int64_t hw, int64_t k, int64_t s)
+{
+    return LayerShape::pool(name, c, hw, hw, k, s);
+}
+
+LayerShape
+F(const std::string &name, int64_t in, int64_t out)
+{
+    return LayerShape::fc(name, in, out);
+}
+
+/** VGG-style feature extractor: conv counts per 64..512 stage. */
+std::vector<LayerShape>
+vggFeatures(const std::vector<int> &stage_convs)
+{
+    std::vector<LayerShape> l;
+    const int64_t widths[5] = {64, 128, 256, 512, 512};
+    int64_t hw = 224;
+    int64_t c_in = 3;
+    int conv_id = 0;
+    for (int stage = 0; stage < 5; ++stage) {
+        const int64_t w = widths[stage];
+        for (int i = 0; i < stage_convs[static_cast<size_t>(stage)]; ++i) {
+            l.push_back(C("conv" + std::to_string(++conv_id), c_in, w, hw,
+                          3));
+            c_in = w;
+        }
+        l.push_back(P("pool" + std::to_string(stage + 1), w, hw, 2, 2));
+        hw /= 2;
+    }
+    return l;
+}
+
+std::vector<LayerShape>
+vggHead(std::vector<LayerShape> l)
+{
+    l.push_back(F("fc1", 512 * 7 * 7, 4096));
+    l.push_back(F("fc2", 4096, 4096));
+    l.push_back(F("fc3", 4096, kClasses));
+    return l;
+}
+
+/** ResNet bottleneck stage: n blocks of [1x1, 3x3, 1x1] convs. */
+void
+resnetStage(std::vector<LayerShape> &l, const std::string &prefix,
+            int64_t &c_in, int64_t mid, int64_t &hw, int blocks,
+            int64_t stride)
+{
+    const int64_t out = mid * 4;
+    for (int b = 0; b < blocks; ++b) {
+        const int64_t s = b == 0 ? stride : 1;
+        const std::string base = prefix + "." + std::to_string(b);
+        l.push_back(C(base + ".conv1", c_in, mid, hw, 1, 1, 0));
+        const int64_t hw_out = s == 2 ? hw / 2 : hw;
+        l.push_back(C(base + ".conv2", mid, mid, hw, 3, s));
+        l.push_back(C(base + ".conv3", mid, out, hw_out, 1, 1, 0));
+        if (b == 0) {
+            l.push_back(
+                C(base + ".downsample", c_in, out, hw, 1, s, 0));
+        }
+        c_in = out;
+        hw = hw_out;
+    }
+}
+
+ModelConfig
+resnet(const std::string &name, int s2, int s3, int s4, int s5)
+{
+    ModelConfig m;
+    m.name = name;
+    m.layers.push_back(C("conv1", 3, 64, 224, 7, 2));
+    m.layers.push_back(P("pool1", 64, 112, 3, 2));
+    int64_t c_in = 64;
+    int64_t hw = 56;
+    resnetStage(m.layers, "layer1", c_in, 64, hw, s2, 1);
+    resnetStage(m.layers, "layer2", c_in, 128, hw, s3, 2);
+    resnetStage(m.layers, "layer3", c_in, 256, hw, s4, 2);
+    resnetStage(m.layers, "layer4", c_in, 512, hw, s5, 2);
+    m.layers.push_back(F("fc", 2048, kClasses));
+    return m;
+}
+
+/** GoogleNet inception module expanded into its branch convs. */
+void
+inceptionModule(std::vector<LayerShape> &l, const std::string &name,
+                int64_t c_in, int64_t hw, int64_t c1, int64_t c3r,
+                int64_t c3, int64_t c5r, int64_t c5, int64_t cp)
+{
+    l.push_back(C(name + ".b1", c_in, c1, hw, 1, 1, 0));
+    l.push_back(C(name + ".b2a", c_in, c3r, hw, 1, 1, 0));
+    l.push_back(C(name + ".b2b", c3r, c3, hw, 3));
+    l.push_back(C(name + ".b3a", c_in, c5r, hw, 1, 1, 0));
+    l.push_back(C(name + ".b3b", c5r, c5, hw, 5));
+    l.push_back(C(name + ".b4", c_in, cp, hw, 1, 1, 0));
+}
+
+/** MobileNet-V2 inverted residual: expand, depthwise, project. */
+void
+invertedResidual(std::vector<LayerShape> &l, const std::string &name,
+                 int64_t &c_in, int64_t c_out, int64_t &hw, int64_t t,
+                 int64_t stride)
+{
+    const int64_t mid = c_in * t;
+    if (t != 1)
+        l.push_back(C(name + ".expand", c_in, mid, hw, 1, 1, 0));
+    const int64_t hw_out = stride == 2 ? hw / 2 : hw;
+    l.push_back(C(name + ".dw", mid, mid, hw, 3, stride, 1, mid));
+    l.push_back(C(name + ".project", mid, c_out, hw_out, 1, 1, 0));
+    c_in = c_out;
+    hw = hw_out;
+}
+
+} // namespace
+
+uint64_t
+ModelConfig::totalMacs(int64_t batch) const
+{
+    uint64_t n = 0;
+    for (const auto &l : layers)
+        if (l.type != LayerType::Pool)
+            n += l.macCount(batch);
+    return n;
+}
+
+int
+ModelConfig::reusableLayers() const
+{
+    int n = 0;
+    for (const auto &l : layers)
+        n += l.reusable();
+    return n;
+}
+
+ModelConfig
+alexnet()
+{
+    ModelConfig m;
+    m.name = "AlexNet";
+    m.layers = {
+        LayerShape::conv("conv1", 3, 96, 227, 227, 11, 4, 0),
+        P("pool1", 96, 55, 3, 2),
+        C("conv2", 96, 256, 27, 5),
+        P("pool2", 256, 27, 3, 2),
+        C("conv3", 256, 384, 13, 3),
+        C("conv4", 384, 384, 13, 3),
+        C("conv5", 384, 256, 13, 3),
+        P("pool5", 256, 13, 3, 2),
+        F("fc6", 256 * 6 * 6, 4096),
+        F("fc7", 4096, 4096),
+        F("fc8", 4096, kClasses),
+    };
+    return m;
+}
+
+ModelConfig
+vgg13()
+{
+    ModelConfig m;
+    m.name = "VGG-13";
+    m.layers = vggHead(vggFeatures({2, 2, 2, 2, 2}));
+    return m;
+}
+
+ModelConfig
+vgg16()
+{
+    ModelConfig m;
+    m.name = "VGG-16";
+    m.layers = vggHead(vggFeatures({2, 2, 3, 3, 3}));
+    return m;
+}
+
+ModelConfig
+vgg19()
+{
+    ModelConfig m;
+    m.name = "VGG-19";
+    m.layers = vggHead(vggFeatures({2, 2, 4, 4, 4}));
+    return m;
+}
+
+ModelConfig
+resnet50()
+{
+    return resnet("ResNet50", 3, 4, 6, 3);
+}
+
+ModelConfig
+resnet101()
+{
+    return resnet("ResNet101", 3, 4, 23, 3);
+}
+
+ModelConfig
+resnet152()
+{
+    return resnet("ResNet152", 3, 8, 36, 3);
+}
+
+ModelConfig
+googlenet()
+{
+    ModelConfig m;
+    m.name = "GoogleNet";
+    auto &l = m.layers;
+    l.push_back(C("conv1", 3, 64, 224, 7, 2));
+    l.push_back(P("pool1", 64, 112, 3, 2));
+    l.push_back(C("conv2a", 64, 64, 56, 1, 1, 0));
+    l.push_back(C("conv2b", 64, 192, 56, 3));
+    l.push_back(P("pool2", 192, 56, 3, 2));
+    inceptionModule(l, "3a", 192, 28, 64, 96, 128, 16, 32, 32);
+    inceptionModule(l, "3b", 256, 28, 128, 128, 192, 32, 96, 64);
+    l.push_back(P("pool3", 480, 28, 3, 2));
+    inceptionModule(l, "4a", 480, 14, 192, 96, 208, 16, 48, 64);
+    inceptionModule(l, "4b", 512, 14, 160, 112, 224, 24, 64, 64);
+    inceptionModule(l, "4c", 512, 14, 128, 128, 256, 24, 64, 64);
+    inceptionModule(l, "4d", 512, 14, 112, 144, 288, 32, 64, 64);
+    inceptionModule(l, "4e", 528, 14, 256, 160, 320, 32, 128, 128);
+    l.push_back(P("pool4", 832, 14, 3, 2));
+    inceptionModule(l, "5a", 832, 7, 256, 160, 320, 32, 128, 128);
+    inceptionModule(l, "5b", 832, 7, 384, 192, 384, 48, 128, 128);
+    l.push_back(F("fc", 1024, kClasses));
+    return m;
+}
+
+ModelConfig
+inceptionV4()
+{
+    ModelConfig m;
+    m.name = "Incep-V4";
+    auto &l = m.layers;
+    // Stem (299x299 input as in the original).
+    l.push_back(LayerShape::conv("stem1", 3, 32, 299, 299, 3, 2, 0));
+    l.push_back(C("stem2", 32, 32, 149, 3, 1, 0));
+    l.push_back(C("stem3", 32, 64, 147, 3));
+    l.push_back(P("stempool", 64, 147, 3, 2));
+    l.push_back(C("stem4", 64, 96, 73, 3, 2, 0));
+    l.push_back(C("stem5a", 96, 64, 36, 1, 1, 0));
+    l.push_back(C("stem5b", 64, 96, 36, 3, 1, 0));
+    // 4 x Inception-A at 34x34, 384 channels.
+    for (int i = 0; i < 4; ++i) {
+        const std::string n = "A" + std::to_string(i);
+        l.push_back(C(n + ".b1", 384, 96, 34, 1, 1, 0));
+        l.push_back(C(n + ".b2a", 384, 64, 34, 1, 1, 0));
+        l.push_back(C(n + ".b2b", 64, 96, 34, 3));
+        l.push_back(C(n + ".b3a", 384, 64, 34, 1, 1, 0));
+        l.push_back(C(n + ".b3b", 64, 96, 34, 3));
+        l.push_back(C(n + ".b3c", 96, 96, 34, 3));
+        l.push_back(C(n + ".pool", 384, 96, 34, 1, 1, 0));
+    }
+    // 7 x Inception-B at 17x17, 1024 channels.
+    for (int i = 0; i < 7; ++i) {
+        const std::string n = "B" + std::to_string(i);
+        l.push_back(C(n + ".b1", 1024, 384, 17, 1, 1, 0));
+        l.push_back(C(n + ".b2a", 1024, 192, 17, 1, 1, 0));
+        l.push_back(C(n + ".b2b", 192, 224, 17, 7));
+        l.push_back(C(n + ".b2c", 224, 256, 17, 7));
+        l.push_back(C(n + ".b3a", 1024, 192, 17, 1, 1, 0));
+        l.push_back(C(n + ".b3b", 192, 224, 17, 7));
+        l.push_back(C(n + ".b3c", 224, 256, 17, 7));
+        l.push_back(C(n + ".pool", 1024, 128, 17, 1, 1, 0));
+    }
+    // 3 x Inception-C at 8x8, 1536 channels.
+    for (int i = 0; i < 3; ++i) {
+        const std::string n = "C" + std::to_string(i);
+        l.push_back(C(n + ".b1", 1536, 256, 8, 1, 1, 0));
+        l.push_back(C(n + ".b2a", 1536, 384, 8, 1, 1, 0));
+        l.push_back(C(n + ".b2b", 384, 256, 8, 3));
+        l.push_back(C(n + ".b3a", 1536, 384, 8, 1, 1, 0));
+        l.push_back(C(n + ".b3b", 384, 512, 8, 3));
+        l.push_back(C(n + ".b3c", 512, 256, 8, 3));
+        l.push_back(C(n + ".pool", 1536, 256, 8, 1, 1, 0));
+    }
+    l.push_back(F("fc", 1536, kClasses));
+    return m;
+}
+
+ModelConfig
+mobilenetV2()
+{
+    ModelConfig m;
+    m.name = "MobNet-V2";
+    auto &l = m.layers;
+    l.push_back(C("conv1", 3, 32, 224, 3, 2));
+    int64_t c_in = 32;
+    int64_t hw = 112;
+    int block = 0;
+    // (expansion t, output channels, repeats, first stride).
+    const int64_t cfg[7][4] = {{1, 16, 1, 1},  {6, 24, 2, 2},
+                               {6, 32, 3, 2},  {6, 64, 4, 2},
+                               {6, 96, 3, 1},  {6, 160, 3, 2},
+                               {6, 320, 1, 1}};
+    for (const auto &row : cfg) {
+        for (int64_t r = 0; r < row[2]; ++r) {
+            invertedResidual(l, "ir" + std::to_string(block++), c_in,
+                             row[1], hw, row[0], r == 0 ? row[3] : 1);
+        }
+    }
+    l.push_back(C("conv_last", 320, 1280, 7, 1, 1, 0));
+    l.push_back(F("fc", 1280, kClasses));
+    return m;
+}
+
+ModelConfig
+squeezenet()
+{
+    ModelConfig m;
+    m.name = "Squeeze1.0";
+    auto &l = m.layers;
+    l.push_back(LayerShape::conv("conv1", 3, 96, 224, 224, 7, 2, 0));
+    l.push_back(P("pool1", 96, 109, 3, 2));
+    // fire(name, c_in, squeeze, expand) at the given resolution.
+    auto fire = [&](const std::string &n, int64_t ci, int64_t sq,
+                    int64_t ex, int64_t hw) {
+        l.push_back(C(n + ".squeeze", ci, sq, hw, 1, 1, 0));
+        l.push_back(C(n + ".exp1", sq, ex, hw, 1, 1, 0));
+        l.push_back(C(n + ".exp3", sq, ex, hw, 3));
+    };
+    fire("fire2", 96, 16, 64, 54);
+    fire("fire3", 128, 16, 64, 54);
+    fire("fire4", 128, 32, 128, 54);
+    l.push_back(P("pool4", 256, 54, 3, 2));
+    fire("fire5", 256, 32, 128, 26);
+    fire("fire6", 256, 48, 192, 26);
+    fire("fire7", 384, 48, 192, 26);
+    fire("fire8", 384, 64, 256, 26);
+    l.push_back(P("pool8", 512, 26, 3, 2));
+    fire("fire9", 512, 64, 256, 12);
+    l.push_back(C("conv10", 512, kClasses, 12, 1, 1, 0));
+    return m;
+}
+
+ModelConfig
+transformer()
+{
+    // Multi30k-scale encoder/decoder: seq 32, embed 512, 6+6 layers
+    // of self-attention plus a two-layer position-wise FFN.
+    ModelConfig m;
+    m.name = "Transformer";
+    auto &l = m.layers;
+    for (int i = 0; i < 12; ++i) {
+        const std::string n =
+            (i < 6 ? "enc" : "dec") + std::to_string(i % 6);
+        l.push_back(LayerShape::attention(n + ".attn", 32, 512));
+        l.push_back(F(n + ".ffn1", 512, 2048));
+        l.push_back(F(n + ".ffn2", 2048, 512));
+    }
+    l.push_back(F("generator", 512, 8000)); // vocabulary projection
+    return m;
+}
+
+std::vector<ModelConfig>
+allModels()
+{
+    return {alexnet(),     googlenet(),  resnet50(),  resnet101(),
+            resnet152(),   vgg13(),      vgg16(),     vgg19(),
+            inceptionV4(), mobilenetV2(), squeezenet(), transformer()};
+}
+
+std::vector<ModelConfig>
+cnnModels()
+{
+    return {alexnet(),     googlenet(),  resnet50(),  resnet101(),
+            resnet152(),   vgg13(),      vgg16(),     vgg19(),
+            inceptionV4(), mobilenetV2(), squeezenet()};
+}
+
+} // namespace mercury

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Layer tables for the twelve networks of the paper's evaluation
+ * (§VI): AlexNet, GoogleNet, VGG13/16/19, ResNet50/101/152,
+ * Inception-V4, MobileNet-V2, SqueezeNet-1.0, and a Transformer.
+ *
+ * CNNs use 224x224x3 inputs and an 80-class head (the paper uses 80
+ * ImageNet classes); the transformer uses Multi30k-scale sequence
+ * dimensions. Branchy architectures (GoogleNet, Inception-V4) are
+ * expanded into flat per-branch convolution lists — a single
+ * accelerator executes branches sequentially, so total cycles are
+ * the sum either way. Inception-V4's channel counts are a close
+ * approximation of the published architecture.
+ */
+
+#ifndef MERCURY_MODELS_MODEL_ZOO_HPP
+#define MERCURY_MODELS_MODEL_ZOO_HPP
+
+#include <string>
+#include <vector>
+
+#include "sim/layer_shape.hpp"
+
+namespace mercury {
+
+/** A named network described as a flat layer list. */
+struct ModelConfig
+{
+    std::string name;
+    std::vector<LayerShape> layers;
+
+    /** Forward-pass MAC count for a batch. */
+    uint64_t totalMacs(int64_t batch) const;
+
+    /** Number of layers MERCURY applies reuse to. */
+    int reusableLayers() const;
+};
+
+ModelConfig alexnet();
+ModelConfig googlenet();
+ModelConfig vgg13();
+ModelConfig vgg16();
+ModelConfig vgg19();
+ModelConfig resnet50();
+ModelConfig resnet101();
+ModelConfig resnet152();
+ModelConfig inceptionV4();
+ModelConfig mobilenetV2();
+ModelConfig squeezenet();
+ModelConfig transformer();
+
+/** All twelve models in the paper's presentation order. */
+std::vector<ModelConfig> allModels();
+
+/** The eleven CNNs (Fig. 18 excludes the transformer). */
+std::vector<ModelConfig> cnnModels();
+
+} // namespace mercury
+
+#endif // MERCURY_MODELS_MODEL_ZOO_HPP

@@ -1,0 +1,192 @@
+#include "models/proxies.hpp"
+
+#include "nn/attention_layer.hpp"
+#include "util/logging.hpp"
+
+namespace mercury {
+
+namespace {
+
+using LayerPtr = std::unique_ptr<Layer>;
+
+void
+addConvRelu(Network &net, int64_t ci, int64_t co, Rng &rng, uint64_t id,
+            int64_t k = 3, int64_t stride = 1)
+{
+    net.add(std::make_unique<Conv2dLayer>(ci, co, k, stride, k / 2, rng,
+                                          id));
+    net.add(std::make_unique<ReluLayer>());
+}
+
+/** Plain conv stack: `convs` conv layers per stage, two stages. */
+std::unique_ptr<Network>
+vggLikeProxy(int convs_per_stage, Rng &rng, int num_classes)
+{
+    auto net = std::make_unique<Network>();
+    int64_t c = kProxyImageChannels;
+    uint64_t id = 1;
+    for (int i = 0; i < convs_per_stage; ++i) {
+        addConvRelu(*net, c, 12, rng, id++);
+        c = 12;
+    }
+    net->add(std::make_unique<MaxPoolLayer>());
+    for (int i = 0; i < convs_per_stage; ++i) {
+        addConvRelu(*net, c, 24, rng, id++);
+        c = 24;
+    }
+    net->add(std::make_unique<MaxPoolLayer>());
+    net->add(std::make_unique<FlattenLayer>());
+    net->add(std::make_unique<DenseLayer>(24 * 3 * 3, num_classes, rng,
+                                          id++));
+    return net;
+}
+
+std::unique_ptr<Network>
+resnetLikeProxy(int blocks, Rng &rng, int num_classes)
+{
+    auto net = std::make_unique<Network>();
+    uint64_t id = 1;
+    addConvRelu(*net, kProxyImageChannels, 12, rng, id++);
+    int64_t c = 12;
+    for (int b = 0; b < blocks; ++b) {
+        const int64_t c_out = b == blocks - 1 ? 24 : 12;
+        const int64_t stride = b == blocks - 1 ? 2 : 1;
+        net->add(std::make_unique<ResidualBlock>(c, c_out, stride, rng,
+                                                 id++));
+        c = c_out;
+    }
+    net->add(std::make_unique<GlobalAvgPoolLayer>());
+    net->add(std::make_unique<DenseLayer>(c, num_classes, rng, id++));
+    return net;
+}
+
+std::unique_ptr<Network>
+inceptionLikeProxy(int modules, Rng &rng, int num_classes)
+{
+    auto net = std::make_unique<Network>();
+    uint64_t id = 1;
+    addConvRelu(*net, kProxyImageChannels, 12, rng, id++);
+    int64_t c = 12;
+    for (int mod = 0; mod < modules; ++mod) {
+        ConcatBlock::Branch b1, b2, b3;
+        b1.push_back(std::make_unique<Conv2dLayer>(c, 6, 1, 1, 0, rng,
+                                                   id * 16 + 1));
+        b1.push_back(std::make_unique<ReluLayer>());
+        b2.push_back(std::make_unique<Conv2dLayer>(c, 4, 1, 1, 0, rng,
+                                                   id * 16 + 2));
+        b2.push_back(std::make_unique<ReluLayer>());
+        b2.push_back(std::make_unique<Conv2dLayer>(4, 6, 3, 1, 1, rng,
+                                                   id * 16 + 3));
+        b2.push_back(std::make_unique<ReluLayer>());
+        b3.push_back(std::make_unique<Conv2dLayer>(c, 4, 5, 1, 2, rng,
+                                                   id * 16 + 4));
+        b3.push_back(std::make_unique<ReluLayer>());
+        std::vector<ConcatBlock::Branch> branches;
+        branches.push_back(std::move(b1));
+        branches.push_back(std::move(b2));
+        branches.push_back(std::move(b3));
+        net->add(std::make_unique<ConcatBlock>(std::move(branches)));
+        c = 16;
+        ++id;
+    }
+    net->add(std::make_unique<GlobalAvgPoolLayer>());
+    net->add(std::make_unique<DenseLayer>(c, num_classes, rng, id * 16));
+    return net;
+}
+
+std::unique_ptr<Network>
+mobilenetLikeProxy(Rng &rng, int num_classes)
+{
+    auto net = std::make_unique<Network>();
+    uint64_t id = 1;
+    addConvRelu(*net, kProxyImageChannels, 12, rng, id++);
+    // Inverted residual flavour: expand 1x1, depthwise 3x3, project.
+    net->add(std::make_unique<Conv2dLayer>(12, 24, 1, 1, 0, rng, id++));
+    net->add(std::make_unique<ReluLayer>());
+    net->add(
+        std::make_unique<Conv2dLayer>(24, 24, 3, 1, 1, rng, id++, 24));
+    net->add(std::make_unique<ReluLayer>());
+    net->add(std::make_unique<Conv2dLayer>(24, 12, 1, 1, 0, rng, id++));
+    net->add(std::make_unique<MaxPoolLayer>());
+    net->add(std::make_unique<FlattenLayer>());
+    net->add(std::make_unique<DenseLayer>(12 * 6 * 6, num_classes, rng,
+                                          id++));
+    return net;
+}
+
+std::unique_ptr<Network>
+squeezenetLikeProxy(Rng &rng, int num_classes)
+{
+    auto net = std::make_unique<Network>();
+    uint64_t id = 1;
+    addConvRelu(*net, kProxyImageChannels, 12, rng, id++);
+    net->add(makeFireModule(12, 4, 8, rng, id++)); // -> 16 channels
+    net->add(std::make_unique<GlobalAvgPoolLayer>());
+    net->add(std::make_unique<DenseLayer>(16, num_classes, rng, id++));
+    return net;
+}
+
+std::unique_ptr<Network>
+transformerLikeProxy(Rng &rng, int num_classes)
+{
+    auto net = std::make_unique<Network>();
+    uint64_t id = 1;
+    const float scale =
+        1.0f / static_cast<float>(kProxySeqLen); // stability
+    net->add(std::make_unique<SelfAttentionLayer>(
+        kProxySeqLen, kProxyEmbedDim, id++, scale));
+    net->add(std::make_unique<ReluLayer>());
+    net->add(std::make_unique<DenseLayer>(kProxySeqLen * kProxyEmbedDim,
+                                          32, rng, id++));
+    net->add(std::make_unique<ReluLayer>());
+    net->add(std::make_unique<DenseLayer>(32, num_classes, rng, id++));
+    return net;
+}
+
+} // namespace
+
+std::vector<std::string>
+proxyFamilies()
+{
+    return {"AlexNet",   "GoogleNet",  "ResNet50",    "ResNet101",
+            "ResNet152", "VGG-13",     "VGG-16",      "VGG-19",
+            "Incep-V4",  "MobNet-V2",  "Squeeze1.0",  "Transformer"};
+}
+
+bool
+proxyUsesTokens(const std::string &family)
+{
+    return family == "Transformer";
+}
+
+std::unique_ptr<Network>
+buildProxy(const std::string &family, Rng &rng, int num_classes)
+{
+    if (family == "AlexNet")
+        return vggLikeProxy(1, rng, num_classes);
+    if (family == "VGG-13")
+        return vggLikeProxy(2, rng, num_classes);
+    if (family == "VGG-16")
+        return vggLikeProxy(3, rng, num_classes);
+    if (family == "VGG-19")
+        return vggLikeProxy(4, rng, num_classes);
+    if (family == "ResNet50")
+        return resnetLikeProxy(2, rng, num_classes);
+    if (family == "ResNet101")
+        return resnetLikeProxy(3, rng, num_classes);
+    if (family == "ResNet152")
+        return resnetLikeProxy(4, rng, num_classes);
+    if (family == "GoogleNet")
+        return inceptionLikeProxy(1, rng, num_classes);
+    if (family == "Incep-V4")
+        return inceptionLikeProxy(2, rng, num_classes);
+    if (family == "MobNet-V2")
+        return mobilenetLikeProxy(rng, num_classes);
+    if (family == "Squeeze1.0")
+        return squeezenetLikeProxy(rng, num_classes);
+    if (family == "Transformer")
+        return transformerLikeProxy(rng, num_classes);
+    fatal("unknown proxy family '", family, "'");
+}
+
+} // namespace mercury

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Trainable scaled-down proxies of the twelve model families, used by
+ * the accuracy experiments (paper Fig. 13). Full-size ImageNet
+ * training is out of scope for a CPU-only reproduction; each proxy
+ * keeps the family's characteristic layer types (plain conv stacks,
+ * residual adds, branch+concat, depthwise separable convs, fire
+ * modules, self-attention) so the MERCURY reuse perturbation acts on
+ * the same computation structures.
+ */
+
+#ifndef MERCURY_MODELS_PROXIES_HPP
+#define MERCURY_MODELS_PROXIES_HPP
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/blocks.hpp"
+#include "nn/network.hpp"
+
+namespace mercury {
+
+/** Proxy image geometry (channels x height x width). */
+constexpr int64_t kProxyImageHw = 12;
+constexpr int64_t kProxyImageChannels = 3;
+
+/** Proxy token geometry for the transformer family. */
+constexpr int64_t kProxySeqLen = 8;
+constexpr int64_t kProxyEmbedDim = 16;
+
+/** The twelve family names, matching the model-zoo names. */
+std::vector<std::string> proxyFamilies();
+
+/** True when the family consumes token sequences, not images. */
+bool proxyUsesTokens(const std::string &family);
+
+/**
+ * Build a trainable proxy network for a family.
+ *
+ * @param family one of proxyFamilies()
+ * @param rng    weight-initialization stream
+ * @param num_classes classifier width
+ */
+std::unique_ptr<Network> buildProxy(const std::string &family, Rng &rng,
+                                    int num_classes = 10);
+
+} // namespace mercury
+
+#endif // MERCURY_MODELS_PROXIES_HPP

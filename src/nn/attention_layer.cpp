@@ -1,0 +1,71 @@
+#include "nn/attention_layer.hpp"
+
+#include "core/attention_engine.hpp"
+#include "util/logging.hpp"
+
+namespace mercury {
+
+SelfAttentionLayer::SelfAttentionLayer(int64_t seq_len, int64_t embed_dim,
+                                       uint64_t layer_id, float scale)
+    : seqLen_(seq_len), embedDim_(embed_dim), layerId_(layer_id),
+      scale_(scale)
+{
+}
+
+Tensor
+SelfAttentionLayer::forward(const Tensor &x, MercuryContext *ctx)
+{
+    if (x.rank() != 2 || x.dim(1) != seqLen_ * embedDim_)
+        panic("attention expects (N, ", seqLen_ * embedDim_, "), got ",
+              x.shapeStr());
+    lastInput_ = x;
+    const int64_t n = x.dim(0);
+    Tensor out({n, seqLen_ * embedDim_});
+
+    for (int64_t s = 0; s < n; ++s) {
+        Tensor xi({seqLen_, embedDim_});
+        for (int64_t i = 0; i < xi.numel(); ++i)
+            xi[i] = x[s * xi.numel() + i];
+        Tensor yi;
+        if (ctx) {
+            AttentionEngine engine(ctx->cache(), ctx->signatureBits(),
+                                   ctx->layerSeed(layerId_));
+            ReuseStats stats;
+            yi = engine.forward(xi, stats);
+            ctx->accumulate(stats);
+        } else {
+            Tensor w = matmulTransposeB(xi, xi);
+            yi = matmul(w, xi);
+        }
+        for (int64_t i = 0; i < yi.numel(); ++i)
+            out[s * yi.numel() + i] = scale_ * yi[i];
+    }
+    return out;
+}
+
+Tensor
+SelfAttentionLayer::backward(const Tensor &grad)
+{
+    // Y = X Xt X with factors U = X, V = Xt, W = X:
+    //   dL/dX = G (Xt X) + X Gt X + (X Xt) G
+    const int64_t n = grad.dim(0);
+    Tensor out({n, seqLen_ * embedDim_});
+    for (int64_t s = 0; s < n; ++s) {
+        Tensor xi({seqLen_, embedDim_});
+        Tensor gi({seqLen_, embedDim_});
+        for (int64_t i = 0; i < xi.numel(); ++i) {
+            xi[i] = lastInput_[s * xi.numel() + i];
+            gi[i] = scale_ * grad[s * xi.numel() + i];
+        }
+        Tensor xtx = matmul(transpose2d(xi), xi);     // (E, E)
+        Tensor term1 = matmul(gi, xtx);               // (T, E)
+        Tensor term2 = matmul(matmul(xi, transpose2d(gi)), xi);
+        Tensor term3 = matmul(matmulTransposeB(xi, xi), gi);
+        for (int64_t i = 0; i < term1.numel(); ++i)
+            out[s * term1.numel() + i] =
+                term1[i] + term2[i] + term3[i];
+    }
+    return out;
+}
+
+} // namespace mercury

@@ -1,0 +1,236 @@
+#include "nn/blocks.hpp"
+
+#include "util/logging.hpp"
+
+namespace mercury {
+
+// ---------------------------------------------------------------------
+// ResidualBlock
+// ---------------------------------------------------------------------
+
+ResidualBlock::ResidualBlock(int64_t c_in, int64_t c_out, int64_t stride,
+                             Rng &rng, uint64_t layer_id)
+{
+    conv1_ = std::make_unique<Conv2dLayer>(c_in, c_out, 3, stride, 1, rng,
+                                           layer_id * 16 + 0);
+    relu1_ = std::make_unique<ReluLayer>();
+    conv2_ = std::make_unique<Conv2dLayer>(c_out, c_out, 3, 1, 1, rng,
+                                           layer_id * 16 + 1);
+    if (c_in != c_out || stride != 1) {
+        proj_ = std::make_unique<Conv2dLayer>(c_in, c_out, 1, stride, 0,
+                                              rng, layer_id * 16 + 2);
+    }
+}
+
+Tensor
+ResidualBlock::forward(const Tensor &x, MercuryContext *ctx)
+{
+    Tensor body = conv2_->forward(
+        relu1_->forward(conv1_->forward(x, ctx), ctx), ctx);
+    Tensor skip = proj_ ? proj_->forward(x, ctx) : x;
+    if (body.shape() != skip.shape())
+        panic("residual shape mismatch: ", body.shapeStr(), " vs ",
+              skip.shapeStr());
+    for (int64_t i = 0; i < body.numel(); ++i)
+        body[i] += skip[i];
+    lastSum_ = body;
+    return reluForward(body);
+}
+
+Tensor
+ResidualBlock::backward(const Tensor &grad)
+{
+    Tensor g = reluBackward(lastSum_, grad);
+    Tensor g_body = conv1_->backward(relu1_->backward(conv2_->backward(g)));
+    Tensor g_skip = proj_ ? proj_->backward(g) : g;
+    for (int64_t i = 0; i < g_body.numel(); ++i)
+        g_body[i] += g_skip[i];
+    return g_body;
+}
+
+void
+ResidualBlock::step(float lr)
+{
+    conv1_->step(lr);
+    conv2_->step(lr);
+    if (proj_)
+        proj_->step(lr);
+}
+
+uint64_t
+ResidualBlock::paramCount() const
+{
+    return conv1_->paramCount() + conv2_->paramCount() +
+           (proj_ ? proj_->paramCount() : 0);
+}
+
+// ---------------------------------------------------------------------
+// ConcatBlock
+// ---------------------------------------------------------------------
+
+ConcatBlock::ConcatBlock(std::vector<Branch> branches)
+    : branches_(std::move(branches))
+{
+    if (branches_.empty())
+        fatal("ConcatBlock needs at least one branch");
+}
+
+Tensor
+ConcatBlock::forward(const Tensor &x, MercuryContext *ctx)
+{
+    branchOutputs_.clear();
+    int64_t total_c = 0;
+    for (auto &branch : branches_) {
+        Tensor y = x;
+        for (auto &layer : branch)
+            y = layer->forward(y, ctx);
+        if (y.rank() != 4)
+            panic("concat branches must produce rank-4 outputs");
+        total_c += y.dim(1);
+        branchOutputs_.push_back(std::move(y));
+    }
+    const Tensor &first = branchOutputs_.front();
+    for (const Tensor &t : branchOutputs_) {
+        if (t.dim(0) != first.dim(0) || t.dim(2) != first.dim(2) ||
+            t.dim(3) != first.dim(3)) {
+            panic("concat branch spatial mismatch: ", t.shapeStr(),
+                  " vs ", first.shapeStr());
+        }
+    }
+
+    Tensor out({first.dim(0), total_c, first.dim(2), first.dim(3)});
+    int64_t c_off = 0;
+    for (const Tensor &t : branchOutputs_) {
+        for (int64_t n = 0; n < t.dim(0); ++n)
+            for (int64_t c = 0; c < t.dim(1); ++c)
+                for (int64_t h = 0; h < t.dim(2); ++h)
+                    for (int64_t w = 0; w < t.dim(3); ++w)
+                        out.at4(n, c_off + c, h, w) = t.at4(n, c, h, w);
+        c_off += t.dim(1);
+    }
+    return out;
+}
+
+Tensor
+ConcatBlock::backward(const Tensor &grad)
+{
+    Tensor grad_in;
+    int64_t c_off = 0;
+    for (size_t b = 0; b < branches_.size(); ++b) {
+        const Tensor &out = branchOutputs_[b];
+        Tensor g({out.dim(0), out.dim(1), out.dim(2), out.dim(3)});
+        for (int64_t n = 0; n < out.dim(0); ++n)
+            for (int64_t c = 0; c < out.dim(1); ++c)
+                for (int64_t h = 0; h < out.dim(2); ++h)
+                    for (int64_t w = 0; w < out.dim(3); ++w)
+                        g.at4(n, c, h, w) = grad.at4(n, c_off + c, h, w);
+        c_off += out.dim(1);
+
+        // Backward through the branch in reverse order.
+        for (auto it = branches_[b].rbegin(); it != branches_[b].rend();
+             ++it) {
+            g = (*it)->backward(g);
+        }
+        if (grad_in.numel() == 0) {
+            grad_in = g;
+        } else {
+            for (int64_t i = 0; i < grad_in.numel(); ++i)
+                grad_in[i] += g[i];
+        }
+    }
+    return grad_in;
+}
+
+void
+ConcatBlock::step(float lr)
+{
+    for (auto &branch : branches_)
+        for (auto &layer : branch)
+            layer->step(lr);
+}
+
+uint64_t
+ConcatBlock::paramCount() const
+{
+    uint64_t n = 0;
+    for (const auto &branch : branches_)
+        for (const auto &layer : branch)
+            n += layer->paramCount();
+    return n;
+}
+
+// ---------------------------------------------------------------------
+// SequentialBlock
+// ---------------------------------------------------------------------
+
+SequentialBlock::SequentialBlock(
+    std::vector<std::unique_ptr<Layer>> layers)
+    : layers_(std::move(layers))
+{
+    if (layers_.empty())
+        fatal("SequentialBlock needs at least one layer");
+}
+
+Tensor
+SequentialBlock::forward(const Tensor &x, MercuryContext *ctx)
+{
+    Tensor y = x;
+    for (auto &layer : layers_)
+        y = layer->forward(y, ctx);
+    return y;
+}
+
+Tensor
+SequentialBlock::backward(const Tensor &grad)
+{
+    Tensor g = grad;
+    for (auto it = layers_.rbegin(); it != layers_.rend(); ++it)
+        g = (*it)->backward(g);
+    return g;
+}
+
+void
+SequentialBlock::step(float lr)
+{
+    for (auto &layer : layers_)
+        layer->step(lr);
+}
+
+uint64_t
+SequentialBlock::paramCount() const
+{
+    uint64_t n = 0;
+    for (const auto &layer : layers_)
+        n += layer->paramCount();
+    return n;
+}
+
+// ---------------------------------------------------------------------
+// Fire module
+// ---------------------------------------------------------------------
+
+std::unique_ptr<Layer>
+makeFireModule(int64_t c_in, int64_t squeeze, int64_t expand, Rng &rng,
+               uint64_t layer_id)
+{
+    ConcatBlock::Branch b1;
+    b1.push_back(std::make_unique<Conv2dLayer>(squeeze, expand, 1, 1, 0,
+                                               rng, layer_id * 16 + 4));
+    b1.push_back(std::make_unique<ReluLayer>());
+    ConcatBlock::Branch b2;
+    b2.push_back(std::make_unique<Conv2dLayer>(squeeze, expand, 3, 1, 1,
+                                               rng, layer_id * 16 + 5));
+    b2.push_back(std::make_unique<ReluLayer>());
+    std::vector<ConcatBlock::Branch> branches;
+    branches.push_back(std::move(b1));
+    branches.push_back(std::move(b2));
+
+    std::vector<std::unique_ptr<Layer>> seq;
+    seq.push_back(std::make_unique<Conv2dLayer>(c_in, squeeze, 1, 1, 0,
+                                                rng, layer_id * 16 + 3));
+    seq.push_back(std::make_unique<ReluLayer>());
+    seq.push_back(std::make_unique<ConcatBlock>(std::move(branches)));
+    return std::make_unique<SequentialBlock>(std::move(seq));
+}
+
+} // namespace mercury

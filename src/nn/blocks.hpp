@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Composite blocks used by the model-family proxies: residual blocks
+ * (ResNet), parallel branch + concat blocks (GoogleNet/Inception),
+ * and fire modules (SqueezeNet). All are built from the basic layers
+ * so MERCURY reuse flows through them unchanged.
+ */
+
+#ifndef MERCURY_NN_BLOCKS_HPP
+#define MERCURY_NN_BLOCKS_HPP
+
+#include <memory>
+#include <vector>
+
+#include "nn/layers.hpp"
+
+namespace mercury {
+
+/**
+ * Residual block: out = relu(conv2(relu(conv1(x))) + proj(x)).
+ * The projection is identity when shapes match, otherwise a 1x1
+ * convolution.
+ */
+class ResidualBlock : public Layer
+{
+  public:
+    ResidualBlock(int64_t c_in, int64_t c_out, int64_t stride, Rng &rng,
+                  uint64_t layer_id);
+
+    Tensor forward(const Tensor &x, MercuryContext *ctx) override;
+    Tensor backward(const Tensor &grad) override;
+    void step(float lr) override;
+    std::string name() const override { return "residual"; }
+    uint64_t paramCount() const override;
+
+  private:
+    std::unique_ptr<Conv2dLayer> conv1_;
+    std::unique_ptr<ReluLayer> relu1_;
+    std::unique_ptr<Conv2dLayer> conv2_;
+    std::unique_ptr<Conv2dLayer> proj_; // null for identity skip
+    Tensor lastSum_;                    // pre-activation sum
+};
+
+/**
+ * Branch-and-concat block: runs each branch (a layer stack) on the
+ * same input and concatenates outputs along the channel dimension.
+ * All branches must produce identical spatial dimensions.
+ */
+class ConcatBlock : public Layer
+{
+  public:
+    using Branch = std::vector<std::unique_ptr<Layer>>;
+
+    explicit ConcatBlock(std::vector<Branch> branches);
+
+    Tensor forward(const Tensor &x, MercuryContext *ctx) override;
+    Tensor backward(const Tensor &grad) override;
+    void step(float lr) override;
+    std::string name() const override { return "concat"; }
+    uint64_t paramCount() const override;
+
+  private:
+    std::vector<Branch> branches_;
+    std::vector<Tensor> branchOutputs_;
+};
+
+/** A layer stack usable wherever a single layer is expected. */
+class SequentialBlock : public Layer
+{
+  public:
+    explicit SequentialBlock(std::vector<std::unique_ptr<Layer>> layers);
+
+    Tensor forward(const Tensor &x, MercuryContext *ctx) override;
+    Tensor backward(const Tensor &grad) override;
+    void step(float lr) override;
+    std::string name() const override { return "sequential"; }
+    uint64_t paramCount() const override;
+
+  private:
+    std::vector<std::unique_ptr<Layer>> layers_;
+};
+
+/**
+ * SqueezeNet fire module: a 1x1 squeeze convolution followed by
+ * parallel 1x1 and 3x3 expand convolutions, concatenated.
+ */
+std::unique_ptr<Layer> makeFireModule(int64_t c_in, int64_t squeeze,
+                                      int64_t expand, Rng &rng,
+                                      uint64_t layer_id);
+
+} // namespace mercury
+
+#endif // MERCURY_NN_BLOCKS_HPP

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Trainable layer zoo for the accuracy experiments: convolution,
+ * dense, ReLU, pooling, and flatten. Layers cache what their backward
+ * pass needs and own their parameters (SGD step in place).
+ *
+ * Reuse-capable layers accept an optional MercuryContext; when it is
+ * enabled their forward pass runs through the functional MERCURY
+ * engines.
+ */
+
+#ifndef MERCURY_NN_LAYERS_HPP
+#define MERCURY_NN_LAYERS_HPP
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/mercury_hooks.hpp"
+#include "tensor/ops.hpp"
+#include "tensor/tensor.hpp"
+#include "util/rng.hpp"
+
+namespace mercury {
+
+/** Abstract trainable layer. */
+class Layer
+{
+  public:
+    virtual ~Layer() = default;
+
+    /**
+     * Forward pass. `ctx` may be null (exact execution) or an
+     * enabled MercuryContext (reuse-approximated execution).
+     */
+    virtual Tensor forward(const Tensor &x, MercuryContext *ctx) = 0;
+
+    /** Backward pass: input gradient from output gradient. */
+    virtual Tensor backward(const Tensor &grad) = 0;
+
+    /** SGD parameter update (no-op for stateless layers). */
+    virtual void step(float lr) { (void)lr; }
+
+    virtual std::string name() const = 0;
+
+    /** Number of trainable parameters. */
+    virtual uint64_t paramCount() const { return 0; }
+};
+
+/** 2D convolution layer (square kernels, optional groups). */
+class Conv2dLayer : public Layer
+{
+  public:
+    /**
+     * @param layer_id unique id for the per-layer projection seed
+     */
+    Conv2dLayer(int64_t c_in, int64_t c_out, int64_t kernel,
+                int64_t stride, int64_t pad, Rng &rng,
+                uint64_t layer_id, int64_t groups = 1);
+
+    Tensor forward(const Tensor &x, MercuryContext *ctx) override;
+    Tensor backward(const Tensor &grad) override;
+    void step(float lr) override;
+    std::string name() const override { return "conv2d"; }
+    uint64_t paramCount() const override;
+
+    const Tensor &weights() const { return weight_; }
+    const ConvSpec &spec() const { return spec_; }
+
+  private:
+    ConvSpec spec_;
+    uint64_t layerId_;
+    Tensor weight_;
+    Tensor bias_;
+    Tensor gradWeight_;
+    Tensor gradBias_;
+    Tensor lastInput_;
+};
+
+/** Fully connected layer on (N, D) inputs. */
+class DenseLayer : public Layer
+{
+  public:
+    DenseLayer(int64_t in_features, int64_t out_features, Rng &rng,
+               uint64_t layer_id);
+
+    Tensor forward(const Tensor &x, MercuryContext *ctx) override;
+    Tensor backward(const Tensor &grad) override;
+    void step(float lr) override;
+    std::string name() const override { return "dense"; }
+    uint64_t paramCount() const override;
+
+    const Tensor &weights() const { return weight_; }
+
+  private:
+    uint64_t layerId_;
+    Tensor weight_; // (D, M)
+    Tensor bias_;   // (M)
+    Tensor gradWeight_;
+    Tensor gradBias_;
+    Tensor lastInput_;
+};
+
+/** Elementwise ReLU. */
+class ReluLayer : public Layer
+{
+  public:
+    Tensor forward(const Tensor &x, MercuryContext *ctx) override;
+    Tensor backward(const Tensor &grad) override;
+    std::string name() const override { return "relu"; }
+
+  private:
+    Tensor lastInput_;
+};
+
+/** 2x2 stride-2 max pooling. */
+class MaxPoolLayer : public Layer
+{
+  public:
+    Tensor forward(const Tensor &x, MercuryContext *ctx) override;
+    Tensor backward(const Tensor &grad) override;
+    std::string name() const override { return "maxpool2x2"; }
+
+  private:
+    Tensor lastInput_;
+    std::vector<int32_t> argmax_;
+};
+
+/** Global average pooling (N, C, H, W) -> (N, C). */
+class GlobalAvgPoolLayer : public Layer
+{
+  public:
+    Tensor forward(const Tensor &x, MercuryContext *ctx) override;
+    Tensor backward(const Tensor &grad) override;
+    std::string name() const override { return "gap"; }
+
+  private:
+    Tensor lastInput_;
+};
+
+/** Flatten (N, C, H, W) -> (N, C*H*W). */
+class FlattenLayer : public Layer
+{
+  public:
+    Tensor forward(const Tensor &x, MercuryContext *ctx) override;
+    Tensor backward(const Tensor &grad) override;
+    std::string name() const override { return "flatten"; }
+
+  private:
+    std::vector<int64_t> lastShape_;
+};
+
+} // namespace mercury
+
+#endif // MERCURY_NN_LAYERS_HPP

@@ -1,0 +1,51 @@
+#include "nn/mercury_hooks.hpp"
+
+#include "util/logging.hpp"
+
+namespace mercury {
+
+MercuryContext::MercuryContext(int sig_bits, int sets, int ways,
+                               int versions, uint64_t seed)
+    : sigBits_(sig_bits), seed_(seed),
+      cache_(std::make_unique<MCache>(sets, ways, versions))
+{
+    if (sig_bits <= 0)
+        fatal("MercuryContext needs positive signature bits");
+}
+
+void
+MercuryContext::setSignatureBits(int bits)
+{
+    if (bits <= 0)
+        panic("signature bits must stay positive, got ", bits);
+    sigBits_ = bits;
+}
+
+uint64_t
+MercuryContext::layerSeed(uint64_t layer_id) const
+{
+    // SplitMix-style spread so per-layer projections are independent.
+    uint64_t z = seed_ + 0x9E3779B97F4A7C15ull * (layer_id + 1);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    return z ^ (z >> 31);
+}
+
+void
+MercuryContext::accumulate(const ReuseStats &stats)
+{
+    totals_.mix.vectors += stats.mix.vectors;
+    totals_.mix.hit += stats.mix.hit;
+    totals_.mix.mau += stats.mix.mau;
+    totals_.mix.mnu += stats.mix.mnu;
+    totals_.macsTotal += stats.macsTotal;
+    totals_.macsSkipped += stats.macsSkipped;
+    totals_.channelPasses += stats.channelPasses;
+}
+
+void
+MercuryContext::resetStats()
+{
+    totals_ = ReuseStats{};
+}
+
+} // namespace mercury

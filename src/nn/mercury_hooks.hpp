@@ -1,0 +1,66 @@
+/**
+ * @file
+ * MERCURY execution context for the NN training framework.
+ *
+ * When a context is enabled, reuse-capable layers (convolution,
+ * dense, attention) run their forward pass through the functional
+ * reuse engines instead of exact arithmetic, accumulating the
+ * measured reuse statistics. Backward passes compute exact gradients
+ * of the perturbed forward, so training "sees" exactly the
+ * reuse-induced approximation the hardware would introduce — this is
+ * what the accuracy experiments (paper Fig. 13) measure.
+ */
+
+#ifndef MERCURY_NN_MERCURY_HOOKS_HPP
+#define MERCURY_NN_MERCURY_HOOKS_HPP
+
+#include <cstdint>
+#include <memory>
+
+#include "core/conv_reuse_engine.hpp"
+#include "core/mcache.hpp"
+
+namespace mercury {
+
+/** Shared reuse configuration and statistics for a training run. */
+class MercuryContext
+{
+  public:
+    /**
+     * @param sig_bits signature length used by all layers
+     * @param sets     MCACHE sets
+     * @param ways     MCACHE ways
+     * @param versions MCACHE data versions
+     * @param seed     base seed; each layer derives its projection
+     */
+    MercuryContext(int sig_bits = 20, int sets = 64, int ways = 16,
+                   int versions = 4, uint64_t seed = 0xC0FFEE);
+
+    int signatureBits() const { return sigBits_; }
+
+    /** Grow the signature (adaptive training loops call this). */
+    void setSignatureBits(int bits);
+
+    /** The shared MCACHE all layer engines run through. */
+    MCache &cache() { return *cache_; }
+
+    /** Per-layer deterministic projection seed. */
+    uint64_t layerSeed(uint64_t layer_id) const;
+
+    /** Accumulate one engine invocation's statistics. */
+    void accumulate(const ReuseStats &stats);
+
+    /** Totals since construction (or resetStats). */
+    const ReuseStats &totals() const { return totals_; }
+    void resetStats();
+
+  private:
+    int sigBits_;
+    uint64_t seed_;
+    std::unique_ptr<MCache> cache_;
+    ReuseStats totals_;
+};
+
+} // namespace mercury
+
+#endif // MERCURY_NN_MERCURY_HOOKS_HPP

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Accelerator configuration knobs shared by the timing models and the
+ * MERCURY engines.
+ *
+ * Defaults follow the paper's experimental setup (§VI): an
+ * Eyeriss-style row-stationary machine with 168 PEs, and a 1024-entry
+ * 16-way MCACHE (64 sets).
+ */
+
+#ifndef MERCURY_SIM_CONFIG_HPP
+#define MERCURY_SIM_CONFIG_HPP
+
+#include <cstdint>
+
+namespace mercury {
+
+/** Which spatial dataflow the accelerator implements (§II-B, §IV). */
+enum class DataflowKind
+{
+    RowStationary,
+    WeightStationary,
+    InputStationary,
+};
+
+/** Printable name of a dataflow. */
+const char *dataflowName(DataflowKind kind);
+
+/** Static hardware configuration of the simulated accelerator. */
+struct AcceleratorConfig
+{
+    /** Number of hardware PEs (Eyeriss uses 168). */
+    int numPEs = 168;
+
+    /** Spatial dataflow of the machine. */
+    DataflowKind dataflow = DataflowKind::RowStationary;
+
+    /**
+     * Asynchronous PE-set design (§III-C1). When false, PE sets
+     * barrier after every filter pass (synchronous design).
+     */
+    bool asyncDesign = true;
+
+    /** Shared filter-buffer slots M available to the async design. */
+    int filterBufferSlots = 4;
+
+    /** Cycles to fetch a computed result from MCACHE by entry id. */
+    int cacheReadCycles = 1;
+
+    /** Per-insert serialization cost of a set's queue controller (§V). */
+    int cacheInsertCycles = 1;
+
+    /** Cycles for an earlier PE to forward one FC result (§III-C3). */
+    int resultSendCycles = 1;
+
+    /** MCACHE organization: sets x ways entries in total. */
+    int mcacheSets = 64;
+    int mcacheWays = 16;
+
+    /** Filter results stored per MCACHE line (multi-version data). */
+    int mcacheDataVersions = 4;
+
+    /** Initial RPQ signature length in bits (§III-D). */
+    int initialSignatureBits = 20;
+
+    /** Upper bound on adaptive signature growth. */
+    int maxSignatureBits = 64;
+
+    /**
+     * Iterations of flat loss before the signature length grows by
+     * one bit (K in §III-D).
+     */
+    int plateauK = 5;
+
+    /**
+     * Consecutive batches where similarity detection costs more than
+     * it saves before a layer's detection is switched off (T in
+     * §III-D).
+     */
+    int stoppageT = 3;
+
+    /** Total MCACHE entries. */
+    int mcacheEntries() const { return mcacheSets * mcacheWays; }
+};
+
+} // namespace mercury
+
+#endif // MERCURY_SIM_CONFIG_HPP

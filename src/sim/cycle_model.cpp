@@ -1,0 +1,100 @@
+#include "sim/cycle_model.hpp"
+
+#include "util/logging.hpp"
+
+namespace mercury {
+
+uint64_t
+unpipelinedPassCycles(uint64_t vectors, uint64_t x)
+{
+    return vectors * 2 * x;
+}
+
+uint64_t
+pipelinedPassCycles(uint64_t vectors, uint64_t x)
+{
+    if (vectors == 0)
+        return 0;
+    return 2 * x + 1 + (vectors - 1) * x;
+}
+
+uint64_t
+unpipelinedCompletion(uint64_t j, uint64_t x)
+{
+    return (j + 1) * 2 * x;
+}
+
+uint64_t
+pipelinedCompletion(uint64_t j, uint64_t x)
+{
+    return 2 * x + 1 + j * x;
+}
+
+uint64_t
+broadcastDotCycles(uint64_t d)
+{
+    return d + 1;
+}
+
+PESetSchedule::PESetSchedule(uint64_t vectors, uint64_t x, bool pipelined)
+    : vectors_(vectors), x_(x), pipelined_(pipelined), totalCycles_(0)
+{
+    if (x == 0)
+        panic("PESetSchedule with x == 0");
+    totalCycles_ = vectors == 0
+                       ? 0
+                       : (pipelined ? pipelinedCompletion(vectors - 1, x)
+                                    : unpipelinedCompletion(vectors - 1, x));
+    mulBusy_.assign(static_cast<size_t>(x),
+                    std::vector<int>(static_cast<size_t>(totalCycles_ + 2),
+                                     0));
+
+    // Reconstruct the reservation table. PE r handles row r of every
+    // vector. In the pipelined schedule (Fig. 8b) PE r starts r cycles
+    // after PE 0 and issues one multiply per cycle; consecutive
+    // vectors' rows follow back to back (x cycles apart) because the
+    // ORg register pre-buffers the first product of the next row. In
+    // the unpipelined schedule each vector occupies its PE set
+    // exclusively for 2x cycles and rows start when the vector starts.
+    for (uint64_t j = 0; j < vectors_; ++j) {
+        for (uint64_t r = 0; r < x_; ++r) {
+            const uint64_t row_start =
+                pipelined_ ? (j * x_ + r + 1) : (j * 2 * x_ + 1);
+            for (uint64_t m = 0; m < x_; ++m) {
+                const uint64_t cyc = row_start + m;
+                if (cyc <= totalCycles_ + 1)
+                    ++mulBusy_[static_cast<size_t>(r)]
+                              [static_cast<size_t>(cyc)];
+            }
+        }
+    }
+}
+
+uint64_t
+PESetSchedule::completionCycle(uint64_t j) const
+{
+    if (j >= vectors_)
+        panic("completionCycle index ", j, " >= ", vectors_);
+    return pipelined_ ? pipelinedCompletion(j, x_)
+                      : unpipelinedCompletion(j, x_);
+}
+
+int
+PESetSchedule::multiplierOpsAt(uint64_t cycle, uint64_t pe) const
+{
+    if (pe >= x_ || cycle >= mulBusy_[0].size())
+        return 0;
+    return mulBusy_[static_cast<size_t>(pe)][static_cast<size_t>(cycle)];
+}
+
+bool
+PESetSchedule::structurallyValid() const
+{
+    for (const auto &row : mulBusy_)
+        for (int ops : row)
+            if (ops > 1)
+                return false;
+    return true;
+}
+
+} // namespace mercury

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Closed-form cycle costs for PE-set dot-product schedules, derived
+ * from the paper's Fig. 8 timing analysis.
+ *
+ * For x-row vectors on a row-stationary PE set of x PEs:
+ *  - unpipelined, each dot product takes 2x cycles and products do not
+ *    overlap: completing v of them takes 2xv cycles;
+ *  - pipelined with the ORg register, the first product completes at
+ *    cycle 2x+1 and every further product x cycles later.
+ */
+
+#ifndef MERCURY_SIM_CYCLE_MODEL_HPP
+#define MERCURY_SIM_CYCLE_MODEL_HPP
+
+#include <cstdint>
+#include <vector>
+
+namespace mercury {
+
+/** Ceiling division for unsigned cycle math. */
+inline uint64_t
+ceilDiv(uint64_t a, uint64_t b)
+{
+    return (a + b - 1) / b;
+}
+
+/** Cycles for one PE set to stream v dot products without pipelining. */
+uint64_t unpipelinedPassCycles(uint64_t vectors, uint64_t x);
+
+/** Cycles for one PE set to stream v dot products with pipelining. */
+uint64_t pipelinedPassCycles(uint64_t vectors, uint64_t x);
+
+/** Completion cycle of the j-th (0-based) unpipelined dot product. */
+uint64_t unpipelinedCompletion(uint64_t j, uint64_t x);
+
+/** Completion cycle of the j-th (0-based) pipelined dot product. */
+uint64_t pipelinedCompletion(uint64_t j, uint64_t x);
+
+/**
+ * Cycles for a broadcast dot product of length d on a single PE with a
+ * MAC unit (weight- and input-stationary machines): d MACs plus one
+ * drain cycle.
+ */
+uint64_t broadcastDotCycles(uint64_t d);
+
+/**
+ * Cycle-by-cycle validation model of the pipelined PE-set schedule.
+ *
+ * Reconstructs the Fig. 8b reservation table for an x-PE set streaming
+ * `vectors` dot products and reports per-cycle multiplier/adder
+ * occupancy, so tests can assert the closed forms above are feasible
+ * (no structural hazard: each PE uses at most one multiplier and one
+ * adder slot per cycle).
+ */
+class PESetSchedule
+{
+  public:
+    PESetSchedule(uint64_t vectors, uint64_t x, bool pipelined);
+
+    /** Total cycles until the last dot product completes. */
+    uint64_t totalCycles() const { return totalCycles_; }
+
+    /** Completion cycle (1-based) of dot product j. */
+    uint64_t completionCycle(uint64_t j) const;
+
+    /** Number of multiplier operations scheduled in a given cycle. */
+    int multiplierOpsAt(uint64_t cycle, uint64_t pe) const;
+
+    /** True if no PE ever needs two multiplies in one cycle. */
+    bool structurallyValid() const;
+
+  private:
+    uint64_t vectors_;
+    uint64_t x_;
+    bool pipelined_;
+    uint64_t totalCycles_;
+    // mulBusy_[pe][cycle] = number of multiply ops issued.
+    std::vector<std::vector<int>> mulBusy_;
+};
+
+} // namespace mercury
+
+#endif // MERCURY_SIM_CYCLE_MODEL_HPP

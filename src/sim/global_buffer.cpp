@@ -1,0 +1,46 @@
+#include "sim/global_buffer.hpp"
+
+namespace mercury {
+
+GlobalBuffer::GlobalBuffer(uint64_t capacity_bytes)
+    : capacity_(capacity_bytes)
+{
+}
+
+void
+GlobalBuffer::readWeights(uint64_t bytes)
+{
+    weightBytes_ += bytes;
+}
+
+void
+GlobalBuffer::readInputs(uint64_t bytes)
+{
+    inputBytes_ += bytes;
+}
+
+void
+GlobalBuffer::writeOutputs(uint64_t bytes)
+{
+    outputBytes_ += bytes;
+}
+
+void
+GlobalBuffer::signatureTraffic(uint64_t bytes)
+{
+    signatureBytes_ += bytes;
+}
+
+uint64_t
+GlobalBuffer::totalBytes() const
+{
+    return weightBytes_ + inputBytes_ + outputBytes_ + signatureBytes_;
+}
+
+void
+GlobalBuffer::reset()
+{
+    weightBytes_ = inputBytes_ = outputBytes_ = signatureBytes_ = 0;
+}
+
+} // namespace mercury

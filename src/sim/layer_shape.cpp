@@ -1,0 +1,153 @@
+#include "sim/layer_shape.hpp"
+
+#include "util/logging.hpp"
+
+namespace mercury {
+
+const char *
+layerTypeName(LayerType type)
+{
+    switch (type) {
+      case LayerType::Conv:
+        return "conv";
+      case LayerType::FullyConnected:
+        return "fc";
+      case LayerType::Attention:
+        return "attention";
+      case LayerType::Pool:
+        return "pool";
+    }
+    return "?";
+}
+
+LayerShape
+LayerShape::conv(std::string name, int64_t c_in, int64_t c_out, int64_t h,
+                 int64_t w, int64_t k, int64_t stride, int64_t pad,
+                 int64_t groups)
+{
+    LayerShape s;
+    s.type = LayerType::Conv;
+    s.name = std::move(name);
+    s.inChannels = c_in;
+    s.outChannels = c_out;
+    s.inH = h;
+    s.inW = w;
+    s.kernel = k;
+    s.stride = stride;
+    s.pad = pad;
+    s.groups = groups;
+    return s;
+}
+
+LayerShape
+LayerShape::fc(std::string name, int64_t in_f, int64_t out_f)
+{
+    LayerShape s;
+    s.type = LayerType::FullyConnected;
+    s.name = std::move(name);
+    s.inFeatures = in_f;
+    s.outFeatures = out_f;
+    return s;
+}
+
+LayerShape
+LayerShape::attention(std::string name, int64_t seq_len, int64_t embed_dim)
+{
+    LayerShape s;
+    s.type = LayerType::Attention;
+    s.name = std::move(name);
+    s.seqLen = seq_len;
+    s.embedDim = embed_dim;
+    return s;
+}
+
+LayerShape
+LayerShape::pool(std::string name, int64_t c, int64_t h, int64_t w,
+                 int64_t k, int64_t stride)
+{
+    LayerShape s;
+    s.type = LayerType::Pool;
+    s.name = std::move(name);
+    s.inChannels = c;
+    s.outChannels = c;
+    s.inH = h;
+    s.inW = w;
+    s.kernel = k;
+    s.stride = stride;
+    return s;
+}
+
+int64_t
+LayerShape::vectorDim() const
+{
+    switch (type) {
+      case LayerType::Conv:
+      case LayerType::Pool:
+        return kernel * kernel;
+      case LayerType::FullyConnected:
+        return inFeatures;
+      case LayerType::Attention:
+        return embedDim;
+    }
+    return 0;
+}
+
+int64_t
+LayerShape::vectorsPerImage() const
+{
+    switch (type) {
+      case LayerType::Conv:
+      case LayerType::Pool:
+        return vectorsPerChannel();
+      case LayerType::FullyConnected:
+        return 1; // one vector per image per FC layer
+      case LayerType::Attention:
+        return seqLen;
+    }
+    return 0;
+}
+
+int64_t
+LayerShape::weightVectors() const
+{
+    switch (type) {
+      case LayerType::Conv:
+        // Each input channel's vectors meet only its group's filters.
+        return outChannels / groups;
+      case LayerType::FullyConnected:
+        return outFeatures;
+      case LayerType::Attention:
+        // W = X Xt needs seqLen rows; Y = W X needs embedDim columns.
+        return seqLen + embedDim;
+      case LayerType::Pool:
+        return 0;
+    }
+    return 0;
+}
+
+uint64_t
+LayerShape::macCount(int64_t batch) const
+{
+    const uint64_t b = static_cast<uint64_t>(batch);
+    switch (type) {
+      case LayerType::Conv:
+        return b * static_cast<uint64_t>(vectorsPerChannel()) *
+               static_cast<uint64_t>(inChannels) *
+               static_cast<uint64_t>(outChannels / groups) *
+               static_cast<uint64_t>(kernel * kernel);
+      case LayerType::FullyConnected:
+        return b * static_cast<uint64_t>(inFeatures) *
+               static_cast<uint64_t>(outFeatures);
+      case LayerType::Attention:
+        return b * static_cast<uint64_t>(seqLen) *
+               static_cast<uint64_t>(embedDim) *
+               static_cast<uint64_t>(seqLen + embedDim);
+      case LayerType::Pool:
+        return b * static_cast<uint64_t>(vectorsPerChannel()) *
+               static_cast<uint64_t>(inChannels) *
+               static_cast<uint64_t>(kernel * kernel);
+    }
+    return 0;
+}
+
+} // namespace mercury

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Static layer geometry descriptors. The model zoo describes every
+ * network as a sequence of LayerShape records; the dataflow timing
+ * models consume them directly.
+ */
+
+#ifndef MERCURY_SIM_LAYER_SHAPE_HPP
+#define MERCURY_SIM_LAYER_SHAPE_HPP
+
+#include <cstdint>
+#include <string>
+
+namespace mercury {
+
+/** Kind of computation a layer performs. */
+enum class LayerType
+{
+    Conv,           ///< 2D convolution
+    FullyConnected, ///< dense matrix-vector layer
+    Attention,      ///< self-attention (Y = softmax-free X Xt X, §III-C4)
+    Pool,           ///< pooling (no MERCURY reuse)
+};
+
+/** Printable name of a layer type. */
+const char *layerTypeName(LayerType type);
+
+/** Geometry of one network layer. */
+struct LayerShape
+{
+    LayerType type = LayerType::Conv;
+    std::string name;
+
+    // Conv fields (also reused by Pool).
+    int64_t inChannels = 1;
+    int64_t outChannels = 1;
+    int64_t inH = 1;
+    int64_t inW = 1;
+    int64_t kernel = 1;
+    int64_t stride = 1;
+    int64_t pad = 0;
+    int64_t groups = 1; ///< grouped / depthwise convolution
+
+    // FullyConnected fields.
+    int64_t inFeatures = 0;
+    int64_t outFeatures = 0;
+
+    // Attention fields.
+    int64_t seqLen = 0;
+    int64_t embedDim = 0;
+
+    /** Convenience constructors. */
+    static LayerShape conv(std::string name, int64_t c_in, int64_t c_out,
+                           int64_t h, int64_t w, int64_t k,
+                           int64_t stride = 1, int64_t pad = 0,
+                           int64_t groups = 1);
+    static LayerShape fc(std::string name, int64_t in_f, int64_t out_f);
+    static LayerShape attention(std::string name, int64_t seq_len,
+                                int64_t embed_dim);
+    static LayerShape pool(std::string name, int64_t c, int64_t h,
+                           int64_t w, int64_t k, int64_t stride);
+
+    /** Output spatial height (Conv/Pool). */
+    int64_t outH() const { return (inH + 2 * pad - kernel) / stride + 1; }
+
+    /** Output spatial width (Conv/Pool). */
+    int64_t outW() const { return (inW + 2 * pad - kernel) / stride + 1; }
+
+    /** Input vectors extracted per channel per image (Conv). */
+    int64_t vectorsPerChannel() const { return outH() * outW(); }
+
+    /**
+     * Dimensionality of one extracted input vector. Conv vectors are
+     * kernel x kernel (per-channel extraction, §III-B1); FC vectors
+     * are whole input rows; attention vectors are embedding rows.
+     */
+    int64_t vectorDim() const;
+
+    /** Number of vectors MERCURY hashes per image (one channel pass). */
+    int64_t vectorsPerImage() const;
+
+    /** Weight vectors each input vector meets (filters / FC columns). */
+    int64_t weightVectors() const;
+
+    /** Multiply-accumulate count of the forward pass for a batch. */
+    uint64_t macCount(int64_t batch) const;
+
+    /** True for layer types MERCURY applies reuse to. */
+    bool reusable() const { return type != LayerType::Pool; }
+};
+
+} // namespace mercury
+
+#endif // MERCURY_SIM_LAYER_SHAPE_HPP

@@ -1,0 +1,84 @@
+#include "sim/pe_array.hpp"
+
+#include "util/logging.hpp"
+
+namespace mercury {
+
+void
+PE::reset()
+{
+    inputReg = 0.0f;
+    weightReg = 0.0f;
+    partialSum = 0.0f;
+    orgReg = 0.0f;
+    inputBufValid[0] = inputBufValid[1] = false;
+    inUse = 0;
+    flUse = 0;
+}
+
+PEArray::PEArray(const AcceleratorConfig &config, int64_t set_size)
+    : numPEs_(config.numPEs), setSize_(set_size)
+{
+    if (set_size <= 0)
+        panic("PEArray set size must be positive, got ", set_size);
+    if (set_size > config.numPEs)
+        panic("PE set size ", set_size, " exceeds PE count ",
+              config.numPEs);
+    numSets_ = config.numPEs / set_size;
+    pes_.assign(static_cast<size_t>(numSets_ * setSize_), PE{});
+    busy_.assign(static_cast<size_t>(numSets_), false);
+}
+
+int64_t
+PEArray::idlePEs() const
+{
+    return numPEs_ - numSets_ * setSize_;
+}
+
+PE &
+PEArray::pe(int64_t set, int64_t pos)
+{
+    if (set < 0 || set >= numSets_ || pos < 0 || pos >= setSize_)
+        panic("PE index (", set, ", ", pos, ") out of range");
+    return pes_[static_cast<size_t>(set * setSize_ + pos)];
+}
+
+void
+PEArray::setBusy(int64_t set, bool b)
+{
+    if (set < 0 || set >= numSets_)
+        panic("busy index ", set, " out of range");
+    busy_[static_cast<size_t>(set)] = b;
+}
+
+bool
+PEArray::allIdle() const
+{
+    for (bool b : busy_)
+        if (b)
+            return false;
+    return true;
+}
+
+std::vector<int64_t>
+PEArray::distributeVectors(int64_t vectors) const
+{
+    std::vector<int64_t> counts(static_cast<size_t>(numSets_), 0);
+    if (vectors < 0)
+        panic("negative vector count ", vectors);
+    const int64_t base = vectors / numSets_;
+    const int64_t extra = vectors % numSets_;
+    for (int64_t i = 0; i < numSets_; ++i)
+        counts[static_cast<size_t>(i)] = base + (i < extra ? 1 : 0);
+    return counts;
+}
+
+void
+PEArray::reset()
+{
+    for (auto &p : pes_)
+        p.reset();
+    busy_.assign(busy_.size(), false);
+}
+
+} // namespace mercury

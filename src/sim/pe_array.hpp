@@ -1,0 +1,87 @@
+/**
+ * @file
+ * PE and PE-array organization. A PE Set is the group of PEs that
+ * cooperates on one 2D-convolution dot product (one PE per filter
+ * row, §III-B1). The array partitions its PEs into as many sets as
+ * the kernel height allows.
+ *
+ * The PE struct models the architectural state the paper adds for
+ * MERCURY: the ORg pipelining register, the doubled input buffers
+ * with valid bits, and the InUse / FlUse selectors used by the
+ * asynchronous design (Fig. 11).
+ */
+
+#ifndef MERCURY_SIM_PE_ARRAY_HPP
+#define MERCURY_SIM_PE_ARRAY_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "sim/config.hpp"
+
+namespace mercury {
+
+/** Architectural state of one processing element. */
+struct PE
+{
+    // Baseline Eyeriss-style state.
+    float inputReg = 0.0f;
+    float weightReg = 0.0f;
+    float partialSum = 0.0f;
+
+    // MERCURY additions (Fig. 11).
+    float orgReg = 0.0f;          ///< overlapped-register for pipelining
+    bool inputBufValid[2] = {false, false};
+    int inUse = 0;                ///< which input buffer is active
+    int flUse = 0;                ///< which shared filter is in use
+
+    /** Reset all state (new layer / new channel). */
+    void reset();
+};
+
+/** A busy-tracking view over the PE array partitioned into PE sets. */
+class PEArray
+{
+  public:
+    PEArray(const AcceleratorConfig &config, int64_t set_size);
+
+    /** Number of PEs in one set (= vector row count x). */
+    int64_t setSize() const { return setSize_; }
+
+    /** Number of usable PE sets. */
+    int64_t numSets() const { return numSets_; }
+
+    /** PEs left over after partitioning (idle for this layer). */
+    int64_t idlePEs() const;
+
+    /** Mutable PE state, indexed by (set, position-in-set). */
+    PE &pe(int64_t set, int64_t pos);
+
+    /** Per-set busy bit (B in the synchronous design). */
+    bool busy(int64_t set) const { return busy_[static_cast<size_t>(set)]; }
+    void setBusy(int64_t set, bool b);
+
+    /** True when no PE set is busy (sync-design barrier condition). */
+    bool allIdle() const;
+
+    /**
+     * Distribute `vectors` work items round-robin across sets;
+     * returns per-set counts (they differ by at most one).
+     */
+    std::vector<int64_t> distributeVectors(int64_t vectors) const;
+
+    /** Reset all PE state and busy bits. */
+    void reset();
+
+  private:
+    int64_t numPEs_;
+    int64_t setSize_;
+    int64_t numSets_;
+    std::vector<PE> pes_;
+    std::vector<bool> busy_;
+};
+
+} // namespace mercury
+
+#endif // MERCURY_SIM_PE_ARRAY_HPP

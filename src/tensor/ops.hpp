@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Dense tensor operations: convolution (forward and both backward
+ * passes), matrix multiplication, im2col vector extraction, pooling,
+ * activations, and the softmax cross-entropy loss.
+ *
+ * Convolutions follow the paper's §II-C formulation: forward output is
+ * (H - k1 + 1) x (W - k2 + 1) (optionally strided / padded), the weight
+ * gradient is a correlation between layer inputs and output gradients
+ * (Eq. 1), and the input gradient is a full correlation with the
+ * flipped kernel (Eq. 2).
+ */
+
+#ifndef MERCURY_TENSOR_OPS_HPP
+#define MERCURY_TENSOR_OPS_HPP
+
+#include <cstdint>
+
+#include "tensor/tensor.hpp"
+
+namespace mercury {
+
+/** Static geometry of a 2D convolution. */
+struct ConvSpec
+{
+    int64_t inChannels = 1;
+    int64_t outChannels = 1;
+    int64_t kernelH = 3;
+    int64_t kernelW = 3;
+    int64_t stride = 1;
+    int64_t pad = 0;
+    int64_t groups = 1;
+
+    /** Output height for the given input height. */
+    int64_t outH(int64_t in_h) const
+    {
+        return (in_h + 2 * pad - kernelH) / stride + 1;
+    }
+
+    /** Output width for the given input width. */
+    int64_t outW(int64_t in_w) const
+    {
+        return (in_w + 2 * pad - kernelW) / stride + 1;
+    }
+};
+
+/**
+ * Forward convolution.
+ *
+ * @param input  (N, Cin, H, W)
+ * @param weight (Cout, Cin/groups, kH, kW)
+ * @param bias   (Cout) or empty tensor for no bias
+ * @return       (N, Cout, outH, outW)
+ */
+Tensor conv2dForward(const Tensor &input, const Tensor &weight,
+                     const Tensor &bias, const ConvSpec &spec);
+
+/** Gradient of the loss w.r.t. the convolution weights (paper Eq. 1). */
+Tensor conv2dBackwardWeight(const Tensor &input, const Tensor &gradOut,
+                            const ConvSpec &spec);
+
+/** Gradient of the loss w.r.t. the convolution input (paper Eq. 2). */
+Tensor conv2dBackwardInput(const Tensor &gradOut, const Tensor &weight,
+                           const ConvSpec &spec, int64_t in_h, int64_t in_w);
+
+/** Gradient of the loss w.r.t. the bias (sum over N, H, W). */
+Tensor conv2dBackwardBias(const Tensor &gradOut);
+
+/**
+ * Extract im2col patches: each sliding (Cin/groups * kH * kW) window of
+ * one image becomes a row. These rows are exactly the "input vectors"
+ * MERCURY computes signatures over.
+ *
+ * @param input (N, Cin, H, W); extraction is done per (n, group)
+ * @return      (N * groups * outH * outW, Cin/groups * kH * kW)
+ */
+Tensor im2col(const Tensor &input, const ConvSpec &spec);
+
+/** Matrix product: (m, k) x (k, n) -> (m, n). */
+Tensor matmul(const Tensor &a, const Tensor &b);
+
+/** Matrix product with b transposed: (m, k) x (n, k)^T -> (m, n). */
+Tensor matmulTransposeB(const Tensor &a, const Tensor &b);
+
+/** Transpose a rank-2 tensor. */
+Tensor transpose2d(const Tensor &a);
+
+/** Elementwise ReLU. */
+Tensor reluForward(const Tensor &x);
+
+/** ReLU gradient: grad * (x > 0). */
+Tensor reluBackward(const Tensor &x, const Tensor &grad);
+
+/** 2x2 stride-2 max pooling over (N, C, H, W); also fills argmax. */
+Tensor maxPool2x2Forward(const Tensor &x, std::vector<int32_t> &argmax);
+
+/** Backward of 2x2 stride-2 max pooling using the stored argmax. */
+Tensor maxPool2x2Backward(const Tensor &x, const Tensor &gradOut,
+                          const std::vector<int32_t> &argmax);
+
+/** Global average pooling (N, C, H, W) -> (N, C). */
+Tensor globalAvgPoolForward(const Tensor &x);
+
+/** Backward of global average pooling. */
+Tensor globalAvgPoolBackward(const Tensor &x, const Tensor &gradOut);
+
+/**
+ * Softmax cross-entropy over logits (N, numClasses).
+ *
+ * @param logits (N, K)
+ * @param labels length-N class indices
+ * @param gradOut filled with dLoss/dLogits (average-over-batch scaling)
+ * @return mean loss
+ */
+float softmaxCrossEntropy(const Tensor &logits,
+                          const std::vector<int> &labels, Tensor &gradOut);
+
+/** Row-wise softmax of a rank-2 tensor. */
+Tensor softmaxRows(const Tensor &x);
+
+/** Number of multiply-accumulate operations of a forward convolution. */
+uint64_t convMacCount(int64_t n, int64_t in_h, int64_t in_w,
+                      const ConvSpec &spec);
+
+} // namespace mercury
+
+#endif // MERCURY_TENSOR_OPS_HPP

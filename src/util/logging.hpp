@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Status and error reporting helpers in the gem5 tradition.
+ *
+ * fatal() is for user errors (bad configuration); panic() is for
+ * internal invariant violations. Both terminate. inform()/warn() are
+ * purely informational and never stop the simulation.
+ */
+
+#ifndef MERCURY_UTIL_LOGGING_HPP
+#define MERCURY_UTIL_LOGGING_HPP
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace mercury {
+
+namespace detail {
+
+inline void
+appendParts(std::ostringstream &)
+{
+}
+
+template <typename T, typename... Rest>
+void
+appendParts(std::ostringstream &os, const T &part, const Rest &...rest)
+{
+    os << part;
+    appendParts(os, rest...);
+}
+
+/** Join a parameter pack into one message string. */
+template <typename... Parts>
+std::string
+joinParts(const Parts &...parts)
+{
+    std::ostringstream os;
+    appendParts(os, parts...);
+    return os.str();
+}
+
+} // namespace detail
+
+/** Print an informational message to stderr. */
+template <typename... Parts>
+void
+inform(const Parts &...parts)
+{
+    std::fprintf(stderr, "info: %s\n", detail::joinParts(parts...).c_str());
+}
+
+/** Print a warning message to stderr. */
+template <typename... Parts>
+void
+warn(const Parts &...parts)
+{
+    std::fprintf(stderr, "warn: %s\n", detail::joinParts(parts...).c_str());
+}
+
+/**
+ * Terminate because of a user-level error (invalid configuration or
+ * arguments). Exits with status 1.
+ */
+template <typename... Parts>
+[[noreturn]] void
+fatal(const Parts &...parts)
+{
+    std::fprintf(stderr, "fatal: %s\n", detail::joinParts(parts...).c_str());
+    std::exit(1);
+}
+
+/**
+ * Terminate because of an internal invariant violation (a simulator
+ * bug). Aborts so a core dump / debugger can inspect the state.
+ */
+template <typename... Parts>
+[[noreturn]] void
+panic(const Parts &...parts)
+{
+    std::fprintf(stderr, "panic: %s\n", detail::joinParts(parts...).c_str());
+    std::abort();
+}
+
+} // namespace mercury
+
+#endif // MERCURY_UTIL_LOGGING_HPP

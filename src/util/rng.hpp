@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Deterministic random number generation for the whole simulator.
+ *
+ * Every stochastic component (random projection matrices, synthetic
+ * workloads, weight initialization) draws from an explicitly seeded
+ * Rng so that runs are bit-reproducible across platforms. The core is
+ * xoshiro256**, seeded via SplitMix64.
+ */
+
+#ifndef MERCURY_UTIL_RNG_HPP
+#define MERCURY_UTIL_RNG_HPP
+
+#include <cstdint>
+#include <vector>
+
+namespace mercury {
+
+/** Deterministic, seedable pseudo random number generator. */
+class Rng
+{
+  public:
+    /** Construct with the given seed (any value, including 0). */
+    explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ull);
+
+    /** Re-seed the generator, resetting all cached state. */
+    void seed(uint64_t seed);
+
+    /** Next raw 64-bit value. */
+    uint64_t next64();
+
+    /** Uniform double in [0, 1). */
+    double uniform();
+
+    /** Uniform double in [lo, hi). */
+    double uniform(double lo, double hi);
+
+    /** Uniform integer in [0, n). Requires n > 0. */
+    uint64_t uniformInt(uint64_t n);
+
+    /** Standard normal sample (Box-Muller, cached pair). */
+    double normal();
+
+    /** Normal sample with the given mean and standard deviation. */
+    double normal(double mean, double stddev);
+
+    /** Bernoulli trial with probability p of returning true. */
+    bool bernoulli(double p);
+
+    /** Fill a vector with standard normal samples. */
+    void fillNormal(std::vector<float> &out);
+
+    /** Derive an independent child generator (for per-layer streams). */
+    Rng fork();
+
+  private:
+    uint64_t state_[4];
+    double cachedNormal_;
+    bool hasCachedNormal_;
+
+    static uint64_t splitMix64(uint64_t &x);
+};
+
+} // namespace mercury
+
+#endif // MERCURY_UTIL_RNG_HPP

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * ASCII table / CSV emitter used by the bench harnesses to print the
+ * rows and series that the paper's tables and figures report.
+ */
+
+#ifndef MERCURY_UTIL_TABLE_HPP
+#define MERCURY_UTIL_TABLE_HPP
+
+#include <string>
+#include <vector>
+
+namespace mercury {
+
+/** A simple column-aligned text table. */
+class Table
+{
+  public:
+    /** Construct with a title (printed above the table). */
+    explicit Table(std::string title = "");
+
+    /** Set the header row. */
+    void header(std::vector<std::string> cols);
+
+    /** Append a row of pre-formatted cells. */
+    void row(std::vector<std::string> cells);
+
+    /** Format a double with the given precision. */
+    static std::string num(double v, int precision = 2);
+
+    /** Format an integer with thousands grouping. */
+    static std::string count(uint64_t v);
+
+    /** Render as an aligned ASCII table. */
+    std::string str() const;
+
+    /** Render as CSV (header + rows). */
+    std::string csv() const;
+
+    /** Print the ASCII rendering to stdout. */
+    void print() const;
+
+    size_t numRows() const { return rows_.size(); }
+
+  private:
+    std::string title_;
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace mercury
+
+#endif // MERCURY_UTIL_TABLE_HPP

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Per-model similarity profiles and the SyntheticSimilaritySource.
+ *
+ * The source answers the accelerator's channelMix queries by running
+ * the *real* RPQ + MCACHE detector over prototype-mixture vector
+ * populations whose unique-vector fraction follows a per-model,
+ * per-depth profile calibrated to the paper's measurements:
+ * similarity is highest in early layers and decays with depth
+ * (Fig. 1, Fig. 15c), gradient similarity trails input similarity
+ * (Fig. 1b), and bigger networks expose more similarity (§VII-A).
+ * Because the real detector runs, signature-length growth reduces
+ * hit rates naturally.
+ */
+
+#ifndef MERCURY_WORKLOADS_PROFILES_HPP
+#define MERCURY_WORKLOADS_PROFILES_HPP
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <tuple>
+
+#include "core/mercury_accelerator.hpp"
+#include "models/model_zoo.hpp"
+#include "sim/config.hpp"
+
+namespace mercury {
+
+/** Linear similarity span from the first to the last reusable layer. */
+struct SimilaritySpan
+{
+    double first = 0.7; ///< similar-vector fraction at depth 0
+    double last = 0.4;  ///< similar-vector fraction at depth 1
+};
+
+/** Per-model-family calibration of input/gradient similarity. */
+SimilaritySpan inputSimilaritySpan(const std::string &model_name);
+SimilaritySpan gradientSimilaritySpan(const std::string &model_name);
+
+/** Measured-similarity source backed by the real detector. */
+class SyntheticSimilaritySource : public SimilaritySource
+{
+  public:
+    /**
+     * @param model      the network being simulated (for depth info)
+     * @param cfg        MCACHE organization to measure against
+     * @param seed       vector-population seed
+     * @param sample_cap max vectors hashed per query (statistical
+     *                   tiling; the mix is rescaled by the caller)
+     * @param dim_cap    max vector dimensionality hashed (RPQ
+     *                   similarity behaviour is dimension-robust)
+     */
+    SyntheticSimilaritySource(const ModelConfig &model,
+                              const AcceleratorConfig &cfg, uint64_t seed,
+                              int64_t sample_cap = 768,
+                              int64_t dim_cap = 48);
+
+    HitMix channelMix(const LayerShape &shape, int sig_bits,
+                      Phase phase) override;
+
+    /** Target similar fraction for a layer and phase (for tests). */
+    double targetSimilarity(const LayerShape &shape, Phase phase) const;
+
+  private:
+    std::string modelName_;
+    AcceleratorConfig cfg_;
+    uint64_t seed_;
+    int64_t sampleCap_;
+    int64_t dimCap_;
+    std::map<std::string, double> depthOf_; ///< layer name -> [0, 1]
+    std::map<std::tuple<std::string, int, int>, HitMix> cache_;
+
+    double depthFor(const LayerShape &shape) const;
+};
+
+} // namespace mercury
+
+#endif // MERCURY_WORKLOADS_PROFILES_HPP

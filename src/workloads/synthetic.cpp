@@ -1,0 +1,160 @@
+#include "workloads/synthetic.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hpp"
+#include "util/rng.hpp"
+
+namespace mercury {
+
+namespace {
+
+/** Bilinear upsample of a coarse (gc x gc) grid to (hw x hw). */
+void
+upsampleField(const std::vector<float> &grid, int64_t gc, float *out,
+              int64_t hw)
+{
+    for (int64_t y = 0; y < hw; ++y) {
+        for (int64_t x = 0; x < hw; ++x) {
+            const float fy = static_cast<float>(y) /
+                             static_cast<float>(hw - 1) *
+                             static_cast<float>(gc - 1);
+            const float fx = static_cast<float>(x) /
+                             static_cast<float>(hw - 1) *
+                             static_cast<float>(gc - 1);
+            const int64_t y0 = static_cast<int64_t>(fy);
+            const int64_t x0 = static_cast<int64_t>(fx);
+            const int64_t y1 = std::min(y0 + 1, gc - 1);
+            const int64_t x1 = std::min(x0 + 1, gc - 1);
+            const float wy = fy - static_cast<float>(y0);
+            const float wx = fx - static_cast<float>(x0);
+            const float v00 = grid[static_cast<size_t>(y0 * gc + x0)];
+            const float v01 = grid[static_cast<size_t>(y0 * gc + x1)];
+            const float v10 = grid[static_cast<size_t>(y1 * gc + x0)];
+            const float v11 = grid[static_cast<size_t>(y1 * gc + x1)];
+            out[y * hw + x] = (1 - wy) * ((1 - wx) * v00 + wx * v01) +
+                              wy * ((1 - wx) * v10 + wx * v11);
+        }
+    }
+}
+
+} // namespace
+
+Dataset
+makeImageDataset(int64_t n, int classes, int64_t channels, int64_t hw,
+                 uint64_t seed, float noise, uint64_t proto_seed)
+{
+    if (classes <= 0 || n <= 0)
+        panic("dataset needs positive size and classes");
+    Rng rng(seed);
+    Rng proto_rng(proto_seed);
+    const int64_t gc = 4; // coarse grid resolution
+
+    // Per-class, per-channel prototype fields, drawn from their own
+    // seed so train/validation splits share the class distribution.
+    std::vector<std::vector<float>> protos(
+        static_cast<size_t>(classes * channels),
+        std::vector<float>(static_cast<size_t>(gc * gc)));
+    for (auto &grid : protos)
+        for (auto &v : grid)
+            v = static_cast<float>(proto_rng.normal());
+
+    Dataset ds;
+    ds.inputs = Tensor({n, channels, hw, hw});
+    ds.labels.resize(static_cast<size_t>(n));
+    std::vector<float> field(static_cast<size_t>(hw * hw));
+    for (int64_t i = 0; i < n; ++i) {
+        const int cls = static_cast<int>(
+            rng.uniformInt(static_cast<uint64_t>(classes)));
+        ds.labels[static_cast<size_t>(i)] = cls;
+        for (int64_t c = 0; c < channels; ++c) {
+            upsampleField(
+                protos[static_cast<size_t>(cls * channels + c)], gc,
+                field.data(), hw);
+            for (int64_t p = 0; p < hw * hw; ++p) {
+                ds.inputs[ds.inputs.offset4(i, c, 0, 0) + p] =
+                    field[static_cast<size_t>(p)] +
+                    noise * static_cast<float>(rng.normal());
+            }
+        }
+    }
+    return ds;
+}
+
+Dataset
+makeTokenDataset(int64_t n, int classes, int64_t seq_len,
+                 int64_t embed_dim, uint64_t seed, float noise,
+                 uint64_t proto_seed)
+{
+    Rng rng(seed);
+    Rng proto_rng(proto_seed);
+    const int64_t vocab = 4 * classes;
+    Tensor embeddings({vocab, embed_dim});
+    embeddings.fillNormal(proto_rng);
+
+    Dataset ds;
+    ds.inputs = Tensor({n, seq_len * embed_dim});
+    ds.labels.resize(static_cast<size_t>(n));
+    for (int64_t i = 0; i < n; ++i) {
+        const int cls = static_cast<int>(
+            rng.uniformInt(static_cast<uint64_t>(classes)));
+        ds.labels[static_cast<size_t>(i)] = cls;
+        for (int64_t t = 0; t < seq_len; ++t) {
+            // Tokens biased toward the class's vocabulary slice, so
+            // sequences repeat tokens (row similarity for reuse).
+            const int64_t tok =
+                cls * 4 + static_cast<int64_t>(rng.uniformInt(4));
+            for (int64_t e = 0; e < embed_dim; ++e) {
+                ds.inputs.at2(i, t * embed_dim + e) =
+                    embeddings.at2(tok, e) +
+                    noise * static_cast<float>(rng.normal());
+            }
+        }
+    }
+    return ds;
+}
+
+Tensor
+prototypeVectors(int64_t n, int64_t dim, int64_t uniques, float eps,
+                 uint64_t seed, double zipf)
+{
+    if (uniques <= 0 || uniques > n)
+        panic("prototypeVectors: uniques ", uniques, " outside 1..", n);
+    Rng rng(seed);
+    Tensor protos({uniques, dim});
+    protos.fillNormal(rng);
+
+    // Cumulative popularity for inverse-CDF sampling.
+    std::vector<double> cdf(static_cast<size_t>(uniques));
+    double acc = 0.0;
+    for (int64_t p = 0; p < uniques; ++p) {
+        acc += zipf > 0.0
+                   ? 1.0 / std::pow(static_cast<double>(p + 1), zipf)
+                   : 1.0;
+        cdf[static_cast<size_t>(p)] = acc;
+    }
+
+    Tensor rows({n, dim});
+    for (int64_t i = 0; i < n; ++i) {
+        // First `uniques` rows cover every prototype once (so the
+        // population truly contains that many uniques); the rest
+        // sample prototypes by popularity.
+        int64_t p;
+        if (i < uniques) {
+            p = i;
+        } else {
+            const double u = rng.uniform() * acc;
+            p = static_cast<int64_t>(
+                std::lower_bound(cdf.begin(), cdf.end(), u) -
+                cdf.begin());
+            p = std::min(p, uniques - 1);
+        }
+        for (int64_t j = 0; j < dim; ++j)
+            rows.at2(i, j) = protos.at2(p, j) +
+                             eps * static_cast<float>(rng.normal());
+    }
+    return rows;
+}
+
+} // namespace mercury

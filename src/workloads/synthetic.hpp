@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Synthetic workload generators.
+ *
+ * The paper trains on ImageNet (80 classes) and Multi30k. Those
+ * datasets are not available offline, so the generators build
+ * procedurally structured inputs with the property MERCURY exploits:
+ * class-dependent, spatially smooth content whose extracted vectors
+ * exhibit controllable similarity (see DESIGN.md, substitutions).
+ */
+
+#ifndef MERCURY_WORKLOADS_SYNTHETIC_HPP
+#define MERCURY_WORKLOADS_SYNTHETIC_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace mercury {
+
+/** A labelled dataset: images (N, C, H, W) or tokens (N, T*E). */
+struct Dataset
+{
+    Tensor inputs;
+    std::vector<int> labels;
+
+    int64_t size() const { return inputs.dim(0); }
+};
+
+/**
+ * Image classification set: each class has a smooth low-frequency
+ * prototype field (bilinearly upsampled coarse grid) and samples add
+ * i.i.d. noise. Smooth fields make neighbouring convolution windows
+ * similar — the input-similarity regime of the paper's Fig. 1.
+ *
+ * @param noise      per-pixel noise stddev (controls similarity)
+ * @param proto_seed seed of the class prototypes; keep it equal
+ *                   across train/validation splits so both draw from
+ *                   the same class distribution
+ */
+Dataset makeImageDataset(int64_t n, int classes, int64_t channels,
+                         int64_t hw, uint64_t seed, float noise = 0.05f,
+                         uint64_t proto_seed = 9001);
+
+/**
+ * Token-sequence set for the transformer proxy: samples are
+ * (seq_len x embed_dim) matrices whose rows are drawn from a small
+ * class-dependent token vocabulary plus noise, flattened to
+ * (N, seq_len * embed_dim).
+ */
+Dataset makeTokenDataset(int64_t n, int classes, int64_t seq_len,
+                         int64_t embed_dim, uint64_t seed,
+                         float noise = 0.05f, uint64_t proto_seed = 9002);
+
+/**
+ * Vector population for similarity studies: `uniques` prototype
+ * vectors, each repeated with epsilon noise, shuffled into a
+ * (n, dim) matrix. Used by the Fig. 3 experiment and the per-layer
+ * similarity profiles.
+ *
+ * @param zipf popularity skew of the prototypes: 0 draws them
+ *             uniformly; larger exponents concentrate repetitions on
+ *             a few hot prototypes, the regime of real activation
+ *             streams (this is what lets a ~1k-entry MCACHE capture
+ *             most of the reuse of a 50k-vector layer, paper
+ *             Fig. 15c). The first `uniques` rows cover every
+ *             prototype once, in popularity order.
+ */
+Tensor prototypeVectors(int64_t n, int64_t dim, int64_t uniques,
+                        float eps, uint64_t seed, double zipf = 0.0);
+
+} // namespace mercury
+
+#endif // MERCURY_WORKLOADS_SYNTHETIC_HPP

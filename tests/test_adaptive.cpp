@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Tests for the adaptive controller: signature growth on loss
+ * plateaus and per-layer stoppage after T costlier batches.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/adaptive.hpp"
+
+namespace mercury {
+namespace {
+
+AcceleratorConfig
+cfgWith(int k, int t, int init_bits = 20, int max_bits = 64)
+{
+    AcceleratorConfig cfg;
+    cfg.plateauK = k;
+    cfg.stoppageT = t;
+    cfg.initialSignatureBits = init_bits;
+    cfg.maxSignatureBits = max_bits;
+    return cfg;
+}
+
+TEST(Adaptive, StartsAtInitialBits)
+{
+    AdaptiveController a(cfgWith(3, 2), 4);
+    EXPECT_EQ(a.signatureBits(), 20);
+    EXPECT_EQ(a.numLayers(), 4);
+    EXPECT_EQ(a.layersOn(), 4);
+}
+
+TEST(Adaptive, DecreasingLossKeepsBits)
+{
+    AdaptiveController a(cfgWith(3, 2), 1);
+    double loss = 2.0;
+    for (int i = 0; i < 50; ++i) {
+        a.observeLoss(loss);
+        loss *= 0.9; // clearly decreasing
+    }
+    EXPECT_EQ(a.signatureBits(), 20);
+}
+
+TEST(Adaptive, FlatLossGrowsBitsAfterK)
+{
+    AdaptiveController a(cfgWith(3, 2), 1);
+    a.observeLoss(1.0);
+    a.observeLoss(1.0); // flat 1
+    a.observeLoss(1.0); // flat 2
+    EXPECT_EQ(a.signatureBits(), 20);
+    a.observeLoss(1.0); // flat 3 == K -> grow
+    EXPECT_EQ(a.signatureBits(), 21);
+}
+
+TEST(Adaptive, GrowthRepeatsEveryKFlat)
+{
+    AdaptiveController a(cfgWith(2, 2), 1);
+    for (int i = 0; i < 9; ++i)
+        a.observeLoss(1.0);
+    // 8 flat observations, K=2 -> 4 increments.
+    EXPECT_EQ(a.signatureBits(), 24);
+}
+
+TEST(Adaptive, BitsSaturateAtMax)
+{
+    AdaptiveController a(cfgWith(1, 2, 20, 22), 1);
+    for (int i = 0; i < 50; ++i)
+        a.observeLoss(1.0);
+    EXPECT_EQ(a.signatureBits(), 22);
+}
+
+TEST(Adaptive, NoiseResetsPlateau)
+{
+    AdaptiveController a(cfgWith(3, 2), 1);
+    a.observeLoss(1.0);
+    a.observeLoss(1.0);
+    a.observeLoss(1.0);
+    a.observeLoss(2.0); // big change resets the plateau counter
+    a.observeLoss(2.0);
+    a.observeLoss(2.0);
+    EXPECT_EQ(a.signatureBits(), 20);
+    a.observeLoss(2.0);
+    EXPECT_EQ(a.signatureBits(), 21);
+}
+
+TEST(Adaptive, LayerTurnsOffAfterTCostlierBatches)
+{
+    AdaptiveController a(cfgWith(3, 3), 2);
+    for (int i = 0; i < 2; ++i) {
+        a.observeLayerCycles(0, 110, 100); // costlier
+        EXPECT_TRUE(a.layerOn(0));
+    }
+    a.observeLayerCycles(0, 110, 100); // third in a row
+    EXPECT_FALSE(a.layerOn(0));
+    EXPECT_TRUE(a.layerOn(1));
+    EXPECT_EQ(a.layersOn(), 1);
+    EXPECT_EQ(a.layersOff(), 1);
+}
+
+TEST(Adaptive, CheaperBatchResetsStreak)
+{
+    AdaptiveController a(cfgWith(3, 3), 1);
+    a.observeLayerCycles(0, 110, 100);
+    a.observeLayerCycles(0, 110, 100);
+    a.observeLayerCycles(0, 90, 100); // cheaper -> reset
+    a.observeLayerCycles(0, 110, 100);
+    a.observeLayerCycles(0, 110, 100);
+    EXPECT_TRUE(a.layerOn(0));
+    a.observeLayerCycles(0, 110, 100);
+    EXPECT_FALSE(a.layerOn(0));
+}
+
+TEST(Adaptive, OffLayersStayOff)
+{
+    AdaptiveController a(cfgWith(3, 1), 1);
+    a.observeLayerCycles(0, 110, 100);
+    EXPECT_FALSE(a.layerOn(0));
+    a.observeLayerCycles(0, 50, 100); // would be profitable again
+    EXPECT_FALSE(a.layerOn(0));
+}
+
+TEST(Adaptive, EqualCostCountsAsCostlier)
+{
+    // CS == CB means detection saved nothing: counts toward stoppage.
+    AdaptiveController a(cfgWith(3, 1), 1);
+    a.observeLayerCycles(0, 100, 100);
+    EXPECT_FALSE(a.layerOn(0));
+}
+
+TEST(Adaptive, InvalidLayerDies)
+{
+    AdaptiveController a(cfgWith(3, 2), 2);
+    EXPECT_DEATH(a.observeLayerCycles(2, 1, 1), "out of range");
+    EXPECT_DEATH(a.layerOn(-1), "out of range");
+}
+
+TEST(Adaptive, InvalidConfigDies)
+{
+    AcceleratorConfig cfg;
+    cfg.initialSignatureBits = 0;
+    EXPECT_DEATH(AdaptiveController(cfg, 1), "signature bits");
+}
+
+} // namespace
+} // namespace mercury

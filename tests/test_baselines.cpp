@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Tests for the comparison baselines: Bloom filter unique counting
+ * (Fig. 3), the UCNN weight-repetition bound (Fig. 17a), unlimited
+ * zero pruning (Fig. 17b), and unlimited similarity (Fig. 17c).
+ */
+
+#include <gtest/gtest.h>
+
+#include "baselines/bloom_filter.hpp"
+#include "baselines/ucnn.hpp"
+#include "baselines/unlimited_similarity.hpp"
+#include "baselines/zero_pruning.hpp"
+#include "workloads/synthetic.hpp"
+
+namespace mercury {
+namespace {
+
+TEST(Bloom, InsertThenContains)
+{
+    BloomFilter f(256, 3);
+    EXPECT_FALSE(f.mightContain(42));
+    f.insert(42);
+    EXPECT_TRUE(f.mightContain(42));
+    f.clear();
+    EXPECT_FALSE(f.mightContain(42));
+}
+
+TEST(Bloom, SmallFilterAliases)
+{
+    // A tiny filter saturates and reports everything as present.
+    BloomFilter f(8, 3);
+    for (uint64_t k = 0; k < 20; ++k)
+        f.insert(k * 7919);
+    int present = 0;
+    for (uint64_t k = 100; k < 120; ++k)
+        present += f.mightContain(k * 104729);
+    EXPECT_GT(present, 10);
+}
+
+TEST(Bloom, VectorKeyQuantizes)
+{
+    float a[4] = {0.10f, 0.20f, 0.30f, 0.40f};
+    float b[4] = {0.101f, 0.199f, 0.301f, 0.399f}; // within the grid
+    float c[4] = {0.90f, 0.20f, 0.30f, 0.40f};
+    EXPECT_EQ(BloomFilter::vectorKey(a, 4, 0.05f),
+              BloomFilter::vectorKey(b, 4, 0.05f));
+    EXPECT_NE(BloomFilter::vectorKey(a, 4, 0.05f),
+              BloomFilter::vectorKey(c, 4, 0.05f));
+}
+
+TEST(Bloom, Fig3UniqueCountBehaviour)
+{
+    // The paper's Fig. 3 setup: 10 unique dim-10 vectors, 10 similar
+    // copies each (110 vectors total). Grid quantization is brittle
+    // at cell boundaries, so the Bloom detector over-counts uniques
+    // relative to the truth — but a larger filter never finds fewer
+    // than a saturating small one, and at least the 10 true
+    // prototypes are found.
+    Tensor rows = prototypeVectors(110, 10, 10, 0.002f, 11);
+    const int u_large = bloomUniqueCount(rows, 4096, 3, 0.25f);
+    EXPECT_GE(u_large, 10);
+    EXPECT_LE(u_large, 60);
+    const int u_small = bloomUniqueCount(rows, 16, 3, 0.25f);
+    EXPECT_LE(u_small, u_large);
+}
+
+TEST(Bloom, RpqUniqueCountRecovers)
+{
+    Tensor rows = prototypeVectors(110, 10, 10, 0.005f, 12);
+    const int u = rpqUniqueCount(rows, 32, 13);
+    EXPECT_NEAR(u, 10, 3);
+    // Very short signatures under-count.
+    const int u_short = rpqUniqueCount(rows, 2, 13);
+    EXPECT_LT(u_short, u);
+}
+
+TEST(Ucnn, FewerBitsMoreReuse)
+{
+    const ModelConfig m = vgg13();
+    const double s6 = ucnnBound(m, 6, 21).speedupBound;
+    const double s7 = ucnnBound(m, 7, 21).speedupBound;
+    const double s8 = ucnnBound(m, 8, 21).speedupBound;
+    EXPECT_GT(s6, s7);
+    EXPECT_GT(s7, s8);
+}
+
+TEST(Ucnn, BoundIsBounded)
+{
+    // Multiplies can vanish but adds remain: speedup < 2 under the
+    // (1 mult + 1 add) MAC cost model.
+    for (int bits : {6, 7, 8}) {
+        const double s = ucnnBound(resnet50(), bits, 22).speedupBound;
+        EXPECT_GT(s, 1.0);
+        EXPECT_LT(s, 2.0);
+    }
+}
+
+TEST(Ucnn, UniqueFractionSane)
+{
+    const UcnnResult r = ucnnBound(vgg16(), 6, 23);
+    EXPECT_GT(r.avgUniqueFraction, 0.0);
+    EXPECT_LE(r.avgUniqueFraction, 1.0);
+}
+
+TEST(ZeroPruning, MeasuredBoundOnTensors)
+{
+    Tensor act({100});
+    Tensor wts({100});
+    for (int64_t i = 0; i < 100; ++i) {
+        act[i] = i % 2 ? 1.0f : 0.0f; // half zero
+        wts[i] = 1.0f;                // dense
+    }
+    const ZeroPruningResult r = zeroPruningBound(act, wts);
+    EXPECT_NEAR(r.zeroInputFraction, 0.5, 1e-9);
+    EXPECT_NEAR(r.zeroWeightFraction, 0.0, 1e-9);
+    EXPECT_NEAR(r.speedupBound, 2.0, 1e-9);
+}
+
+TEST(ZeroPruning, ModelBoundNearTwo)
+{
+    // Post-ReLU activations are about half zero, so the unlimited
+    // bound sits around 2x (Fig. 17b's scale).
+    for (const auto &m : {vgg13(), resnet50(), alexnet()}) {
+        const double s = zeroPruningModelBound(m, 31);
+        EXPECT_GT(s, 1.5) << m.name;
+        EXPECT_LT(s, 2.6) << m.name;
+    }
+}
+
+TEST(ZeroPruning, Deterministic)
+{
+    EXPECT_DOUBLE_EQ(zeroPruningModelBound(vgg13(), 7),
+                     zeroPruningModelBound(vgg13(), 7));
+}
+
+TEST(UnlimitedSimilarity, ElementStatsOnUniformRows)
+{
+    // All-equal elements: one unique per vector.
+    Tensor rows({4, 16});
+    rows.fill(1.0f);
+    const ElementSimilarityResult r = elementSimilarity(rows, 8);
+    EXPECT_NEAR(r.uniqueElementFraction, 1.0 / 16.0, 1e-6);
+    EXPECT_NEAR(r.speedupBound, 16.0, 1e-3);
+}
+
+TEST(UnlimitedSimilarity, DistinctElementsNoSaving)
+{
+    // Values spread inside the quantizer's +/-3 range so none clamp
+    // into a shared cell.
+    Tensor rows({1, 8});
+    for (int64_t j = 0; j < 8; ++j)
+        rows[j] = 0.5f * static_cast<float>(j) - 2.0f;
+    const ElementSimilarityResult r = elementSimilarity(rows, 8);
+    EXPECT_NEAR(r.uniqueElementFraction, 1.0, 1e-6);
+}
+
+TEST(UnlimitedSimilarity, ModelBoundInPaperRange)
+{
+    // Fig. 17c: the unlimited-similarity bound is around 2x and
+    // MERCURY edges it out slightly on average.
+    for (const auto &m : {vgg13(), resnet50()}) {
+        const double s = unlimitedSimilarityModelBound(m, 32);
+        EXPECT_GT(s, 1.3) << m.name;
+        EXPECT_LT(s, 3.0) << m.name;
+    }
+}
+
+TEST(UnlimitedSimilarity, CoarserQuantizationSavesMore)
+{
+    const double s4 = unlimitedSimilarityModelBound(vgg13(), 33, 4);
+    const double s8 = unlimitedSimilarityModelBound(vgg13(), 33, 8);
+    EXPECT_GE(s4, s8);
+}
+
+} // namespace
+} // namespace mercury

@@ -1,0 +1,316 @@
+/**
+ * @file
+ * Tests for the dataflow timing models: baseline formulas, MERCURY
+ * savings as a function of the HIT/MAU/MNU mix, sync vs async
+ * ordering, and cross-dataflow invariants.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/cycle_model.hpp"
+#include "sim/dataflow.hpp"
+
+namespace mercury {
+namespace {
+
+AcceleratorConfig
+defaultConfig(DataflowKind kind = DataflowKind::RowStationary)
+{
+    AcceleratorConfig cfg;
+    cfg.dataflow = kind;
+    return cfg;
+}
+
+LayerShape
+smallConv()
+{
+    // 8 channels of 16x16 with 16 3x3 filters.
+    return LayerShape::conv("conv", 8, 16, 16, 16, 3);
+}
+
+TEST(HitMix, FromFractionsConsistent)
+{
+    HitMix m = HitMix::fromFractions(100, 0.6, 0.1);
+    EXPECT_EQ(m.vectors, 100);
+    EXPECT_EQ(m.hit, 60);
+    EXPECT_EQ(m.mnu, 10);
+    EXPECT_EQ(m.mau, 30);
+    EXPECT_TRUE(m.consistent());
+}
+
+TEST(HitMix, InvalidFractionsDie)
+{
+    EXPECT_DEATH(HitMix::fromFractions(10, 0.8, 0.4), "invalid");
+}
+
+TEST(HitMix, ScaledToPreservesFractions)
+{
+    HitMix m = HitMix::fromFractions(100, 0.5, 0.2);
+    HitMix s = m.scaledTo(1000);
+    EXPECT_EQ(s.vectors, 1000);
+    EXPECT_NEAR(s.hitFraction(), 0.5, 0.01);
+    EXPECT_TRUE(s.consistent());
+}
+
+TEST(HitMix, ScaledFromEmptyIsAllMau)
+{
+    HitMix empty;
+    HitMix s = empty.scaledTo(10);
+    EXPECT_EQ(s.mau, 10);
+    EXPECT_TRUE(s.consistent());
+}
+
+TEST(LayerCyclesStruct, SpeedupAndAccumulate)
+{
+    LayerCycles c;
+    c.baseline = 200;
+    c.computation = 80;
+    c.signature = 20;
+    EXPECT_DOUBLE_EQ(c.speedup(), 2.0);
+    LayerCycles d = c;
+    d += c;
+    EXPECT_EQ(d.baseline, 400u);
+    EXPECT_EQ(d.mercuryTotal(), 200u);
+}
+
+TEST(DataflowFactory, CreatesRequestedKind)
+{
+    for (auto kind :
+         {DataflowKind::RowStationary, DataflowKind::WeightStationary,
+          DataflowKind::InputStationary}) {
+        auto df = Dataflow::create(defaultConfig(kind));
+        EXPECT_EQ(df->kind(), kind);
+    }
+}
+
+TEST(RowStationary, BaselineMatchesClosedForm)
+{
+    auto cfg = defaultConfig();
+    RowStationaryDataflow df(cfg);
+    LayerShape shape = smallConv();
+    // 168 PEs / 3 rows = 56 sets; 14x14 = 196 vectors -> 4 per set.
+    const uint64_t per_filter = pipelinedPassCycles(4, 3);
+    const uint64_t expect = 1ull * 8 * 16 * per_filter; // batch*cin*cout
+    EXPECT_EQ(df.baselineLayerCycles(shape, 1), expect);
+}
+
+TEST(RowStationary, NumPESets)
+{
+    RowStationaryDataflow df(defaultConfig());
+    EXPECT_EQ(df.numPESets(3), 56);
+    EXPECT_EQ(df.numPESets(5), 33);
+    EXPECT_EQ(df.numPESets(1), 168);
+}
+
+TEST(RowStationary, ZeroHitsCostsAtLeastBaselinePlusSignatures)
+{
+    auto cfg = defaultConfig();
+    cfg.asyncDesign = false;
+    RowStationaryDataflow df(cfg);
+    LayerShape shape = smallConv();
+    HitMix mix = HitMix::fromFractions(shape.vectorsPerChannel(), 0.0);
+    LayerCycles c = df.mercuryLayerCycles(shape, 1, mix, 20);
+    EXPECT_EQ(c.computation, c.baseline);
+    EXPECT_GT(c.signature, 0u);
+    EXPECT_GT(c.mercuryTotal(), c.baseline);
+}
+
+TEST(RowStationary, AllHitsMuchCheaperThanBaseline)
+{
+    auto cfg = defaultConfig();
+    RowStationaryDataflow df(cfg);
+    // Enough filters that the 20 signature passes amortize (real conv
+    // layers have 64-512 filters per channel).
+    LayerShape shape = LayerShape::conv("conv", 8, 128, 16, 16, 3);
+    HitMix mix = HitMix::fromFractions(shape.vectorsPerChannel(), 1.0);
+    LayerCycles c = df.mercuryLayerCycles(shape, 1, mix, 20);
+    EXPECT_LT(c.mercuryTotal(), c.baseline / 2);
+}
+
+TEST(RowStationary, FewFiltersMakeSignaturesUnprofitable)
+{
+    // With Cout barely above the signature length the overhead can
+    // exceed the savings; this is exactly what the adaptive
+    // controller's per-layer stoppage is for (§III-D).
+    RowStationaryDataflow df(defaultConfig());
+    LayerShape shape = LayerShape::conv("conv", 8, 16, 16, 16, 3);
+    HitMix mix = HitMix::fromFractions(shape.vectorsPerChannel(), 1.0);
+    LayerCycles c = df.mercuryLayerCycles(shape, 1, mix, 20);
+    EXPECT_GT(c.signature, c.computation);
+}
+
+TEST(RowStationary, CyclesMonotonicInHitFraction)
+{
+    auto cfg = defaultConfig();
+    RowStationaryDataflow df(cfg);
+    LayerShape shape = smallConv();
+    uint64_t prev = UINT64_MAX;
+    for (double h : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+        HitMix mix = HitMix::fromFractions(shape.vectorsPerChannel(), h);
+        LayerCycles c = df.mercuryLayerCycles(shape, 1, mix, 20);
+        EXPECT_LE(c.mercuryTotal(), prev) << "hit fraction " << h;
+        prev = c.mercuryTotal();
+    }
+}
+
+TEST(RowStationary, AsyncNoSlowerThanSync)
+{
+    LayerShape shape = smallConv();
+    HitMix mix = HitMix::fromFractions(shape.vectorsPerChannel(), 0.5);
+    auto sync_cfg = defaultConfig();
+    sync_cfg.asyncDesign = false;
+    auto async_cfg = defaultConfig();
+    async_cfg.asyncDesign = true;
+    RowStationaryDataflow sync_df(sync_cfg), async_df(async_cfg);
+    const auto sync_c = sync_df.mercuryLayerCycles(shape, 1, mix, 20);
+    const auto async_c = async_df.mercuryLayerCycles(shape, 1, mix, 20);
+    EXPECT_LE(async_c.mercuryTotal(), sync_c.mercuryTotal());
+}
+
+TEST(RowStationary, SingleFilterSlotDegeneratesToSync)
+{
+    LayerShape shape = smallConv();
+    HitMix mix = HitMix::fromFractions(shape.vectorsPerChannel(), 0.5);
+    auto cfg = defaultConfig();
+    cfg.asyncDesign = true;
+    cfg.filterBufferSlots = 1;
+    auto sync_cfg = defaultConfig();
+    sync_cfg.asyncDesign = false;
+    RowStationaryDataflow df(cfg), sync_df(sync_cfg);
+    EXPECT_EQ(df.mercuryLayerCycles(shape, 1, mix, 20).mercuryTotal(),
+              sync_df.mercuryLayerCycles(shape, 1, mix, 20).mercuryTotal());
+}
+
+TEST(RowStationary, SavedSignaturesAreFree)
+{
+    RowStationaryDataflow df(defaultConfig());
+    LayerShape shape = smallConv();
+    HitMix mix = HitMix::fromFractions(shape.vectorsPerChannel(), 0.4);
+    LayerCycles with_sig = df.mercuryLayerCycles(shape, 1, mix, 20, false);
+    LayerCycles saved = df.mercuryLayerCycles(shape, 1, mix, 20, true);
+    EXPECT_GT(with_sig.signature, 0u);
+    EXPECT_EQ(saved.signature, 0u);
+    EXPECT_EQ(with_sig.computation, saved.computation);
+}
+
+TEST(RowStationary, SignatureCostScalesWithBits)
+{
+    RowStationaryDataflow df(defaultConfig());
+    LayerShape shape = smallConv();
+    HitMix mix = HitMix::fromFractions(shape.vectorsPerChannel(), 0.4);
+    LayerCycles s20 = df.mercuryLayerCycles(shape, 1, mix, 20);
+    LayerCycles s40 = df.mercuryLayerCycles(shape, 1, mix, 40);
+    EXPECT_NEAR(static_cast<double>(s40.signature) /
+                    static_cast<double>(s20.signature),
+                2.0, 0.01);
+}
+
+TEST(RowStationary, BatchScalesLinearly)
+{
+    RowStationaryDataflow df(defaultConfig());
+    LayerShape shape = smallConv();
+    HitMix mix = HitMix::fromFractions(shape.vectorsPerChannel(), 0.3);
+    LayerCycles b1 = df.mercuryLayerCycles(shape, 1, mix, 20);
+    LayerCycles b4 = df.mercuryLayerCycles(shape, 4, mix, 20);
+    EXPECT_EQ(b4.mercuryTotal(), 4 * b1.mercuryTotal());
+    EXPECT_EQ(b4.baseline, 4 * b1.baseline);
+}
+
+TEST(FullyConnected, BaselineSpreadsOverPEs)
+{
+    auto df = Dataflow::create(defaultConfig());
+    LayerShape fc = LayerShape::fc("fc", 256, 128);
+    // One input vector per image; batch 168 saturates all PEs.
+    const uint64_t cycles = df->baselineLayerCycles(fc, 168);
+    EXPECT_EQ(cycles, 128ull * broadcastDotCycles(256));
+}
+
+TEST(FullyConnected, HitsReduceCycles)
+{
+    auto df = Dataflow::create(defaultConfig());
+    LayerShape fc = LayerShape::fc("fc", 256, 128);
+    HitMix none = HitMix::fromFractions(64, 0.0);
+    HitMix half = HitMix::fromFractions(64, 0.5);
+    const auto c0 = df->mercuryLayerCycles(fc, 64, none, 20);
+    const auto c1 = df->mercuryLayerCycles(fc, 64, half, 20);
+    EXPECT_LT(c1.mercuryTotal(), c0.mercuryTotal());
+    EXPECT_GT(c1.speedup(), 1.2);
+}
+
+TEST(Attention, TreatedAsFcLike)
+{
+    auto df = Dataflow::create(defaultConfig());
+    LayerShape att = LayerShape::attention("att", 64, 128);
+    HitMix mix = HitMix::fromFractions(64, 0.5);
+    const auto c = df->mercuryLayerCycles(att, 1, mix, 20);
+    EXPECT_GT(c.baseline, 0u);
+    EXPECT_GT(c.speedup(), 1.0);
+}
+
+TEST(Pool, MercuryDoesNotChangePooling)
+{
+    auto df = Dataflow::create(defaultConfig());
+    LayerShape pool = LayerShape::pool("pool", 16, 16, 16, 2, 2);
+    HitMix mix = HitMix::fromFractions(pool.vectorsPerChannel(), 0.9);
+    const auto c = df->mercuryLayerCycles(pool, 1, mix, 20);
+    EXPECT_EQ(c.mercuryTotal(), c.baseline);
+    EXPECT_EQ(c.signature, 0u);
+}
+
+class DataflowInvariantTest
+    : public ::testing::TestWithParam<std::tuple<DataflowKind, int, double>>
+{
+};
+
+TEST_P(DataflowInvariantTest, MercuryNeverSlowerWithMoreHits)
+{
+    const auto [kind, kernel, base_hit] = GetParam();
+    auto cfg = defaultConfig(kind);
+    auto df = Dataflow::create(cfg);
+    LayerShape shape =
+        LayerShape::conv("c", 4, 32, 20, 20, kernel, 1, kernel / 2);
+    HitMix lo = HitMix::fromFractions(shape.vectorsPerChannel(), base_hit);
+    HitMix hi =
+        HitMix::fromFractions(shape.vectorsPerChannel(),
+                              std::min(1.0, base_hit + 0.2));
+    const auto c_lo = df->mercuryLayerCycles(shape, 2, lo, 24);
+    const auto c_hi = df->mercuryLayerCycles(shape, 2, hi, 24);
+    EXPECT_LE(c_hi.mercuryTotal(), c_lo.mercuryTotal());
+}
+
+TEST_P(DataflowInvariantTest, BaselineConsistentAcrossCalls)
+{
+    const auto [kind, kernel, base_hit] = GetParam();
+    auto df = Dataflow::create(defaultConfig(kind));
+    LayerShape shape =
+        LayerShape::conv("c", 4, 32, 20, 20, kernel, 1, kernel / 2);
+    HitMix mix =
+        HitMix::fromFractions(shape.vectorsPerChannel(), base_hit);
+    const auto c = df->mercuryLayerCycles(shape, 2, mix, 24);
+    EXPECT_EQ(c.baseline, df->baselineLayerCycles(shape, 2));
+}
+
+TEST_P(DataflowInvariantTest, HighSimilarityYieldsSpeedup)
+{
+    const auto [kind, kernel, base_hit] = GetParam();
+    (void)base_hit;
+    auto df = Dataflow::create(defaultConfig(kind));
+    LayerShape shape =
+        LayerShape::conv("c", 16, 256, 28, 28, kernel, 1, kernel / 2);
+    HitMix mix = HitMix::fromFractions(shape.vectorsPerChannel(), 0.7);
+    const auto c = df->mercuryLayerCycles(shape, 2, mix, 20);
+    EXPECT_GT(c.speedup(), 1.0)
+        << dataflowName(kind) << " kernel " << kernel;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    KindKernelHit, DataflowInvariantTest,
+    ::testing::Combine(
+        ::testing::Values(DataflowKind::RowStationary,
+                          DataflowKind::WeightStationary,
+                          DataflowKind::InputStationary),
+        ::testing::Values(1, 3, 5),
+        ::testing::Values(0.0, 0.3, 0.6)));
+
+} // namespace
+} // namespace mercury

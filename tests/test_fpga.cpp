@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Tests for the FPGA resource/power model: exactness at the paper's
+ * published anchor points (Tables II-IV), sensible interpolation
+ * between them, and the reported MERCURY-vs-baseline overhead.
+ */
+
+#include <gtest/gtest.h>
+
+#include "fpga/resource_model.hpp"
+
+namespace mercury {
+namespace {
+
+TEST(Fpga, TableIIAnchorsExact)
+{
+    FpgaModel model;
+    // 16 ways, sets sweep (paper Table II-a).
+    const FpgaResources r16 = model.resources(16, 16);
+    EXPECT_DOUBLE_EQ(r16.sliceLuts, 140597);
+    EXPECT_DOUBLE_EQ(r16.sliceRegisters, 62620);
+    EXPECT_DOUBLE_EQ(r16.blockRam, 1177.5);
+    EXPECT_DOUBLE_EQ(r16.dsp48, 198);
+    const FpgaResources r64 = model.resources(64, 16);
+    EXPECT_DOUBLE_EQ(r64.sliceLuts, 216918);
+    EXPECT_DOUBLE_EQ(r64.sliceRegisters, 81332);
+    EXPECT_DOUBLE_EQ(r64.blockRam, 1225.5);
+}
+
+TEST(Fpga, TableIIIAnchorsExact)
+{
+    FpgaModel model;
+    // 64 sets, ways sweep (paper Table III-a).
+    const FpgaResources w2 = model.resources(64, 2);
+    EXPECT_DOUBLE_EQ(w2.sliceLuts, 216777);
+    EXPECT_DOUBLE_EQ(w2.sliceRegisters, 65727);
+    const FpgaResources w8 = model.resources(64, 8);
+    EXPECT_DOUBLE_EQ(w8.sliceRegisters, 71999);
+}
+
+TEST(Fpga, TableIIPowerAnchorsExact)
+{
+    FpgaModel model;
+    EXPECT_NEAR(model.power(16, 16).total(), 1.811, 1e-6);
+    EXPECT_NEAR(model.power(32, 16).total(), 1.833, 1e-6);
+    EXPECT_NEAR(model.power(48, 16).total(), 1.884, 1e-6);
+    EXPECT_NEAR(model.power(64, 16).total(), 1.929, 1e-6);
+}
+
+TEST(Fpga, TableIIIPowerAnchorsExact)
+{
+    FpgaModel model;
+    EXPECT_NEAR(model.power(64, 2).total(), 1.855, 1e-6);
+    EXPECT_NEAR(model.power(64, 4).total(), 1.874, 1e-6);
+    EXPECT_NEAR(model.power(64, 8).total(), 1.876, 1e-6);
+}
+
+TEST(Fpga, BaselineMatchesTableIV)
+{
+    FpgaModel model;
+    const FpgaResources r = model.baselineResources();
+    EXPECT_DOUBLE_EQ(r.sliceLuts, 56910);
+    EXPECT_DOUBLE_EQ(r.sliceRegisters, 48735);
+    EXPECT_DOUBLE_EQ(r.blockRam, 1161.5);
+    EXPECT_NEAR(model.baselinePower().total(), 1.703, 1e-6);
+}
+
+TEST(Fpga, OverheadRatioMatchesPaper)
+{
+    // Table IV: MERCURY increases power by about 1.135x.
+    FpgaModel model;
+    EXPECT_NEAR(model.overheadRatio(), 1.133, 0.01);
+}
+
+TEST(Fpga, PowerGrowsWithSets)
+{
+    FpgaModel model;
+    double prev = 0.0;
+    for (int sets : {16, 32, 48, 64}) {
+        const double p = model.power(sets, 16).total();
+        EXPECT_GT(p, prev);
+        prev = p;
+    }
+}
+
+TEST(Fpga, RegistersGrowWithWays)
+{
+    FpgaModel model;
+    double prev = 0.0;
+    for (int ways : {2, 4, 8, 16}) {
+        const double r = model.resources(64, ways).sliceRegisters;
+        EXPECT_GT(r, prev);
+        prev = r;
+    }
+}
+
+TEST(Fpga, InterpolatesBetweenAnchors)
+{
+    FpgaModel model;
+    const double r24 = model.resources(24, 16).sliceRegisters;
+    EXPECT_GT(r24, 62620);
+    EXPECT_LT(r24, 69536);
+    // Midpoint is the linear average.
+    EXPECT_DOUBLE_EQ(r24, (62620 + 69536) / 2.0);
+}
+
+TEST(Fpga, ExtrapolatesBeyondAnchors)
+{
+    // Paper §VII-C mentions 2048-entry caches (128 sets x 16 ways):
+    // the model must extend beyond the published grid monotonically.
+    FpgaModel model;
+    EXPECT_GT(model.resources(128, 16).sliceRegisters,
+              model.resources(64, 16).sliceRegisters);
+    EXPECT_GT(model.power(128, 16).total(),
+              model.power(64, 16).total());
+}
+
+TEST(Fpga, DspConstantEverywhere)
+{
+    FpgaModel model;
+    for (int sets : {16, 64, 128})
+        for (int ways : {2, 16, 32})
+            EXPECT_DOUBLE_EQ(model.resources(sets, ways).dsp48, 198);
+}
+
+TEST(Fpga, MemoryTypeTableMatchesTableI)
+{
+    const auto rows = memoryTypeTable();
+    ASSERT_EQ(rows.size(), 2u);
+    EXPECT_EQ(rows[0].memoryType, "Block Memory");
+    EXPECT_NE(rows[0].components.find("Signature Table"),
+              std::string::npos);
+    EXPECT_NE(rows[1].components.find("MCACHE"), std::string::npos);
+    EXPECT_NE(rows[1].components.find("ORg"), std::string::npos);
+}
+
+TEST(Fpga, InvalidOrganizationDies)
+{
+    FpgaModel model;
+    EXPECT_DEATH(model.resources(0, 16), "positive");
+    EXPECT_DEATH(model.power(64, 0), "positive");
+}
+
+TEST(Fpga, AnchoredCurveValidation)
+{
+    EXPECT_DEATH(AnchoredCurve({1.0}, {2.0}), "anchors");
+    EXPECT_DEATH(AnchoredCurve({2.0, 1.0}, {1.0, 2.0}), "increasing");
+    AnchoredCurve c({0.0, 10.0}, {0.0, 100.0});
+    EXPECT_DOUBLE_EQ(c.eval(5.0), 50.0);
+    EXPECT_DOUBLE_EQ(c.eval(20.0), 200.0); // linear extrapolation
+}
+
+} // namespace
+} // namespace mercury

@@ -1,0 +1,207 @@
+/**
+ * @file
+ * Tests for MCACHE semantics: the Fig. 9 insert flow, independent
+ * VT/VD validation, the no-replacement policy, multi-version data,
+ * the VD bitline, and the per-set insert queues.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/mcache.hpp"
+
+namespace mercury {
+namespace {
+
+Signature
+sigOf(uint64_t pattern, int bits = 20)
+{
+    Signature s(bits);
+    for (int i = 0; i < bits && i < 64; ++i)
+        s.setBit(i, (pattern >> i) & 1);
+    return s;
+}
+
+TEST(MCache, FirstLookupIsMau)
+{
+    MCache c(16, 4, 2);
+    const auto r = c.lookupOrInsert(sigOf(0xABC));
+    EXPECT_EQ(r.outcome, McacheOutcome::Mau);
+    EXPECT_GE(r.entryId, 0);
+}
+
+TEST(MCache, SecondLookupIsHitWithSameId)
+{
+    MCache c(16, 4, 2);
+    const auto first = c.lookupOrInsert(sigOf(0xABC));
+    const auto second = c.lookupOrInsert(sigOf(0xABC));
+    EXPECT_EQ(second.outcome, McacheOutcome::Hit);
+    EXPECT_EQ(second.entryId, first.entryId);
+}
+
+TEST(MCache, DistinctSignaturesGetDistinctEntries)
+{
+    MCache c(16, 4, 2);
+    const auto a = c.lookupOrInsert(sigOf(1));
+    const auto b = c.lookupOrInsert(sigOf(2));
+    EXPECT_NE(a.entryId, b.entryId);
+}
+
+TEST(MCache, FullSetYieldsMnuNoReplacement)
+{
+    // Single set, 2 ways: the third distinct signature is MNU and the
+    // first two remain cached (no replacement, §III-B3).
+    MCache c(1, 2, 1);
+    const auto a = c.lookupOrInsert(sigOf(1));
+    const auto b = c.lookupOrInsert(sigOf(2));
+    const auto d = c.lookupOrInsert(sigOf(3));
+    EXPECT_EQ(a.outcome, McacheOutcome::Mau);
+    EXPECT_EQ(b.outcome, McacheOutcome::Mau);
+    EXPECT_EQ(d.outcome, McacheOutcome::Mnu);
+    EXPECT_EQ(d.entryId, -1);
+    EXPECT_EQ(c.lookupOrInsert(sigOf(1)).outcome, McacheOutcome::Hit);
+    EXPECT_EQ(c.lookupOrInsert(sigOf(2)).outcome, McacheOutcome::Hit);
+    EXPECT_EQ(c.lookupOrInsert(sigOf(3)).outcome, McacheOutcome::Mnu);
+}
+
+TEST(MCache, TagValidBeforeData)
+{
+    MCache c(4, 2, 2);
+    const auto r = c.lookupOrInsert(sigOf(9));
+    // VT set, all VD unset.
+    EXPECT_FALSE(c.dataValid(r.entryId, 0));
+    EXPECT_FALSE(c.dataValid(r.entryId, 1));
+}
+
+TEST(MCache, WriteThenReadData)
+{
+    MCache c(4, 2, 2);
+    const auto r = c.lookupOrInsert(sigOf(9));
+    c.writeData(r.entryId, 1, 3.5f);
+    EXPECT_TRUE(c.dataValid(r.entryId, 1));
+    EXPECT_FALSE(c.dataValid(r.entryId, 0));
+    EXPECT_FLOAT_EQ(c.readData(r.entryId, 1), 3.5f);
+}
+
+TEST(MCache, ReadInvalidDataDies)
+{
+    MCache c(4, 2, 2);
+    const auto r = c.lookupOrInsert(sigOf(9));
+    EXPECT_DEATH(c.readData(r.entryId, 0), "invalid data");
+}
+
+TEST(MCache, MultiVersionDataIndependent)
+{
+    MCache c(4, 2, 4);
+    const auto r = c.lookupOrInsert(sigOf(5));
+    for (int v = 0; v < 4; ++v)
+        c.writeData(r.entryId, v, static_cast<float>(v) * 1.5f);
+    for (int v = 0; v < 4; ++v)
+        EXPECT_FLOAT_EQ(c.readData(r.entryId, v),
+                        static_cast<float>(v) * 1.5f);
+}
+
+TEST(MCache, BitlineInvalidatesAllDataKeepsTags)
+{
+    MCache c(4, 2, 2);
+    const auto r = c.lookupOrInsert(sigOf(5));
+    c.writeData(r.entryId, 0, 1.0f);
+    c.invalidateAllData();
+    EXPECT_FALSE(c.dataValid(r.entryId, 0));
+    // Tag survives: next lookup is a HIT.
+    EXPECT_EQ(c.lookupOrInsert(sigOf(5)).outcome, McacheOutcome::Hit);
+}
+
+TEST(MCache, ClearDropsTags)
+{
+    MCache c(4, 2, 2);
+    c.lookupOrInsert(sigOf(5));
+    c.clear();
+    EXPECT_EQ(c.lookupOrInsert(sigOf(5)).outcome, McacheOutcome::Mau);
+}
+
+TEST(MCache, WriteWithoutTagDies)
+{
+    MCache c(4, 2, 2);
+    EXPECT_DEATH(c.writeData(0, 0, 1.0f), "no valid tag");
+}
+
+TEST(MCache, SetOccupancyTracksInserts)
+{
+    MCache c(1, 4, 1);
+    EXPECT_EQ(c.setOccupancy(0), 0);
+    c.lookupOrInsert(sigOf(1));
+    c.lookupOrInsert(sigOf(2));
+    EXPECT_EQ(c.setOccupancy(0), 2);
+    c.lookupOrInsert(sigOf(1)); // hit does not occupy a new way
+    EXPECT_EQ(c.setOccupancy(0), 2);
+}
+
+TEST(MCache, InsertBacklogGrowsPerSet)
+{
+    MCache c(1, 8, 1);
+    for (uint64_t i = 0; i < 5; ++i)
+        c.lookupOrInsert(sigOf(i + 1));
+    EXPECT_EQ(c.maxInsertBacklog(), 5u);
+    c.clear();
+    EXPECT_EQ(c.maxInsertBacklog(), 0u);
+}
+
+TEST(MCache, StatsCountOutcomes)
+{
+    MCache c(16, 4, 1);
+    c.lookupOrInsert(sigOf(1));
+    c.lookupOrInsert(sigOf(1));
+    c.lookupOrInsert(sigOf(2));
+    EXPECT_DOUBLE_EQ(c.stats().get("hits").value(), 1.0);
+    EXPECT_DOUBLE_EQ(c.stats().get("mau").value(), 2.0);
+}
+
+TEST(MCache, EntriesMatchOrganization)
+{
+    MCache c(64, 16, 4);
+    EXPECT_EQ(c.entries(), 1024);
+    EXPECT_EQ(c.dataVersions(), 4);
+}
+
+TEST(MCache, SetIndexDeterministic)
+{
+    MCache c(64, 16, 1);
+    EXPECT_EQ(c.setIndexOf(sigOf(77)), c.setIndexOf(sigOf(77)));
+}
+
+TEST(MCache, InvalidOrganizationDies)
+{
+    EXPECT_DEATH(MCache(0, 4, 1), "positive");
+}
+
+class McacheOrgTest
+    : public ::testing::TestWithParam<std::tuple<int, int>>
+{
+};
+
+TEST_P(McacheOrgTest, CapacityBoundsUniqueInsertions)
+{
+    const auto [sets, ways] = GetParam();
+    MCache c(sets, ways, 1);
+    int mau = 0, mnu = 0;
+    // Insert many more distinct signatures than entries.
+    const int n = sets * ways * 3;
+    for (int i = 0; i < n; ++i) {
+        const auto r = c.lookupOrInsert(sigOf(
+            static_cast<uint64_t>(i) * 0x9E3779B97F4A7C15ull + 1, 40));
+        mau += r.outcome == McacheOutcome::Mau;
+        mnu += r.outcome == McacheOutcome::Mnu;
+    }
+    EXPECT_LE(mau, sets * ways);
+    EXPECT_EQ(mau + mnu, n);
+    // With 3x pressure most sets should fill.
+    EXPECT_GT(mau, sets * ways / 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Organizations, McacheOrgTest,
+    ::testing::Values(std::make_tuple(16, 2), std::make_tuple(32, 8),
+                      std::make_tuple(64, 16), std::make_tuple(128, 8)));
+
+} // namespace
+} // namespace mercury

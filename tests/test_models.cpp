@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Tests for the model zoo: all twelve networks exist, their layer
+ * tables chain dimensionally, MAC counts are in the right order of
+ * magnitude, and family-specific structure is present.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "models/model_zoo.hpp"
+
+namespace mercury {
+namespace {
+
+TEST(ModelZoo, TwelveModelsInPaperOrder)
+{
+    const auto models = allModels();
+    ASSERT_EQ(models.size(), 12u);
+    EXPECT_EQ(models[0].name, "AlexNet");
+    EXPECT_EQ(models[1].name, "GoogleNet");
+    EXPECT_EQ(models[5].name, "VGG-13");
+    EXPECT_EQ(models[11].name, "Transformer");
+}
+
+TEST(ModelZoo, CnnListExcludesTransformer)
+{
+    const auto cnns = cnnModels();
+    ASSERT_EQ(cnns.size(), 11u);
+    for (const auto &m : cnns)
+        EXPECT_NE(m.name, "Transformer");
+}
+
+TEST(ModelZoo, Vgg13HasTenConvLayers)
+{
+    // The paper's Fig. 1 / Fig. 15 analyze VGG13's 10 conv layers.
+    int convs = 0;
+    for (const auto &l : vgg13().layers)
+        convs += l.type == LayerType::Conv;
+    EXPECT_EQ(convs, 10);
+}
+
+TEST(ModelZoo, VggFamilyConvCounts)
+{
+    auto count = [](const ModelConfig &m) {
+        int c = 0;
+        for (const auto &l : m.layers)
+            c += l.type == LayerType::Conv;
+        return c;
+    };
+    EXPECT_EQ(count(vgg16()), 13);
+    EXPECT_EQ(count(vgg19()), 16);
+}
+
+TEST(ModelZoo, ResnetDepthsScale)
+{
+    auto convs = [](const ModelConfig &m) {
+        int c = 0;
+        for (const auto &l : m.layers)
+            c += l.type == LayerType::Conv;
+        return c;
+    };
+    const int r50 = convs(resnet50());
+    const int r101 = convs(resnet101());
+    const int r152 = convs(resnet152());
+    EXPECT_LT(r50, r101);
+    EXPECT_LT(r101, r152);
+    // 3x(3+4+6+3)=48 convs + 4 downsamples + stem = 53.
+    EXPECT_EQ(r50, 53);
+}
+
+TEST(ModelZoo, ConvLayerDimensionsChain)
+{
+    // Within sequential (non-branchy) models, each conv/pool layer's
+    // spatial input must match the previous layer's output.
+    for (const auto &m : {alexnet(), vgg13(), vgg16(), vgg19()}) {
+        int64_t hw = -1;
+        for (const auto &l : m.layers) {
+            if (l.type != LayerType::Conv && l.type != LayerType::Pool)
+                continue;
+            if (hw > 0) {
+                EXPECT_EQ(l.inH, hw) << m.name << " layer " << l.name;
+            }
+            hw = l.outH();
+        }
+    }
+}
+
+TEST(ModelZoo, MacCountsAreRealistic)
+{
+    // Published forward-pass MAC counts (approximate, batch 1):
+    // VGG-16 ~15.5G, ResNet-50 ~4G, AlexNet ~0.7G.
+    const double vgg16_g =
+        static_cast<double>(vgg16().totalMacs(1)) / 1e9;
+    EXPECT_NEAR(vgg16_g, 15.4, 1.5);
+    const double r50_g =
+        static_cast<double>(resnet50().totalMacs(1)) / 1e9;
+    EXPECT_NEAR(r50_g, 4.0, 1.0);
+    const double alex_g =
+        static_cast<double>(alexnet().totalMacs(1)) / 1e9;
+    EXPECT_NEAR(alex_g, 0.9, 0.5);
+}
+
+TEST(ModelZoo, MacOrdering)
+{
+    EXPECT_LT(resnet50().totalMacs(1), resnet101().totalMacs(1));
+    EXPECT_LT(resnet101().totalMacs(1), resnet152().totalMacs(1));
+    EXPECT_LT(vgg13().totalMacs(1), vgg16().totalMacs(1));
+    EXPECT_LT(vgg16().totalMacs(1), vgg19().totalMacs(1));
+}
+
+TEST(ModelZoo, MobilenetHasDepthwiseLayers)
+{
+    int depthwise = 0;
+    for (const auto &l : mobilenetV2().layers)
+        if (l.type == LayerType::Conv && l.groups > 1) {
+            EXPECT_EQ(l.groups, l.inChannels) << l.name;
+            ++depthwise;
+        }
+    EXPECT_EQ(depthwise, 17); // one per inverted residual block
+}
+
+TEST(ModelZoo, TransformerHasAttentionLayers)
+{
+    int attn = 0, fc = 0;
+    for (const auto &l : transformer().layers) {
+        attn += l.type == LayerType::Attention;
+        fc += l.type == LayerType::FullyConnected;
+    }
+    EXPECT_EQ(attn, 12);
+    EXPECT_EQ(fc, 25);
+}
+
+TEST(ModelZoo, GooglenetInceptionBranches)
+{
+    // 9 inception modules x 6 convs + 3 stem convs = 57 convs.
+    int convs = 0;
+    for (const auto &l : googlenet().layers)
+        convs += l.type == LayerType::Conv;
+    EXPECT_EQ(convs, 57);
+}
+
+TEST(ModelZoo, LayerNamesUnique)
+{
+    for (const auto &m : allModels()) {
+        std::map<std::string, int> seen;
+        for (const auto &l : m.layers)
+            ++seen[l.name];
+        for (const auto &kv : seen)
+            EXPECT_EQ(kv.second, 1)
+                << m.name << " duplicate layer " << kv.first;
+    }
+}
+
+TEST(ModelZoo, AllLayersHavePositiveDims)
+{
+    for (const auto &m : allModels()) {
+        for (const auto &l : m.layers) {
+            if (l.type == LayerType::Conv || l.type == LayerType::Pool) {
+                EXPECT_GT(l.outH(), 0) << m.name << " " << l.name;
+                EXPECT_GT(l.outW(), 0) << m.name << " " << l.name;
+                EXPECT_GT(l.inChannels, 0) << m.name << " " << l.name;
+            }
+            if (l.reusable()) {
+                EXPECT_GT(l.macCount(1), 0u) << m.name << " " << l.name;
+            }
+        }
+    }
+}
+
+TEST(ModelZoo, ReusableLayerCountsMatchFig14aScale)
+{
+    // Fig. 14a plots up to ~160 layers; ResNet152 tops the CNNs.
+    EXPECT_GT(resnet152().reusableLayers(), 100);
+    EXPECT_LT(alexnet().reusableLayers(), 12);
+}
+
+} // namespace
+} // namespace mercury

@@ -1,0 +1,207 @@
+/**
+ * @file
+ * Tests for the RPQ engine: similarity preservation, the
+ * convolution formulation equivalence (§III-B1), determinism, and
+ * signature-length behaviour (the paper's Fig. 3 insight that longer
+ * signatures separate dissimilar vectors better).
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/rpq.hpp"
+#include "tensor/ops.hpp"
+#include "util/rng.hpp"
+
+namespace mercury {
+namespace {
+
+TEST(RPQ, DeterministicForSameSeed)
+{
+    RPQEngine a(9, 32, 77), b(9, 32, 77);
+    std::vector<float> v(9);
+    Rng rng(1);
+    for (auto &x : v)
+        x = static_cast<float>(rng.normal());
+    EXPECT_TRUE(a.signatureOf(v.data(), 32) == b.signatureOf(v.data(), 32));
+}
+
+TEST(RPQ, DifferentSeedsDiffer)
+{
+    RPQEngine a(9, 32, 1), b(9, 32, 2);
+    std::vector<float> v(9, 1.0f);
+    EXPECT_FALSE(a.signatureOf(v.data(), 32) ==
+                 b.signatureOf(v.data(), 32));
+}
+
+TEST(RPQ, IdenticalVectorsShareSignature)
+{
+    RPQEngine rpq(16, 64, 5);
+    Rng rng(2);
+    std::vector<float> v(16);
+    for (auto &x : v)
+        x = static_cast<float>(rng.normal());
+    std::vector<float> w = v;
+    EXPECT_TRUE(rpq.signatureOf(v.data(), 64) ==
+                rpq.signatureOf(w.data(), 64));
+}
+
+TEST(RPQ, SimilarVectorsUsuallyShareSignature)
+{
+    // Vectors with tiny epsilon perturbations should mostly collide.
+    RPQEngine rpq(10, 20, 6);
+    Rng rng(3);
+    int same = 0;
+    const int trials = 200;
+    for (int t = 0; t < trials; ++t) {
+        std::vector<float> v(10), w(10);
+        for (int i = 0; i < 10; ++i) {
+            v[i] = static_cast<float>(rng.normal());
+            w[i] = v[i] + 1e-4f * static_cast<float>(rng.normal());
+        }
+        same += rpq.signatureOf(v.data(), 20) ==
+                rpq.signatureOf(w.data(), 20);
+    }
+    EXPECT_GT(same, trials * 0.9);
+}
+
+TEST(RPQ, DissimilarVectorsUsuallyDiffer)
+{
+    RPQEngine rpq(10, 20, 7);
+    Rng rng(4);
+    int same = 0;
+    const int trials = 200;
+    for (int t = 0; t < trials; ++t) {
+        std::vector<float> v(10), w(10);
+        for (int i = 0; i < 10; ++i) {
+            v[i] = static_cast<float>(rng.normal());
+            w[i] = static_cast<float>(rng.normal());
+        }
+        same += rpq.signatureOf(v.data(), 20) ==
+                rpq.signatureOf(w.data(), 20);
+    }
+    EXPECT_LT(same, 5);
+}
+
+TEST(RPQ, LongerSignaturesSeparateBetter)
+{
+    // The paper's Fig. 3 experiment: 10 unique vectors, 10 similar
+    // copies each. Short signatures under-count unique vectors;
+    // longer ones approach the true count.
+    Rng rng(8);
+    const int uniques = 10, copies = 10, dim = 10;
+    std::vector<std::vector<float>> all;
+    for (int u = 0; u < uniques; ++u) {
+        std::vector<float> proto(dim);
+        for (auto &x : proto)
+            x = static_cast<float>(rng.normal());
+        all.push_back(proto);
+        for (int c = 0; c < copies; ++c) {
+            std::vector<float> v = proto;
+            for (auto &x : v)
+                x += 0.01f * static_cast<float>(rng.normal());
+            all.push_back(v);
+        }
+    }
+    RPQEngine rpq(dim, 64, 9);
+    auto count_unique = [&](int bits) {
+        std::set<std::string> sigs;
+        for (const auto &v : all)
+            sigs.insert(rpq.signatureOf(v.data(), bits).str());
+        return static_cast<int>(sigs.size());
+    };
+    const int u4 = count_unique(4);
+    const int u32 = count_unique(32);
+    EXPECT_LE(u4, u32);
+    EXPECT_LE(u4, uniques + 4);  // short sigs merge distinct vectors
+    EXPECT_NEAR(u32, uniques, 3); // long sigs recover the truth
+}
+
+TEST(RPQ, SignaturePrefixConsistency)
+{
+    // The adaptive controller grows signatures; bit n must not depend
+    // on the requested length (incremental extension).
+    RPQEngine rpq(9, 48, 10);
+    Rng rng(5);
+    std::vector<float> v(9);
+    for (auto &x : v)
+        x = static_cast<float>(rng.normal());
+    Signature s20 = rpq.signatureOf(v.data(), 20);
+    Signature s48 = rpq.signatureOf(v.data(), 48);
+    EXPECT_TRUE(s48.prefix(20) == s20);
+}
+
+TEST(RPQ, ConvolutionFormulationMatchesRowForm)
+{
+    // §III-B1: signature bits computed by sliding the reshaped random
+    // filter over the image equal the row-wise RPQ on im2col patches.
+    Rng rng(11);
+    Tensor image({7, 7});
+    image.fillNormal(rng);
+    const int64_t k = 3;
+    RPQEngine rpq(k * k, 16, 12);
+
+    // Row form: extract patches then hash.
+    Tensor nchw({1, 1, 7, 7});
+    for (int64_t i = 0; i < image.numel(); ++i)
+        nchw[i] = image[i];
+    ConvSpec spec;
+    spec.kernelH = spec.kernelW = k;
+    Tensor rows = im2col(nchw, spec);
+    auto sigs = rpq.signaturesOf(rows, 16);
+
+    // Convolution form, bit by bit.
+    for (int n = 0; n < 16; ++n) {
+        auto bits = rpq.bitViaConvolution(image, k, n);
+        ASSERT_EQ(bits.size(), sigs.size());
+        for (size_t i = 0; i < bits.size(); ++i)
+            EXPECT_EQ(bits[i], sigs[i].bit(n))
+                << "vector " << i << " bit " << n;
+    }
+}
+
+TEST(RPQ, RandomFilterReshapeRoundTrips)
+{
+    RPQEngine rpq(9, 8, 13);
+    Tensor f = rpq.randomFilter2D(3, 3);
+    std::vector<float> unit(9, 0.0f);
+    for (int64_t i = 0; i < 9; ++i) {
+        unit.assign(9, 0.0f);
+        unit[static_cast<size_t>(i)] = 1.0f;
+        EXPECT_FLOAT_EQ(rpq.project(unit.data(), 3), f[i]);
+    }
+}
+
+TEST(RPQ, ProjectionIsLinear)
+{
+    RPQEngine rpq(6, 4, 14);
+    Rng rng(6);
+    std::vector<float> a(6), b(6), ab(6);
+    for (int i = 0; i < 6; ++i) {
+        a[static_cast<size_t>(i)] = static_cast<float>(rng.normal());
+        b[static_cast<size_t>(i)] = static_cast<float>(rng.normal());
+        ab[static_cast<size_t>(i)] = a[static_cast<size_t>(i)] +
+                                     b[static_cast<size_t>(i)];
+    }
+    for (int n = 0; n < 4; ++n)
+        EXPECT_NEAR(rpq.project(ab.data(), n),
+                    rpq.project(a.data(), n) + rpq.project(b.data(), n),
+                    1e-4f);
+}
+
+TEST(RPQ, InvalidConstructionDies)
+{
+    EXPECT_DEATH(RPQEngine(0, 8, 1), "positive");
+    EXPECT_DEATH(RPQEngine(9, 0, 1), "positive");
+}
+
+TEST(RPQ, TooManyBitsRequestedDies)
+{
+    RPQEngine rpq(9, 8, 1);
+    std::vector<float> v(9, 1.0f);
+    EXPECT_DEATH(rpq.signatureOf(v.data(), 9), "bits");
+}
+
+} // namespace
+} // namespace mercury

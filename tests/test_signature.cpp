@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Unit tests for the Signature bit-sequence type.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/signature.hpp"
+
+namespace mercury {
+namespace {
+
+TEST(Signature, ZeroInitialized)
+{
+    Signature s(20);
+    EXPECT_EQ(s.bits(), 20);
+    for (int i = 0; i < 20; ++i)
+        EXPECT_FALSE(s.bit(i));
+}
+
+TEST(Signature, SetAndReadBits)
+{
+    Signature s(70); // crosses a word boundary
+    s.setBit(0, true);
+    s.setBit(63, true);
+    s.setBit(64, true);
+    s.setBit(69, true);
+    EXPECT_TRUE(s.bit(0));
+    EXPECT_TRUE(s.bit(63));
+    EXPECT_TRUE(s.bit(64));
+    EXPECT_TRUE(s.bit(69));
+    EXPECT_FALSE(s.bit(1));
+    EXPECT_FALSE(s.bit(65));
+}
+
+TEST(Signature, ClearBit)
+{
+    Signature s(8);
+    s.setBit(3, true);
+    s.setBit(3, false);
+    EXPECT_FALSE(s.bit(3));
+}
+
+TEST(Signature, OutOfRangeDies)
+{
+    Signature s(8);
+    EXPECT_DEATH(s.bit(8), "out of range");
+    EXPECT_DEATH(s.setBit(-1, true), "out of range");
+}
+
+TEST(Signature, AppendGrowsLength)
+{
+    Signature s;
+    for (int i = 0; i < 130; ++i)
+        s.appendBit(i % 3 == 0);
+    EXPECT_EQ(s.bits(), 130);
+    EXPECT_TRUE(s.bit(0));
+    EXPECT_FALSE(s.bit(1));
+    EXPECT_TRUE(s.bit(129));
+}
+
+TEST(Signature, EqualityRequiresSameLength)
+{
+    Signature a(20), b(21);
+    EXPECT_FALSE(a == b);
+    Signature c(20);
+    EXPECT_TRUE(a == c);
+    c.setBit(5, true);
+    EXPECT_TRUE(a != c);
+}
+
+TEST(Signature, PrefixTruncates)
+{
+    Signature s(30);
+    s.setBit(3, true);
+    s.setBit(25, true);
+    Signature p = s.prefix(10);
+    EXPECT_EQ(p.bits(), 10);
+    EXPECT_TRUE(p.bit(3));
+    EXPECT_DEATH(s.prefix(31), "prefix");
+}
+
+TEST(Signature, HashStableAndLengthSensitive)
+{
+    Signature a(20), b(20), c(21);
+    EXPECT_EQ(a.hash(), b.hash());
+    EXPECT_NE(a.hash(), c.hash()); // all-zero but different lengths
+    b.setBit(7, true);
+    EXPECT_NE(a.hash(), b.hash());
+}
+
+TEST(Signature, HashSpreadsAcrossSets)
+{
+    // Signatures differing in one bit should spread over cache sets.
+    std::set<uint64_t> buckets;
+    for (int i = 0; i < 64; ++i) {
+        Signature s(64);
+        s.setBit(i, true);
+        buckets.insert(s.hash() % 64);
+    }
+    EXPECT_GT(buckets.size(), 32u);
+}
+
+TEST(Signature, StrRendersMsbFirst)
+{
+    Signature s(4);
+    s.setBit(0, true); // lsb
+    EXPECT_EQ(s.str(), "0001");
+    s.setBit(3, true);
+    EXPECT_EQ(s.str(), "1001");
+}
+
+} // namespace
+} // namespace mercury

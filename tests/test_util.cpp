@@ -1,0 +1,243 @@
+/**
+ * @file
+ * Unit tests for the util substrate: deterministic RNG, statistics,
+ * and table rendering.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace mercury {
+namespace {
+
+TEST(Rng, DeterministicAcrossInstances)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next64(), b.next64());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += a.next64() == b.next64();
+    EXPECT_LT(same, 3);
+}
+
+TEST(Rng, ReseedRestoresStream)
+{
+    Rng a(7);
+    std::vector<uint64_t> first;
+    for (int i = 0; i < 16; ++i)
+        first.push_back(a.next64());
+    a.seed(7);
+    for (int i = 0; i < 16; ++i)
+        EXPECT_EQ(a.next64(), first[static_cast<size_t>(i)]);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng r(3);
+    for (int i = 0; i < 10000; ++i) {
+        const double u = r.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, UniformRangeRespectsBounds)
+{
+    Rng r(4);
+    for (int i = 0; i < 1000; ++i) {
+        const double u = r.uniform(-2.5, 7.5);
+        EXPECT_GE(u, -2.5);
+        EXPECT_LT(u, 7.5);
+    }
+}
+
+TEST(Rng, UniformIntStaysInRange)
+{
+    Rng r(5);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(r.uniformInt(17), 17u);
+}
+
+TEST(Rng, UniformIntCoversAllResidues)
+{
+    Rng r(6);
+    std::set<uint64_t> seen;
+    for (int i = 0; i < 2000; ++i)
+        seen.insert(r.uniformInt(7));
+    EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, NormalMomentsAreStandard)
+{
+    Rng r(8);
+    std::vector<double> xs;
+    for (int i = 0; i < 50000; ++i)
+        xs.push_back(r.normal());
+    EXPECT_NEAR(mean(xs), 0.0, 0.02);
+    EXPECT_NEAR(stddev(xs), 1.0, 0.02);
+}
+
+TEST(Rng, NormalScalesMeanAndStddev)
+{
+    Rng r(9);
+    std::vector<double> xs;
+    for (int i = 0; i < 50000; ++i)
+        xs.push_back(r.normal(5.0, 2.0));
+    EXPECT_NEAR(mean(xs), 5.0, 0.05);
+    EXPECT_NEAR(stddev(xs), 2.0, 0.05);
+}
+
+TEST(Rng, BernoulliMatchesProbability)
+{
+    Rng r(10);
+    int hits = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        hits += r.bernoulli(0.3);
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(Rng, ForkProducesIndependentStream)
+{
+    Rng a(11);
+    Rng child = a.fork();
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += a.next64() == child.next64();
+    EXPECT_LT(same, 3);
+}
+
+TEST(Rng, FillNormalFillsEveryElement)
+{
+    Rng r(12);
+    std::vector<float> v(64, 0.0f);
+    r.fillNormal(v);
+    int nonzero = 0;
+    for (float x : v)
+        nonzero += x != 0.0f;
+    EXPECT_GT(nonzero, 60);
+}
+
+TEST(Stats, StatAccumulates)
+{
+    Stat s;
+    s += 2.0;
+    s++;
+    ++s;
+    EXPECT_DOUBLE_EQ(s.value(), 4.0);
+    s.reset();
+    EXPECT_DOUBLE_EQ(s.value(), 0.0);
+}
+
+TEST(Stats, GroupCreatesAndFinds)
+{
+    StatGroup g("core");
+    g.stat("hits") += 3;
+    EXPECT_TRUE(g.has("hits"));
+    EXPECT_FALSE(g.has("misses"));
+    EXPECT_DOUBLE_EQ(g.get("hits").value(), 3.0);
+}
+
+TEST(Stats, GroupResetAll)
+{
+    StatGroup g;
+    g.stat("a") += 1;
+    g.stat("b") += 2;
+    g.resetAll();
+    EXPECT_DOUBLE_EQ(g.get("a").value(), 0.0);
+    EXPECT_DOUBLE_EQ(g.get("b").value(), 0.0);
+}
+
+TEST(Stats, GroupNamesSorted)
+{
+    StatGroup g;
+    g.stat("zeta");
+    g.stat("alpha");
+    auto names = g.names();
+    ASSERT_EQ(names.size(), 2u);
+    EXPECT_EQ(names[0], "alpha");
+    EXPECT_EQ(names[1], "zeta");
+}
+
+TEST(Stats, GroupDumpContainsValues)
+{
+    StatGroup g;
+    g.stat("cycles") += 42;
+    EXPECT_NE(g.dump().find("cycles 42"), std::string::npos);
+}
+
+TEST(Stats, GeomeanOfEqualValues)
+{
+    EXPECT_DOUBLE_EQ(geomean({2.0, 2.0, 2.0}), 2.0);
+}
+
+TEST(Stats, GeomeanKnownValue)
+{
+    EXPECT_NEAR(geomean({1.0, 4.0}), 2.0, 1e-12);
+}
+
+TEST(Stats, MeanAndStddevKnownValues)
+{
+    EXPECT_DOUBLE_EQ(mean({1.0, 2.0, 3.0}), 2.0);
+    EXPECT_NEAR(stddev({2.0, 4.0}), 1.0, 1e-12);
+}
+
+TEST(Stats, GeomeanDeathOnEmpty)
+{
+    EXPECT_DEATH(geomean({}), "geomean");
+}
+
+TEST(Stats, GeomeanDeathOnNonPositive)
+{
+    EXPECT_DEATH(geomean({1.0, 0.0}), "positive");
+}
+
+TEST(Table, AlignsColumns)
+{
+    Table t("demo");
+    t.header({"model", "speedup"});
+    t.row({"VGG13", "1.89"});
+    t.row({"AlexNet", "1.50"});
+    const std::string s = t.str();
+    EXPECT_NE(s.find("demo"), std::string::npos);
+    EXPECT_NE(s.find("VGG13"), std::string::npos);
+    EXPECT_NE(s.find("AlexNet"), std::string::npos);
+    EXPECT_EQ(t.numRows(), 2u);
+}
+
+TEST(Table, CsvRendersRows)
+{
+    Table t;
+    t.header({"a", "b"});
+    t.row({"1", "2"});
+    EXPECT_EQ(t.csv(), "a,b\n1,2\n");
+}
+
+TEST(Table, NumFormatsPrecision)
+{
+    EXPECT_EQ(Table::num(1.975, 2), "1.98");
+    EXPECT_EQ(Table::num(2.0, 0), "2");
+}
+
+TEST(Table, CountGroupsThousands)
+{
+    EXPECT_EQ(Table::count(1234567), "1,234,567");
+    EXPECT_EQ(Table::count(12), "12");
+    EXPECT_EQ(Table::count(0), "0");
+}
+
+} // namespace
+} // namespace mercury

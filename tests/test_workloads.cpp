@@ -1,0 +1,232 @@
+/**
+ * @file
+ * Tests for the workload generators and similarity profiles: dataset
+ * structure, prototype-vector populations, and the synthetic
+ * similarity source's calibration behaviour.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "core/mcache.hpp"
+#include "core/rpq.hpp"
+#include "core/similarity_detector.hpp"
+#include "workloads/profiles.hpp"
+#include "workloads/synthetic.hpp"
+
+namespace mercury {
+namespace {
+
+TEST(Workloads, ImageDatasetShapeAndLabels)
+{
+    Dataset ds = makeImageDataset(32, 5, 3, 12, 1);
+    EXPECT_EQ(ds.inputs.shape(), (std::vector<int64_t>{32, 3, 12, 12}));
+    EXPECT_EQ(ds.labels.size(), 32u);
+    std::set<int> classes(ds.labels.begin(), ds.labels.end());
+    EXPECT_GE(classes.size(), 3u);
+    for (int y : ds.labels) {
+        EXPECT_GE(y, 0);
+        EXPECT_LT(y, 5);
+    }
+}
+
+TEST(Workloads, ImageDatasetDeterministic)
+{
+    Dataset a = makeImageDataset(8, 3, 3, 12, 7);
+    Dataset b = makeImageDataset(8, 3, 3, 12, 7);
+    EXPECT_TRUE(a.inputs == b.inputs);
+    EXPECT_EQ(a.labels, b.labels);
+}
+
+TEST(Workloads, ImageDatasetIsSpatiallySmooth)
+{
+    // Neighbouring pixels must be closer than the global spread —
+    // the property that makes convolution windows similar.
+    Dataset ds = makeImageDataset(4, 2, 1, 16, 9, 0.02f);
+    double neighbor = 0.0, global = 0.0;
+    int n_count = 0, g_count = 0;
+    const Tensor &t = ds.inputs;
+    for (int64_t y = 0; y < 15; ++y)
+        for (int64_t x = 0; x < 15; ++x) {
+            neighbor += std::fabs(t.at4(0, 0, y, x) -
+                                  t.at4(0, 0, y, x + 1));
+            ++n_count;
+            global += std::fabs(t.at4(0, 0, y, x) -
+                                t.at4(0, 0, 15 - y, 15 - x));
+            ++g_count;
+        }
+    EXPECT_LT(neighbor / n_count, global / g_count);
+}
+
+TEST(Workloads, TokenDatasetShape)
+{
+    Dataset ds = makeTokenDataset(16, 4, 8, 16, 2);
+    EXPECT_EQ(ds.inputs.shape(), (std::vector<int64_t>{16, 128}));
+    EXPECT_EQ(ds.labels.size(), 16u);
+}
+
+TEST(Workloads, PrototypeVectorsCoverUniques)
+{
+    Tensor rows = prototypeVectors(100, 8, 10, 0.0f, 3);
+    // With zero noise there are exactly 10 distinct rows.
+    std::set<std::string> distinct;
+    for (int64_t i = 0; i < 100; ++i) {
+        std::string key;
+        for (int64_t j = 0; j < 8; ++j)
+            key += std::to_string(rows.at2(i, j)) + ",";
+        distinct.insert(key);
+    }
+    EXPECT_EQ(distinct.size(), 10u);
+}
+
+TEST(Workloads, PrototypeVectorsInvalidUniquesDies)
+{
+    EXPECT_DEATH(prototypeVectors(10, 8, 0, 0.1f, 1), "uniques");
+    EXPECT_DEATH(prototypeVectors(10, 8, 11, 0.1f, 1), "uniques");
+}
+
+TEST(Workloads, ZipfConcentratesOnHotPrototypes)
+{
+    // With a strong Zipf exponent the first prototype must dominate
+    // the repeated draws; with uniform popularity it must not.
+    const int64_t n = 2000, uniques = 50;
+    Tensor zipf_rows = prototypeVectors(n, 4, uniques, 0.0f, 5, 2.0);
+    Tensor unif_rows = prototypeVectors(n, 4, uniques, 0.0f, 5, 0.0);
+    auto count_matching_first = [&](const Tensor &rows) {
+        int hits = 0;
+        for (int64_t i = uniques; i < n; ++i) {
+            bool same = true;
+            for (int64_t j = 0; j < 4; ++j)
+                same = same && rows.at2(i, j) == rows.at2(0, j);
+            hits += same;
+        }
+        return hits;
+    };
+    const int zipf_hot = count_matching_first(zipf_rows);
+    const int unif_hot = count_matching_first(unif_rows);
+    EXPECT_GT(zipf_hot, 5 * std::max(unif_hot, 1));
+    // Uniform assigns ~1/uniques of draws to each prototype.
+    EXPECT_NEAR(unif_hot, (n - uniques) / uniques, 30);
+}
+
+TEST(Workloads, ZipfStillCoversAllUniques)
+{
+    Tensor rows = prototypeVectors(200, 4, 20, 0.0f, 6, 1.8);
+    std::set<std::string> distinct;
+    for (int64_t i = 0; i < 200; ++i) {
+        std::string key;
+        for (int64_t j = 0; j < 4; ++j)
+            key += std::to_string(rows.at2(i, j)) + ",";
+        distinct.insert(key);
+    }
+    EXPECT_EQ(distinct.size(), 20u);
+}
+
+TEST(Workloads, PrototypeSimilarityDetectable)
+{
+    // 25% uniques -> ~75% of vectors should HIT under RPQ detection.
+    Tensor rows = prototypeVectors(512, 16, 128, 0.01f, 4);
+    MCache cache(64, 16, 1);
+    RPQEngine rpq(16, 64, 5);
+    SimilarityDetector det(rpq, cache, 20);
+    const HitMix mix = det.detect(rows).mix();
+    EXPECT_NEAR(mix.hitFraction(), 0.75, 0.1);
+}
+
+TEST(Profiles, SpansCalibratedToPaper)
+{
+    // VGG13 must anchor at the Fig. 1 values.
+    const SimilaritySpan in = inputSimilaritySpan("VGG-13");
+    EXPECT_NEAR(in.first, 0.75, 1e-9);
+    const SimilaritySpan g = gradientSimilaritySpan("VGG-13");
+    EXPECT_NEAR(g.first, 0.67, 1e-9);
+    // Bigger networks expose more similarity (§VII-A).
+    EXPECT_GT(inputSimilaritySpan("ResNet152").first,
+              inputSimilaritySpan("ResNet50").first);
+    EXPECT_GT(inputSimilaritySpan("VGG-19").first,
+              inputSimilaritySpan("VGG-13").first);
+}
+
+TEST(Profiles, GradientSimilarityTrailsInput)
+{
+    for (const auto &m : allModels()) {
+        EXPECT_LE(gradientSimilaritySpan(m.name).first,
+                  inputSimilaritySpan(m.name).first)
+            << m.name;
+    }
+}
+
+TEST(Profiles, SourceMeasuresNearTarget)
+{
+    const ModelConfig model = vgg13();
+    AcceleratorConfig cfg;
+    SyntheticSimilaritySource source(model, cfg, 42);
+    const LayerShape &first_conv = model.layers[0];
+    const HitMix mix =
+        source.channelMix(first_conv, cfg.initialSignatureBits,
+                          Phase::Forward);
+    const double target =
+        source.targetSimilarity(first_conv, Phase::Forward);
+    EXPECT_NEAR(mix.hitFraction(), target, 0.15);
+}
+
+TEST(Profiles, SimilarityDecaysWithDepth)
+{
+    const ModelConfig model = vgg13();
+    AcceleratorConfig cfg;
+    SyntheticSimilaritySource source(model, cfg, 43);
+    // First vs last conv layer of VGG13.
+    const LayerShape *first = nullptr, *last = nullptr;
+    for (const auto &l : model.layers) {
+        if (l.type != LayerType::Conv)
+            continue;
+        if (!first)
+            first = &l;
+        last = &l;
+    }
+    ASSERT_NE(first, nullptr);
+    const HitMix hi = source.channelMix(*first, 20, Phase::Forward);
+    const HitMix lo = source.channelMix(*last, 20, Phase::Forward);
+    EXPECT_GT(hi.hitFraction(), lo.hitFraction());
+}
+
+TEST(Profiles, LongerSignaturesReduceHits)
+{
+    const ModelConfig model = vgg13();
+    AcceleratorConfig cfg;
+    SyntheticSimilaritySource source(model, cfg, 44);
+    const LayerShape &conv = model.layers[0];
+    const HitMix short_sig = source.channelMix(conv, 16, Phase::Forward);
+    const HitMix long_sig = source.channelMix(conv, 64, Phase::Forward);
+    EXPECT_GE(short_sig.hitFraction(), long_sig.hitFraction());
+}
+
+TEST(Profiles, GradientPhaseHitsLessThanForward)
+{
+    const ModelConfig model = vgg13();
+    AcceleratorConfig cfg;
+    SyntheticSimilaritySource source(model, cfg, 45);
+    const LayerShape &conv = model.layers[0];
+    const HitMix fwd = source.channelMix(conv, 20, Phase::Forward);
+    const HitMix bwd =
+        source.channelMix(conv, 20, Phase::BackwardWeight);
+    EXPECT_GT(fwd.hitFraction(), bwd.hitFraction());
+}
+
+TEST(Profiles, MixesAreCachedAndDeterministic)
+{
+    const ModelConfig model = alexnet();
+    AcceleratorConfig cfg;
+    SyntheticSimilaritySource s1(model, cfg, 46), s2(model, cfg, 46);
+    const LayerShape &conv = model.layers[0];
+    const HitMix a = s1.channelMix(conv, 20, Phase::Forward);
+    const HitMix b = s1.channelMix(conv, 20, Phase::Forward);
+    const HitMix c = s2.channelMix(conv, 20, Phase::Forward);
+    EXPECT_EQ(a.hit, b.hit);
+    EXPECT_EQ(a.hit, c.hit);
+}
+
+} // namespace
+} // namespace mercury
