@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Microbenchmark of the batched detection pipeline against the scalar
+ * SimilarityDetector path: rows/sec of one full detection pass
+ * (signature generation + MCACHE probing + hitmap) across vector
+ * dimensions and signature lengths. Emits a BENCH_pipeline.json
+ * summary line for the d=1152, bits=16 point the acceptance criteria
+ * track.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+
+#include "core/similarity_detector.hpp"
+#include "pipeline/detection_frontend.hpp"
+#include "util/table.hpp"
+#include "util/thread_pool.hpp"
+#include "workloads/synthetic.hpp"
+
+namespace {
+
+using namespace mercury;
+
+constexpr int kSets = 64;
+constexpr int kWays = 16;
+constexpr int64_t kRows = 2048;
+constexpr uint64_t kSeed = 99;
+
+/** Best-of-reps wall time of one invocation, in seconds. */
+template <typename Fn>
+double
+bestSeconds(Fn &&fn, double min_total = 0.4, int min_reps = 3)
+{
+    using clock = std::chrono::steady_clock;
+    double best = 1e30, total = 0.0;
+    int reps = 0;
+    while (reps < min_reps || total < min_total) {
+        const auto t0 = clock::now();
+        fn();
+        const std::chrono::duration<double> dt = clock::now() - t0;
+        best = std::min(best, dt.count());
+        total += dt.count();
+        ++reps;
+    }
+    return best;
+}
+
+struct Point
+{
+    int64_t dim;
+    int bits;
+    double scalarRate = 0.0;
+    double pipelineRate = 0.0;
+
+    double speedup() const { return pipelineRate / scalarRate; }
+};
+
+Point
+measure(int64_t dim, int bits)
+{
+    Point p{dim, bits};
+    Tensor rows = prototypeVectors(kRows, dim, kRows / 8, 0.01f,
+                                   kSeed + static_cast<uint64_t>(dim),
+                                   1.5);
+
+    MCache scalar_cache(kSets, kWays, 1);
+    RPQEngine rpq(dim, bits, kSeed);
+    SimilarityDetector scalar(rpq, scalar_cache, bits);
+
+    PipelineConfig pipe;
+    pipe.blockRows = 64;
+    pipe.shards = 4;
+    pipe.threads = 0; // auto
+    DetectionFrontend frontend(kSets, kWays, 1, bits, kSeed, pipe);
+
+    // The pipeline must reproduce the scalar mix exactly.
+    const HitMix ref = scalar.detect(rows).mix();
+    const HitMix got = frontend.detect(rows, bits).mix();
+    if (ref.hit != got.hit || ref.mau != got.mau || ref.mnu != got.mnu) {
+        std::fprintf(stderr,
+                     "FATAL: pipeline mix diverges from scalar path at "
+                     "d=%lld bits=%d\n",
+                     static_cast<long long>(dim), bits);
+        std::exit(1);
+    }
+
+    const double ts = bestSeconds([&] { scalar.detect(rows); });
+    const double tp = bestSeconds([&] { frontend.detect(rows, bits); });
+    p.scalarRate = static_cast<double>(kRows) / ts;
+    p.pipelineRate = static_cast<double>(kRows) / tp;
+    return p;
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace mercury;
+
+    std::printf("micro_pipeline: detection pass rows/sec, scalar "
+                "SimilarityDetector vs DetectionPipeline\n");
+    std::printf("(rows per pass: %lld, MCACHE %dx%d, threads auto=%d)\n\n",
+                static_cast<long long>(kRows), kSets, kWays,
+                ThreadPool::resolveThreads(0));
+
+    Table t("detection front-end throughput");
+    t.header({"dim", "bits", "scalar-rows/s", "pipeline-rows/s",
+              "speedup"});
+    Point headline{1152, 16};
+    for (const int64_t dim : {int64_t{64}, int64_t{256}, int64_t{1152}}) {
+        for (const int bits : {8, 16, 32}) {
+            const Point p = measure(dim, bits);
+            if (dim == 1152 && bits == 16)
+                headline = p;
+            t.row({std::to_string(dim), std::to_string(bits),
+                   Table::num(p.scalarRate, 0),
+                   Table::num(p.pipelineRate, 0),
+                   Table::num(p.speedup(), 2) + "x"});
+        }
+    }
+    t.print();
+
+    std::printf("\nBENCH_pipeline.json {\"bench\":\"micro_pipeline\","
+                "\"d\":1152,\"bits\":16,\"rows\":%lld,"
+                "\"scalar_rows_per_sec\":%.0f,"
+                "\"pipeline_rows_per_sec\":%.0f,"
+                "\"speedup\":%.2f,\"threads\":%d}\n",
+                static_cast<long long>(kRows), headline.scalarRate,
+                headline.pipelineRate, headline.speedup(),
+                ThreadPool::resolveThreads(0));
+    return 0;
+}

@@ -1,16 +1,18 @@
 #include "core/attention_engine.hpp"
 
-#include "core/rpq.hpp"
-#include "core/similarity_detector.hpp"
 #include "util/logging.hpp"
 
 namespace mercury {
 
-AttentionEngine::AttentionEngine(MCache &cache, int sig_bits, uint64_t seed)
-    : cache_(cache), sigBits_(sig_bits), seed_(seed)
+AttentionEngine::AttentionEngine(MCache &cache, int sig_bits,
+                                 uint64_t seed, const PipelineConfig &pipe)
+    : frontend_(cache, sig_bits, seed, pipe, "AttentionEngine")
 {
-    if (sig_bits <= 0)
-        panic("AttentionEngine needs positive signature bits");
+}
+
+AttentionEngine::AttentionEngine(DetectionFrontend &frontend, int sig_bits)
+    : frontend_(frontend, sig_bits, "AttentionEngine")
+{
 }
 
 Tensor
@@ -21,9 +23,7 @@ AttentionEngine::forward(const Tensor &x, ReuseStats &stats)
     const int64_t t = x.dim(0);
     const int64_t d = x.dim(1);
 
-    RPQEngine rpq(d, std::max(sigBits_, 1), seed_);
-    SimilarityDetector detector(rpq, cache_, sigBits_);
-    DetectionResult det = detector.detect(x);
+    DetectionResult det = frontend_->detect(x, frontend_.signatureBits());
 
     stats = ReuseStats{};
     stats.mix = det.mix();
@@ -34,7 +34,7 @@ AttentionEngine::forward(const Tensor &x, ReuseStats &stats)
                       static_cast<uint64_t>(d);
 
     std::vector<int64_t> owner_of_entry(
-        static_cast<size_t>(cache_.entries()), -1);
+        static_cast<size_t>(frontend_->entries()), -1);
     std::vector<int64_t> owner(static_cast<size_t>(t), -1);
     for (int64_t i = 0; i < t; ++i) {
         const McacheOutcome outc = det.hitmap.outcome(i);

@@ -12,8 +12,11 @@
 #ifndef MERCURY_CORE_ATTENTION_ENGINE_HPP
 #define MERCURY_CORE_ATTENTION_ENGINE_HPP
 
+#include <memory>
+
 #include "core/conv_reuse_engine.hpp" // ReuseStats
 #include "core/mcache.hpp"
+#include "pipeline/detection_frontend.hpp"
 #include "tensor/tensor.hpp"
 
 namespace mercury {
@@ -22,7 +25,11 @@ namespace mercury {
 class AttentionEngine
 {
   public:
-    AttentionEngine(MCache &cache, int sig_bits, uint64_t seed);
+    AttentionEngine(MCache &cache, int sig_bits, uint64_t seed,
+                    const PipelineConfig &pipe = {});
+
+    /** Run through a shared detection front-end. */
+    AttentionEngine(DetectionFrontend &frontend, int sig_bits);
 
     /**
      * Reuse-enabled attention: X (T, D) -> Y (T, D) via W = X Xt,
@@ -30,12 +37,10 @@ class AttentionEngine
      */
     Tensor forward(const Tensor &x, ReuseStats &stats);
 
-    int signatureBits() const { return sigBits_; }
+    int signatureBits() const { return frontend_.signatureBits(); }
 
   private:
-    MCache &cache_;
-    int sigBits_;
-    uint64_t seed_;
+    FrontendHandle frontend_;
 };
 
 } // namespace mercury

@@ -4,11 +4,15 @@
 
 namespace mercury {
 
-ConvReuseEngine::ConvReuseEngine(MCache &cache, int sig_bits, uint64_t seed)
-    : cache_(cache), sigBits_(sig_bits), seed_(seed)
+ConvReuseEngine::ConvReuseEngine(MCache &cache, int sig_bits,
+                                 uint64_t seed, const PipelineConfig &pipe)
+    : frontend_(cache, sig_bits, seed, pipe, "ConvReuseEngine")
 {
-    if (sig_bits <= 0)
-        panic("ConvReuseEngine needs positive signature bits");
+}
+
+ConvReuseEngine::ConvReuseEngine(DetectionFrontend &frontend, int sig_bits)
+    : frontend_(frontend, sig_bits, "ConvReuseEngine")
+{
 }
 
 Tensor
@@ -29,9 +33,6 @@ ConvReuseEngine::forward(const Tensor &input, const Tensor &weight,
     const int64_t cin_g = spec.inChannels / spec.groups;
     const int64_t cout_g = spec.outChannels / spec.groups;
 
-    RPQEngine rpq(d, std::max(sigBits_, 1), seed_);
-    SimilarityDetector detector(rpq, cache_, sigBits_);
-
     Tensor out({n, spec.outChannels, oh, ow});
     if (bias.numel()) {
         for (int64_t b = 0; b < n; ++b)
@@ -42,7 +43,7 @@ ConvReuseEngine::forward(const Tensor &input, const Tensor &weight,
 
     // Channel-at-a-time extraction buffer.
     Tensor rows({v, d});
-    const int versions = cache_.dataVersions();
+    const int versions = frontend_->dataVersions();
 
     stats = ReuseStats{};
     for (int64_t b = 0; b < n; ++b) {
@@ -71,8 +72,10 @@ ConvReuseEngine::forward(const Tensor &input, const Tensor &weight,
                     }
                 }
 
-                // Detection pass: signatures, MCACHE tags, hitmap.
-                DetectionResult det = detector.detect(rows);
+                // Detection pass: signatures, MCACHE tags, hitmap —
+                // one pipeline run per (image, channel).
+                DetectionResult det =
+                    frontend_->detect(rows, frontend_.signatureBits());
                 const HitMix mix = det.mix();
                 stats.mix.vectors += mix.vectors;
                 stats.mix.hit += mix.hit;
@@ -86,7 +89,7 @@ ConvReuseEngine::forward(const Tensor &input, const Tensor &weight,
                 // Filter passes in groups of `versions` in-flight
                 // filters (the multi-version data of Fig. 11).
                 for (int64_t oc0 = 0; oc0 < cout_g; oc0 += versions) {
-                    cache_.invalidateAllData();
+                    frontend_->invalidateAllData();
                     const int64_t oc1 =
                         std::min<int64_t>(oc0 + versions, cout_g);
                     for (int64_t of = oc0; of < oc1; ++of) {
@@ -101,9 +104,9 @@ ConvReuseEngine::forward(const Tensor &input, const Tensor &weight,
                                 det.hitmap.outcome(i);
                             const int64_t id = det.hitmap.entryId(i);
                             if (outc == McacheOutcome::Hit &&
-                                cache_.dataValid(id, ver)) {
+                                frontend_->dataValid(id, ver)) {
                                 // Reuse the earlier vector's result.
-                                val = cache_.readData(id, ver);
+                                val = frontend_->readData(id, ver);
                                 stats.macsSkipped +=
                                     static_cast<uint64_t>(d);
                             } else {
@@ -114,7 +117,7 @@ ConvReuseEngine::forward(const Tensor &input, const Tensor &weight,
                                     acc += row[e] * w[e];
                                 val = acc;
                                 if (outc == McacheOutcome::Mau)
-                                    cache_.writeData(id, ver, acc);
+                                    frontend_->writeData(id, ver, acc);
                             }
                             out[out.offset4(b, oc, 0, 0) + i] += val;
                         }

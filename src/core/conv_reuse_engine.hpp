@@ -20,11 +20,12 @@
 #define MERCURY_CORE_CONV_REUSE_ENGINE_HPP
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "core/mcache.hpp"
-#include "core/rpq.hpp"
 #include "core/similarity_detector.hpp"
+#include "pipeline/detection_frontend.hpp"
 #include "sim/dataflow.hpp"
 #include "tensor/ops.hpp"
 #include "tensor/tensor.hpp"
@@ -53,11 +54,20 @@ class ConvReuseEngine
 {
   public:
     /**
+     * Run through a caller-provided MCACHE: builds an internal
+     * DetectionFrontend view over it.
+     *
      * @param cache    MCACHE instance to run through
      * @param sig_bits signature length for detection
      * @param seed     seed for the per-layer random projection
+     * @param pipe     pipeline knobs (block size, threads; the
+     *                 external cache is always a single shard)
      */
-    ConvReuseEngine(MCache &cache, int sig_bits, uint64_t seed);
+    ConvReuseEngine(MCache &cache, int sig_bits, uint64_t seed,
+                    const PipelineConfig &pipe = {});
+
+    /** Run through a shared detection front-end. */
+    ConvReuseEngine(DetectionFrontend &frontend, int sig_bits);
 
     /**
      * Reuse-enabled forward convolution, channel by channel.
@@ -71,12 +81,10 @@ class ConvReuseEngine
                    const Tensor &bias, const ConvSpec &spec,
                    ReuseStats &stats);
 
-    int signatureBits() const { return sigBits_; }
+    int signatureBits() const { return frontend_.signatureBits(); }
 
   private:
-    MCache &cache_;
-    int sigBits_;
-    uint64_t seed_;
+    FrontendHandle frontend_;
 };
 
 } // namespace mercury

@@ -1,16 +1,18 @@
 #include "core/fc_engine.hpp"
 
-#include "core/rpq.hpp"
-#include "core/similarity_detector.hpp"
 #include "util/logging.hpp"
 
 namespace mercury {
 
-FcEngine::FcEngine(MCache &cache, int sig_bits, uint64_t seed)
-    : cache_(cache), sigBits_(sig_bits), seed_(seed)
+FcEngine::FcEngine(MCache &cache, int sig_bits, uint64_t seed,
+                   const PipelineConfig &pipe)
+    : frontend_(cache, sig_bits, seed, pipe, "FcEngine")
 {
-    if (sig_bits <= 0)
-        panic("FcEngine needs positive signature bits");
+}
+
+FcEngine::FcEngine(DetectionFrontend &frontend, int sig_bits)
+    : frontend_(frontend, sig_bits, "FcEngine")
+{
 }
 
 Tensor
@@ -26,9 +28,8 @@ FcEngine::forward(const Tensor &input, const Tensor &weight,
     const int64_t d = input.dim(1);
     const int64_t m = weight.dim(1);
 
-    RPQEngine rpq(d, std::max(sigBits_, 1), seed_);
-    SimilarityDetector detector(rpq, cache_, sigBits_);
-    DetectionResult det = detector.detect(input);
+    DetectionResult det =
+        frontend_->detect(input, frontend_.signatureBits());
 
     stats = ReuseStats{};
     stats.mix = det.mix();
@@ -41,7 +42,7 @@ FcEngine::forward(const Tensor &input, const Tensor &weight,
     // first row that inserted the signature; HIT rows receive the
     // owner's results.
     std::vector<int64_t> owner_of_entry(
-        static_cast<size_t>(cache_.entries()), -1);
+        static_cast<size_t>(frontend_->entries()), -1);
     if (owner_rows)
         owner_rows->assign(static_cast<size_t>(n), -1);
 

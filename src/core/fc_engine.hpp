@@ -11,10 +11,12 @@
 #define MERCURY_CORE_FC_ENGINE_HPP
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "core/conv_reuse_engine.hpp" // ReuseStats
 #include "core/mcache.hpp"
+#include "pipeline/detection_frontend.hpp"
 #include "tensor/tensor.hpp"
 
 namespace mercury {
@@ -29,8 +31,13 @@ class FcEngine
      *                 buffer as in §III-C3)
      * @param sig_bits signature length
      * @param seed     per-layer projection seed
+     * @param pipe     pipeline knobs for the internal front-end
      */
-    FcEngine(MCache &cache, int sig_bits, uint64_t seed);
+    FcEngine(MCache &cache, int sig_bits, uint64_t seed,
+             const PipelineConfig &pipe = {});
+
+    /** Run through a shared detection front-end. */
+    FcEngine(DetectionFrontend &frontend, int sig_bits);
 
     /**
      * Reuse-enabled product: (N, D) x (D, M) -> (N, M).
@@ -43,12 +50,10 @@ class FcEngine
                    ReuseStats &stats,
                    std::vector<int64_t> *owner_rows = nullptr);
 
-    int signatureBits() const { return sigBits_; }
+    int signatureBits() const { return frontend_.signatureBits(); }
 
   private:
-    MCache &cache_;
-    int sigBits_;
-    uint64_t seed_;
+    FrontendHandle frontend_;
 };
 
 } // namespace mercury

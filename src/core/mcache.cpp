@@ -60,7 +60,14 @@ MCache::setIndexOf(const Signature &sig) const
 McacheResult
 MCache::lookupOrInsert(const Signature &sig)
 {
-    const int set = setIndexOf(sig);
+    return lookupOrInsertInSet(setIndexOf(sig), sig);
+}
+
+McacheResult
+MCache::lookupOrInsertInSet(int set, const Signature &sig)
+{
+    if (set < 0 || set >= sets_)
+        panic("set index ", set, " out of range 0..", sets_ - 1);
     const int64_t base = static_cast<int64_t>(set) * ways_;
 
     // Tag search among valid ways.

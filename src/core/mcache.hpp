@@ -70,6 +70,15 @@ class MCache
      */
     McacheResult lookupOrInsert(const Signature &sig);
 
+    /**
+     * lookupOrInsert with an externally computed set index. This is
+     * the sharded entry point (pipeline/sharded_mcache.hpp): a shard
+     * owns a contiguous range of the global sets and addresses its
+     * local sets directly, so the signature hash is taken once at the
+     * front of the pipeline instead of once per probe.
+     */
+    McacheResult lookupOrInsertInSet(int set, const Signature &sig);
+
     /** True if the entry's data for `version` is valid. */
     bool dataValid(int64_t entry_id, int version) const;
 

@@ -1,5 +1,7 @@
 #include "core/rpq.hpp"
 
+#include <algorithm>
+
 #include "util/logging.hpp"
 
 namespace mercury {
@@ -17,6 +19,19 @@ RPQEngine::RPQEngine(int64_t vector_dim, int max_bits, uint64_t seed)
     // Elements drawn from N(0, 1) as in classic random projection.
     for (auto &v : matrix_)
         v = static_cast<float>(rng.normal());
+}
+
+const float *
+RPQEngine::interleaved() const
+{
+    std::call_once(interleavedOnce_, [this] {
+        interleaved_.resize(matrix_.size());
+        for (int n = 0; n < maxBits_; ++n)
+            for (int64_t i = 0; i < vectorDim_; ++i)
+                interleaved_[static_cast<size_t>(i) * maxBits_ + n] =
+                    matrix_[static_cast<size_t>(n) * vectorDim_ + i];
+    });
+    return interleaved_.data();
 }
 
 float
@@ -68,6 +83,84 @@ RPQEngine::signaturesOf(const Tensor &rows, int bits) const
     for (int64_t r = 0; r < rows.dim(0); ++r)
         out.push_back(signatureOf(rows.data() + r * vectorDim_, bits));
     return out;
+}
+
+void
+RPQEngine::projectBlock(const Tensor &rows, int64_t row0, int64_t row1,
+                        int bits, float *out) const
+{
+    if (rows.rank() != 2 || rows.dim(1) != vectorDim_)
+        panic("projectBlock expects (n, ", vectorDim_, ") got ",
+              rows.shapeStr());
+    if (row0 < 0 || row1 < row0 || row1 > rows.dim(0))
+        panic("projectBlock row range [", row0, ", ", row1,
+              ") outside 0..", rows.dim(0));
+    if (bits <= 0 || bits > maxBits_)
+        panic("projectBlock asked for ", bits, " bits, engine has ",
+              maxBits_);
+    const int64_t d = vectorDim_;
+    const int mb = maxBits_;
+    const float *m = interleaved();
+    std::fill(out, out + (row1 - row0) * bits, 0.0f);
+
+    // 4-row microtile: each interleaved matrix line is streamed once
+    // per four rows instead of once per row. Every (row, filter)
+    // accumulator still sums elements in ascending i order, so the
+    // results stay bit-identical to the scalar project() path.
+    int64_t r = row0;
+    for (; r + 4 <= row1; r += 4) {
+        const float *v0 = rows.data() + r * d;
+        const float *v1 = v0 + d;
+        const float *v2 = v1 + d;
+        const float *v3 = v2 + d;
+        float *a0 = out + (r - row0) * bits;
+        float *a1 = a0 + bits;
+        float *a2 = a1 + bits;
+        float *a3 = a2 + bits;
+        for (int64_t i = 0; i < d; ++i) {
+            const float *mi = m + i * mb;
+            const float x0 = v0[i], x1 = v1[i], x2 = v2[i], x3 = v3[i];
+            for (int n = 0; n < bits; ++n) {
+                const float w = mi[n];
+                a0[n] += x0 * w;
+                a1[n] += x1 * w;
+                a2[n] += x2 * w;
+                a3[n] += x3 * w;
+            }
+        }
+    }
+    for (; r < row1; ++r) {
+        const float *v = rows.data() + r * d;
+        float *acc = out + (r - row0) * bits;
+        for (int64_t i = 0; i < d; ++i) {
+            const float vi = v[i];
+            const float *mi = m + i * mb;
+            for (int n = 0; n < bits; ++n)
+                acc[n] += vi * mi[n];
+        }
+    }
+}
+
+void
+RPQEngine::signatureBlock(const Tensor &rows, int64_t row0, int64_t row1,
+                          int bits, Signature *out) const
+{
+    // Tile so the projection block stays L1-resident even for long
+    // signatures.
+    constexpr int64_t kTileRows = 32;
+    std::vector<float> proj(static_cast<size_t>(kTileRows) *
+                            static_cast<size_t>(std::max(bits, 1)));
+    for (int64_t t0 = row0; t0 < row1; t0 += kTileRows) {
+        const int64_t t1 = std::min(row1, t0 + kTileRows);
+        projectBlock(rows, t0, t1, bits, proj.data());
+        for (int64_t r = t0; r < t1; ++r) {
+            const float *p = proj.data() + (r - t0) * bits;
+            Signature sig(bits);
+            for (int n = 0; n < bits; ++n)
+                sig.setBit(n, p[n] < 0.0f);
+            out[r - row0] = std::move(sig);
+        }
+    }
 }
 
 Tensor

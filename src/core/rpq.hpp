@@ -16,6 +16,7 @@
 #define MERCURY_CORE_RPQ_HPP
 
 #include <cstdint>
+#include <mutex>
 #include <vector>
 
 #include "core/signature.hpp"
@@ -57,6 +58,29 @@ class RPQEngine
                                         int bits) const;
 
     /**
+     * Blocked matrix-matrix projection (the pipeline's batch front
+     * end, Fig. 7/8): project rows [row0, row1) of a (n, d) matrix
+     * against the first `bits` random filters at once, writing a
+     * row-major (row1 - row0, bits) block to `out`. Uses the
+     * bit-interleaved mirror of the projection matrix so the inner
+     * loop runs over independent per-filter accumulators (vectorizes,
+     * no serial FP dependence), while each per-(row, filter) sum
+     * accumulates in the same element order as project() — results
+     * are bit-identical to the scalar path.
+     */
+    void projectBlock(const Tensor &rows, int64_t row0, int64_t row1,
+                      int bits, float *out) const;
+
+    /**
+     * Blocked signature generation: signatureOf() for rows
+     * [row0, row1), written to out[0 .. row1-row0). Bit-identical to
+     * calling signatureOfRow per row, but runs through projectBlock
+     * in cache-sized row tiles.
+     */
+    void signatureBlock(const Tensor &rows, int64_t row0, int64_t row1,
+                        int bits, Signature *out) const;
+
+    /**
      * Random filter n reshaped as a (k, k) tensor, k*k == d. This is
      * the weight layout streamed through the PE array when signature
      * generation runs as a convolution (§III-B1, Fig. 7).
@@ -78,6 +102,15 @@ class RPQEngine
     // Column-major random matrix: filter n occupies
     // [n * vectorDim_, (n + 1) * vectorDim_).
     std::vector<float> matrix_;
+    // Bit-interleaved mirror for the blocked projection: element i of
+    // every filter is contiguous at [i * maxBits_, (i + 1) * maxBits_).
+    // Built lazily on the first projectBlock call (scalar-only users
+    // never pay the 2x matrix memory); call_once keeps concurrent
+    // block projections safe.
+    mutable std::vector<float> interleaved_;
+    mutable std::once_flag interleavedOnce_;
+
+    const float *interleaved() const;
 };
 
 } // namespace mercury

@@ -3,6 +3,7 @@
 #include <unordered_set>
 
 #include "util/logging.hpp"
+#include "util/sampling.hpp"
 
 namespace mercury {
 
@@ -47,22 +48,9 @@ HitMix
 SimilarityDetector::detectSampled(const Tensor &rows,
                                   int64_t max_sample) const
 {
-    const int64_t n = rows.dim(0);
-    if (max_sample <= 0)
-        panic("detectSampled needs a positive sample bound");
-    if (n <= max_sample)
-        return detect(rows).mix();
-
-    // Strided sub-sampling keeps the stream order (similarity decays
-    // with distance in real activation streams).
-    const int64_t stride = n / max_sample;
-    Tensor sample({max_sample, rows.dim(1)});
-    for (int64_t i = 0; i < max_sample; ++i) {
-        const int64_t src = i * stride;
-        for (int64_t j = 0; j < rows.dim(1); ++j)
-            sample.at2(i, j) = rows.at2(src, j);
-    }
-    return detect(sample).mix().scaledTo(n);
+    return sampledDetection(rows, max_sample, [this](const Tensor &r) {
+        return detect(r).mix();
+    });
 }
 
 } // namespace mercury

@@ -28,8 +28,8 @@ SelfAttentionLayer::forward(const Tensor &x, MercuryContext *ctx)
             xi[i] = x[s * xi.numel() + i];
         Tensor yi;
         if (ctx) {
-            AttentionEngine engine(ctx->cache(), ctx->signatureBits(),
-                                   ctx->layerSeed(layerId_));
+            AttentionEngine engine(ctx->frontendFor(layerId_),
+                                   ctx->signatureBits());
             ReuseStats stats;
             yi = engine.forward(xi, stats);
             ctx->accumulate(stats);

@@ -35,8 +35,8 @@ Conv2dLayer::forward(const Tensor &x, MercuryContext *ctx)
 {
     lastInput_ = x;
     if (ctx) {
-        ConvReuseEngine engine(ctx->cache(), ctx->signatureBits(),
-                               ctx->layerSeed(layerId_));
+        ConvReuseEngine engine(ctx->frontendFor(layerId_),
+                               ctx->signatureBits());
         ReuseStats stats;
         Tensor out = engine.forward(x, weight_, bias_, spec_, stats);
         ctx->accumulate(stats);
@@ -93,8 +93,8 @@ DenseLayer::forward(const Tensor &x, MercuryContext *ctx)
     lastInput_ = x;
     Tensor out;
     if (ctx) {
-        FcEngine engine(ctx->cache(), ctx->signatureBits(),
-                        ctx->layerSeed(layerId_));
+        FcEngine engine(ctx->frontendFor(layerId_),
+                        ctx->signatureBits());
         ReuseStats stats;
         out = engine.forward(x, weight_, stats);
         ctx->accumulate(stats);

@@ -1,16 +1,30 @@
 #include "nn/mercury_hooks.hpp"
 
+#include <algorithm>
+
 #include "util/logging.hpp"
 
 namespace mercury {
 
 MercuryContext::MercuryContext(int sig_bits, int sets, int ways,
                                int versions, uint64_t seed)
-    : sigBits_(sig_bits), seed_(seed),
-      cache_(std::make_unique<MCache>(sets, ways, versions))
+    : sigBits_(sig_bits), sets_(sets), ways_(ways), versions_(versions),
+      seed_(seed)
 {
     if (sig_bits <= 0)
         fatal("MercuryContext needs positive signature bits");
+    if (sets <= 0 || ways <= 0 || versions <= 0)
+        fatal("MercuryContext needs positive MCACHE sets/ways/versions, "
+              "got ",
+              sets, "/", ways, "/", versions);
+}
+
+MCache &
+MercuryContext::cache()
+{
+    if (!cache_)
+        cache_ = std::make_unique<MCache>(sets_, ways_, versions_);
+    return *cache_;
 }
 
 void
@@ -19,6 +33,54 @@ MercuryContext::setSignatureBits(int bits)
     if (bits <= 0)
         panic("signature bits must stay positive, got ", bits);
     sigBits_ = bits;
+}
+
+void
+MercuryContext::setPipeline(const PipelineConfig &pipe)
+{
+    pipeline_ = pipe;
+    frontends_.clear();
+    shared_.reset();
+    pool_.reset();
+}
+
+ShardedMCache &
+MercuryContext::sharedCache()
+{
+    if (!shared_) {
+        shared_ = std::make_unique<ShardedMCache>(
+            sets_, ways_, versions_, pipeline_.shards);
+    }
+    return *shared_;
+}
+
+ThreadPool *
+MercuryContext::sharedPool()
+{
+    return ThreadPool::forKnob(pipeline_.threads, pool_);
+}
+
+DetectionFrontend &
+MercuryContext::frontendFor(uint64_t layer_id)
+{
+    auto it = frontends_.find(layer_id);
+    if (it != frontends_.end() && it->second->maxBits() >= sigBits_)
+        return *it->second;
+    // Provision to the next 64-bit band so adaptive signature growth
+    // rarely forces a rebuild; extra columns never change the bits
+    // actually used.
+    const int max_bits = std::max(64, (sigBits_ + 63) / 64 * 64);
+    // One sharded cache with the context's organization shared by
+    // every layer (not a view of cache_), so the shards knob actually
+    // parallelizes the probe stage without an MCACHE allocation per
+    // layer; identical results either way, as each detection pass
+    // clears the cache.
+    auto frontend = std::make_unique<DetectionFrontend>(
+        sharedCache(), max_bits, layerSeed(layer_id), pipeline_);
+    frontend->setSharedPool(sharedPool());
+    DetectionFrontend &ref = *frontend;
+    frontends_[layer_id] = std::move(frontend);
+    return ref;
 }
 
 uint64_t

@@ -15,10 +15,13 @@
 #define MERCURY_NN_MERCURY_HOOKS_HPP
 
 #include <cstdint>
+#include <map>
 #include <memory>
 
 #include "core/conv_reuse_engine.hpp"
 #include "core/mcache.hpp"
+#include "pipeline/detection_frontend.hpp"
+#include "util/thread_pool.hpp"
 
 namespace mercury {
 
@@ -41,8 +44,39 @@ class MercuryContext
     /** Grow the signature (adaptive training loops call this). */
     void setSignatureBits(int bits);
 
-    /** The shared MCACHE all layer engines run through. */
-    MCache &cache() { return *cache_; }
+    /**
+     * A monolithic MCACHE with the context's organization, for legacy
+     * direct-engine use; allocated lazily on first access. The layer
+     * engines themselves run through per-layer sharded frontends
+     * (frontendFor) with this same organization — bit-identical
+     * results, since every detection pass clears the cache first.
+     */
+    MCache &cache();
+
+    /**
+     * Detection-pipeline knobs the layer engines run with. Results
+     * are bit-identical across knob values (the threads = 1 default
+     * is the legacy path); the knobs trade only throughput. Setting
+     * new knobs discards the cached per-layer frontends and pool.
+     */
+    const PipelineConfig &pipeline() const { return pipeline_; }
+    void setPipeline(const PipelineConfig &pipe);
+
+    /**
+     * The layer's detection front-end: the context's shared sharded
+     * MCACHE with the layer's projection seed (independent of
+     * cache(), which stays untouched by layer runs), cached across
+     * forward passes so pools and RPQ engines are built once, and
+     * running on one worker pool shared by every layer. Sharing one
+     * cache across layers is sound because every detection pass
+     * clears it first.
+     *
+     * Lifetime: the reference stays valid until setPipeline() or a
+     * setSignatureBits() growth past the frontend's provisioning
+     * rebuilds it — re-fetch per forward pass (as the layers do)
+     * rather than caching it across configuration changes.
+     */
+    DetectionFrontend &frontendFor(uint64_t layer_id);
 
     /** Per-layer deterministic projection seed. */
     uint64_t layerSeed(uint64_t layer_id) const;
@@ -56,9 +90,21 @@ class MercuryContext
 
   private:
     int sigBits_;
+    int sets_;
+    int ways_;
+    int versions_;
     uint64_t seed_;
-    std::unique_ptr<MCache> cache_;
+    std::unique_ptr<MCache> cache_; // lazy, see cache()
+    PipelineConfig pipeline_;
+    // Pool and cache must outlive the frontends holding pointers to
+    // them (members destroy in reverse declaration order).
+    std::unique_ptr<ThreadPool> pool_;         // shared by all frontends
+    std::unique_ptr<ShardedMCache> shared_;    // shared by all frontends
+    std::map<uint64_t, std::unique_ptr<DetectionFrontend>> frontends_;
     ReuseStats totals_;
+
+    ThreadPool *sharedPool();
+    ShardedMCache &sharedCache();
 };
 
 } // namespace mercury

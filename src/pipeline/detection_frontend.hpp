@@ -1,0 +1,167 @@
+/**
+ * @file
+ * DetectionFrontend: the one-stop similarity front-end the reuse
+ * engines, workloads, and NN hooks consume.
+ *
+ * A frontend owns (or wraps) the MCACHE, provisions an RPQEngine per
+ * vector dimension on demand, and routes every detection pass through
+ * the batched DetectionPipeline — so callers no longer assemble
+ * RPQEngine + MCache + SimilarityDetector by hand, and every consumer
+ * picks up the pipeline knobs (block size, shards, threads) from one
+ * place. It also re-exports the MCACHE data plane (read/write/valid
+ * by global entry id) that the convolution engine needs between
+ * filter passes.
+ *
+ * With threads = 1 the frontend is the exact legacy path: results are
+ * bit-identical to SimilarityDetector over a monolithic MCache, for
+ * any block size and shard count.
+ */
+
+#ifndef MERCURY_PIPELINE_DETECTION_FRONTEND_HPP
+#define MERCURY_PIPELINE_DETECTION_FRONTEND_HPP
+
+#include <cstdint>
+#include <map>
+#include <memory>
+
+#include "core/rpq.hpp"
+#include "core/similarity_detector.hpp"
+#include "pipeline/detection_pipeline.hpp"
+#include "pipeline/sharded_mcache.hpp"
+#include "sim/config.hpp"
+#include "util/thread_pool.hpp"
+
+namespace mercury {
+
+/** Pipeline-backed similarity detection front-end. */
+class DetectionFrontend
+{
+  public:
+    /**
+     * Owning form: builds a ShardedMCache with the given organization.
+     *
+     * @param sets / ways / data_versions  MCACHE organization
+     * @param max_bits  maximum signature length to provision per RPQ
+     * @param seed      projection seed (shared by every vector dim)
+     * @param pipe      pipeline knobs
+     */
+    DetectionFrontend(int sets, int ways, int data_versions, int max_bits,
+                      uint64_t seed, PipelineConfig pipe = {});
+
+    /**
+     * View form: wrap an externally owned MCache (single shard). This
+     * is how the legacy engine constructors share a caller-provided
+     * cache; stage-1 blocking and threading still apply.
+     */
+    DetectionFrontend(MCache &cache, int max_bits, uint64_t seed,
+                      PipelineConfig pipe = {});
+
+    /**
+     * Shared-cache form: run against an externally owned sharded
+     * cache, which must outlive the frontend. Lets many frontends
+     * (e.g. one per NN layer, each with its own projection seed)
+     * share one MCACHE allocation; fine because every detection pass
+     * clears the cache first.
+     */
+    DetectionFrontend(ShardedMCache &cache, int max_bits, uint64_t seed,
+                      PipelineConfig pipe = {});
+
+    /** MCACHE organization + pipeline knobs from an accelerator cfg. */
+    DetectionFrontend(const AcceleratorConfig &cfg, uint64_t seed);
+
+    DetectionFrontend(const DetectionFrontend &) = delete;
+    DetectionFrontend &operator=(const DetectionFrontend &) = delete;
+
+    int maxBits() const { return maxBits_; }
+    uint64_t seed() const { return seed_; }
+    const PipelineConfig &pipeline() const { return pipe_; }
+
+    /**
+     * Run passes on an externally owned worker pool instead of
+     * creating a private one — lets many frontends (e.g. one per NN
+     * layer) share a single pool. The pool must outlive the frontend;
+     * passing nullptr reverts to the private pool.
+     */
+    void setSharedPool(ThreadPool *pool) { sharedPool_ = pool; }
+
+    /**
+     * Run one detection pass over a (num_vectors, d) matrix at the
+     * given signature length. Clears the cache first; the RPQEngine
+     * for dimension d is created on first use and reused afterwards.
+     */
+    DetectionResult detect(const Tensor &rows, int bits);
+
+    /**
+     * Statistical form for big layers: detect over at most
+     * `max_sample` evenly strided rows and scale the mix back to the
+     * full population. Exercises the identical pipeline path.
+     */
+    HitMix detectSampled(const Tensor &rows, int bits,
+                         int64_t max_sample);
+
+    /** The sharded cache behind the frontend. */
+    ShardedMCache &cache() { return *cache_; }
+    const ShardedMCache &cache() const { return *cache_; }
+
+    /** MCACHE data plane (global entry ids), for the reuse engines. */
+    int dataVersions() const { return cache_->dataVersions(); }
+    int64_t entries() const { return cache_->entries(); }
+    bool dataValid(int64_t entry_id, int version) const
+    {
+        return cache_->dataValid(entry_id, version);
+    }
+    float readData(int64_t entry_id, int version) const
+    {
+        return cache_->readData(entry_id, version);
+    }
+    void writeData(int64_t entry_id, int version, float value)
+    {
+        cache_->writeData(entry_id, version, value);
+    }
+    void invalidateAllData() { cache_->invalidateAllData(); }
+
+  private:
+    std::unique_ptr<ShardedMCache> ownedCache_;
+    ShardedMCache *cache_; // owned or external
+    PipelineConfig pipe_;
+    int maxBits_;
+    uint64_t seed_;
+    std::map<int64_t, std::unique_ptr<RPQEngine>> rpqByDim_;
+    std::unique_ptr<ThreadPool> pool_; // created lazily for threads > 1
+    ThreadPool *sharedPool_ = nullptr; // externally owned override
+
+    RPQEngine &rpqFor(int64_t dim);
+    ThreadPool *poolFor();
+};
+
+/**
+ * Owned-or-shared frontend binding for the reuse engines: wraps a
+ * caller-provided MCache in a private frontend view, or references a
+ * shared DetectionFrontend, validating the signature length once in
+ * one place for every engine.
+ */
+class FrontendHandle
+{
+  public:
+    /** Private frontend view over a caller-owned cache. */
+    FrontendHandle(MCache &cache, int sig_bits, uint64_t seed,
+                   const PipelineConfig &pipe, const char *engine);
+
+    /** Bind a shared frontend; sig_bits must fit its provisioning. */
+    FrontendHandle(DetectionFrontend &frontend, int sig_bits,
+                   const char *engine);
+
+    int signatureBits() const { return sigBits_; }
+
+    DetectionFrontend &operator*() const { return frontend_; }
+    DetectionFrontend *operator->() const { return &frontend_; }
+
+  private:
+    std::unique_ptr<DetectionFrontend> owned_;
+    DetectionFrontend &frontend_;
+    int sigBits_;
+};
+
+} // namespace mercury
+
+#endif // MERCURY_PIPELINE_DETECTION_FRONTEND_HPP

@@ -1,0 +1,110 @@
+#include "pipeline/detection_pipeline.hpp"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "util/logging.hpp"
+
+namespace mercury {
+
+PipelineConfig
+PipelineConfig::fromConfig(const AcceleratorConfig &cfg)
+{
+    PipelineConfig pipe;
+    pipe.blockRows = cfg.pipelineBlockRows;
+    pipe.shards = cfg.pipelineShards;
+    pipe.threads = cfg.pipelineThreads;
+    return pipe;
+}
+
+DetectionPipeline::DetectionPipeline(const RPQEngine &rpq,
+                                     ShardedMCache &cache, int bits,
+                                     const PipelineConfig &cfg,
+                                     ThreadPool *pool)
+    : rpq_(rpq), cache_(cache), bits_(bits), cfg_(cfg), pool_(pool)
+{
+    if (bits <= 0 || bits > rpq.maxBits())
+        panic("signature bits ", bits, " outside engine range 1..",
+              rpq.maxBits());
+    if (cfg_.blockRows <= 0)
+        panic("pipeline block size must be positive, got ",
+              cfg_.blockRows);
+}
+
+DetectionResult
+DetectionPipeline::run(const Tensor &rows) const
+{
+    if (rows.rank() != 2 || rows.dim(1) != rpq_.vectorDim())
+        panic("detect expects (n, ", rpq_.vectorDim(), ") got ",
+              rows.shapeStr());
+    cache_.clear();
+    const int64_t n = rows.dim(0);
+    DetectionResult res;
+    res.hitmap.reset(n);
+    if (n == 0)
+        return res;
+
+    // Stage 1: blocked signature generation. Blocks write disjoint
+    // ranges, so scheduling order is irrelevant; each signature (and
+    // its global set index, computed here so the hash is taken once)
+    // is identical to the scalar path's.
+    std::vector<Signature> sigs(static_cast<size_t>(n));
+    std::vector<int> set_of(static_cast<size_t>(n));
+    const int64_t block = cfg_.blockRows;
+    const int64_t blocks = (n + block - 1) / block;
+    const auto project_block = [&](int64_t b) {
+        const int64_t r0 = b * block;
+        const int64_t r1 = std::min(n, r0 + block);
+        rpq_.signatureBlock(rows, r0, r1, bits_,
+                            sigs.data() + static_cast<size_t>(r0));
+        for (int64_t i = r0; i < r1; ++i)
+            set_of[static_cast<size_t>(i)] =
+                cache_.setIndexOf(sigs[static_cast<size_t>(i)]);
+    };
+
+    // Stage 2: sharded MCACHE probing. Each shard consumes its own
+    // rows in stream order — exactly the order the monolithic cache
+    // would have seen them. The buckets are filled by one ascending
+    // walk, so per-shard order is stream order by construction.
+    const int shard_count = cache_.shardCount();
+    std::vector<std::vector<int64_t>> shard_rows(
+        static_cast<size_t>(shard_count));
+    std::vector<McacheResult> results(static_cast<size_t>(n));
+    const auto probe_shard = [&](int64_t s) {
+        for (const int64_t i : shard_rows[static_cast<size_t>(s)]) {
+            results[static_cast<size_t>(i)] = cache_.lookupOrInsertInSet(
+                set_of[static_cast<size_t>(i)],
+                sigs[static_cast<size_t>(i)]);
+        }
+    };
+
+    if (pool_ && pool_->workers() > 0) {
+        pool_->parallelFor(blocks, project_block);
+    } else {
+        for (int64_t b = 0; b < blocks; ++b)
+            project_block(b);
+    }
+    for (int64_t i = 0; i < n; ++i) {
+        shard_rows[static_cast<size_t>(
+                       cache_.shardOfSet(set_of[static_cast<size_t>(i)]))]
+            .push_back(i);
+    }
+    if (pool_ && pool_->workers() > 0) {
+        pool_->parallelFor(shard_count, probe_shard);
+    } else {
+        for (int s = 0; s < shard_count; ++s)
+            probe_shard(s);
+    }
+
+    // Stage 3: stitch per-row buffers back in stream order.
+    for (int64_t i = 0; i < n; ++i) {
+        const McacheResult &r = results[static_cast<size_t>(i)];
+        res.hitmap.record(i, r);
+        res.table.append(std::move(sigs[static_cast<size_t>(i)]),
+                         r.entryId);
+    }
+    return res;
+}
+
+} // namespace mercury

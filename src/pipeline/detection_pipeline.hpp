@@ -1,0 +1,90 @@
+/**
+ * @file
+ * DetectionPipeline: the batched, multi-threaded similarity front-end
+ * (§III-B, Fig. 7/8).
+ *
+ * The legacy SimilarityDetector walks a vector population one row at
+ * a time: hash, probe, record. The pipeline restructures that hot
+ * path into three stages:
+ *
+ *  1. blocked signature generation — row blocks are projected against
+ *     all signature filters at once (RPQEngine::projectBlock), the
+ *     software analogue of streaming the PE array with a whole batch;
+ *  2. sharded MCACHE probing — each shard of the ShardedMCache
+ *     processes its own signatures in stream order, independently of
+ *     the other shards;
+ *  3. in-order stitching — per-row result buffers are merged back
+ *     into the Hitmap and SignatureTable in vector order.
+ *
+ * Stages 1 and 2 run across a ThreadPool when one is supplied. The
+ * decomposition is chosen so every configuration — any block size,
+ * shard count, or thread count, including the threads = 1 degenerate
+ * case — produces results bit-identical to the legacy detector:
+ * projections accumulate in the same element order, and each MCACHE
+ * set sees its signatures in the same stream order.
+ */
+
+#ifndef MERCURY_PIPELINE_DETECTION_PIPELINE_HPP
+#define MERCURY_PIPELINE_DETECTION_PIPELINE_HPP
+
+#include <cstdint>
+
+#include "core/rpq.hpp"
+#include "core/similarity_detector.hpp"
+#include "pipeline/sharded_mcache.hpp"
+#include "sim/config.hpp"
+#include "util/thread_pool.hpp"
+
+namespace mercury {
+
+/** Tuning knobs of the detection pipeline. */
+struct PipelineConfig
+{
+    /** Rows per projection work item (stage 1 granularity). */
+    int64_t blockRows = 64;
+
+    /** MCACHE shards (stage 2 parallelism; clamped to the set count). */
+    int shards = 4;
+
+    /** Worker threads: 1 = run inline (legacy order), 0 = auto. */
+    int threads = 1;
+
+    /** Lift the pipeline knobs out of an accelerator configuration. */
+    static PipelineConfig fromConfig(const AcceleratorConfig &cfg);
+};
+
+/** Batched, optionally multi-threaded similarity detection pass. */
+class DetectionPipeline
+{
+  public:
+    /**
+     * @param rpq   signature engine for this vector dimension
+     * @param cache sharded MCACHE (cleared at the start of each run)
+     * @param bits  signature length
+     * @param cfg   block size / shard / thread knobs
+     * @param pool  worker pool for threads > 1; nullptr runs inline
+     */
+    DetectionPipeline(const RPQEngine &rpq, ShardedMCache &cache, int bits,
+                      const PipelineConfig &cfg, ThreadPool *pool = nullptr);
+
+    int signatureBits() const { return bits_; }
+
+    /**
+     * Detect similarity over the rows of a (num_vectors, d) matrix.
+     * Clears the cache first (a new set of input vectors arrived,
+     * §III-B3) and fills the hitmap and signature table in vector
+     * order, exactly as SimilarityDetector::detect does.
+     */
+    DetectionResult run(const Tensor &rows) const;
+
+  private:
+    const RPQEngine &rpq_;
+    ShardedMCache &cache_;
+    int bits_;
+    PipelineConfig cfg_;
+    ThreadPool *pool_;
+};
+
+} // namespace mercury
+
+#endif // MERCURY_PIPELINE_DETECTION_PIPELINE_HPP

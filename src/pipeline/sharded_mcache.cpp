@@ -1,0 +1,168 @@
+#include "pipeline/sharded_mcache.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hpp"
+
+namespace mercury {
+
+ShardedMCache::ShardedMCache(int sets, int ways, int data_versions,
+                             int shards)
+    : sets_(sets), ways_(ways), versions_(data_versions)
+{
+    if (sets <= 0 || ways <= 0 || data_versions <= 0)
+        fatal("ShardedMCache needs positive sets/ways/versions, got ",
+              sets, "/", ways, "/", data_versions);
+    const int count = std::clamp(shards, 1, sets);
+    setQuota_ = sets / count;
+    setRemainder_ = sets % count;
+    int base = 0;
+    for (int s = 0; s < count; ++s) {
+        const int local_sets = setQuota_ + (s < setRemainder_ ? 1 : 0);
+        owned_.push_back(std::make_unique<MCache>(local_sets, ways,
+                                                  data_versions));
+        shards_.push_back(owned_.back().get());
+        shardBaseSet_.push_back(base);
+        base += local_sets;
+    }
+}
+
+ShardedMCache::ShardedMCache(MCache &external)
+    : sets_(external.sets()), ways_(external.ways()),
+      versions_(external.dataVersions()), setQuota_(external.sets()),
+      setRemainder_(0)
+{
+    shards_.push_back(&external);
+    shardBaseSet_.push_back(0);
+}
+
+int
+ShardedMCache::setIndexOf(const Signature &sig) const
+{
+    return static_cast<int>(sig.hash() % static_cast<uint64_t>(sets_));
+}
+
+int
+ShardedMCache::shardOfSet(int set) const
+{
+    if (set < 0 || set >= sets_)
+        panic("set index ", set, " out of range 0..", sets_ - 1);
+    // First setRemainder_ shards hold setQuota_ + 1 sets each.
+    const int big_span = setRemainder_ * (setQuota_ + 1);
+    if (set < big_span)
+        return set / (setQuota_ + 1);
+    return setRemainder_ + (set - big_span) / setQuota_;
+}
+
+McacheResult
+ShardedMCache::lookupOrInsert(const Signature &sig)
+{
+    return lookupOrInsertInSet(setIndexOf(sig), sig);
+}
+
+McacheResult
+ShardedMCache::lookupOrInsertInSet(int set, const Signature &sig)
+{
+    const int s = shardOfSet(set);
+    const int base = shardBaseSet_[static_cast<size_t>(s)];
+    McacheResult r =
+        shards_[static_cast<size_t>(s)]->lookupOrInsertInSet(set - base,
+                                                             sig);
+    if (r.entryId >= 0)
+        r.entryId += static_cast<int64_t>(base) * ways_;
+    return r;
+}
+
+ShardedMCache::Ref
+ShardedMCache::refOf(int64_t entry_id) const
+{
+    if (entry_id < 0 || entry_id >= entries())
+        panic("ShardedMCache entry id ", entry_id, " out of range");
+    const int s = shardOfSet(static_cast<int>(entry_id / ways_));
+    const int base = shardBaseSet_[static_cast<size_t>(s)];
+    return {shards_[static_cast<size_t>(s)],
+            entry_id - static_cast<int64_t>(base) * ways_};
+}
+
+bool
+ShardedMCache::dataValid(int64_t entry_id, int version) const
+{
+    const Ref ref = refOf(entry_id);
+    return ref.cache->dataValid(ref.localId, version);
+}
+
+float
+ShardedMCache::readData(int64_t entry_id, int version) const
+{
+    const Ref ref = refOf(entry_id);
+    return ref.cache->readData(ref.localId, version);
+}
+
+void
+ShardedMCache::writeData(int64_t entry_id, int version, float value)
+{
+    const Ref ref = refOf(entry_id);
+    ref.cache->writeData(ref.localId, version, value);
+}
+
+void
+ShardedMCache::invalidateAllData()
+{
+    for (MCache *shard : shards_)
+        shard->invalidateAllData();
+}
+
+void
+ShardedMCache::clear()
+{
+    for (MCache *shard : shards_)
+        shard->clear();
+}
+
+uint64_t
+ShardedMCache::maxInsertBacklog() const
+{
+    uint64_t mx = 0;
+    for (const MCache *shard : shards_)
+        mx = std::max(mx, shard->maxInsertBacklog());
+    return mx;
+}
+
+HitMix
+ShardedMCache::lookupMix() const
+{
+    HitMix mix;
+    for (const MCache *shard : shards_) {
+        const StatGroup &stats = shard->stats();
+        const auto count = [&stats](const char *name) -> int64_t {
+            return stats.has(name)
+                       ? static_cast<int64_t>(
+                             std::llround(stats.get(name).value()))
+                       : 0;
+        };
+        mix.hit += count("hits");
+        mix.mau += count("mau");
+        mix.mnu += count("mnu");
+    }
+    mix.vectors = mix.hit + mix.mau + mix.mnu;
+    return mix;
+}
+
+MCache &
+ShardedMCache::shard(int s)
+{
+    if (s < 0 || s >= shardCount())
+        panic("shard index ", s, " out of range");
+    return *shards_[static_cast<size_t>(s)];
+}
+
+const MCache &
+ShardedMCache::shard(int s) const
+{
+    if (s < 0 || s >= shardCount())
+        panic("shard index ", s, " out of range");
+    return *shards_[static_cast<size_t>(s)];
+}
+
+} // namespace mercury

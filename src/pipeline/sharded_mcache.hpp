@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Sharded MCACHE: N independent MCache shards behind the exact
+ * semantics of one big MCache.
+ *
+ * A signature maps to a global set (hash % sets) exactly as in the
+ * monolithic cache; the shard is the high bits of that set index
+ * (shards own contiguous, disjoint set ranges). Because shards share
+ * no state, the detection pipeline can probe them from different
+ * worker threads — as long as each shard sees its signatures in
+ * stream order, every outcome, entry id, and per-set fill pattern is
+ * bit-identical to the single-cache single-thread path. Per-shard
+ * statistics merge into one HitMix.
+ *
+ * The class can also wrap an externally owned MCache as its single
+ * shard, which is how the legacy engine constructors keep sharing a
+ * caller-provided cache through the new pipeline front-end.
+ */
+
+#ifndef MERCURY_PIPELINE_SHARDED_MCACHE_HPP
+#define MERCURY_PIPELINE_SHARDED_MCACHE_HPP
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/mcache.hpp"
+#include "sim/dataflow.hpp"
+
+namespace mercury {
+
+/** N-shard MCACHE with monolithic-MCache semantics. */
+class ShardedMCache
+{
+  public:
+    /**
+     * Owning form: exactly min(max(shards, 1), sets) disjoint MCache
+     * shards covering `sets` global sets in total, sized within one
+     * set of each other (floor/ceil distribution).
+     */
+    ShardedMCache(int sets, int ways, int data_versions, int shards);
+
+    /** View form: wrap an external MCache as the single shard. */
+    explicit ShardedMCache(MCache &external);
+
+    int sets() const { return sets_; }
+    int ways() const { return ways_; }
+    int dataVersions() const { return versions_; }
+    int shardCount() const { return static_cast<int>(shards_.size()); }
+    int64_t entries() const { return static_cast<int64_t>(sets_) * ways_; }
+
+    /** Global set index of a signature (identical to MCache). */
+    int setIndexOf(const Signature &sig) const;
+
+    /** Shard owning a global set (its high bits). */
+    int shardOfSet(int set) const;
+
+    /** Shard a signature maps to. */
+    int shardOf(const Signature &sig) const
+    {
+        return shardOfSet(setIndexOf(sig));
+    }
+
+    /** Monolithic-equivalent lookup (single-threaded convenience). */
+    McacheResult lookupOrInsert(const Signature &sig);
+
+    /**
+     * Lookup with a precomputed global set index. Callers running
+     * shards on worker threads must present each shard's signatures
+     * in stream order and never touch one shard from two threads at
+     * once; distinct shards are safe concurrently.
+     */
+    McacheResult lookupOrInsertInSet(int set, const Signature &sig);
+
+    /** Entry-id data plane, global ids as in the monolithic cache. */
+    bool dataValid(int64_t entry_id, int version) const;
+    float readData(int64_t entry_id, int version) const;
+    void writeData(int64_t entry_id, int version, float value);
+
+    /** Clear every VD bit in every shard (the bitline). */
+    void invalidateAllData();
+
+    /** Clear tags and data in every shard. */
+    void clear();
+
+    /** Largest per-set insert backlog across all shards (§V). */
+    uint64_t maxInsertBacklog() const;
+
+    /** Per-shard lifetime stats merged into one HitMix. */
+    HitMix lookupMix() const;
+
+    /** Direct shard access (tests, stats). */
+    MCache &shard(int s);
+    const MCache &shard(int s) const;
+
+  private:
+    std::vector<std::unique_ptr<MCache>> owned_;
+    std::vector<MCache *> shards_;
+    std::vector<int> shardBaseSet_; ///< first global set of each shard
+    int sets_;
+    int ways_;
+    int versions_;
+    // Floor/ceil set distribution: the first setRemainder_ shards
+    // hold setQuota_ + 1 sets, the rest setQuota_.
+    int setQuota_;
+    int setRemainder_;
+
+    /** Shard plus local entry id of a global entry id. */
+    struct Ref
+    {
+        MCache *cache;
+        int64_t localId;
+    };
+
+    Ref refOf(int64_t entry_id) const;
+};
+
+} // namespace mercury
+
+#endif // MERCURY_PIPELINE_SHARDED_MCACHE_HPP

@@ -79,6 +79,17 @@ struct AcceleratorConfig
      */
     int stoppageT = 3;
 
+    /**
+     * Detection-pipeline front-end knobs (src/pipeline): rows per
+     * projection work block, MCACHE shard count (clamped to the set
+     * count), and worker threads (1 = single-threaded legacy path,
+     * 0 = auto-detect). Results are bit-identical across all values;
+     * the knobs trade only throughput.
+     */
+    int64_t pipelineBlockRows = 64;
+    int pipelineShards = 4;
+    int pipelineThreads = 1;
+
     /** Total MCACHE entries. */
     int mcacheEntries() const { return mcacheSets * mcacheWays; }
 };

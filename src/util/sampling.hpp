@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Strided row sampling shared by the statistical detection paths
+ * (SimilarityDetector::detectSampled, DetectionFrontend).
+ *
+ * The naive stride `n / samples` truncates: the tail rows beyond
+ * `samples * (n / samples)` are never visited and the mix rescaling
+ * then extrapolates the head over the whole population. The helpers
+ * here use round-to-nearest strided indices instead, which cover the
+ * full [0, n) range with evenly spaced picks and degrade to the exact
+ * old indices whenever `samples` divides `n`.
+ */
+
+#ifndef MERCURY_UTIL_SAMPLING_HPP
+#define MERCURY_UTIL_SAMPLING_HPP
+
+#include <cstdint>
+
+#include "tensor/tensor.hpp"
+#include "util/logging.hpp"
+
+namespace mercury {
+
+/**
+ * Index of the i-th of `samples` evenly spaced picks over [0, n):
+ * round(i * n / samples). Requires 0 < samples <= n and 0 <= i <
+ * samples; the result is strictly increasing in i and always < n.
+ */
+inline int64_t
+stridedSampleIndex(int64_t i, int64_t n, int64_t samples)
+{
+    if (samples <= 0 || samples > n)
+        panic("stridedSampleIndex needs 0 < samples <= n, got ", samples,
+              " of ", n);
+    if (i < 0 || i >= samples)
+        panic("sample index ", i, " outside 0..", samples - 1);
+    return (i * n + samples / 2) / samples;
+}
+
+/**
+ * Evenly strided (samples, d) sub-matrix of a (n, d) row matrix,
+ * keeping stream order (similarity decays with distance in real
+ * activation streams, so the sample must preserve ordering).
+ */
+inline Tensor
+stridedSampleRows(const Tensor &rows, int64_t samples)
+{
+    if (rows.rank() != 2)
+        panic("stridedSampleRows expects a (n, d) matrix, got ",
+              rows.shapeStr());
+    const int64_t n = rows.dim(0);
+    const int64_t d = rows.dim(1);
+    Tensor sample({samples, d});
+    for (int64_t i = 0; i < samples; ++i) {
+        const int64_t src = stridedSampleIndex(i, n, samples);
+        for (int64_t j = 0; j < d; ++j)
+            sample.at2(i, j) = rows.at2(src, j);
+    }
+    return sample;
+}
+
+/**
+ * The shared sampled-detection policy (SimilarityDetector and
+ * DetectionFrontend): run the full pass when the population fits the
+ * bound, otherwise detect over the strided sample and rescale the mix
+ * to the full population. `detect_mix` maps a row matrix to its mix.
+ */
+template <typename DetectMixFn>
+auto
+sampledDetection(const Tensor &rows, int64_t max_sample,
+                 DetectMixFn &&detect_mix)
+{
+    if (max_sample <= 0)
+        panic("detectSampled needs a positive sample bound");
+    const int64_t n = rows.dim(0);
+    if (n <= max_sample)
+        return detect_mix(rows);
+    return detect_mix(stridedSampleRows(rows, max_sample)).scaledTo(n);
+}
+
+} // namespace mercury
+
+#endif // MERCURY_UTIL_SAMPLING_HPP

@@ -1,0 +1,144 @@
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+
+#include "util/logging.hpp"
+
+namespace mercury {
+
+ThreadPool::ThreadPool(int workers)
+{
+    if (workers < 0)
+        panic("ThreadPool worker count must be non-negative, got ",
+              workers);
+    threads_.reserve(static_cast<size_t>(workers));
+    for (int i = 0; i < workers; ++i)
+        threads_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stopping_ = true;
+    }
+    ready_.notify_all();
+    for (auto &t : threads_)
+        t.join();
+}
+
+void
+ThreadPool::submit(std::function<void()> task)
+{
+    if (threads_.empty()) {
+        task();
+        return;
+    }
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        queue_.push_back(std::move(task));
+    }
+    ready_.notify_one();
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            ready_.wait(lock,
+                        [this] { return stopping_ || !queue_.empty(); });
+            if (queue_.empty())
+                return; // stopping and drained
+            task = std::move(queue_.front());
+            queue_.pop_front();
+        }
+        task();
+    }
+}
+
+namespace {
+
+/** Shared state of one parallelFor call. */
+struct ForJob
+{
+    std::atomic<int64_t> next{0};
+    int64_t items = 0;
+    const std::function<void(int64_t)> *fn = nullptr;
+    std::atomic<int> pendingDrivers{0};
+    std::mutex doneMutex;
+    std::condition_variable doneCv;
+
+    void drive()
+    {
+        int64_t i;
+        while ((i = next.fetch_add(1, std::memory_order_relaxed)) < items)
+            (*fn)(i);
+    }
+};
+
+} // namespace
+
+void
+ThreadPool::parallelFor(int64_t items,
+                        const std::function<void(int64_t)> &fn)
+{
+    if (items <= 0)
+        return;
+    if (threads_.empty() || items == 1) {
+        for (int64_t i = 0; i < items; ++i)
+            fn(i);
+        return;
+    }
+
+    auto job = std::make_shared<ForJob>();
+    job->items = items;
+    job->fn = &fn;
+    const int drivers = static_cast<int>(std::min<int64_t>(
+        static_cast<int64_t>(threads_.size()), items));
+    job->pendingDrivers.store(drivers);
+    for (int k = 0; k < drivers; ++k) {
+        submit([job] {
+            job->drive();
+            if (job->pendingDrivers.fetch_sub(1) == 1) {
+                std::lock_guard<std::mutex> lock(job->doneMutex);
+                job->doneCv.notify_all();
+            }
+        });
+    }
+
+    // The caller is an executor too: no thread idles during a loop.
+    job->drive();
+
+    std::unique_lock<std::mutex> lock(job->doneMutex);
+    job->doneCv.wait(lock,
+                     [&job] { return job->pendingDrivers.load() == 0; });
+}
+
+int
+ThreadPool::resolveThreads(int requested)
+{
+    if (requested < 0)
+        panic("thread count must be >= 0 (0 = auto), got ", requested);
+    if (requested >= 1)
+        return std::min(requested, 256);
+    const unsigned hw = std::thread::hardware_concurrency();
+    return std::clamp<int>(static_cast<int>(hw), 1, 16);
+}
+
+ThreadPool *
+ThreadPool::forKnob(int requested, std::unique_ptr<ThreadPool> &slot)
+{
+    const int threads = resolveThreads(requested);
+    if (threads <= 1)
+        return nullptr;
+    if (!slot)
+        slot = std::make_unique<ThreadPool>(threads - 1);
+    return slot.get();
+}
+
+} // namespace mercury

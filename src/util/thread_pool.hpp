@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Small fixed-size worker pool with a shared work queue, used by the
+ * detection pipeline (src/pipeline) to run row blocks and MCACHE
+ * shards concurrently. The pool is deliberately minimal: submit
+ * closures, or run an index-space loop with parallelFor(). The
+ * calling thread participates in parallelFor(), so a pool of W
+ * workers executes loops with W + 1 concurrent executors.
+ */
+
+#ifndef MERCURY_UTIL_THREAD_POOL_HPP
+#define MERCURY_UTIL_THREAD_POOL_HPP
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace mercury {
+
+/** Fixed-size worker pool over a mutex-protected work queue. */
+class ThreadPool
+{
+  public:
+    /** Spawn `workers` threads (0 is allowed: everything runs inline). */
+    explicit ThreadPool(int workers);
+
+    /** Drains the queue and joins the workers. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    int workers() const { return static_cast<int>(threads_.size()); }
+
+    /** Enqueue one task for asynchronous execution. */
+    void submit(std::function<void()> task);
+
+    /**
+     * Run fn(0) .. fn(items - 1) across the pool and the calling
+     * thread, returning when every item completed. Indices are
+     * dynamically scheduled; fn must not assume any ordering. Safe to
+     * call with an empty pool (runs inline).
+     */
+    void parallelFor(int64_t items, const std::function<void(int64_t)> &fn);
+
+    /**
+     * Resolve a thread-count knob: explicit values >= 1 pass through
+     * capped at 256 (a typo'd knob must not exhaust OS threads),
+     * 0 (auto) becomes the hardware concurrency clamped to [1, 16].
+     */
+    static int resolveThreads(int requested);
+
+    /**
+     * Lazily materialize a pool for a thread knob into `slot` and
+     * return it, or nullptr when the resolved count is <= 1 (run
+     * inline). The pool gets `threads - 1` workers because callers
+     * participate in every parallelFor.
+     */
+    static ThreadPool *forKnob(int requested,
+                               std::unique_ptr<ThreadPool> &slot);
+
+  private:
+    std::vector<std::thread> threads_;
+    std::deque<std::function<void()>> queue_;
+    std::mutex mutex_;
+    std::condition_variable ready_;
+    bool stopping_ = false;
+
+    void workerLoop();
+};
+
+} // namespace mercury
+
+#endif // MERCURY_UTIL_THREAD_POOL_HPP

@@ -3,9 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
-#include "core/mcache.hpp"
-#include "core/rpq.hpp"
-#include "core/similarity_detector.hpp"
+#include "pipeline/detection_frontend.hpp"
 #include "util/logging.hpp"
 #include "workloads/synthetic.hpp"
 
@@ -161,11 +159,14 @@ SyntheticSimilaritySource::channelMix(const LayerShape &shape,
                           static_cast<double>(std::max<int64_t>(pop, 1)));
     const int scaled_sets = std::max<int>(
         1, static_cast<int>(std::llround(cfg_.mcacheSets * sample_scale)));
-    MCache cache(scaled_sets, cfg_.mcacheWays, 1);
-    RPQEngine rpq(d, std::max(cfg_.maxSignatureBits, sig_bits),
-                  pass_seed ^ 0xD1B54A32D192ED03ull);
-    SimilarityDetector detector(rpq, cache, sig_bits);
-    const HitMix mix = detector.detect(rows).mix();
+    const PipelineConfig pipe = PipelineConfig::fromConfig(cfg_);
+    DetectionFrontend frontend(scaled_sets, cfg_.mcacheWays, 1,
+                               std::max(cfg_.maxSignatureBits, sig_bits),
+                               pass_seed ^ 0xD1B54A32D192ED03ull, pipe);
+    // One worker pool outlives the per-query frontends: thread spawn /
+    // join per channelMix would dwarf the detect() it parallelizes.
+    frontend.setSharedPool(ThreadPool::forKnob(pipe.threads, pool_));
+    const HitMix mix = frontend.detect(rows, sig_bits).mix();
     cache_.emplace(key, mix);
     return mix;
 }

@@ -18,12 +18,14 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <string>
 #include <tuple>
 
 #include "core/mercury_accelerator.hpp"
 #include "models/model_zoo.hpp"
 #include "sim/config.hpp"
+#include "util/thread_pool.hpp"
 
 namespace mercury {
 
@@ -70,6 +72,7 @@ class SyntheticSimilaritySource : public SimilaritySource
     int64_t dimCap_;
     std::map<std::string, double> depthOf_; ///< layer name -> [0, 1]
     std::map<std::tuple<std::string, int, int>, HitMix> cache_;
+    std::unique_ptr<ThreadPool> pool_; ///< shared across queries
 
     double depthFor(const LayerShape &shape) const;
 };

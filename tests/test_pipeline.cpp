@@ -1,0 +1,387 @@
+/**
+ * @file
+ * Tests for the batched detection pipeline (src/pipeline): the
+ * ShardedMCache must be indistinguishable from a monolithic MCache,
+ * the DetectionPipeline must be bit-identical to the legacy
+ * SimilarityDetector for every block size / shard count / thread
+ * count, reruns must be deterministic, the reuse engines must produce
+ * identical outputs through a shared multi-threaded frontend, and the
+ * fixed strided sampling must cover the population tail.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "core/conv_reuse_engine.hpp"
+#include "core/fc_engine.hpp"
+#include "core/similarity_detector.hpp"
+#include "nn/mercury_hooks.hpp"
+#include "pipeline/detection_frontend.hpp"
+#include "pipeline/sharded_mcache.hpp"
+#include "util/rng.hpp"
+#include "util/sampling.hpp"
+#include "util/thread_pool.hpp"
+#include "workloads/synthetic.hpp"
+
+namespace mercury {
+namespace {
+
+constexpr int kSets = 64;
+constexpr int kWays = 16;
+constexpr int kMaxBits = 32;
+constexpr int kBits = 20;
+constexpr uint64_t kSeed = 12345;
+
+/** The scalar reference path: RPQ + monolithic MCACHE, row by row. */
+DetectionResult
+legacyDetect(const Tensor &rows)
+{
+    MCache cache(kSets, kWays, 1);
+    RPQEngine rpq(rows.dim(1), kMaxBits, kSeed);
+    SimilarityDetector det(rpq, cache, kBits);
+    return det.detect(rows);
+}
+
+void
+expectIdenticalResults(const DetectionResult &a, const DetectionResult &b)
+{
+    ASSERT_EQ(a.hitmap.size(), b.hitmap.size());
+    for (int64_t i = 0; i < a.hitmap.size(); ++i) {
+        ASSERT_EQ(a.hitmap.outcome(i), b.hitmap.outcome(i))
+            << "outcome diverges at row " << i;
+        ASSERT_EQ(a.hitmap.entryId(i), b.hitmap.entryId(i))
+            << "entry id diverges at row " << i;
+    }
+    ASSERT_EQ(a.table.size(), b.table.size());
+    for (int64_t i = 0; i < a.table.size(); ++i) {
+        ASSERT_TRUE(a.table.signature(i) == b.table.signature(i))
+            << "signature diverges at row " << i;
+        ASSERT_EQ(a.table.entryId(i), b.table.entryId(i));
+    }
+    const HitMix ma = a.mix(), mb = b.mix();
+    EXPECT_EQ(ma.vectors, mb.vectors);
+    EXPECT_EQ(ma.hit, mb.hit);
+    EXPECT_EQ(ma.mau, mb.mau);
+    EXPECT_EQ(ma.mnu, mb.mnu);
+}
+
+TEST(Pipeline, BitIdenticalToLegacyAcrossAllKnobs)
+{
+    Tensor rows = prototypeVectors(512, 24, 64, 0.01f, 77, 1.2);
+    const DetectionResult ref = legacyDetect(rows);
+    for (int64_t block : {int64_t{1}, int64_t{7}, int64_t{64},
+                          int64_t{4096}}) {
+        for (int shards : {1, 3, 4, 64}) {
+            for (int threads : {1, 2, 4}) {
+                PipelineConfig pipe;
+                pipe.blockRows = block;
+                pipe.shards = shards;
+                pipe.threads = threads;
+                DetectionFrontend fe(kSets, kWays, 1, kMaxBits, kSeed,
+                                     pipe);
+                SCOPED_TRACE("block=" + std::to_string(block) +
+                             " shards=" + std::to_string(shards) +
+                             " threads=" + std::to_string(threads));
+                expectIdenticalResults(fe.detect(rows, kBits), ref);
+            }
+        }
+    }
+}
+
+TEST(Pipeline, DeterministicReruns)
+{
+    Tensor rows = prototypeVectors(300, 16, 40, 0.02f, 5, 1.5);
+    PipelineConfig pipe;
+    pipe.blockRows = 32;
+    pipe.shards = 8;
+    pipe.threads = 4;
+    DetectionFrontend fe(kSets, kWays, 1, kMaxBits, kSeed, pipe);
+    const DetectionResult first = fe.detect(rows, kBits);
+    // Same frontend again (cache cleared per pass) and a fresh
+    // frontend with the same seed: all three must agree exactly.
+    expectIdenticalResults(fe.detect(rows, kBits), first);
+    DetectionFrontend fresh(kSets, kWays, 1, kMaxBits, kSeed, pipe);
+    expectIdenticalResults(fresh.detect(rows, kBits), first);
+}
+
+TEST(Pipeline, BlockedProjectionMatchesScalar)
+{
+    Rng rng(9);
+    Tensor rows({37, 48});
+    rows.fillNormal(rng);
+    RPQEngine rpq(48, kMaxBits, 21);
+    std::vector<Signature> blocked(37);
+    rpq.signatureBlock(rows, 0, 37, kBits, blocked.data());
+    for (int64_t r = 0; r < 37; ++r)
+        ASSERT_TRUE(blocked[static_cast<size_t>(r)] ==
+                    rpq.signatureOfRow(rows, r, kBits))
+            << "row " << r;
+    // Projections themselves must also match bit for bit.
+    std::vector<float> proj(static_cast<size_t>(5) * kBits);
+    rpq.projectBlock(rows, 8, 13, kBits, proj.data());
+    for (int64_t r = 8; r < 13; ++r)
+        for (int n = 0; n < kBits; ++n)
+            ASSERT_EQ(proj[static_cast<size_t>((r - 8) * kBits + n)],
+                      rpq.project(rows.data() + r * 48, n));
+}
+
+TEST(ShardedMCache, MatchesMonolithicCache)
+{
+    MCache mono(37, 4, 2); // deliberately not a power of two
+    ShardedMCache sharded(37, 4, 2, 5);
+    EXPECT_EQ(sharded.entries(), mono.entries());
+    EXPECT_EQ(sharded.shardCount(), 5);
+
+    Rng rng(31);
+    RPQEngine rpq(12, kMaxBits, 3);
+    Tensor rows({400, 12});
+    rows.fillNormal(rng);
+    for (int64_t i = 0; i < rows.dim(0); ++i) {
+        const Signature sig = rpq.signatureOfRow(rows, i, 24);
+        const McacheResult a = mono.lookupOrInsert(sig);
+        const McacheResult b = sharded.lookupOrInsert(sig);
+        ASSERT_EQ(a.outcome, b.outcome) << "row " << i;
+        ASSERT_EQ(a.entryId, b.entryId) << "row " << i;
+    }
+    EXPECT_EQ(sharded.maxInsertBacklog(), mono.maxInsertBacklog());
+    const HitMix mix = sharded.lookupMix();
+    EXPECT_TRUE(mix.consistent());
+    EXPECT_EQ(mix.vectors, 400);
+}
+
+TEST(ShardedMCache, DataPlaneUsesGlobalEntryIds)
+{
+    ShardedMCache sharded(16, 2, 3, 4);
+    RPQEngine rpq(8, kMaxBits, 4);
+    Rng rng(8);
+    Tensor rows({40, 8});
+    rows.fillNormal(rng);
+    for (int64_t i = 0; i < rows.dim(0); ++i) {
+        const Signature sig = rpq.signatureOfRow(rows, i, 24);
+        const McacheResult r = sharded.lookupOrInsert(sig);
+        if (r.outcome != McacheOutcome::Mau)
+            continue;
+        EXPECT_FALSE(sharded.dataValid(r.entryId, 1));
+        sharded.writeData(r.entryId, 1, static_cast<float>(i));
+        EXPECT_TRUE(sharded.dataValid(r.entryId, 1));
+        EXPECT_EQ(sharded.readData(r.entryId, 1), static_cast<float>(i));
+    }
+    sharded.invalidateAllData();
+    for (int64_t id = 0; id < sharded.entries(); ++id)
+        EXPECT_FALSE(sharded.dataValid(id, 1));
+}
+
+TEST(ShardedMCache, ShardCountClampedToSets)
+{
+    ShardedMCache sharded(4, 2, 1, 100);
+    EXPECT_EQ(sharded.shardCount(), 4);
+    EXPECT_EQ(sharded.entries(), 8);
+}
+
+TEST(Pipeline, ConvEngineIdenticalThroughSharedThreadedFrontend)
+{
+    Dataset ds = makeImageDataset(2, 2, 3, 12, 13, 0.03f);
+    Rng rng(14);
+    Tensor w({4, 3, 3, 3});
+    w.fillNormal(rng);
+    ConvSpec spec;
+    spec.inChannels = 3;
+    spec.outChannels = 4;
+    spec.kernelH = spec.kernelW = 3;
+    spec.pad = 1;
+
+    MCache legacy_cache(kSets, kWays, 2);
+    ConvReuseEngine legacy(legacy_cache, 16, kSeed);
+    ReuseStats legacy_stats;
+    const Tensor legacy_out =
+        legacy.forward(ds.inputs, w, Tensor(), spec, legacy_stats);
+
+    PipelineConfig pipe;
+    pipe.blockRows = 16;
+    pipe.shards = 8;
+    pipe.threads = 4;
+    DetectionFrontend fe(kSets, kWays, 2, 16, kSeed, pipe);
+    ConvReuseEngine piped(fe, 16);
+    ReuseStats piped_stats;
+    const Tensor piped_out =
+        piped.forward(ds.inputs, w, Tensor(), spec, piped_stats);
+
+    EXPECT_TRUE(piped_out == legacy_out);
+    EXPECT_EQ(piped_stats.mix.hit, legacy_stats.mix.hit);
+    EXPECT_EQ(piped_stats.mix.mau, legacy_stats.mix.mau);
+    EXPECT_EQ(piped_stats.mix.mnu, legacy_stats.mix.mnu);
+    EXPECT_EQ(piped_stats.macsSkipped, legacy_stats.macsSkipped);
+}
+
+TEST(Pipeline, FcEngineIdenticalThroughSharedThreadedFrontend)
+{
+    Tensor input = prototypeVectors(96, 20, 12, 0.005f, 15);
+    Rng rng(16);
+    Tensor w({20, 10});
+    w.fillNormal(rng);
+
+    MCache legacy_cache(kSets, kWays, 1);
+    FcEngine legacy(legacy_cache, 24, kSeed);
+    ReuseStats legacy_stats;
+    std::vector<int64_t> legacy_owners;
+    const Tensor legacy_out =
+        legacy.forward(input, w, legacy_stats, &legacy_owners);
+
+    PipelineConfig pipe;
+    pipe.blockRows = 8;
+    pipe.shards = 4;
+    pipe.threads = 3;
+    DetectionFrontend fe(kSets, kWays, 1, 24, kSeed, pipe);
+    FcEngine piped(fe, 24);
+    ReuseStats piped_stats;
+    std::vector<int64_t> piped_owners;
+    const Tensor piped_out =
+        piped.forward(input, w, piped_stats, &piped_owners);
+
+    EXPECT_TRUE(piped_out == legacy_out);
+    EXPECT_EQ(piped_owners, legacy_owners);
+    EXPECT_EQ(piped_stats.macsSkipped, legacy_stats.macsSkipped);
+}
+
+TEST(Sampling, StridedIndicesCoverTheWholeRange)
+{
+    // 1000 rows sampled 300 times: the truncating stride (3) never
+    // got past row 897; round-to-nearest must reach the tail.
+    int64_t prev = -1;
+    for (int64_t i = 0; i < 300; ++i) {
+        const int64_t idx = stridedSampleIndex(i, 1000, 300);
+        EXPECT_GT(idx, prev); // strictly increasing
+        EXPECT_LT(idx, 1000);
+        prev = idx;
+    }
+    EXPECT_GE(prev, 990); // last pick lands in the tail
+    // Exact divisors reproduce the legacy indices.
+    for (int64_t i = 0; i < 512; ++i)
+        EXPECT_EQ(stridedSampleIndex(i, 4096, 512), i * 8);
+}
+
+TEST(Sampling, DetectSampledSeesTheTail)
+{
+    // Head: one hot prototype; tail: 100 i.i.d. random rows. The old
+    // truncating stride sampled the head only and extrapolated ~all
+    // hits; covering the tail recovers the real unique count.
+    Rng rng(17);
+    Tensor rows({1000, 16});
+    std::vector<float> proto(16);
+    for (auto &v : proto)
+        v = static_cast<float>(rng.normal());
+    for (int64_t i = 0; i < 900; ++i)
+        for (int64_t j = 0; j < 16; ++j)
+            rows.at2(i, j) = proto[static_cast<size_t>(j)];
+    for (int64_t i = 900; i < 1000; ++i)
+        for (int64_t j = 0; j < 16; ++j)
+            rows.at2(i, j) = static_cast<float>(rng.normal());
+
+    RPQEngine rpq(16, kMaxBits, 18);
+    MCache full_cache(kSets, kWays, 1), samp_cache(kSets, kWays, 1);
+    SimilarityDetector full(rpq, full_cache, 24);
+    SimilarityDetector samp(rpq, samp_cache, 24);
+    const HitMix f = full.detect(rows).mix();
+    const HitMix s = samp.detectSampled(rows, 300);
+    EXPECT_EQ(s.vectors, 1000);
+    // ~101 uniques in the full pass; the truncating stride reported
+    // ~3. Require the sampled estimate to land near the truth.
+    EXPECT_GT(f.mau, 90);
+    EXPECT_NEAR(static_cast<double>(s.mau), static_cast<double>(f.mau),
+                0.25 * static_cast<double>(f.mau));
+
+    // The pipeline frontend shares the same sampling path.
+    PipelineConfig pipe;
+    pipe.threads = 2;
+    pipe.shards = 4;
+    DetectionFrontend fe(kSets, kWays, 1, kMaxBits, 18, pipe);
+    const HitMix p = fe.detectSampled(rows, 24, 300);
+    EXPECT_EQ(p.hit, s.hit);
+    EXPECT_EQ(p.mau, s.mau);
+    EXPECT_EQ(p.mnu, s.mnu);
+}
+
+TEST(ThreadPool, ParallelForVisitsEveryIndexOnce)
+{
+    ThreadPool pool(3);
+    EXPECT_EQ(pool.workers(), 3);
+    std::vector<std::atomic<int>> visits(257);
+    for (auto &v : visits)
+        v.store(0);
+    pool.parallelFor(257, [&](int64_t i) {
+        visits[static_cast<size_t>(i)].fetch_add(1);
+    });
+    for (size_t i = 0; i < visits.size(); ++i)
+        ASSERT_EQ(visits[i].load(), 1) << "index " << i;
+}
+
+TEST(ThreadPool, EmptyPoolRunsInline)
+{
+    ThreadPool pool(0);
+    int64_t sum = 0;
+    pool.parallelFor(100, [&](int64_t i) { sum += i; });
+    EXPECT_EQ(sum, 4950);
+    EXPECT_GE(ThreadPool::resolveThreads(0), 1);
+    EXPECT_EQ(ThreadPool::resolveThreads(7), 7);
+}
+
+TEST(ThreadPool, NegativeThreadKnobDies)
+{
+    EXPECT_DEATH(ThreadPool::resolveThreads(-1), ">= 0");
+}
+
+TEST(Pipeline, MercuryContextCachesFrontendsAndMatchesLegacy)
+{
+    Tensor input = prototypeVectors(64, 12, 8, 0.005f, 19);
+    Rng rng(20);
+    Tensor w({12, 6});
+    w.fillNormal(rng);
+
+    MercuryContext legacy_ctx(16);
+    FcEngine legacy(legacy_ctx.cache(), 16, legacy_ctx.layerSeed(3));
+    ReuseStats legacy_stats;
+    const Tensor legacy_out = legacy.forward(input, w, legacy_stats);
+
+    MercuryContext ctx(16);
+    PipelineConfig pipe;
+    pipe.blockRows = 16;
+    pipe.shards = 4;
+    pipe.threads = 3;
+    ctx.setPipeline(pipe);
+    DetectionFrontend &fe = ctx.frontendFor(3);
+    EXPECT_EQ(&fe, &ctx.frontendFor(3)); // cached across passes
+    FcEngine piped(fe, 16);
+    ReuseStats piped_stats;
+    const Tensor piped_out = piped.forward(input, w, piped_stats);
+
+    EXPECT_TRUE(piped_out == legacy_out);
+    EXPECT_EQ(piped_stats.mix.hit, legacy_stats.mix.hit);
+    EXPECT_EQ(piped_stats.mix.mau, legacy_stats.mix.mau);
+}
+
+TEST(Pipeline, ConfigKnobsLiftFromAcceleratorConfig)
+{
+    AcceleratorConfig cfg;
+    cfg.pipelineBlockRows = 128;
+    cfg.pipelineShards = 16;
+    cfg.pipelineThreads = 0;
+    const PipelineConfig pipe = PipelineConfig::fromConfig(cfg);
+    EXPECT_EQ(pipe.blockRows, 128);
+    EXPECT_EQ(pipe.shards, 16);
+    EXPECT_EQ(pipe.threads, 0);
+
+    // A frontend built straight from the accelerator config inherits
+    // the MCACHE organization and provisioning.
+    DetectionFrontend fe(cfg, 7);
+    EXPECT_EQ(fe.entries(), cfg.mcacheEntries());
+    EXPECT_EQ(fe.maxBits(), cfg.maxSignatureBits);
+    EXPECT_EQ(fe.dataVersions(), cfg.mcacheDataVersions);
+    Tensor rows = prototypeVectors(64, 8, 8, 0.01f, 7);
+    const HitMix mix = fe.detect(rows, 16).mix();
+    EXPECT_TRUE(mix.consistent());
+    EXPECT_EQ(mix.vectors, 64);
+}
+
+} // namespace
+} // namespace mercury
