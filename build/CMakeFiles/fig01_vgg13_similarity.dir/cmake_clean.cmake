@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_vgg13_similarity.dir/bench/fig01_vgg13_similarity.cpp.o"
+  "CMakeFiles/fig01_vgg13_similarity.dir/bench/fig01_vgg13_similarity.cpp.o.d"
+  "fig01_vgg13_similarity"
+  "fig01_vgg13_similarity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_vgg13_similarity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

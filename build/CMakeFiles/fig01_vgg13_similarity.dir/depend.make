@@ -1,0 +1,2 @@
+# Empty dependencies file for fig01_vgg13_similarity.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_rpq_vs_bloom.dir/bench/fig03_rpq_vs_bloom.cpp.o"
+  "CMakeFiles/fig03_rpq_vs_bloom.dir/bench/fig03_rpq_vs_bloom.cpp.o.d"
+  "fig03_rpq_vs_bloom"
+  "fig03_rpq_vs_bloom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_rpq_vs_bloom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig03_rpq_vs_bloom.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_signature_pipelining.dir/bench/fig08_signature_pipelining.cpp.o"
+  "CMakeFiles/fig08_signature_pipelining.dir/bench/fig08_signature_pipelining.cpp.o.d"
+  "fig08_signature_pipelining"
+  "fig08_signature_pipelining.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_signature_pipelining.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

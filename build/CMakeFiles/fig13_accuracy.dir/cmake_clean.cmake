@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_accuracy.dir/bench/fig13_accuracy.cpp.o"
+  "CMakeFiles/fig13_accuracy.dir/bench/fig13_accuracy.cpp.o.d"
+  "fig13_accuracy"
+  "fig13_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

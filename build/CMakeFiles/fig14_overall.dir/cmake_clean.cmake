@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_overall.dir/bench/fig14_overall.cpp.o"
+  "CMakeFiles/fig14_overall.dir/bench/fig14_overall.cpp.o.d"
+  "fig14_overall"
+  "fig14_overall.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_overall.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

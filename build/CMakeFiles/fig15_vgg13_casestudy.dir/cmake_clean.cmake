@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_vgg13_casestudy.dir/bench/fig15_vgg13_casestudy.cpp.o"
+  "CMakeFiles/fig15_vgg13_casestudy.dir/bench/fig15_vgg13_casestudy.cpp.o.d"
+  "fig15_vgg13_casestudy"
+  "fig15_vgg13_casestudy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_vgg13_casestudy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_mcache_sweep.dir/bench/fig16_mcache_sweep.cpp.o"
+  "CMakeFiles/fig16_mcache_sweep.dir/bench/fig16_mcache_sweep.cpp.o.d"
+  "fig16_mcache_sweep"
+  "fig16_mcache_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_mcache_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

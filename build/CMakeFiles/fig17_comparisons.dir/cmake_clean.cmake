@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17_comparisons.dir/bench/fig17_comparisons.cpp.o"
+  "CMakeFiles/fig17_comparisons.dir/bench/fig17_comparisons.cpp.o.d"
+  "fig17_comparisons"
+  "fig17_comparisons.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_comparisons.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig18_dataflows.dir/bench/fig18_dataflows.cpp.o"
+  "CMakeFiles/fig18_dataflows.dir/bench/fig18_dataflows.cpp.o.d"
+  "fig18_dataflows"
+  "fig18_dataflows.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig18_dataflows.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

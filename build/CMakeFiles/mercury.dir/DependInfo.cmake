@@ -1,0 +1,57 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/bloom_filter.cpp" "CMakeFiles/mercury.dir/src/baselines/bloom_filter.cpp.o" "gcc" "CMakeFiles/mercury.dir/src/baselines/bloom_filter.cpp.o.d"
+  "/root/repo/src/baselines/ucnn.cpp" "CMakeFiles/mercury.dir/src/baselines/ucnn.cpp.o" "gcc" "CMakeFiles/mercury.dir/src/baselines/ucnn.cpp.o.d"
+  "/root/repo/src/baselines/unlimited_similarity.cpp" "CMakeFiles/mercury.dir/src/baselines/unlimited_similarity.cpp.o" "gcc" "CMakeFiles/mercury.dir/src/baselines/unlimited_similarity.cpp.o.d"
+  "/root/repo/src/baselines/zero_pruning.cpp" "CMakeFiles/mercury.dir/src/baselines/zero_pruning.cpp.o" "gcc" "CMakeFiles/mercury.dir/src/baselines/zero_pruning.cpp.o.d"
+  "/root/repo/src/core/adaptive.cpp" "CMakeFiles/mercury.dir/src/core/adaptive.cpp.o" "gcc" "CMakeFiles/mercury.dir/src/core/adaptive.cpp.o.d"
+  "/root/repo/src/core/attention_engine.cpp" "CMakeFiles/mercury.dir/src/core/attention_engine.cpp.o" "gcc" "CMakeFiles/mercury.dir/src/core/attention_engine.cpp.o.d"
+  "/root/repo/src/core/conv_reuse_engine.cpp" "CMakeFiles/mercury.dir/src/core/conv_reuse_engine.cpp.o" "gcc" "CMakeFiles/mercury.dir/src/core/conv_reuse_engine.cpp.o.d"
+  "/root/repo/src/core/fc_engine.cpp" "CMakeFiles/mercury.dir/src/core/fc_engine.cpp.o" "gcc" "CMakeFiles/mercury.dir/src/core/fc_engine.cpp.o.d"
+  "/root/repo/src/core/hitmap.cpp" "CMakeFiles/mercury.dir/src/core/hitmap.cpp.o" "gcc" "CMakeFiles/mercury.dir/src/core/hitmap.cpp.o.d"
+  "/root/repo/src/core/mcache.cpp" "CMakeFiles/mercury.dir/src/core/mcache.cpp.o" "gcc" "CMakeFiles/mercury.dir/src/core/mcache.cpp.o.d"
+  "/root/repo/src/core/mercury_accelerator.cpp" "CMakeFiles/mercury.dir/src/core/mercury_accelerator.cpp.o" "gcc" "CMakeFiles/mercury.dir/src/core/mercury_accelerator.cpp.o.d"
+  "/root/repo/src/core/rpq.cpp" "CMakeFiles/mercury.dir/src/core/rpq.cpp.o" "gcc" "CMakeFiles/mercury.dir/src/core/rpq.cpp.o.d"
+  "/root/repo/src/core/signature.cpp" "CMakeFiles/mercury.dir/src/core/signature.cpp.o" "gcc" "CMakeFiles/mercury.dir/src/core/signature.cpp.o.d"
+  "/root/repo/src/core/signature_table.cpp" "CMakeFiles/mercury.dir/src/core/signature_table.cpp.o" "gcc" "CMakeFiles/mercury.dir/src/core/signature_table.cpp.o.d"
+  "/root/repo/src/core/similarity_detector.cpp" "CMakeFiles/mercury.dir/src/core/similarity_detector.cpp.o" "gcc" "CMakeFiles/mercury.dir/src/core/similarity_detector.cpp.o.d"
+  "/root/repo/src/fpga/resource_model.cpp" "CMakeFiles/mercury.dir/src/fpga/resource_model.cpp.o" "gcc" "CMakeFiles/mercury.dir/src/fpga/resource_model.cpp.o.d"
+  "/root/repo/src/models/model_zoo.cpp" "CMakeFiles/mercury.dir/src/models/model_zoo.cpp.o" "gcc" "CMakeFiles/mercury.dir/src/models/model_zoo.cpp.o.d"
+  "/root/repo/src/models/proxies.cpp" "CMakeFiles/mercury.dir/src/models/proxies.cpp.o" "gcc" "CMakeFiles/mercury.dir/src/models/proxies.cpp.o.d"
+  "/root/repo/src/nn/attention_layer.cpp" "CMakeFiles/mercury.dir/src/nn/attention_layer.cpp.o" "gcc" "CMakeFiles/mercury.dir/src/nn/attention_layer.cpp.o.d"
+  "/root/repo/src/nn/blocks.cpp" "CMakeFiles/mercury.dir/src/nn/blocks.cpp.o" "gcc" "CMakeFiles/mercury.dir/src/nn/blocks.cpp.o.d"
+  "/root/repo/src/nn/layers.cpp" "CMakeFiles/mercury.dir/src/nn/layers.cpp.o" "gcc" "CMakeFiles/mercury.dir/src/nn/layers.cpp.o.d"
+  "/root/repo/src/nn/mercury_hooks.cpp" "CMakeFiles/mercury.dir/src/nn/mercury_hooks.cpp.o" "gcc" "CMakeFiles/mercury.dir/src/nn/mercury_hooks.cpp.o.d"
+  "/root/repo/src/nn/network.cpp" "CMakeFiles/mercury.dir/src/nn/network.cpp.o" "gcc" "CMakeFiles/mercury.dir/src/nn/network.cpp.o.d"
+  "/root/repo/src/pipeline/detection_frontend.cpp" "CMakeFiles/mercury.dir/src/pipeline/detection_frontend.cpp.o" "gcc" "CMakeFiles/mercury.dir/src/pipeline/detection_frontend.cpp.o.d"
+  "/root/repo/src/pipeline/detection_pipeline.cpp" "CMakeFiles/mercury.dir/src/pipeline/detection_pipeline.cpp.o" "gcc" "CMakeFiles/mercury.dir/src/pipeline/detection_pipeline.cpp.o.d"
+  "/root/repo/src/pipeline/sharded_mcache.cpp" "CMakeFiles/mercury.dir/src/pipeline/sharded_mcache.cpp.o" "gcc" "CMakeFiles/mercury.dir/src/pipeline/sharded_mcache.cpp.o.d"
+  "/root/repo/src/sim/cycle_model.cpp" "CMakeFiles/mercury.dir/src/sim/cycle_model.cpp.o" "gcc" "CMakeFiles/mercury.dir/src/sim/cycle_model.cpp.o.d"
+  "/root/repo/src/sim/dataflow.cpp" "CMakeFiles/mercury.dir/src/sim/dataflow.cpp.o" "gcc" "CMakeFiles/mercury.dir/src/sim/dataflow.cpp.o.d"
+  "/root/repo/src/sim/global_buffer.cpp" "CMakeFiles/mercury.dir/src/sim/global_buffer.cpp.o" "gcc" "CMakeFiles/mercury.dir/src/sim/global_buffer.cpp.o.d"
+  "/root/repo/src/sim/layer_shape.cpp" "CMakeFiles/mercury.dir/src/sim/layer_shape.cpp.o" "gcc" "CMakeFiles/mercury.dir/src/sim/layer_shape.cpp.o.d"
+  "/root/repo/src/sim/pe_array.cpp" "CMakeFiles/mercury.dir/src/sim/pe_array.cpp.o" "gcc" "CMakeFiles/mercury.dir/src/sim/pe_array.cpp.o.d"
+  "/root/repo/src/tensor/ops.cpp" "CMakeFiles/mercury.dir/src/tensor/ops.cpp.o" "gcc" "CMakeFiles/mercury.dir/src/tensor/ops.cpp.o.d"
+  "/root/repo/src/tensor/tensor.cpp" "CMakeFiles/mercury.dir/src/tensor/tensor.cpp.o" "gcc" "CMakeFiles/mercury.dir/src/tensor/tensor.cpp.o.d"
+  "/root/repo/src/util/rng.cpp" "CMakeFiles/mercury.dir/src/util/rng.cpp.o" "gcc" "CMakeFiles/mercury.dir/src/util/rng.cpp.o.d"
+  "/root/repo/src/util/stats.cpp" "CMakeFiles/mercury.dir/src/util/stats.cpp.o" "gcc" "CMakeFiles/mercury.dir/src/util/stats.cpp.o.d"
+  "/root/repo/src/util/table.cpp" "CMakeFiles/mercury.dir/src/util/table.cpp.o" "gcc" "CMakeFiles/mercury.dir/src/util/table.cpp.o.d"
+  "/root/repo/src/util/thread_pool.cpp" "CMakeFiles/mercury.dir/src/util/thread_pool.cpp.o" "gcc" "CMakeFiles/mercury.dir/src/util/thread_pool.cpp.o.d"
+  "/root/repo/src/workloads/profiles.cpp" "CMakeFiles/mercury.dir/src/workloads/profiles.cpp.o" "gcc" "CMakeFiles/mercury.dir/src/workloads/profiles.cpp.o.d"
+  "/root/repo/src/workloads/synthetic.cpp" "CMakeFiles/mercury.dir/src/workloads/synthetic.cpp.o" "gcc" "CMakeFiles/mercury.dir/src/workloads/synthetic.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab01_memory_types.dir/bench/tab01_memory_types.cpp.o"
+  "CMakeFiles/tab01_memory_types.dir/bench/tab01_memory_types.cpp.o.d"
+  "tab01_memory_types"
+  "tab01_memory_types.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab01_memory_types.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab02_resource_sets.dir/bench/tab02_resource_sets.cpp.o"
+  "CMakeFiles/tab02_resource_sets.dir/bench/tab02_resource_sets.cpp.o.d"
+  "tab02_resource_sets"
+  "tab02_resource_sets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab02_resource_sets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab03_resource_ways.dir/bench/tab03_resource_ways.cpp.o"
+  "CMakeFiles/tab03_resource_ways.dir/bench/tab03_resource_ways.cpp.o.d"
+  "tab03_resource_ways"
+  "tab03_resource_ways.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab03_resource_ways.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

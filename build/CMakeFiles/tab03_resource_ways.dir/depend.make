@@ -1,0 +1,2 @@
+# Empty dependencies file for tab03_resource_ways.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab04_resource_vs_baseline.dir/bench/tab04_resource_vs_baseline.cpp.o"
+  "CMakeFiles/tab04_resource_vs_baseline.dir/bench/tab04_resource_vs_baseline.cpp.o.d"
+  "tab04_resource_vs_baseline"
+  "tab04_resource_vs_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab04_resource_vs_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for tab04_resource_vs_baseline.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cycle_model.dir/tests/test_cycle_model.cpp.o"
+  "CMakeFiles/test_cycle_model.dir/tests/test_cycle_model.cpp.o.d"
+  "test_cycle_model"
+  "test_cycle_model.pdb"
+  "test_cycle_model[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cycle_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mcache.dir/tests/test_mcache.cpp.o"
+  "CMakeFiles/test_mcache.dir/tests/test_mcache.cpp.o.d"
+  "test_mcache"
+  "test_mcache.pdb"
+  "test_mcache[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mcache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

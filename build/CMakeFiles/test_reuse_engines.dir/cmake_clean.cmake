@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_reuse_engines.dir/tests/test_reuse_engines.cpp.o"
+  "CMakeFiles/test_reuse_engines.dir/tests/test_reuse_engines.cpp.o.d"
+  "test_reuse_engines"
+  "test_reuse_engines.pdb"
+  "test_reuse_engines[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_reuse_engines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

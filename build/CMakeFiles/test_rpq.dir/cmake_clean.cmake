@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rpq.dir/tests/test_rpq.cpp.o"
+  "CMakeFiles/test_rpq.dir/tests/test_rpq.cpp.o.d"
+  "test_rpq"
+  "test_rpq.pdb"
+  "test_rpq[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rpq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

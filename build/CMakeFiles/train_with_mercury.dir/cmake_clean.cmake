@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/train_with_mercury.dir/examples/train_with_mercury.cpp.o"
+  "CMakeFiles/train_with_mercury.dir/examples/train_with_mercury.cpp.o.d"
+  "train_with_mercury"
+  "train_with_mercury.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/train_with_mercury.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

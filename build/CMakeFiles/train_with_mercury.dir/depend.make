@@ -1,0 +1,2 @@
+# Empty dependencies file for train_with_mercury.
+# This may be replaced when dependencies are built.

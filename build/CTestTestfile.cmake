@@ -1,0 +1,24 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo
+# Build directory: /root/repo/build
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/test_accelerator[1]_include.cmake")
+include("/root/repo/build/test_adaptive[1]_include.cmake")
+include("/root/repo/build/test_baselines[1]_include.cmake")
+include("/root/repo/build/test_cycle_model[1]_include.cmake")
+include("/root/repo/build/test_dataflow[1]_include.cmake")
+include("/root/repo/build/test_detector[1]_include.cmake")
+include("/root/repo/build/test_fpga[1]_include.cmake")
+include("/root/repo/build/test_integration[1]_include.cmake")
+include("/root/repo/build/test_mcache[1]_include.cmake")
+include("/root/repo/build/test_models[1]_include.cmake")
+include("/root/repo/build/test_nn[1]_include.cmake")
+include("/root/repo/build/test_pipeline[1]_include.cmake")
+include("/root/repo/build/test_reuse_engines[1]_include.cmake")
+include("/root/repo/build/test_rpq[1]_include.cmake")
+include("/root/repo/build/test_signature[1]_include.cmake")
+include("/root/repo/build/test_tensor[1]_include.cmake")
+include("/root/repo/build/test_util[1]_include.cmake")
+include("/root/repo/build/test_workloads[1]_include.cmake")
