@@ -1,6 +1,7 @@
 #include "core/attention_engine.hpp"
 
 #include "util/logging.hpp"
+#include "util/thread_pool.hpp"
 
 namespace mercury {
 
@@ -23,10 +24,7 @@ AttentionEngine::forward(const Tensor &x, ReuseStats &stats)
     const int64_t t = x.dim(0);
     const int64_t d = x.dim(1);
 
-    DetectionResult det = frontend_->detect(x, frontend_.signatureBits());
-
     stats = ReuseStats{};
-    stats.mix = det.mix();
     stats.channelPasses = 1;
     // W = X Xt costs T*T*D MACs; Y = W X costs T*T*D MACs.
     stats.macsTotal = 2ull * static_cast<uint64_t>(t) *
@@ -36,21 +34,94 @@ AttentionEngine::forward(const Tensor &x, ReuseStats &stats)
     std::vector<int64_t> owner_of_entry(
         static_cast<size_t>(frontend_->entries()), -1);
     std::vector<int64_t> owner(static_cast<size_t>(t), -1);
-    for (int64_t i = 0; i < t; ++i) {
-        const McacheOutcome outc = det.hitmap.outcome(i);
-        const int64_t id = det.hitmap.entryId(i);
+
+    // Owner bookkeeping for one row, in stream order (§III-C3 style:
+    // the first MAU row of an entry owns it; owners always compute).
+    const auto record_owner = [&](int64_t i, const McacheResult &mr) {
         owner[static_cast<size_t>(i)] = i;
-        if (outc == McacheOutcome::Hit &&
-            owner_of_entry[static_cast<size_t>(id)] >= 0) {
+        if (mr.outcome == McacheOutcome::Hit &&
+            owner_of_entry[static_cast<size_t>(mr.entryId)] >= 0) {
             owner[static_cast<size_t>(i)] =
-                owner_of_entry[static_cast<size_t>(id)];
-        } else if (outc == McacheOutcome::Mau) {
-            owner_of_entry[static_cast<size_t>(id)] = i;
+                owner_of_entry[static_cast<size_t>(mr.entryId)];
+        } else if (mr.outcome == McacheOutcome::Mau) {
+            owner_of_entry[static_cast<size_t>(mr.entryId)] = i;
         }
+        return owner[static_cast<size_t>(i)];
+    };
+
+    Tensor w({t, t});
+    Tensor y({t, d});
+
+    // Both stages for one computed row: w_i = X x_i (needs only X),
+    // then y_i = w_i X (needs only the row's own w_i) — so a computed
+    // row is self-contained and rows can run in any order.
+    const auto compute_row = [&](int64_t i) {
+        for (int64_t j = 0; j < t; ++j) {
+            float acc = 0.0f;
+            for (int64_t e = 0; e < d; ++e)
+                acc += x.at2(i, e) * x.at2(j, e);
+            w.at2(i, j) = acc;
+        }
+        for (int64_t j = 0; j < d; ++j) {
+            float acc = 0.0f;
+            for (int64_t e = 0; e < t; ++e)
+                acc += w.at2(i, e) * x.at2(e, j);
+            y.at2(i, j) = acc;
+        }
+    };
+
+    if (frontend_->overlapEnabled()) {
+        // Streaming pass: computed rows of each delivered block fan
+        // out to the pool while later blocks hash; forwarded rows are
+        // copied after the joins (owners always compute, and nothing
+        // reads a forwarded row's W, so only Y needs the copy — as in
+        // the serial path, where a HIT's W row is never read either).
+        ThreadPool *pool = frontend_->workerPool();
+        TaskGroup computes(pool);
+        std::vector<int64_t> forwards;
+        const DetectionResult det = frontend_->detectStream(
+            x, frontend_.signatureBits(),
+            [&](const DetectionBlock &blk) {
+                std::vector<int64_t> computed;
+                for (int64_t i = blk.row0; i < blk.row1; ++i) {
+                    if (record_owner(i, blk.results[i - blk.row0]) != i) {
+                        forwards.push_back(i);
+                        stats.macsSkipped +=
+                            2ull * static_cast<uint64_t>(t) *
+                            static_cast<uint64_t>(d);
+                    } else {
+                        computed.push_back(i);
+                    }
+                }
+                if (!computed.empty()) {
+                    computes.run([&compute_row,
+                                  batch = std::move(computed)] {
+                        for (const int64_t i : batch)
+                            compute_row(i);
+                    });
+                }
+            });
+        stats.mix = det.mix();
+        computes.wait();
+        pool->parallelFor(
+            static_cast<int64_t>(forwards.size()), [&](int64_t f) {
+                const int64_t i = forwards[static_cast<size_t>(f)];
+                const int64_t o = owner[static_cast<size_t>(i)];
+                for (int64_t j = 0; j < d; ++j)
+                    y.at2(i, j) = y.at2(o, j);
+            });
+        return y;
+    }
+
+    // Run-then-filter path.
+    const DetectionResult det =
+        frontend_->detect(x, frontend_.signatureBits());
+    stats.mix = det.mix();
+    for (int64_t i = 0; i < t; ++i) {
+        record_owner(i, {det.hitmap.outcome(i), det.hitmap.entryId(i)});
     }
 
     // Stage 1: W = X Xt with row forwarding.
-    Tensor w({t, t});
     for (int64_t i = 0; i < t; ++i) {
         const int64_t o = owner[static_cast<size_t>(i)];
         if (o != i) {
@@ -69,7 +140,6 @@ AttentionEngine::forward(const Tensor &x, ReuseStats &stats)
     }
 
     // Stage 2: Y = W X with the same forwarding pattern.
-    Tensor y({t, d});
     for (int64_t i = 0; i < t; ++i) {
         const int64_t o = owner[static_cast<size_t>(i)];
         if (o != i) {

@@ -7,6 +7,15 @@
  * similarity of X's rows: a row x_i similar to an earlier x_j yields
  * similar W and Y rows, so HIT rows copy the owner's rows in both
  * stages — the same FC-style forwarding the paper applies.
+ *
+ * Overlap (§III-B, Fig. 8): with the frontend's `overlap` knob set
+ * and a worker pool available, forward() consumes the detection
+ * pipeline's streaming block hand-off. A computed row is
+ * self-contained (w_i needs only X, y_i needs only w_i), so computed
+ * rows of a delivered block fan out to the pool while later blocks
+ * are still hashing; HIT rows are forwarded after the joins. Output
+ * and statistics are bit-identical to the serial path. One thread
+ * drives an engine (or a shared frontend) at a time.
  */
 
 #ifndef MERCURY_CORE_ATTENTION_ENGINE_HPP
@@ -25,6 +34,16 @@ namespace mercury {
 class AttentionEngine
 {
   public:
+    /**
+     * Run through a caller-provided MCACHE: builds an internal
+     * single-shard DetectionFrontend view over it.
+     *
+     * @param cache    MCACHE instance (tag machinery only; whole
+     *                 output rows travel by FC-style forwarding)
+     * @param sig_bits signature length for detection
+     * @param seed     seed for the per-layer random projection
+     * @param pipe     pipeline knobs for the internal front-end
+     */
     AttentionEngine(MCache &cache, int sig_bits, uint64_t seed,
                     const PipelineConfig &pipe = {});
 
@@ -37,6 +56,7 @@ class AttentionEngine
      */
     Tensor forward(const Tensor &x, ReuseStats &stats);
 
+    /** Signature length this engine detects with. */
     int signatureBits() const { return frontend_.signatureBits(); }
 
   private:

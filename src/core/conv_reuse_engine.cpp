@@ -1,6 +1,9 @@
 #include "core/conv_reuse_engine.hpp"
 
+#include <algorithm>
+
 #include "util/logging.hpp"
+#include "util/thread_pool.hpp"
 
 namespace mercury {
 
@@ -14,6 +17,47 @@ ConvReuseEngine::ConvReuseEngine(DetectionFrontend &frontend, int sig_bits)
     : frontend_(frontend, sig_bits, "ConvReuseEngine")
 {
 }
+
+namespace {
+
+/**
+ * One filter pass over rows [r0, r1): HIT rows fetch the owner's dot
+ * product from the MCACHE data plane (version slot `ver`), misses
+ * compute, MAU rows deposit. Returns the MACs skipped. Rows must be
+ * processed in stream order per filter so every HIT's owner (an
+ * earlier MAU row) has already deposited — the serial path walks all
+ * rows at once, the overlapped path keeps this invariant by chaining
+ * a filter's blocks through one SerialExecutor.
+ */
+uint64_t
+filterSegment(DetectionFrontend &fe, const Tensor &rows,
+              const std::vector<McacheResult> &row_results,
+              const float *w, int ver, int64_t r0, int64_t r1, int64_t d,
+              float *out_base)
+{
+    uint64_t skipped = 0;
+    for (int64_t i = r0; i < r1; ++i) {
+        const McacheResult &mr = row_results[static_cast<size_t>(i)];
+        float val;
+        if (mr.outcome == McacheOutcome::Hit &&
+            fe.readDataIfValid(mr.entryId, ver, val)) {
+            // Reuse the earlier vector's result.
+            skipped += static_cast<uint64_t>(d);
+        } else {
+            const float *row = rows.data() + i * d;
+            float acc = 0.0f;
+            for (int64_t e = 0; e < d; ++e)
+                acc += row[e] * w[e];
+            val = acc;
+            if (mr.outcome == McacheOutcome::Mau)
+                fe.writeData(mr.entryId, ver, acc);
+        }
+        out_base[i] += val;
+    }
+    return skipped;
+}
+
+} // namespace
 
 Tensor
 ConvReuseEngine::forward(const Tensor &input, const Tensor &weight,
@@ -44,6 +88,16 @@ ConvReuseEngine::forward(const Tensor &input, const Tensor &weight,
     // Channel-at-a-time extraction buffer.
     Tensor rows({v, d});
     const int versions = frontend_->dataVersions();
+    const bool overlapped = frontend_->overlapEnabled();
+    ThreadPool *pool = overlapped ? frontend_->workerPool() : nullptr;
+    std::vector<McacheResult> row_results(static_cast<size_t>(v));
+
+    // Weight pointer of one filter pass: filter `of` of group g
+    // against input channel c.
+    const auto weight_of = [&](int64_t g, int64_t of, int64_t ic) {
+        const int64_t oc = g * cout_g + of;
+        return weight.data() + ((oc * cin_g + ic) * k) * k;
+    };
 
     stats = ReuseStats{};
     for (int64_t b = 0; b < n; ++b) {
@@ -72,10 +126,72 @@ ConvReuseEngine::forward(const Tensor &input, const Tensor &weight,
                     }
                 }
 
-                // Detection pass: signatures, MCACHE tags, hitmap —
-                // one pipeline run per (image, channel).
-                DetectionResult det =
-                    frontend_->detect(rows, frontend_.signatureBits());
+                DetectionResult det;
+                // Filters already finished in the overlapped group 0.
+                int64_t oc_done = 0;
+
+                if (overlapped) {
+                    // Streaming channel pass: the first `versions`
+                    // filter passes consume detection blocks as they
+                    // are delivered, each filter on its own serial
+                    // chain (stream order per filter, filters in
+                    // parallel), while later blocks still hash on the
+                    // pool. detectStream's initial cache clear also
+                    // clears every data version, so group 0 needs no
+                    // separate invalidateAllData.
+                    const int64_t group0 =
+                        std::min<int64_t>(versions, cout_g);
+                    std::vector<std::unique_ptr<SerialExecutor>> chains;
+                    std::vector<uint64_t> chain_skipped(
+                        static_cast<size_t>(group0), 0);
+                    for (int64_t of = 0; of < group0; ++of)
+                        chains.push_back(
+                            std::make_unique<SerialExecutor>(pool));
+
+                    det = frontend_->detectStream(
+                        rows, frontend_.signatureBits(),
+                        [&](const DetectionBlock &blk) {
+                            // The block's result pointers die with the
+                            // callback; copy into engine-owned storage
+                            // the chains can read asynchronously.
+                            std::copy(blk.results,
+                                      blk.results + blk.rows(),
+                                      row_results.begin() + blk.row0);
+                            for (int64_t of = 0; of < group0; ++of) {
+                                DetectionFrontend &fe = *frontend_;
+                                chains[static_cast<size_t>(of)]->run(
+                                    [&fe, &rows, &row_results,
+                                     &chain_skipped, w = weight_of(g, of, ic),
+                                     base = out.data() +
+                                            out.offset4(b, g * cout_g + of,
+                                                        0, 0),
+                                     of, r0 = blk.row0, r1 = blk.row1,
+                                     d] {
+                                        chain_skipped[static_cast<size_t>(
+                                            of)] +=
+                                            filterSegment(
+                                                fe, rows, row_results, w,
+                                                static_cast<int>(of), r0,
+                                                r1, d, base);
+                                    });
+                            }
+                        });
+                    for (auto &chain : chains)
+                        chain->wait();
+                    for (const uint64_t s : chain_skipped)
+                        stats.macsSkipped += s;
+                    oc_done = group0;
+                } else {
+                    // Run-then-filter: one full detection pass, then
+                    // the filter passes below.
+                    det = frontend_->detect(rows,
+                                            frontend_.signatureBits());
+                    for (int64_t i = 0; i < v; ++i) {
+                        row_results[static_cast<size_t>(i)] = {
+                            det.hitmap.outcome(i), det.hitmap.entryId(i)};
+                    }
+                }
+
                 const HitMix mix = det.mix();
                 stats.mix.vectors += mix.vectors;
                 stats.mix.hit += mix.hit;
@@ -86,42 +202,36 @@ ConvReuseEngine::forward(const Tensor &input, const Tensor &weight,
                                    static_cast<uint64_t>(cout_g) *
                                    static_cast<uint64_t>(d);
 
-                // Filter passes in groups of `versions` in-flight
-                // filters (the multi-version data of Fig. 11).
-                for (int64_t oc0 = 0; oc0 < cout_g; oc0 += versions) {
+                // Remaining filter passes in groups of `versions`
+                // in-flight filters (the multi-version data of
+                // Fig. 11). In overlapped mode the filters of a group
+                // run in parallel on the pool — each filter is a
+                // whole-row-range chain, so the owner-before-hit
+                // order within a filter still holds.
+                for (int64_t oc0 = oc_done; oc0 < cout_g;
+                     oc0 += versions) {
                     frontend_->invalidateAllData();
                     const int64_t oc1 =
                         std::min<int64_t>(oc0 + versions, cout_g);
-                    for (int64_t of = oc0; of < oc1; ++of) {
-                        const int64_t oc = g * cout_g + of;
-                        const int ver = static_cast<int>(of - oc0);
-                        const float *w =
-                            weight.data() +
-                            ((oc * cin_g + ic) * k) * k;
-                        for (int64_t i = 0; i < v; ++i) {
-                            float val;
-                            const McacheOutcome outc =
-                                det.hitmap.outcome(i);
-                            const int64_t id = det.hitmap.entryId(i);
-                            if (outc == McacheOutcome::Hit &&
-                                frontend_->dataValid(id, ver)) {
-                                // Reuse the earlier vector's result.
-                                val = frontend_->readData(id, ver);
-                                stats.macsSkipped +=
-                                    static_cast<uint64_t>(d);
-                            } else {
-                                const float *row =
-                                    rows.data() + i * d;
-                                float acc = 0.0f;
-                                for (int64_t e = 0; e < d; ++e)
-                                    acc += row[e] * w[e];
-                                val = acc;
-                                if (outc == McacheOutcome::Mau)
-                                    frontend_->writeData(id, ver, acc);
-                            }
-                            out[out.offset4(b, oc, 0, 0) + i] += val;
-                        }
+                    std::vector<uint64_t> skipped(
+                        static_cast<size_t>(oc1 - oc0), 0);
+                    const auto filter_pass = [&](int64_t fi) {
+                        const int64_t of = oc0 + fi;
+                        skipped[static_cast<size_t>(fi)] = filterSegment(
+                            *frontend_, rows, row_results,
+                            weight_of(g, of, ic),
+                            static_cast<int>(fi), 0, v, d,
+                            out.data() +
+                                out.offset4(b, g * cout_g + of, 0, 0));
+                    };
+                    if (pool) {
+                        pool->parallelFor(oc1 - oc0, filter_pass);
+                    } else {
+                        for (int64_t fi = 0; fi < oc1 - oc0; ++fi)
+                            filter_pass(fi);
                     }
+                    for (const uint64_t s : skipped)
+                        stats.macsSkipped += s;
                 }
             }
         }

@@ -12,6 +12,23 @@
  * reuse-induced approximation — which is what the accuracy
  * experiments measure.
  *
+ * Overlap (§III-B, Fig. 8): when the frontend's PipelineConfig has
+ * `overlap` set and a worker pool is available, the engine consumes
+ * the pipeline's streaming block hand-off — the first `versions`
+ * filter passes run as per-filter SerialExecutor chains that start on
+ * each block as it is delivered, while later blocks are still
+ * hashing, and the remaining filter groups run `versions` filters in
+ * parallel on the pool. Each filter processes its rows in stream
+ * order (the MCACHE owner-writes-before-hit-reads discipline), so
+ * outputs, hit/skip decisions, and statistics are bit-identical to
+ * the serial run-then-filter path.
+ *
+ * Thread-safety: forward() is driven by one thread; the filter tasks
+ * it spawns touch the MCACHE data plane concurrently, which the
+ * ShardedMCache serializes per shard. Two threads must not call
+ * forward() on one engine (or on two engines sharing a frontend)
+ * concurrently.
+ *
  * The engine also reports the measured HIT/MAU/MNU mix and the MACs
  * skipped, which feed the timing model.
  */
@@ -81,6 +98,7 @@ class ConvReuseEngine
                    const Tensor &bias, const ConvSpec &spec,
                    ReuseStats &stats);
 
+    /** Signature length this engine detects with. */
     int signatureBits() const { return frontend_.signatureBits(); }
 
   private:

@@ -1,6 +1,7 @@
 #include "core/fc_engine.hpp"
 
 #include "util/logging.hpp"
+#include "util/thread_pool.hpp"
 
 namespace mercury {
 
@@ -28,11 +29,7 @@ FcEngine::forward(const Tensor &input, const Tensor &weight,
     const int64_t d = input.dim(1);
     const int64_t m = weight.dim(1);
 
-    DetectionResult det =
-        frontend_->detect(input, frontend_.signatureBits());
-
     stats = ReuseStats{};
-    stats.mix = det.mix();
     stats.channelPasses = 1;
     stats.macsTotal =
         static_cast<uint64_t>(n) * static_cast<uint64_t>(d) *
@@ -40,26 +37,97 @@ FcEngine::forward(const Tensor &input, const Tensor &weight,
 
     // The owner ("earlier PE", §III-C3) of each MCACHE entry is the
     // first row that inserted the signature; HIT rows receive the
-    // owner's results.
+    // owner's results. Owners are always computed rows (a HIT never
+    // becomes an owner), so forwarding chains have depth one.
     std::vector<int64_t> owner_of_entry(
         static_cast<size_t>(frontend_->entries()), -1);
     if (owner_rows)
         owner_rows->assign(static_cast<size_t>(n), -1);
 
     Tensor out({n, m});
-    for (int64_t i = 0; i < n; ++i) {
-        const McacheOutcome outc = det.hitmap.outcome(i);
-        const int64_t id = det.hitmap.entryId(i);
+
+    // One computed output row: the row's dot product against every
+    // weight column.
+    const auto compute_row = [&](int64_t i) {
+        for (int64_t j = 0; j < m; ++j) {
+            float acc = 0.0f;
+            for (int64_t e = 0; e < d; ++e)
+                acc += input.at2(i, e) * weight.at2(e, j);
+            out.at2(i, j) = acc;
+        }
+    };
+    // Owner bookkeeping for one row, in stream order. Returns the
+    // owner (the row itself when it must compute).
+    const auto owner_of = [&](int64_t i, const McacheResult &mr) {
         int64_t owner = i;
-        if (outc == McacheOutcome::Hit &&
-            owner_of_entry[static_cast<size_t>(id)] >= 0) {
-            owner = owner_of_entry[static_cast<size_t>(id)];
-        } else if (outc == McacheOutcome::Mau) {
-            owner_of_entry[static_cast<size_t>(id)] = i;
+        if (mr.outcome == McacheOutcome::Hit &&
+            owner_of_entry[static_cast<size_t>(mr.entryId)] >= 0) {
+            owner = owner_of_entry[static_cast<size_t>(mr.entryId)];
+        } else if (mr.outcome == McacheOutcome::Mau) {
+            owner_of_entry[static_cast<size_t>(mr.entryId)] = i;
         }
         if (owner_rows)
             (*owner_rows)[static_cast<size_t>(i)] = owner;
+        return owner;
+    };
 
+    if (frontend_->overlapEnabled()) {
+        // Streaming pass: as each detection block is delivered, its
+        // computed rows are fanned out to the pool (they are mutually
+        // independent) while later blocks still hash; forwarded rows
+        // are copied after the joins, since every owner is a computed
+        // row. Bookkeeping runs on this thread in stream order.
+        ThreadPool *pool = frontend_->workerPool();
+        TaskGroup computes(pool);
+        struct Forward
+        {
+            int64_t row;
+            int64_t owner;
+        };
+        std::vector<Forward> forwards;
+        const DetectionResult det = frontend_->detectStream(
+            input, frontend_.signatureBits(),
+            [&](const DetectionBlock &blk) {
+                std::vector<int64_t> computed;
+                for (int64_t i = blk.row0; i < blk.row1; ++i) {
+                    const int64_t owner =
+                        owner_of(i, blk.results[i - blk.row0]);
+                    if (owner != i) {
+                        forwards.push_back({i, owner});
+                        stats.macsSkipped += static_cast<uint64_t>(d) *
+                                             static_cast<uint64_t>(m);
+                    } else {
+                        computed.push_back(i);
+                    }
+                }
+                if (!computed.empty()) {
+                    computes.run([&compute_row,
+                                  batch = std::move(computed)] {
+                        for (const int64_t i : batch)
+                            compute_row(i);
+                    });
+                }
+            });
+        stats.mix = det.mix();
+        computes.wait();
+        // Result forwarding from the earlier PEs, now all computed.
+        pool->parallelFor(
+            static_cast<int64_t>(forwards.size()), [&](int64_t f) {
+                const Forward fwd = forwards[static_cast<size_t>(f)];
+                for (int64_t j = 0; j < m; ++j)
+                    out.at2(fwd.row, j) = out.at2(fwd.owner, j);
+            });
+        return out;
+    }
+
+    // Run-then-filter path: full detection pass, then one serial walk.
+    const DetectionResult det =
+        frontend_->detect(input, frontend_.signatureBits());
+    stats.mix = det.mix();
+    for (int64_t i = 0; i < n; ++i) {
+        const McacheResult mr{det.hitmap.outcome(i),
+                              det.hitmap.entryId(i)};
+        const int64_t owner = owner_of(i, mr);
         if (owner != i) {
             // Result forwarding from the earlier PE.
             for (int64_t j = 0; j < m; ++j)
@@ -68,12 +136,7 @@ FcEngine::forward(const Tensor &input, const Tensor &weight,
                                  static_cast<uint64_t>(m);
             continue;
         }
-        for (int64_t j = 0; j < m; ++j) {
-            float acc = 0.0f;
-            for (int64_t e = 0; e < d; ++e)
-                acc += input.at2(i, e) * weight.at2(e, j);
-            out.at2(i, j) = acc;
-        }
+        compute_row(i);
     }
     return out;
 }

@@ -5,6 +5,16 @@
  * Input rows of a minibatch are hashed; a row whose signature HITs
  * receives every weight-column result from the "earlier PE" that owns
  * the matching signature instead of recomputing the dot products.
+ *
+ * Overlap (§III-B, Fig. 8): with the frontend's `overlap` knob set
+ * and a worker pool available, forward() consumes the detection
+ * pipeline's streaming block hand-off — computed rows of a delivered
+ * block fan out to the pool while later blocks are still hashing, and
+ * HIT rows are forwarded after the joins (owners are always computed
+ * rows, so forwarding chains have depth one). Outputs, owner maps,
+ * and statistics are bit-identical to the serial run-then-filter
+ * path. forward() itself is single-caller: one thread drives an
+ * engine (or a shared frontend) at a time.
  */
 
 #ifndef MERCURY_CORE_FC_ENGINE_HPP
@@ -50,6 +60,7 @@ class FcEngine
                    ReuseStats &stats,
                    std::vector<int64_t> *owner_rows = nullptr);
 
+    /** Signature length this engine detects with. */
     int signatureBits() const { return frontend_.signatureBits(); }
 
   private:

@@ -72,9 +72,33 @@ DetectionFrontend::detect(const Tensor &rows, int bits)
 {
     if (rows.rank() != 2)
         panic("detect expects a (n, d) matrix, got ", rows.shapeStr());
+    ThreadPool *pool = poolFor();
+    // Shard locks are only needed when filter tasks will touch the
+    // data plane while probes are in flight — i.e. overlapped mode.
+    // The batch pass itself is lock-free by construction even on a
+    // pool (stage-1 blocks write disjoint ranges, stage 2 runs one
+    // prober per shard), and without overlap the filter loops that
+    // follow run on this thread only. Quiescent here: one thread
+    // drives a frontend's passes.
+    cache_->setConcurrent(pipe_.overlap && pool != nullptr);
     DetectionPipeline pipeline(rpqFor(rows.dim(1)), *cache_, bits, pipe_,
-                               poolFor());
+                               pool);
     return pipeline.run(rows);
+}
+
+DetectionResult
+DetectionFrontend::detectStream(const Tensor &rows, int bits,
+                                const BlockConsumer &on_block)
+{
+    if (rows.rank() != 2)
+        panic("detect expects a (n, d) matrix, got ", rows.shapeStr());
+    ThreadPool *pool = poolFor();
+    // Streaming consumers schedule filter work against the data plane
+    // while later probes run, so locks engage whenever a pool exists.
+    cache_->setConcurrent(pool != nullptr);
+    DetectionPipeline pipeline(rpqFor(rows.dim(1)), *cache_, bits, pipe_,
+                               pool);
+    return pipeline.runStreaming(rows, on_block);
 }
 
 FrontendHandle::FrontendHandle(MCache &cache, int sig_bits, uint64_t seed,

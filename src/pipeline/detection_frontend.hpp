@@ -15,6 +15,16 @@
  * With threads = 1 the frontend is the exact legacy path: results are
  * bit-identical to SimilarityDetector over a monolithic MCache, for
  * any block size and shard count.
+ *
+ * Concurrency contract: one thread drives a frontend's detection
+ * passes (detect / detectStream / detectSampled) at a time — the
+ * frontend fans work out internally. The MCACHE data plane
+ * (readDataIfValid / writeData / dataValid / readData) MAY be called
+ * from worker threads concurrently with a detectStream in progress
+ * and with each other; the ShardedMCache serializes per shard. The
+ * RPQ provisioning map and the lazy pool are owned by the driving
+ * thread, so two threads must not run passes on one frontend
+ * concurrently.
  */
 
 #ifndef MERCURY_PIPELINE_DETECTION_FRONTEND_HPP
@@ -92,6 +102,28 @@ class DetectionFrontend
     DetectionResult detect(const Tensor &rows, int bits);
 
     /**
+     * Streaming form of detect(): identical result, but completed
+     * blocks are delivered to `on_block` in ascending block order
+     * while later blocks are still hashing on the pool (see
+     * DetectionPipeline::runStreaming for the ordering and lifetime
+     * contract). The callback runs on the calling thread; it may
+     * submit filter work to workerPool() but must not block on it.
+     */
+    DetectionResult detectStream(const Tensor &rows, int bits,
+                                 const BlockConsumer &on_block);
+
+    /**
+     * The pool detection passes fan out to — shared pool if set,
+     * otherwise the private pool for the configured thread knob.
+     * nullptr when the resolved thread count is 1 (inline execution);
+     * overlapped engines fall back to the serial path in that case.
+     */
+    ThreadPool *workerPool() { return poolFor(); }
+
+    /** True when this frontend should run the overlapped hand-off. */
+    bool overlapEnabled() { return pipe_.overlap && poolFor() != nullptr; }
+
+    /**
      * Statistical form for big layers: detect over at most
      * `max_sample` evenly strided rows and scale the mix back to the
      * full population. Exercises the identical pipeline path.
@@ -103,7 +135,11 @@ class DetectionFrontend
     ShardedMCache &cache() { return *cache_; }
     const ShardedMCache &cache() const { return *cache_; }
 
-    /** MCACHE data plane (global entry ids), for the reuse engines. */
+    /**
+     * MCACHE data plane (global entry ids), for the reuse engines.
+     * Safe from worker threads concurrently with a streaming pass
+     * (per-shard locks); invalidateAllData requires quiescence.
+     */
     int dataVersions() const { return cache_->dataVersions(); }
     int64_t entries() const { return cache_->entries(); }
     bool dataValid(int64_t entry_id, int version) const
@@ -113,6 +149,11 @@ class DetectionFrontend
     float readData(int64_t entry_id, int version) const
     {
         return cache_->readData(entry_id, version);
+    }
+    /** Atomic valid-check + read (one shard lock): HIT forwarding. */
+    bool readDataIfValid(int64_t entry_id, int version, float &value) const
+    {
+        return cache_->readDataIfValid(entry_id, version, value);
     }
     void writeData(int64_t entry_id, int version, float value)
     {
@@ -151,8 +192,10 @@ class FrontendHandle
     FrontendHandle(DetectionFrontend &frontend, int sig_bits,
                    const char *engine);
 
+    /** Signature length the owning engine detects with. */
     int signatureBits() const { return sigBits_; }
 
+    /** Access the bound frontend (owned or shared). */
     DetectionFrontend &operator*() const { return frontend_; }
     DetectionFrontend *operator->() const { return &frontend_; }
 

@@ -1,10 +1,14 @@
 #include "pipeline/detection_pipeline.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <functional>
+#include <mutex>
 #include <utility>
 #include <vector>
 
 #include "util/logging.hpp"
+#include "util/spsc_queue.hpp"
 
 namespace mercury {
 
@@ -15,6 +19,7 @@ PipelineConfig::fromConfig(const AcceleratorConfig &cfg)
     pipe.blockRows = cfg.pipelineBlockRows;
     pipe.shards = cfg.pipelineShards;
     pipe.threads = cfg.pipelineThreads;
+    pipe.overlap = cfg.overlapDetection;
     return pipe;
 }
 
@@ -98,6 +103,126 @@ DetectionPipeline::run(const Tensor &rows) const
     }
 
     // Stage 3: stitch per-row buffers back in stream order.
+    for (int64_t i = 0; i < n; ++i) {
+        const McacheResult &r = results[static_cast<size_t>(i)];
+        res.hitmap.record(i, r);
+        res.table.append(std::move(sigs[static_cast<size_t>(i)]),
+                         r.entryId);
+    }
+    return res;
+}
+
+DetectionResult
+DetectionPipeline::runStreaming(const Tensor &rows,
+                                const BlockConsumer &on_block) const
+{
+    if (rows.rank() != 2 || rows.dim(1) != rpq_.vectorDim())
+        panic("detect expects (n, ", rpq_.vectorDim(), ") got ",
+              rows.shapeStr());
+    cache_.clear();
+    const int64_t n = rows.dim(0);
+    DetectionResult res;
+    res.hitmap.reset(n);
+    if (n == 0)
+        return res;
+
+    std::vector<Signature> sigs(static_cast<size_t>(n));
+    std::vector<int> set_of(static_cast<size_t>(n));
+    std::vector<McacheResult> results(static_cast<size_t>(n));
+    const int64_t block = cfg_.blockRows;
+    const int64_t blocks = (n + block - 1) / block;
+
+    // Stage 1, as in run(): hash one block, precompute its set
+    // indices. Safe on any thread — it only reads the cache geometry.
+    const auto project_block = [&](int64_t b) {
+        const int64_t r0 = b * block;
+        const int64_t r1 = std::min(n, r0 + block);
+        rpq_.signatureBlock(rows, r0, r1, bits_,
+                            sigs.data() + static_cast<size_t>(r0));
+        for (int64_t i = r0; i < r1; ++i)
+            set_of[static_cast<size_t>(i)] =
+                cache_.setIndexOf(sigs[static_cast<size_t>(i)]);
+    };
+
+    // Stage 2 + hand-off: probe one hashed block in global stream
+    // order (caller thread only, so every MCACHE set sees the batch
+    // path's order) and deliver it to the consumer.
+    const auto probe_and_deliver = [&](int64_t b) {
+        const int64_t r0 = b * block;
+        const int64_t r1 = std::min(n, r0 + block);
+        for (int64_t i = r0; i < r1; ++i) {
+            results[static_cast<size_t>(i)] = cache_.lookupOrInsertInSet(
+                set_of[static_cast<size_t>(i)],
+                sigs[static_cast<size_t>(i)]);
+        }
+        if (on_block) {
+            DetectionBlock blk;
+            blk.index = b;
+            blk.row0 = r0;
+            blk.row1 = r1;
+            blk.sigs = sigs.data() + static_cast<size_t>(r0);
+            blk.results = results.data() + static_cast<size_t>(r0);
+            on_block(blk);
+        }
+    };
+
+    if (pool_ && pool_->workers() > 0) {
+        // Hashing fans out to the pool in any order; a sequencer
+        // pushes finished blocks into the hand-off queue in ascending
+        // block order, and the calling thread probes + delivers as
+        // they arrive — overlapping stage 1 of later blocks with the
+        // consumer's work on earlier ones (Fig. 8).
+        //
+        // Hash tasks are self-replenishing (each one grabs the next
+        // unhashed block and resubmits) rather than enqueued all
+        // up-front: the pool's queue is FIFO, so pre-queueing every
+        // hash task would park the consumer's filter tasks behind the
+        // whole hashing phase and the overlap would never materialize
+        // on a saturated pool. With a window of ~workers in flight,
+        // hash and filter tasks interleave.
+        SpscQueue<int64_t> handoff;
+        std::mutex seq_mutex;
+        std::vector<char> hashed(static_cast<size_t>(blocks), 0);
+        int64_t frontier = 0;
+        std::atomic<int64_t> next_block{0};
+        TaskGroup hashers(pool_);
+        std::function<void()> hash_one = [&] {
+            const int64_t b =
+                next_block.fetch_add(1, std::memory_order_relaxed);
+            if (b >= blocks)
+                return;
+            project_block(b);
+            {
+                std::lock_guard<std::mutex> lock(seq_mutex);
+                hashed[static_cast<size_t>(b)] = 1;
+                while (frontier < blocks &&
+                       hashed[static_cast<size_t>(frontier)])
+                    handoff.push(frontier++);
+            }
+            hashers.run(hash_one); // chain the next block
+        };
+        const int64_t seeds = std::min<int64_t>(
+            blocks, static_cast<int64_t>(pool_->workers()) + 1);
+        for (int64_t s = 0; s < seeds; ++s)
+            hashers.run(hash_one);
+        for (int64_t delivered = 0; delivered < blocks; ++delivered) {
+            int64_t b = -1;
+            // Exactly `blocks` pushes occur and nobody closes the
+            // queue, so pop() can only return false if the sequencer
+            // logic breaks — defensive, loud, never expected to fire.
+            if (!handoff.pop(b))
+                panic("detection hand-off queue closed early");
+            probe_and_deliver(b);
+        }
+        hashers.wait();
+    } else {
+        for (int64_t b = 0; b < blocks; ++b) {
+            project_block(b);
+            probe_and_deliver(b);
+        }
+    }
+
+    // Stage 3: stitch, exactly as the batch path.
     for (int64_t i = 0; i < n; ++i) {
         const McacheResult &r = results[static_cast<size_t>(i)];
         res.hitmap.record(i, r);

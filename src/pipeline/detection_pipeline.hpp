@@ -22,12 +22,21 @@
  * case — produces results bit-identical to the legacy detector:
  * projections accumulate in the same element order, and each MCACHE
  * set sees its signatures in the same stream order.
+ *
+ * Besides the batch run(), the pipeline is a *streaming producer*
+ * (runStreaming): completed signature/hit blocks are handed to a
+ * consumer callback in ascending block order while later blocks are
+ * still hashing on the pool — the software form of the paper's Fig. 8
+ * overlap of signature generation with PE work. The reuse engines
+ * consume this stream to start their filter passes before detection
+ * of the remaining rows has finished (see docs/ARCHITECTURE.md).
  */
 
 #ifndef MERCURY_PIPELINE_DETECTION_PIPELINE_HPP
 #define MERCURY_PIPELINE_DETECTION_PIPELINE_HPP
 
 #include <cstdint>
+#include <functional>
 
 #include "core/rpq.hpp"
 #include "core/similarity_detector.hpp"
@@ -49,9 +58,43 @@ struct PipelineConfig
     /** Worker threads: 1 = run inline (legacy order), 0 = auto. */
     int threads = 1;
 
+    /**
+     * Overlap detection with compute (§III-B, Fig. 8): when true, the
+     * reuse engines consume the streaming block hand-off and run
+     * their filter passes on the worker pool while later blocks are
+     * still hashing, instead of waiting for the full detection pass.
+     * Results stay bit-identical; the knob trades only wall time.
+     * Ignored (legacy run-then-filter) when no pool is available,
+     * i.e. when the resolved thread count is 1.
+     */
+    bool overlap = false;
+
     /** Lift the pipeline knobs out of an accelerator configuration. */
     static PipelineConfig fromConfig(const AcceleratorConfig &cfg);
 };
+
+/**
+ * One block of detection results delivered by runStreaming.
+ *
+ * Lifetime contract: the pointers are valid only for the duration of
+ * the consumer callback — they alias pipeline-internal buffers that
+ * die when runStreaming returns. A consumer that schedules
+ * asynchronous work against a block (as the overlapped engines do)
+ * must copy what it needs before returning from the callback.
+ */
+struct DetectionBlock
+{
+    int64_t index = 0;  ///< block sequence number, delivered ascending
+    int64_t row0 = 0;   ///< first row of the block
+    int64_t row1 = 0;   ///< one past the last row
+    const Signature *sigs = nullptr;      ///< signatures of [row0, row1)
+    const McacheResult *results = nullptr; ///< outcomes of [row0, row1)
+
+    int64_t rows() const { return row1 - row0; }
+};
+
+/** Consumer of the streaming per-block hand-off. */
+using BlockConsumer = std::function<void(const DetectionBlock &)>;
 
 /** Batched, optionally multi-threaded similarity detection pass. */
 class DetectionPipeline
@@ -76,6 +119,28 @@ class DetectionPipeline
      * order, exactly as SimilarityDetector::detect does.
      */
     DetectionResult run(const Tensor &rows) const;
+
+    /**
+     * Streaming form of run(): identical result, but completed blocks
+     * are handed to `on_block` as soon as they are hashed and probed,
+     * while later blocks are still hashing on the pool.
+     *
+     * Ordering contract: blocks are delivered in ascending block
+     * order (0, 1, 2, ...), each covering rows
+     * [index * blockRows, min(n, (index + 1) * blockRows)), and the
+     * MCACHE probe of a block happens-before its delivery. Probing is
+     * performed in global stream order on the calling thread, so
+     * every shard sees its signatures in exactly the order of the
+     * batch path — outcomes and entry ids are bit-identical to run().
+     *
+     * Threading contract: `on_block` runs on the calling thread. Only
+     * stage 1 (hashing) is fanned out to the pool; without a pool the
+     * whole pass runs inline, with delivery after each block. The
+     * consumer may submit work to the same pool, but must not block
+     * on that work from inside the callback.
+     */
+    DetectionResult runStreaming(const Tensor &rows,
+                                 const BlockConsumer &on_block) const;
 
   private:
     const RPQEngine &rpq_;

@@ -26,6 +26,7 @@ ShardedMCache::ShardedMCache(int sets, int ways, int data_versions,
         shardBaseSet_.push_back(base);
         base += local_sets;
     }
+    shardLocks_ = std::make_unique<std::mutex[]>(shards_.size());
 }
 
 ShardedMCache::ShardedMCache(MCache &external)
@@ -35,6 +36,7 @@ ShardedMCache::ShardedMCache(MCache &external)
 {
     shards_.push_back(&external);
     shardBaseSet_.push_back(0);
+    shardLocks_ = std::make_unique<std::mutex[]>(1);
 }
 
 int
@@ -66,9 +68,15 @@ ShardedMCache::lookupOrInsertInSet(int set, const Signature &sig)
 {
     const int s = shardOfSet(set);
     const int base = shardBaseSet_[static_cast<size_t>(s)];
-    McacheResult r =
-        shards_[static_cast<size_t>(s)]->lookupOrInsertInSet(set - base,
-                                                             sig);
+    McacheResult r;
+    {
+        std::unique_lock<std::mutex> lock(
+            shardLocks_[static_cast<size_t>(s)], std::defer_lock);
+        if (concurrent_.load(std::memory_order_relaxed))
+            lock.lock();
+        r = shards_[static_cast<size_t>(s)]->lookupOrInsertInSet(
+            set - base, sig);
+    }
     if (r.entryId >= 0)
         r.entryId += static_cast<int64_t>(base) * ways_;
     return r;
@@ -82,13 +90,17 @@ ShardedMCache::refOf(int64_t entry_id) const
     const int s = shardOfSet(static_cast<int>(entry_id / ways_));
     const int base = shardBaseSet_[static_cast<size_t>(s)];
     return {shards_[static_cast<size_t>(s)],
-            entry_id - static_cast<int64_t>(base) * ways_};
+            entry_id - static_cast<int64_t>(base) * ways_, s};
 }
 
 bool
 ShardedMCache::dataValid(int64_t entry_id, int version) const
 {
     const Ref ref = refOf(entry_id);
+    std::unique_lock<std::mutex> lock(
+        shardLocks_[static_cast<size_t>(ref.shard)], std::defer_lock);
+    if (concurrent_.load(std::memory_order_relaxed))
+        lock.lock();
     return ref.cache->dataValid(ref.localId, version);
 }
 
@@ -96,36 +108,65 @@ float
 ShardedMCache::readData(int64_t entry_id, int version) const
 {
     const Ref ref = refOf(entry_id);
+    std::unique_lock<std::mutex> lock(
+        shardLocks_[static_cast<size_t>(ref.shard)], std::defer_lock);
+    if (concurrent_.load(std::memory_order_relaxed))
+        lock.lock();
     return ref.cache->readData(ref.localId, version);
+}
+
+bool
+ShardedMCache::readDataIfValid(int64_t entry_id, int version,
+                               float &value) const
+{
+    const Ref ref = refOf(entry_id);
+    std::unique_lock<std::mutex> lock(
+        shardLocks_[static_cast<size_t>(ref.shard)], std::defer_lock);
+    if (concurrent_.load(std::memory_order_relaxed))
+        lock.lock();
+    if (!ref.cache->dataValid(ref.localId, version))
+        return false;
+    value = ref.cache->readData(ref.localId, version);
+    return true;
 }
 
 void
 ShardedMCache::writeData(int64_t entry_id, int version, float value)
 {
     const Ref ref = refOf(entry_id);
+    std::unique_lock<std::mutex> lock(
+        shardLocks_[static_cast<size_t>(ref.shard)], std::defer_lock);
+    if (concurrent_.load(std::memory_order_relaxed))
+        lock.lock();
     ref.cache->writeData(ref.localId, version, value);
 }
 
 void
 ShardedMCache::invalidateAllData()
 {
-    for (MCache *shard : shards_)
-        shard->invalidateAllData();
+    for (size_t s = 0; s < shards_.size(); ++s) {
+        std::lock_guard<std::mutex> lock(shardLocks_[s]);
+        shards_[s]->invalidateAllData();
+    }
 }
 
 void
 ShardedMCache::clear()
 {
-    for (MCache *shard : shards_)
-        shard->clear();
+    for (size_t s = 0; s < shards_.size(); ++s) {
+        std::lock_guard<std::mutex> lock(shardLocks_[s]);
+        shards_[s]->clear();
+    }
 }
 
 uint64_t
 ShardedMCache::maxInsertBacklog() const
 {
     uint64_t mx = 0;
-    for (const MCache *shard : shards_)
-        mx = std::max(mx, shard->maxInsertBacklog());
+    for (size_t s = 0; s < shards_.size(); ++s) {
+        std::lock_guard<std::mutex> lock(shardLocks_[s]);
+        mx = std::max(mx, shards_[s]->maxInsertBacklog());
+    }
     return mx;
 }
 
@@ -133,8 +174,9 @@ HitMix
 ShardedMCache::lookupMix() const
 {
     HitMix mix;
-    for (const MCache *shard : shards_) {
-        const StatGroup &stats = shard->stats();
+    for (size_t s = 0; s < shards_.size(); ++s) {
+        std::lock_guard<std::mutex> lock(shardLocks_[s]);
+        const StatGroup &stats = shards_[s]->stats();
         const auto count = [&stats](const char *name) -> int64_t {
             return stats.has(name)
                        ? static_cast<int64_t>(

@@ -12,16 +12,45 @@
  * bit-identical to the single-cache single-thread path. Per-shard
  * statistics merge into one HitMix.
  *
+ * Thread-safety contract (the overlapped-detection data plane,
+ * ROADMAP "async multi-filter MCACHE semantics"):
+ *
+ *  - In concurrent mode (the default; see setConcurrent), every tag
+ *    probe (lookupOrInsert / lookupOrInsertInSet) and every
+ *    data-plane access (dataValid / readData / readDataIfValid /
+ *    writeData) takes the owning shard's lock, so HIT forwarding may
+ *    run on worker threads *while later filters — or the streaming
+ *    detection pass itself — are still inserting tags* into the same
+ *    shard. Distinct shards never contend. A single-threaded driver
+ *    (no worker pool anywhere in reach of the cache) may switch the
+ *    locks off so the legacy hot paths stay lock-free — the
+ *    DetectionFrontend does this automatically per pass.
+ *  - Bit-identical outcomes still require ORDER, which locks alone do
+ *    not provide: each shard must see its probes in stream order, and
+ *    a HIT's data read must happen after its MAU owner's write. The
+ *    detection pipeline delivers blocks in order, and the engines
+ *    keep each filter's rows in a SerialExecutor chain, to provide
+ *    exactly that order (see docs/ARCHITECTURE.md).
+ *  - clear() / invalidateAllData() / lookupMix() / maxInsertBacklog()
+ *    lock shard by shard; callers must be quiescent (no in-flight
+ *    probes or filter passes) for the aggregate to be meaningful.
+ *  - shard() hands out a raw MCache reference and is NOT locked: it
+ *    is for tests and statistics on a quiescent cache only.
+ *
  * The class can also wrap an externally owned MCache as its single
  * shard, which is how the legacy engine constructors keep sharing a
- * caller-provided cache through the new pipeline front-end.
+ * caller-provided cache through the new pipeline front-end. The
+ * wrapped cache must then only be accessed through this wrapper while
+ * concurrent passes are in flight.
  */
 
 #ifndef MERCURY_PIPELINE_SHARDED_MCACHE_HPP
 #define MERCURY_PIPELINE_SHARDED_MCACHE_HPP
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "core/mcache.hpp"
@@ -65,23 +94,48 @@ class ShardedMCache
     McacheResult lookupOrInsert(const Signature &sig);
 
     /**
-     * Lookup with a precomputed global set index. Callers running
-     * shards on worker threads must present each shard's signatures
-     * in stream order and never touch one shard from two threads at
-     * once; distinct shards are safe concurrently.
+     * Lookup with a precomputed global set index. Locked per shard,
+     * so probes may run concurrently with data-plane traffic; for
+     * bit-identical results each shard must still be presented its
+     * signatures in stream order (one prober per shard, or one global
+     * in-order prober).
      */
     McacheResult lookupOrInsertInSet(int set, const Signature &sig);
 
-    /** Entry-id data plane, global ids as in the monolithic cache. */
+    /**
+     * Entry-id data plane, global ids as in the monolithic cache.
+     * Each call locks the entry's shard, so concurrent HIT forwarding
+     * and MAU deposits from filter tasks are safe while other threads
+     * probe the same shard. Note dataValid-then-readData is two lock
+     * acquisitions; prefer readDataIfValid in concurrent paths.
+     */
     bool dataValid(int64_t entry_id, int version) const;
     float readData(int64_t entry_id, int version) const;
     void writeData(int64_t entry_id, int version, float value);
 
-    /** Clear every VD bit in every shard (the bitline). */
+    /**
+     * Atomic dataValid + readData under one shard lock: true and
+     * fills `value` when the version is valid. This is the HIT
+     * forwarding path of the overlapped engines.
+     */
+    bool readDataIfValid(int64_t entry_id, int version,
+                         float &value) const;
+
+    /** Clear every VD bit in every shard (the bitline). Quiescent only. */
     void invalidateAllData();
 
-    /** Clear tags and data in every shard. */
+    /** Clear tags and data in every shard. Quiescent only. */
     void clear();
+
+    /**
+     * Toggle the per-shard locking of probes and data-plane accesses.
+     * On (the construction default) whenever worker threads may touch
+     * the cache; a purely single-threaded driver may switch it off to
+     * keep the hot paths lock-free. Must only be toggled while the
+     * cache is quiescent (no pass or filter tasks in flight).
+     */
+    void setConcurrent(bool concurrent) { concurrent_ = concurrent; }
+    bool concurrent() const { return concurrent_; }
 
     /** Largest per-set insert backlog across all shards (§V). */
     uint64_t maxInsertBacklog() const;
@@ -89,7 +143,7 @@ class ShardedMCache
     /** Per-shard lifetime stats merged into one HitMix. */
     HitMix lookupMix() const;
 
-    /** Direct shard access (tests, stats). */
+    /** Direct shard access (tests, stats; unlocked, quiescent only). */
     MCache &shard(int s);
     const MCache &shard(int s) const;
 
@@ -97,6 +151,14 @@ class ShardedMCache
     std::vector<std::unique_ptr<MCache>> owned_;
     std::vector<MCache *> shards_;
     std::vector<int> shardBaseSet_; ///< first global set of each shard
+    /// One lock per shard guarding its tags, data, and stats. Heap
+    /// array because std::mutex is immovable. Mutable: const readers
+    /// (dataValid, readDataIfValid) lock too.
+    mutable std::unique_ptr<std::mutex[]> shardLocks_;
+    /// Locks engaged (worker threads may touch the cache). Atomic so
+    /// workers may read it while the driver thread owns toggling;
+    /// toggles only happen on a quiescent cache.
+    std::atomic<bool> concurrent_{true};
     int sets_;
     int ways_;
     int versions_;
@@ -110,6 +172,7 @@ class ShardedMCache
     {
         MCache *cache;
         int64_t localId;
+        int shard;
     };
 
     Ref refOf(int64_t entry_id) const;

@@ -90,6 +90,19 @@ struct AcceleratorConfig
     int pipelineShards = 4;
     int pipelineThreads = 1;
 
+    /**
+     * Overlap detection with compute (§III-B, Fig. 8): signature
+     * generation streams ahead of the filter passes instead of
+     * completing before they start. Functionally, the reuse engines
+     * consume the pipeline's per-block hand-off and run filter MACs
+     * on the worker pool while later blocks are still hashing (needs
+     * pipelineThreads != 1 to take effect). In the timing model, only
+     * the portion of signature generation that exceeds the layer's
+     * compute time stays on the critical path. Hit/skip decisions and
+     * outputs are bit-identical with the knob on or off.
+     */
+    bool overlapDetection = false;
+
     /** Total MCACHE entries. */
     int mcacheEntries() const { return mcacheSets * mcacheWays; }
 };

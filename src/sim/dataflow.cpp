@@ -172,36 +172,45 @@ Dataflow::mercuryLayerCycles(const LayerShape &shape, int64_t batch,
 {
     if (!channel_mix.consistent())
         panic("inconsistent hit mix for layer ", shape.name);
+    LayerCycles c;
     switch (shape.type) {
       case LayerType::Conv: {
         if (shape.kernel == 1) {
-            return fcMercury(pointwiseAsFc(shape),
-                             pointwiseBatch(shape, batch), channel_mix,
-                             sig_bits, saved_signatures);
+            c = fcMercury(pointwiseAsFc(shape),
+                          pointwiseBatch(shape, batch), channel_mix,
+                          sig_bits, saved_signatures);
+            break;
         }
-        LayerCycles per_channel = convChannelMercury(
+        const LayerCycles per_channel = convChannelMercury(
             shape, channel_mix, sig_bits, saved_signatures);
         const uint64_t n = static_cast<uint64_t>(batch) *
                            static_cast<uint64_t>(shape.inChannels);
-        LayerCycles total;
-        total.baseline = per_channel.baseline * n;
-        total.computation = per_channel.computation * n;
-        total.signature = per_channel.signature * n;
-        total.cacheOverhead = per_channel.cacheOverhead * n;
-        return total;
+        c.baseline = per_channel.baseline * n;
+        c.computation = per_channel.computation * n;
+        c.signature = per_channel.signature * n;
+        c.cacheOverhead = per_channel.cacheOverhead * n;
+        break;
       }
       case LayerType::FullyConnected:
       case LayerType::Attention:
-        return fcMercury(shape, batch, channel_mix, sig_bits,
-                         saved_signatures);
-      case LayerType::Pool: {
-        LayerCycles c;
+        c = fcMercury(shape, batch, channel_mix, sig_bits,
+                      saved_signatures);
+        break;
+      case LayerType::Pool:
         c.baseline = poolCycles(shape, batch);
         c.computation = c.baseline;
-        return c;
-      }
+        return c; // no signature work to overlap
+      default:
+        panic("unknown layer type");
     }
-    panic("unknown layer type");
+
+    // Overlapped detection (§III-B, Fig. 8): signature generation
+    // streams ahead of the filter passes, so only the portion that
+    // exceeds the layer's compute time is exposed on the critical
+    // path. Serial accounting charges the full generation cost.
+    if (config_.overlapDetection)
+        c.signature -= std::min(c.signature, c.computation);
+    return c;
 }
 
 uint64_t

@@ -103,6 +103,11 @@ class Dataflow
      * @param saved_signatures when true the signatures are reloaded
      *                    from the forward pass (§III-C2) and signature
      *                    generation is free
+     *
+     * With config.overlapDetection set, signature generation is
+     * charged per the Fig. 8 overlap: only the part exceeding the
+     * layer's compute cycles lands in LayerCycles::signature (the
+     * rest hides under computation); serial accounting otherwise.
      */
     LayerCycles mercuryLayerCycles(const LayerShape &shape, int64_t batch,
                                    const HitMix &channel_mix, int sig_bits,

@@ -7,6 +7,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "sim/cycle_model.hpp"
 #include "sim/dataflow.hpp"
 
@@ -125,6 +127,50 @@ TEST(RowStationary, AllHitsMuchCheaperThanBaseline)
     HitMix mix = HitMix::fromFractions(shape.vectorsPerChannel(), 1.0);
     LayerCycles c = df.mercuryLayerCycles(shape, 1, mix, 20);
     EXPECT_LT(c.mercuryTotal(), c.baseline / 2);
+}
+
+TEST(OverlapAccounting, HidesSignatureCyclesUnderCompute)
+{
+    // Fig. 8: with overlapDetection, only signature work exceeding
+    // the layer's compute time stays on the critical path.
+    for (const DataflowKind kind :
+         {DataflowKind::RowStationary, DataflowKind::WeightStationary,
+          DataflowKind::InputStationary}) {
+        auto cfg = defaultConfig(kind);
+        auto overlap_cfg = cfg;
+        overlap_cfg.overlapDetection = true;
+        const auto serial = Dataflow::create(cfg);
+        const auto overlapped = Dataflow::create(overlap_cfg);
+        LayerShape shape = LayerShape::conv("conv", 8, 64, 16, 16, 3);
+        const HitMix mix =
+            HitMix::fromFractions(shape.vectorsPerChannel(), 0.4);
+
+        const LayerCycles s = serial->mercuryLayerCycles(shape, 1, mix, 20);
+        const LayerCycles o =
+            overlapped->mercuryLayerCycles(shape, 1, mix, 20);
+        // Compute, baseline, and cache overhead are untouched; the
+        // exposed signature cost is exactly the excess over compute.
+        EXPECT_EQ(o.computation, s.computation);
+        EXPECT_EQ(o.baseline, s.baseline);
+        EXPECT_EQ(o.cacheOverhead, s.cacheOverhead);
+        EXPECT_EQ(o.signature,
+                  s.signature - std::min(s.signature, s.computation));
+        EXPECT_LE(o.mercuryTotal(), s.mercuryTotal());
+        EXPECT_GT(s.signature, 0u); // something was actually hidden
+    }
+}
+
+TEST(OverlapAccounting, SavedSignaturesStayFree)
+{
+    auto cfg = defaultConfig();
+    cfg.overlapDetection = true;
+    RowStationaryDataflow df(cfg);
+    LayerShape shape = smallConv();
+    const HitMix mix =
+        HitMix::fromFractions(shape.vectorsPerChannel(), 0.4);
+    const LayerCycles c =
+        df.mercuryLayerCycles(shape, 1, mix, 20, /*saved=*/true);
+    EXPECT_EQ(c.signature, 0u);
 }
 
 TEST(RowStationary, FewFiltersMakeSignaturesUnprofitable)

@@ -12,7 +12,9 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <thread>
 
+#include "core/attention_engine.hpp"
 #include "core/conv_reuse_engine.hpp"
 #include "core/fc_engine.hpp"
 #include "core/similarity_detector.hpp"
@@ -21,6 +23,7 @@
 #include "pipeline/sharded_mcache.hpp"
 #include "util/rng.hpp"
 #include "util/sampling.hpp"
+#include "util/spsc_queue.hpp"
 #include "util/thread_pool.hpp"
 #include "workloads/synthetic.hpp"
 
@@ -177,6 +180,41 @@ TEST(ShardedMCache, ShardCountClampedToSets)
     ShardedMCache sharded(4, 2, 1, 100);
     EXPECT_EQ(sharded.shardCount(), 4);
     EXPECT_EQ(sharded.entries(), 8);
+}
+
+TEST(ShardedMCache, FrontendEngagesLocksOnlyForOverlappedPasses)
+{
+    Tensor rows = prototypeVectors(64, 8, 8, 0.01f, 7);
+    // Shard locks engage only when filter tasks can race the data
+    // plane — i.e. streaming/overlapped passes on a pool. Inline and
+    // batch-on-a-pool passes stay lock-free (stage 2 runs one prober
+    // per shard, and the filter loops that follow are single-
+    // threaded). Results are identical either way (asserted across
+    // the knob grid elsewhere).
+    PipelineConfig inline_pipe;
+    inline_pipe.threads = 1;
+    DetectionFrontend inline_fe(kSets, kWays, 1, kMaxBits, kSeed,
+                                inline_pipe);
+    EXPECT_TRUE(inline_fe.cache().concurrent()); // construction default
+    inline_fe.detect(rows, kBits);
+    EXPECT_FALSE(inline_fe.cache().concurrent());
+
+    PipelineConfig pooled_pipe;
+    pooled_pipe.threads = 3;
+    DetectionFrontend pooled_fe(kSets, kWays, 1, kMaxBits, kSeed,
+                                pooled_pipe);
+    pooled_fe.detect(rows, kBits);
+    EXPECT_FALSE(pooled_fe.cache().concurrent()); // batch: lock-free
+
+    pooled_fe.detectStream(rows, kBits, {});
+    EXPECT_TRUE(pooled_fe.cache().concurrent()); // streaming: locked
+
+    PipelineConfig overlap_pipe = pooled_pipe;
+    overlap_pipe.overlap = true;
+    DetectionFrontend overlap_fe(kSets, kWays, 1, kMaxBits, kSeed,
+                                 overlap_pipe);
+    overlap_fe.detect(rows, kBits);
+    EXPECT_TRUE(overlap_fe.cache().concurrent()); // overlap: locked
 }
 
 TEST(Pipeline, ConvEngineIdenticalThroughSharedThreadedFrontend)
@@ -358,6 +396,317 @@ TEST(Pipeline, MercuryContextCachesFrontendsAndMatchesLegacy)
     EXPECT_TRUE(piped_out == legacy_out);
     EXPECT_EQ(piped_stats.mix.hit, legacy_stats.mix.hit);
     EXPECT_EQ(piped_stats.mix.mau, legacy_stats.mix.mau);
+}
+
+TEST(Streaming, BlocksArriveInOrderAndResultsMatchBatchPath)
+{
+    Tensor rows = prototypeVectors(500, 24, 64, 0.01f, 77, 1.2);
+    PipelineConfig pipe;
+    pipe.blockRows = 48; // 500 rows -> 11 blocks, last one ragged
+    pipe.shards = 8;
+    pipe.threads = 4;
+    DetectionFrontend fe(kSets, kWays, 1, kMaxBits, kSeed, pipe);
+
+    std::vector<int64_t> order;
+    int64_t covered = 0;
+    const DetectionResult streamed = fe.detectStream(
+        rows, kBits, [&](const DetectionBlock &blk) {
+            order.push_back(blk.index);
+            // Hand-off invariants: ascending, contiguous, probed.
+            EXPECT_EQ(blk.row0, blk.index * pipe.blockRows);
+            EXPECT_EQ(blk.row1,
+                      std::min<int64_t>(rows.dim(0),
+                                        blk.row0 + pipe.blockRows));
+            EXPECT_EQ(blk.row0, covered);
+            covered = blk.row1;
+            for (int64_t r = 0; r < blk.rows(); ++r) {
+                if (blk.results[r].outcome != McacheOutcome::Mnu) {
+                    EXPECT_GE(blk.results[r].entryId, 0);
+                }
+            }
+        });
+    ASSERT_EQ(order.size(), 11u);
+    for (size_t b = 0; b < order.size(); ++b)
+        EXPECT_EQ(order[b], static_cast<int64_t>(b))
+            << "hand-off out of order";
+    EXPECT_EQ(covered, rows.dim(0));
+
+    // The streamed pass must be bit-identical to the batch pipeline
+    // and to the legacy scalar path.
+    expectIdenticalResults(streamed, fe.detect(rows, kBits));
+    expectIdenticalResults(streamed, legacyDetect(rows));
+}
+
+TEST(Streaming, InlineFallbackStreamsWithoutAPool)
+{
+    Tensor rows = prototypeVectors(130, 16, 20, 0.01f, 3, 1.0);
+    PipelineConfig pipe;
+    pipe.blockRows = 32;
+    pipe.threads = 1; // no pool: hash, probe, deliver inline per block
+    DetectionFrontend fe(kSets, kWays, 1, kMaxBits, kSeed, pipe);
+    int64_t blocks = 0;
+    const DetectionResult streamed = fe.detectStream(
+        rows, kBits, [&](const DetectionBlock &blk) {
+            EXPECT_EQ(blk.index, blocks);
+            ++blocks;
+        });
+    EXPECT_EQ(blocks, 5);
+    expectIdenticalResults(streamed, legacyDetect(rows));
+}
+
+/** Engine outputs with overlap on vs off, all three engine types. */
+TEST(Overlap, ConvEngineBitIdenticalToRunThenFilter)
+{
+    Dataset ds = makeImageDataset(2, 2, 3, 14, 13, 0.03f);
+    Rng rng(14);
+    Tensor w({6, 3, 3, 3});
+    w.fillNormal(rng);
+    ConvSpec spec;
+    spec.inChannels = 3;
+    spec.outChannels = 6; // > versions: exercises the group-0 chains
+                          // AND the post-detection parallel groups
+    spec.kernelH = spec.kernelW = 3;
+    spec.pad = 1;
+
+    PipelineConfig serial_pipe;
+    serial_pipe.blockRows = 16;
+    serial_pipe.shards = 8;
+    serial_pipe.threads = 4;
+    DetectionFrontend serial_fe(kSets, kWays, 2, 16, kSeed, serial_pipe);
+    ConvReuseEngine serial(serial_fe, 16);
+    ReuseStats serial_stats;
+    const Tensor serial_out =
+        serial.forward(ds.inputs, w, Tensor(), spec, serial_stats);
+
+    PipelineConfig pipe = serial_pipe;
+    pipe.overlap = true;
+    DetectionFrontend fe(kSets, kWays, 2, 16, kSeed, pipe);
+    ConvReuseEngine overlapped(fe, 16);
+    ReuseStats stats;
+    const Tensor out =
+        overlapped.forward(ds.inputs, w, Tensor(), spec, stats);
+
+    EXPECT_TRUE(out == serial_out);
+    EXPECT_EQ(stats.mix.hit, serial_stats.mix.hit);
+    EXPECT_EQ(stats.mix.mau, serial_stats.mix.mau);
+    EXPECT_EQ(stats.mix.mnu, serial_stats.mix.mnu);
+    EXPECT_EQ(stats.macsSkipped, serial_stats.macsSkipped);
+    EXPECT_EQ(stats.macsTotal, serial_stats.macsTotal);
+}
+
+TEST(Overlap, FcEngineBitIdenticalToRunThenFilter)
+{
+    Tensor input = prototypeVectors(160, 20, 24, 0.005f, 15);
+    Rng rng(16);
+    Tensor w({20, 10});
+    w.fillNormal(rng);
+
+    MCache legacy_cache(kSets, kWays, 1);
+    FcEngine legacy(legacy_cache, 24, kSeed);
+    ReuseStats legacy_stats;
+    std::vector<int64_t> legacy_owners;
+    const Tensor legacy_out =
+        legacy.forward(input, w, legacy_stats, &legacy_owners);
+
+    PipelineConfig pipe;
+    pipe.blockRows = 16;
+    pipe.shards = 4;
+    pipe.threads = 3;
+    pipe.overlap = true;
+    DetectionFrontend fe(kSets, kWays, 1, 24, kSeed, pipe);
+    FcEngine overlapped(fe, 24);
+    ReuseStats stats;
+    std::vector<int64_t> owners;
+    const Tensor out = overlapped.forward(input, w, stats, &owners);
+
+    EXPECT_TRUE(out == legacy_out);
+    EXPECT_EQ(owners, legacy_owners);
+    EXPECT_EQ(stats.macsSkipped, legacy_stats.macsSkipped);
+    EXPECT_EQ(stats.mix.hit, legacy_stats.mix.hit);
+}
+
+TEST(Overlap, AttentionEngineBitIdenticalToRunThenFilter)
+{
+    Tensor x = prototypeVectors(96, 16, 12, 0.004f, 23, 1.1);
+
+    MCache legacy_cache(kSets, kWays, 1);
+    AttentionEngine legacy(legacy_cache, 20, kSeed);
+    ReuseStats legacy_stats;
+    const Tensor legacy_out = legacy.forward(x, legacy_stats);
+
+    PipelineConfig pipe;
+    pipe.blockRows = 8;
+    pipe.shards = 4;
+    pipe.threads = 4;
+    pipe.overlap = true;
+    DetectionFrontend fe(kSets, kWays, 1, 20, kSeed, pipe);
+    AttentionEngine overlapped(fe, 20);
+    ReuseStats stats;
+    const Tensor out = overlapped.forward(x, stats);
+
+    EXPECT_TRUE(out == legacy_out);
+    EXPECT_EQ(stats.macsSkipped, legacy_stats.macsSkipped);
+    EXPECT_EQ(stats.mix.hit, legacy_stats.mix.hit);
+    EXPECT_EQ(stats.mix.mau, legacy_stats.mix.mau);
+}
+
+TEST(Overlap, KnobLiftsFromAcceleratorConfig)
+{
+    AcceleratorConfig cfg;
+    EXPECT_FALSE(PipelineConfig::fromConfig(cfg).overlap);
+    cfg.overlapDetection = true;
+    cfg.pipelineThreads = 4;
+    EXPECT_TRUE(PipelineConfig::fromConfig(cfg).overlap);
+
+    // overlapEnabled needs both the knob and a pool: threads = 1
+    // resolves to inline execution, so overlap falls back to serial.
+    PipelineConfig inline_pipe = PipelineConfig::fromConfig(cfg);
+    inline_pipe.threads = 1;
+    DetectionFrontend inline_fe(kSets, kWays, 1, kMaxBits, kSeed,
+                                inline_pipe);
+    EXPECT_FALSE(inline_fe.overlapEnabled());
+    DetectionFrontend fe(kSets, kWays, 1, kMaxBits, kSeed,
+                         PipelineConfig::fromConfig(cfg));
+    EXPECT_TRUE(fe.overlapEnabled());
+}
+
+/**
+ * ShardedMCache HIT-forwarding stress: filter tasks read and write
+ * the data plane of every shard while a prober keeps inserting tags
+ * into the same shards. Writers own disjoint (entry, version) slots;
+ * readers poll until a slot turns valid and must then see exactly the
+ * writer's value. Run under TSan in CI, this checks the per-shard
+ * locking contract.
+ */
+TEST(ShardedMCache, ConcurrentHitForwardingWhileFiltersInFlight)
+{
+    constexpr int kVersions = 4;
+    ShardedMCache cache(32, 4, kVersions, 8);
+    RPQEngine rpq(16, kMaxBits, 5);
+    Rng rng(41);
+    Tensor rows({512, 16});
+    rows.fillNormal(rng);
+
+    // Phase 1 (single-threaded): insert some tags so entry ids exist.
+    std::vector<int64_t> entries;
+    for (int64_t i = 0; i < 128; ++i) {
+        const McacheResult r =
+            cache.lookupOrInsert(rpq.signatureOfRow(rows, i, 24));
+        if (r.outcome == McacheOutcome::Mau)
+            entries.push_back(r.entryId);
+    }
+    ASSERT_GE(entries.size(), 16u);
+
+    // Phase 2: concurrent writers + readers + a tag prober.
+    ThreadPool pool(3);
+    TaskGroup group(&pool);
+    std::atomic<bool> mismatch{false};
+    for (int ver = 0; ver < kVersions; ++ver) {
+        group.run([&, ver] {
+            for (const int64_t id : entries)
+                cache.writeData(id, ver,
+                                static_cast<float>(id * kVersions + ver));
+        });
+        group.run([&, ver] {
+            for (const int64_t id : entries) {
+                float got = 0.0f;
+                while (!cache.readDataIfValid(id, ver, got))
+                    std::this_thread::yield();
+                if (got != static_cast<float>(id * kVersions + ver))
+                    mismatch.store(true);
+            }
+        });
+    }
+    group.run([&] {
+        // Later-filter tag traffic into the same shards.
+        for (int64_t i = 128; i < 512; ++i)
+            cache.lookupOrInsert(rpq.signatureOfRow(rows, i, 24));
+    });
+    group.wait();
+    EXPECT_FALSE(mismatch.load());
+    EXPECT_TRUE(cache.lookupMix().consistent());
+}
+
+TEST(SpscQueue, DeliversInOrderAcrossThreads)
+{
+    SpscQueue<int64_t> q;
+    constexpr int64_t kItems = 2000;
+    std::thread producer([&] {
+        for (int64_t i = 0; i < kItems; ++i)
+            q.push(i);
+        q.close();
+    });
+    int64_t expected = 0, got = -1;
+    while (q.pop(got)) {
+        ASSERT_EQ(got, expected);
+        ++expected;
+    }
+    EXPECT_EQ(expected, kItems);
+    producer.join();
+    // Closed and drained: pop keeps returning false.
+    EXPECT_FALSE(q.pop(got));
+    EXPECT_FALSE(q.tryPop(got));
+}
+
+TEST(SpscQueue, PushAfterCloseDies)
+{
+    SpscQueue<int> q;
+    q.close();
+    EXPECT_DEATH(q.push(1), "closed");
+}
+
+TEST(SerialExecutor, RunsTasksInSubmissionOrderWithoutOverlap)
+{
+    ThreadPool pool(3);
+    SerialExecutor chain(&pool);
+    std::vector<int> order;
+    std::atomic<int> in_flight{0};
+    std::atomic<bool> overlapped{false};
+    for (int i = 0; i < 64; ++i) {
+        chain.run([&, i] {
+            if (in_flight.fetch_add(1) != 0)
+                overlapped.store(true);
+            order.push_back(i); // safe iff tasks never overlap
+            in_flight.fetch_sub(1);
+        });
+    }
+    chain.wait();
+    EXPECT_FALSE(overlapped.load());
+    ASSERT_EQ(order.size(), 64u);
+    for (int i = 0; i < 64; ++i)
+        EXPECT_EQ(order[static_cast<size_t>(i)], i);
+
+    // Two executors on one pool do run concurrently with each other;
+    // their combined task count still adds up.
+    SerialExecutor a(&pool), b(&pool);
+    std::atomic<int> ran{0};
+    for (int i = 0; i < 32; ++i) {
+        a.run([&] { ran.fetch_add(1); });
+        b.run([&] { ran.fetch_add(1); });
+    }
+    a.wait();
+    b.wait();
+    EXPECT_EQ(ran.load(), 64);
+}
+
+TEST(TaskGroup, JoinsAllSubmittedTasks)
+{
+    ThreadPool pool(2);
+    TaskGroup group(&pool);
+    std::atomic<int> ran{0};
+    for (int i = 0; i < 100; ++i)
+        group.run([&] { ran.fetch_add(1); });
+    group.wait();
+    EXPECT_EQ(ran.load(), 100);
+    // A group is reusable after a wait.
+    group.run([&] { ran.fetch_add(1); });
+    group.wait();
+    EXPECT_EQ(ran.load(), 101);
+    // Null pool: inline execution.
+    TaskGroup inline_group(nullptr);
+    inline_group.run([&] { ran.fetch_add(1); });
+    inline_group.wait();
+    EXPECT_EQ(ran.load(), 102);
 }
 
 TEST(Pipeline, ConfigKnobsLiftFromAcceleratorConfig)
