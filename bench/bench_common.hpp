@@ -1,14 +1,19 @@
 /**
  * @file
  * Shared helpers for the experiment harnesses: a standard way to run
- * a MERCURY training simulation for a model and to print the
- * paper-style tables.
+ * a MERCURY training simulation for a model, the paper-style tables,
+ * the smoke-mode switch CI uses to exercise bench code on tiny
+ * shapes, and the shared BENCH_*.json result schema.
  */
 
 #ifndef MERCURY_BENCH_COMMON_HPP
 #define MERCURY_BENCH_COMMON_HPP
 
+#include <algorithm>
+#include <chrono>
+#include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
@@ -21,6 +26,134 @@
 
 namespace mercury {
 namespace bench {
+
+/**
+ * Smoke mode (MERCURY_BENCH_SMOKE=1): benches shrink their shapes /
+ * repetition counts so CI can run every harness in seconds. Numbers
+ * from a smoke run are not meaningful — the mode only proves the
+ * bench code still builds, runs, and emits its JSON line.
+ */
+inline bool
+smoke()
+{
+    const char *env = std::getenv("MERCURY_BENCH_SMOKE");
+    return env != nullptr && env[0] != '\0' && env[0] != '0';
+}
+
+/**
+ * Best-of-reps wall time of one invocation, in seconds: repeat until
+ * both `min_reps` runs and `min_total` seconds have accumulated, and
+ * report the fastest. Smoke mode clamps both so CI runs in seconds —
+ * one shared definition, so the timing methodology behind every
+ * recorded BENCH_*.json stays comparable across benches.
+ */
+template <typename Fn>
+double
+bestSeconds(Fn &&fn, double min_total = 0.4, int min_reps = 3)
+{
+    if (smoke()) {
+        min_total = 0.01;
+        min_reps = 1;
+    }
+    using clock = std::chrono::steady_clock;
+    double best = 1e30, total = 0.0;
+    int reps = 0;
+    while (reps < min_reps || total < min_total) {
+        const auto t0 = clock::now();
+        fn();
+        const std::chrono::duration<double> dt = clock::now() - t0;
+        best = std::min(best, dt.count());
+        total += dt.count();
+        ++reps;
+    }
+    return best;
+}
+
+/**
+ * One BENCH_<name>.json summary line in the shared result schema:
+ * every microbench emits `bench`, `modeled_speedup`, `wall_speedup`
+ * (null where a view does not apply), a nested `config` object with
+ * the knobs the run used, plus bench-specific extras. Keeping the
+ * shape identical across micro_pipeline / micro_overlap /
+ * sweep_tuning keeps the recorded JSON artifacts diffable.
+ */
+class ResultLine
+{
+  public:
+    /** @param artifact e.g. "BENCH_overlap.json"; bench name key */
+    ResultLine(std::string artifact, const std::string &bench)
+        : artifact_(std::move(artifact))
+    {
+        text("bench", bench);
+    }
+
+    /** The two schema speedups; NaN prints as null (view missing). */
+    ResultLine &speedups(double modeled, double wall)
+    {
+        num("modeled_speedup", modeled, 3);
+        num("wall_speedup", wall, 3);
+        return *this;
+    }
+
+    ResultLine &num(const std::string &key, double v, int prec = 3)
+    {
+        if (std::isnan(v))
+            return raw(key, "null");
+        char buf[64];
+        std::snprintf(buf, sizeof buf, "%.*f", prec, v);
+        return raw(key, buf);
+    }
+
+    ResultLine &integer(const std::string &key, long long v)
+    {
+        return raw(key, std::to_string(v));
+    }
+
+    ResultLine &text(const std::string &key, const std::string &v)
+    {
+        return raw(key, "\"" + v + "\"");
+    }
+
+    /** Knob in the nested `config` object. */
+    ResultLine &config(const std::string &key, long long v)
+    {
+        configRaw(key, std::to_string(v));
+        return *this;
+    }
+
+    ResultLine &config(const std::string &key, const std::string &v)
+    {
+        configRaw(key, "\"" + v + "\"");
+        return *this;
+    }
+
+    /** Print the `ARTIFACT {json}` line the driver greps for. */
+    void print() const
+    {
+        std::printf("%s {%s,\"config\":{%s}}\n", artifact_.c_str(),
+                    fields_.c_str(), configFields_.c_str());
+    }
+
+  private:
+    ResultLine &raw(const std::string &key, const std::string &v)
+    {
+        if (!fields_.empty())
+            fields_ += ",";
+        fields_ += "\"" + key + "\":" + v;
+        return *this;
+    }
+
+    void configRaw(const std::string &key, const std::string &v)
+    {
+        if (!configFields_.empty())
+            configFields_ += ",";
+        configFields_ += "\"" + key + "\":" + v;
+    }
+
+    std::string artifact_;
+    std::string fields_;
+    std::string configFields_;
+};
 
 /** Simulation knobs shared by the speedup experiments. */
 struct RunParams

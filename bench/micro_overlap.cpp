@@ -18,15 +18,26 @@
  *     where overlap hides signature generation under PE compute.
  *     This is deterministic and host-independent.
  *
- * Emits a BENCH_overlap.json summary line with both speedups.
+ *  3. The backward column (§III-C2): the input-gradient pass with
+ *     `backwardReuse` replaying the forward-captured SignatureRecord
+ *     — functional wall time of the replayed ConvReuseEngine
+ *     backward vs the exact conv2dBackwardInput, and the modeled
+ *     backward layer cycles (replay-only signature charge) vs the
+ *     no-reuse backward baseline.
+ *
+ * Emits a BENCH_overlap.json summary line in the shared result
+ * schema. MERCURY_BENCH_SMOKE=1 shrinks the layer and repetition
+ * counts for the CI smoke run.
  */
 
 #include <chrono>
 #include <cstdio>
 
+#include "bench_common.hpp"
 #include "core/conv_reuse_engine.hpp"
 #include "sim/dataflow.hpp"
 #include "sim/layer_shape.hpp"
+#include "tensor/ops.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
 #include "util/thread_pool.hpp"
@@ -42,38 +53,22 @@ constexpr int kVersions = 4;
 constexpr int kBits = 16;
 constexpr uint64_t kSeed = 23;
 
-// VGG13 conv3-level layer at CIFAR scale: 64 -> 64 channels of
-// 32x32, 3x3 kernels. Big enough that a channel pass has 1024
-// vectors; small enough for a quick functional run.
-constexpr int64_t kChannels = 64;
-constexpr int64_t kFilters = 64;
-constexpr int64_t kHw = 32;
-
-/** Best-of-reps wall time of one invocation, in seconds. */
-template <typename Fn>
-double
-bestSeconds(Fn &&fn, double min_total = 1.0, int min_reps = 3)
-{
-    using clock = std::chrono::steady_clock;
-    double best = 1e30, total = 0.0;
-    int reps = 0;
-    while (reps < min_reps || total < min_total) {
-        const auto t0 = clock::now();
-        fn();
-        const std::chrono::duration<double> dt = clock::now() - t0;
-        best = std::min(best, dt.count());
-        total += dt.count();
-        ++reps;
-    }
-    return best;
-}
-
 } // namespace
 
 int
 main()
 {
     using namespace mercury;
+    const bool smoke = bench::smoke();
+
+    // VGG13 conv3-level layer at CIFAR scale: 64 -> 64 channels of
+    // 32x32, 3x3 kernels. Big enough that a channel pass has 1024
+    // vectors; small enough for a quick functional run. Smoke mode
+    // shrinks it to an 8-channel 8x8 toy so CI just exercises the
+    // code paths.
+    const int64_t kChannels = smoke ? 8 : 64;
+    const int64_t kFilters = smoke ? 8 : 64;
+    const int64_t kHw = smoke ? 8 : 32;
 
     const int threads = std::max(4, ThreadPool::resolveThreads(0));
     std::printf("micro_overlap: overlapped detection vs run-then-filter "
@@ -129,11 +124,12 @@ main()
     }
 
     ReuseStats scratch;
-    const double t_serial = bestSeconds(
-        [&] { serial.forward(ds.inputs, w, Tensor(), spec, scratch); });
-    const double t_overlap = bestSeconds([&] {
-        overlapped.forward(ds.inputs, w, Tensor(), spec, scratch);
-    });
+    const double t_serial = bench::bestSeconds(
+        [&] { serial.forward(ds.inputs, w, Tensor(), spec, scratch); },
+        1.0);
+    const double t_overlap = bench::bestSeconds(
+        [&] { overlapped.forward(ds.inputs, w, Tensor(), spec, scratch); },
+        1.0);
     const double wall_speedup = t_serial / t_overlap;
 
     Table wall("functional layer time (one image, all channels)");
@@ -188,18 +184,85 @@ main()
                                                 oc.signature),
                 static_cast<unsigned long long>(sc.signature));
 
-    std::printf("BENCH_overlap.json {\"bench\":\"micro_overlap\","
-                "\"layer\":\"vgg13-conv-64x64-32x32-k3\","
-                "\"bits\":%d,\"hit_frac\":%.3f,"
-                "\"wall_serial_ms\":%.1f,\"wall_overlap_ms\":%.1f,"
-                "\"wall_speedup\":%.2f,"
-                "\"model_serial_cycles\":%llu,"
-                "\"model_overlap_cycles\":%llu,"
-                "\"model_speedup\":%.3f,\"threads\":%d}\n",
-                kBits, s_stats.mix.hitFraction(), t_serial * 1e3,
-                t_overlap * 1e3, wall_speedup,
-                static_cast<unsigned long long>(sc.mercuryTotal()),
-                static_cast<unsigned long long>(oc.mercuryTotal()),
-                model_speedup, threads);
+    // --- 3. Backward column: signature replay (§III-C2) ------------
+    // Functional: the replayed input-gradient pass consumes the
+    // record the forward pass captured — no second detection — and
+    // skips the grad-column products of forward-HIT rows. Wall time
+    // is compared against the exact conv2dBackwardInput.
+    SignatureRecord record;
+    ReuseStats cap_stats;
+    serial.forward(ds.inputs, w, Tensor(), spec, cap_stats, &record);
+    Rng grng(kSeed + 1);
+    Tensor grad({1, kFilters, kHw, kHw});
+    grad.fillNormal(grng);
+
+    ReuseStats b_stats;
+    serial.backwardInput(grad, w, spec, kHw, kHw, record, b_stats);
+    const double t_bwd_exact = bench::bestSeconds(
+        [&] { conv2dBackwardInput(grad, w, spec, kHw, kHw); }, 1.0);
+    const double t_bwd_replay = bench::bestSeconds(
+        [&] {
+            ReuseStats s;
+            serial.backwardInput(grad, w, spec, kHw, kHw, record, s);
+        },
+        1.0);
+    const double wall_bwd_speedup = t_bwd_exact / t_bwd_replay;
+
+    // Modeled: input-gradient pass without reuse (baseline backward)
+    // vs with the replayed signatures (backwardReuse) — the Fig. 8
+    // accounting extended to the backward pass: compute shrinks by
+    // the forward hit fraction, the signature charge is replay-only.
+    AcceleratorConfig bwd_cfg;
+    bwd_cfg.backwardReuse = true;
+    const auto bwd_df = Dataflow::create(bwd_cfg);
+    const LayerCycles bb =
+        Dataflow::create(cfg)->backwardLayerCycles(shape, 1, mix, kBits);
+    const LayerCycles br = bwd_df->backwardLayerCycles(shape, 1, mix,
+                                                       kBits);
+    const double model_bwd_speedup =
+        static_cast<double>(bb.mercuryTotal()) /
+        static_cast<double>(br.mercuryTotal());
+
+    Table bwd("backward input-gradient pass (replayed signatures)");
+    bwd.header({"mode", "compute", "signature", "total", "wall-ms",
+                "macs-skipped"});
+    bwd.row({"exact backward", std::to_string(bb.computation),
+             std::to_string(bb.signature),
+             std::to_string(bb.mercuryTotal()),
+             Table::num(t_bwd_exact * 1e3, 1), "0"});
+    bwd.row({"replayed (§III-C2)", std::to_string(br.computation),
+             std::to_string(br.signature),
+             std::to_string(br.mercuryTotal()),
+             Table::num(t_bwd_replay * 1e3, 1),
+             std::to_string(b_stats.macsSkipped)});
+    bwd.print();
+    std::printf("modeled backward layer-time speedup from replay: "
+                "%.3fx (hit fraction %.3f, replay charge %llu "
+                "cycles)\n\n",
+                model_bwd_speedup, b_stats.mix.hitFraction(),
+                static_cast<unsigned long long>(br.signature));
+
+    bench::ResultLine line("BENCH_overlap.json", "micro_overlap");
+    line.text("layer", smoke ? "smoke-conv" : "vgg13-conv-64x64-32x32-k3")
+        .num("hit_frac", s_stats.mix.hitFraction(), 3)
+        .num("wall_serial_ms", t_serial * 1e3, 1)
+        .num("wall_overlap_ms", t_overlap * 1e3, 1)
+        .integer("model_serial_cycles",
+                 static_cast<long long>(sc.mercuryTotal()))
+        .integer("model_overlap_cycles",
+                 static_cast<long long>(oc.mercuryTotal()))
+        .num("wall_backward_speedup", wall_bwd_speedup, 3)
+        .integer("model_backward_base_cycles",
+                 static_cast<long long>(bb.mercuryTotal()))
+        .integer("model_backward_replay_cycles",
+                 static_cast<long long>(br.mercuryTotal()))
+        .num("model_backward_speedup", model_bwd_speedup, 3)
+        .speedups(model_speedup, wall_speedup)
+        .config("bits", kBits)
+        .config("threads", threads)
+        .config("blockRows", base_pipe.blockRows)
+        .config("shards", base_pipe.shards)
+        .config("smoke", smoke ? 1 : 0);
+    line.print();
     return 0;
 }

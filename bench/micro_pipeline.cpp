@@ -12,6 +12,7 @@
 #include <cstdio>
 #include <string>
 
+#include "bench_common.hpp"
 #include "core/similarity_detector.hpp"
 #include "pipeline/detection_frontend.hpp"
 #include "util/table.hpp"
@@ -24,26 +25,13 @@ using namespace mercury;
 
 constexpr int kSets = 64;
 constexpr int kWays = 16;
-constexpr int64_t kRows = 2048;
 constexpr uint64_t kSeed = 99;
 
-/** Best-of-reps wall time of one invocation, in seconds. */
-template <typename Fn>
-double
-bestSeconds(Fn &&fn, double min_total = 0.4, int min_reps = 3)
+/** 2048 rows normally; a few blocks' worth in the CI smoke run. */
+int64_t
+benchRows()
 {
-    using clock = std::chrono::steady_clock;
-    double best = 1e30, total = 0.0;
-    int reps = 0;
-    while (reps < min_reps || total < min_total) {
-        const auto t0 = clock::now();
-        fn();
-        const std::chrono::duration<double> dt = clock::now() - t0;
-        best = std::min(best, dt.count());
-        total += dt.count();
-        ++reps;
-    }
-    return best;
+    return bench::smoke() ? 192 : 2048;
 }
 
 struct Point
@@ -60,7 +48,7 @@ Point
 measure(int64_t dim, int bits)
 {
     Point p{dim, bits};
-    Tensor rows = prototypeVectors(kRows, dim, kRows / 8, 0.01f,
+    Tensor rows = prototypeVectors(benchRows(), dim, benchRows() / 8, 0.01f,
                                    kSeed + static_cast<uint64_t>(dim),
                                    1.5);
 
@@ -85,10 +73,10 @@ measure(int64_t dim, int bits)
         std::exit(1);
     }
 
-    const double ts = bestSeconds([&] { scalar.detect(rows); });
-    const double tp = bestSeconds([&] { frontend.detect(rows, bits); });
-    p.scalarRate = static_cast<double>(kRows) / ts;
-    p.pipelineRate = static_cast<double>(kRows) / tp;
+    const double ts = bench::bestSeconds([&] { scalar.detect(rows); });
+    const double tp = bench::bestSeconds([&] { frontend.detect(rows, bits); });
+    p.scalarRate = static_cast<double>(benchRows()) / ts;
+    p.pipelineRate = static_cast<double>(benchRows()) / tp;
     return p;
 }
 
@@ -102,7 +90,7 @@ main()
     std::printf("micro_pipeline: detection pass rows/sec, scalar "
                 "SimilarityDetector vs DetectionPipeline\n");
     std::printf("(rows per pass: %lld, MCACHE %dx%d, threads auto=%d)\n\n",
-                static_cast<long long>(kRows), kSets, kWays,
+                static_cast<long long>(benchRows()), kSets, kWays,
                 ThreadPool::resolveThreads(0));
 
     Table t("detection front-end throughput");
@@ -122,13 +110,20 @@ main()
     }
     t.print();
 
-    std::printf("\nBENCH_pipeline.json {\"bench\":\"micro_pipeline\","
-                "\"d\":1152,\"bits\":16,\"rows\":%lld,"
-                "\"scalar_rows_per_sec\":%.0f,"
-                "\"pipeline_rows_per_sec\":%.0f,"
-                "\"speedup\":%.2f,\"threads\":%d}\n",
-                static_cast<long long>(kRows), headline.scalarRate,
-                headline.pipelineRate, headline.speedup(),
-                ThreadPool::resolveThreads(0));
+    std::printf("\n");
+    bench::ResultLine line("BENCH_pipeline.json", "micro_pipeline");
+    line.integer("d", 1152)
+        .integer("rows", static_cast<long long>(benchRows()))
+        .num("scalar_rows_per_sec", headline.scalarRate, 0)
+        .num("pipeline_rows_per_sec", headline.pipelineRate, 0)
+        // Throughput is a wall-clock view; there is no modeled-cycle
+        // counterpart for the front-end microbenchmark.
+        .speedups(std::nan(""), headline.speedup())
+        .config("bits", 16)
+        .config("blockRows", 64)
+        .config("shards", 4)
+        .config("threads", ThreadPool::resolveThreads(0))
+        .config("smoke", bench::smoke() ? 1 : 0);
+    line.print();
     return 0;
 }

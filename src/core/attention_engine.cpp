@@ -1,5 +1,6 @@
 #include "core/attention_engine.hpp"
 
+#include "core/reuse_replay.hpp"
 #include "util/logging.hpp"
 #include "util/thread_pool.hpp"
 
@@ -17,7 +18,8 @@ AttentionEngine::AttentionEngine(DetectionFrontend &frontend, int sig_bits)
 }
 
 Tensor
-AttentionEngine::forward(const Tensor &x, ReuseStats &stats)
+AttentionEngine::forward(const Tensor &x, ReuseStats &stats,
+                         SignatureRecord *record)
 {
     if (x.rank() != 2)
         panic("AttentionEngine expects (T, D), got ", x.shapeStr());
@@ -100,7 +102,8 @@ AttentionEngine::forward(const Tensor &x, ReuseStats &stats)
                             compute_row(i);
                     });
                 }
-            });
+            },
+            record);
         stats.mix = det.mix();
         computes.wait();
         pool->parallelFor(
@@ -115,7 +118,7 @@ AttentionEngine::forward(const Tensor &x, ReuseStats &stats)
 
     // Run-then-filter path.
     const DetectionResult det =
-        frontend_->detect(x, frontend_.signatureBits());
+        frontend_->detect(x, frontend_.signatureBits(), record);
     stats.mix = det.mix();
     for (int64_t i = 0; i < t; ++i) {
         record_owner(i, {det.hitmap.outcome(i), det.hitmap.entryId(i)});
@@ -157,6 +160,97 @@ AttentionEngine::forward(const Tensor &x, ReuseStats &stats)
         }
     }
     return y;
+}
+
+Tensor
+AttentionEngine::backward(const Tensor &x, const Tensor &g,
+                          const SignatureRecord &record,
+                          int64_t pass_index, ReuseStats &stats)
+{
+    if (x.rank() != 2 || g.rank() != 2 || x.shape() != g.shape())
+        panic("AttentionEngine backward expects matching (T, D) input "
+              "and gradient, got ",
+              x.shapeStr(), " and ", g.shapeStr());
+    const int64_t t = x.dim(0);
+    const int64_t d = x.dim(1);
+    const SignatureRecord::Pass &pass = record.pass(pass_index);
+    if (pass.rows != t)
+        panic("recorded pass holds ", pass.rows, " rows, sample has ", t);
+
+    // Per computed row: the three gradient terms of Y = (X Xt) X cost
+    // d*d (t1) + 4*t*d (u, t2, v, t3) MACs; the shared Xt X factor
+    // costs t*d*d once per sample regardless of hits.
+    const uint64_t row_cost =
+        static_cast<uint64_t>(d) * static_cast<uint64_t>(d) +
+        4ull * static_cast<uint64_t>(t) * static_cast<uint64_t>(d);
+    stats = ReuseStats{};
+    stats.channelPasses = 1;
+    stats.mix = pass.mix;
+    stats.macsTotal = static_cast<uint64_t>(t) * row_cost +
+                      static_cast<uint64_t>(t) *
+                          static_cast<uint64_t>(d) *
+                          static_cast<uint64_t>(d);
+
+    // Shared factor, via the same tensor op the exact path uses so a
+    // zero-hit replay stays bit-identical.
+    const Tensor xtx = matmul(transpose2d(x), x); // (D, D)
+    Tensor out({t, d});
+
+    // One computed gradient row of dX = G (Xt X) + X Gt X + (X Xt) G:
+    // every term is row-wise in the row's own X / G row plus whole
+    // matrices, and the element accumulation order matches the exact
+    // matmul-factored path exactly.
+    const auto compute_row = [&](int64_t i) {
+        std::vector<float> t1(static_cast<size_t>(d));
+        std::vector<float> u(static_cast<size_t>(t));
+        std::vector<float> t2(static_cast<size_t>(d));
+        std::vector<float> vv(static_cast<size_t>(t));
+        std::vector<float> t3(static_cast<size_t>(d));
+        for (int64_t j = 0; j < d; ++j) {
+            float acc = 0.0f;
+            for (int64_t e = 0; e < d; ++e)
+                acc += g.at2(i, e) * xtx.at2(e, j);
+            t1[static_cast<size_t>(j)] = acc;
+        }
+        for (int64_t e = 0; e < t; ++e) {
+            float acc = 0.0f;
+            for (int64_t p = 0; p < d; ++p)
+                acc += x.at2(i, p) * g.at2(e, p);
+            u[static_cast<size_t>(e)] = acc;
+        }
+        for (int64_t j = 0; j < d; ++j) {
+            float acc = 0.0f;
+            for (int64_t e = 0; e < t; ++e)
+                acc += u[static_cast<size_t>(e)] * x.at2(e, j);
+            t2[static_cast<size_t>(j)] = acc;
+        }
+        for (int64_t e = 0; e < t; ++e) {
+            float acc = 0.0f;
+            for (int64_t p = 0; p < d; ++p)
+                acc += x.at2(i, p) * x.at2(e, p);
+            vv[static_cast<size_t>(e)] = acc;
+        }
+        for (int64_t j = 0; j < d; ++j) {
+            float acc = 0.0f;
+            for (int64_t e = 0; e < t; ++e)
+                acc += vv[static_cast<size_t>(e)] * g.at2(e, j);
+            t3[static_cast<size_t>(j)] = acc;
+        }
+        for (int64_t j = 0; j < d; ++j) {
+            out.at2(i, j) = t1[static_cast<size_t>(j)] +
+                            t2[static_cast<size_t>(j)] +
+                            t3[static_cast<size_t>(j)];
+        }
+    };
+
+    // Replayed pass (§III-C2): computed rows run the three-term
+    // gradient; forward-HIT token rows copy their owner's row.
+    replayRowBackward(*frontend_, record, pass, row_cost, stats,
+                      compute_row, [&](int64_t i, int64_t o) {
+                          for (int64_t j = 0; j < d; ++j)
+                              out.at2(i, j) = out.at2(o, j);
+                      });
+    return out;
 }
 
 } // namespace mercury

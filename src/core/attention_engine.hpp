@@ -53,8 +53,27 @@ class AttentionEngine
     /**
      * Reuse-enabled attention: X (T, D) -> Y (T, D) via W = X Xt,
      * Y = W X. One detection pass over X's rows drives both stages.
+     *
+     * @param record when non-null, the sample's detection pass is
+     *        appended for the backward replay (§III-C2). The caller
+     *        clears the record once per forward invocation (the layer
+     *        runs one engine pass per sample into one record).
      */
-    Tensor forward(const Tensor &x, ReuseStats &stats);
+    Tensor forward(const Tensor &x, ReuseStats &stats,
+                   SignatureRecord *record = nullptr);
+
+    /**
+     * Input-gradient pass with replayed reuse (§III-C2): computes
+     * dL/dX of Y = (X Xt) X row by row — a forward-HIT token row
+     * receives its owner row's gradient row instead of recomputing
+     * its three gradient terms. `g` is the (T, D) output gradient of
+     * the sample (pre-scaled exactly as the exact path scales it),
+     * `pass_index` selects the sample's recorded pass. Bit-identical
+     * to the exact factorized backward when the pass holds no hits.
+     */
+    Tensor backward(const Tensor &x, const Tensor &g,
+                    const SignatureRecord &record, int64_t pass_index,
+                    ReuseStats &stats);
 
     /** Signature length this engine detects with. */
     int signatureBits() const { return frontend_.signatureBits(); }

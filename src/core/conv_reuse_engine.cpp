@@ -21,7 +21,7 @@ ConvReuseEngine::ConvReuseEngine(DetectionFrontend &frontend, int sig_bits)
 namespace {
 
 /**
- * One filter pass over rows [r0, r1): HIT rows fetch the owner's dot
+ * One filter pass over rows [r0, r1): HIT vectors fetch the owner's dot
  * product from the MCACHE data plane (version slot `ver`), misses
  * compute, MAU rows deposit. Returns the MACs skipped. Rows must be
  * processed in stream order per filter so every HIT's owner (an
@@ -57,12 +57,42 @@ filterSegment(DetectionFrontend &fe, const Tensor &rows,
     return skipped;
 }
 
+/**
+ * One backward filter segment over rows [r0, r1): fill the filter's
+ * grad-column rows. A row that computed forward multiplies its output
+ * gradient into the kernel; a forward-HIT row copies its owner's
+ * already-filled row (§III-C2 — the owner is an earlier row of the
+ * same pass, so per-filter stream order makes the copy safe). Returns
+ * the MACs skipped.
+ */
+uint64_t
+backwardSegment(const std::vector<int64_t> &owner, const float *go,
+                const float *w, float *col, int64_t r0, int64_t r1,
+                int64_t d)
+{
+    uint64_t skipped = 0;
+    for (int64_t r = r0; r < r1; ++r) {
+        float *dst = col + r * d;
+        const int64_t o = owner[static_cast<size_t>(r)];
+        if (o != r) {
+            const float *src = col + o * d;
+            std::copy(src, src + d, dst);
+            skipped += static_cast<uint64_t>(d);
+        } else {
+            const float gv = go[r];
+            for (int64_t e = 0; e < d; ++e)
+                dst[e] = gv * w[e];
+        }
+    }
+    return skipped;
+}
+
 } // namespace
 
 Tensor
 ConvReuseEngine::forward(const Tensor &input, const Tensor &weight,
                          const Tensor &bias, const ConvSpec &spec,
-                         ReuseStats &stats)
+                         ReuseStats &stats, SignatureRecord *record)
 {
     if (input.rank() != 4 || weight.rank() != 4)
         panic("ConvReuseEngine expects rank-4 input and weight");
@@ -85,12 +115,12 @@ ConvReuseEngine::forward(const Tensor &input, const Tensor &weight,
                     out[out.offset4(b, oc, 0, 0) + i] = bias[oc];
     }
 
-    // Channel-at-a-time extraction buffer.
-    Tensor rows({v, d});
     const int versions = frontend_->dataVersions();
     const bool overlapped = frontend_->overlapEnabled();
     ThreadPool *pool = overlapped ? frontend_->workerPool() : nullptr;
     std::vector<McacheResult> row_results(static_cast<size_t>(v));
+    if (record)
+        record->clear();
 
     // Weight pointer of one filter pass: filter `of` of group g
     // against input channel c.
@@ -99,144 +129,347 @@ ConvReuseEngine::forward(const Tensor &input, const Tensor &weight,
         return weight.data() + ((oc * cin_g + ic) * k) * k;
     };
 
+    // Channel passes in execution order (also the record's pass
+    // order, which backwardInput re-walks).
+    struct PassId
+    {
+        int64_t b, g, ic;
+    };
+    std::vector<PassId> order;
+    order.reserve(static_cast<size_t>(n * spec.groups * cin_g));
+    for (int64_t b = 0; b < n; ++b)
+        for (int64_t g = 0; g < spec.groups; ++g)
+            for (int64_t ic = 0; ic < cin_g; ++ic)
+                order.push_back({b, g, ic});
+
+    // Double-buffered extraction tensors (cross-channel overlap): the
+    // overlapped path extracts and hashes pass p+1 into the other
+    // buffer while pass p's trailing filter groups drain. The
+    // run-then-filter path reuses one buffer for every pass.
+    Tensor bufs[2];
+    bufs[0] = Tensor({v, d});
+    if (overlapped)
+        bufs[1] = Tensor({v, d});
+    const auto extract = [&](const PassId &p, Tensor &rows) {
+        const int64_t c = p.g * cin_g + p.ic;
+        int64_t r = 0;
+        for (int64_t y = 0; y < oh; ++y) {
+            for (int64_t x = 0; x < ow; ++x, ++r) {
+                int64_t e = 0;
+                for (int64_t ky = 0; ky < k; ++ky) {
+                    for (int64_t kx = 0; kx < k; ++kx, ++e) {
+                        const int64_t iy = y * spec.stride - spec.pad + ky;
+                        const int64_t ix = x * spec.stride - spec.pad + kx;
+                        const bool inside = iy >= 0 && ix >= 0 &&
+                                            iy < input.dim(2) &&
+                                            ix < input.dim(3);
+                        rows.at2(r, e) =
+                            inside ? input.at4(p.b, c, iy, ix) : 0.0f;
+                    }
+                }
+            }
+        }
+    };
+
     stats = ReuseStats{};
+    std::unique_ptr<DetectionHashJob> job;
+    if (overlapped && !order.empty()) {
+        extract(order[0], bufs[0]);
+        job = frontend_->beginHashStream(bufs[0],
+                                         frontend_.signatureBits());
+    }
+
+    for (size_t pi = 0; pi < order.size(); ++pi) {
+        const PassId p = order[pi];
+        const int64_t b = p.b;
+        const int64_t g = p.g;
+        const int64_t ic = p.ic;
+        Tensor &rows = bufs[overlapped ? (pi & 1) : 0];
+        if (!overlapped)
+            extract(p, rows); // Fig. 7a extraction, single buffer pace
+
+        DetectionResult det;
+        // Filters already finished in the overlapped group 0.
+        int64_t oc_done = 0;
+
+        if (overlapped) {
+            // Streaming channel pass: the first `versions` filter
+            // passes consume detection blocks as they are delivered,
+            // each filter on its own serial chain (stream order per
+            // filter, filters in parallel), while later blocks still
+            // hash on the pool. finishStream's initial cache clear
+            // also clears every data version, so group 0 needs no
+            // separate invalidateAllData.
+            const int64_t group0 = std::min<int64_t>(versions, cout_g);
+            std::vector<std::unique_ptr<SerialExecutor>> chains;
+            std::vector<uint64_t> chain_skipped(
+                static_cast<size_t>(group0), 0);
+            for (int64_t of = 0; of < group0; ++of)
+                chains.push_back(std::make_unique<SerialExecutor>(pool));
+
+            det = frontend_->finishStream(
+                *job,
+                [&](const DetectionBlock &blk) {
+                    // The block's result pointers die with the
+                    // callback; copy into engine-owned storage the
+                    // chains can read asynchronously.
+                    std::copy(blk.results, blk.results + blk.rows(),
+                              row_results.begin() + blk.row0);
+                    for (int64_t of = 0; of < group0; ++of) {
+                        DetectionFrontend &fe = *frontend_;
+                        chains[static_cast<size_t>(of)]->run(
+                            [&fe, &rows, &row_results, &chain_skipped,
+                             w = weight_of(g, of, ic),
+                             base = out.data() +
+                                    out.offset4(b, g * cout_g + of, 0, 0),
+                             of, r0 = blk.row0, r1 = blk.row1, d] {
+                                chain_skipped[static_cast<size_t>(of)] +=
+                                    filterSegment(fe, rows, row_results,
+                                                  w, static_cast<int>(of),
+                                                  r0, r1, d, base);
+                            });
+                    }
+                },
+                record);
+
+            // Cross-channel overlap: extract and hash the next pass
+            // into the other buffer while this channel's group-0
+            // chains (and then its trailing filter groups) drain —
+            // hashing touches no MCACHE state, so it is safe beside
+            // the data-plane traffic of the in-flight filters.
+            std::unique_ptr<DetectionHashJob> next_job;
+            if (pi + 1 < order.size()) {
+                Tensor &next = bufs[(pi + 1) & 1];
+                extract(order[pi + 1], next);
+                next_job = frontend_->beginHashStream(
+                    next, frontend_.signatureBits());
+            }
+            for (auto &chain : chains)
+                chain->wait();
+            for (const uint64_t s : chain_skipped)
+                stats.macsSkipped += s;
+            oc_done = group0;
+            job = std::move(next_job);
+        } else {
+            // Run-then-filter: one full detection pass, then the
+            // filter passes below.
+            det = frontend_->detect(rows, frontend_.signatureBits(),
+                                    record);
+            for (int64_t i = 0; i < v; ++i) {
+                row_results[static_cast<size_t>(i)] = {
+                    det.hitmap.outcome(i), det.hitmap.entryId(i)};
+            }
+        }
+
+        const HitMix mix = det.mix();
+        stats.mix.vectors += mix.vectors;
+        stats.mix.hit += mix.hit;
+        stats.mix.mau += mix.mau;
+        stats.mix.mnu += mix.mnu;
+        ++stats.channelPasses;
+        stats.macsTotal += static_cast<uint64_t>(v) *
+                           static_cast<uint64_t>(cout_g) *
+                           static_cast<uint64_t>(d);
+
+        // Remaining filter passes in groups of `versions` in-flight
+        // filters (the multi-version data of Fig. 11). In overlapped
+        // mode the filters of a group run in parallel on the pool —
+        // each filter is a whole-row-range chain, so the
+        // owner-before-hit order within a filter still holds.
+        for (int64_t oc0 = oc_done; oc0 < cout_g; oc0 += versions) {
+            frontend_->invalidateAllData();
+            const int64_t oc1 = std::min<int64_t>(oc0 + versions, cout_g);
+            std::vector<uint64_t> skipped(
+                static_cast<size_t>(oc1 - oc0), 0);
+            const auto filter_pass = [&](int64_t fi) {
+                const int64_t of = oc0 + fi;
+                skipped[static_cast<size_t>(fi)] = filterSegment(
+                    *frontend_, rows, row_results, weight_of(g, of, ic),
+                    static_cast<int>(fi), 0, v, d,
+                    out.data() + out.offset4(b, g * cout_g + of, 0, 0));
+            };
+            if (pool) {
+                pool->parallelFor(oc1 - oc0, filter_pass);
+            } else {
+                for (int64_t fi = 0; fi < oc1 - oc0; ++fi)
+                    filter_pass(fi);
+            }
+            for (const uint64_t s : skipped)
+                stats.macsSkipped += s;
+        }
+    }
+    return out;
+}
+
+Tensor
+ConvReuseEngine::backwardInput(const Tensor &gradOut, const Tensor &weight,
+                               const ConvSpec &spec, int64_t in_h,
+                               int64_t in_w, const SignatureRecord &record,
+                               ReuseStats &stats)
+{
+    if (gradOut.rank() != 4 || weight.rank() != 4)
+        panic("ConvReuseEngine expects rank-4 gradient and weight");
+    const int64_t n = gradOut.dim(0);
+    const int64_t oh = gradOut.dim(2);
+    const int64_t ow = gradOut.dim(3);
+    const int64_t k = spec.kernelH;
+    if (spec.kernelW != k)
+        panic("ConvReuseEngine expects square kernels");
+    const int64_t d = k * k;
+    const int64_t v = oh * ow;
+    const int64_t cin_g = spec.inChannels / spec.groups;
+    const int64_t cout_g = spec.outChannels / spec.groups;
+    if (record.passCount() != n * spec.groups * cin_g)
+        panic("record holds ", record.passCount(),
+              " passes, backward needs ", n * spec.groups * cin_g,
+              " — was forward captured with the same layer geometry?");
+    // Backward keeps as many filters in flight as the forward pass
+    // kept data versions, one grad-column buffer per slot.
+    const int64_t slots =
+        std::max<int64_t>(1, std::min<int64_t>(record.dataVersions(),
+                                               cout_g));
+
+    const bool pooled = frontend_->overlapEnabled();
+    ThreadPool *pool = pooled ? frontend_->workerPool() : nullptr;
+
+    Tensor grad_in({n, spec.inChannels, in_h, in_w});
+    stats = ReuseStats{};
+
+    const auto weight_of = [&](int64_t g, int64_t of, int64_t ic) {
+        const int64_t oc = g * cout_g + of;
+        return weight.data() + ((oc * cin_g + ic) * k) * k;
+    };
+
+    std::vector<int64_t> owner;
+    std::vector<std::vector<float>> cols(static_cast<size_t>(slots));
+    for (auto &c : cols)
+        c.resize(static_cast<size_t>(v * d));
+
+    int64_t pass_idx = 0;
     for (int64_t b = 0; b < n; ++b) {
         for (int64_t g = 0; g < spec.groups; ++g) {
             for (int64_t ic = 0; ic < cin_g; ++ic) {
-                const int64_t c = g * cin_g + ic;
-                // Extract this channel's input vectors (Fig. 7a).
-                int64_t r = 0;
-                for (int64_t y = 0; y < oh; ++y) {
-                    for (int64_t x = 0; x < ow; ++x, ++r) {
-                        int64_t e = 0;
-                        for (int64_t ky = 0; ky < k; ++ky) {
-                            for (int64_t kx = 0; kx < k; ++kx, ++e) {
-                                const int64_t iy =
-                                    y * spec.stride - spec.pad + ky;
-                                const int64_t ix =
-                                    x * spec.stride - spec.pad + kx;
-                                const bool inside =
-                                    iy >= 0 && ix >= 0 &&
-                                    iy < input.dim(2) && ix < input.dim(3);
-                                rows.at2(r, e) =
-                                    inside ? input.at4(b, c, iy, ix)
-                                           : 0.0f;
-                            }
-                        }
-                    }
-                }
+                const SignatureRecord::Pass &pass =
+                    record.pass(pass_idx++);
+                if (pass.rows != v)
+                    panic("recorded pass holds ", pass.rows,
+                          " rows, gradient has ", v);
+                record.ownersOf(pass, owner);
 
-                DetectionResult det;
-                // Filters already finished in the overlapped group 0.
-                int64_t oc_done = 0;
-
-                if (overlapped) {
-                    // Streaming channel pass: the first `versions`
-                    // filter passes consume detection blocks as they
-                    // are delivered, each filter on its own serial
-                    // chain (stream order per filter, filters in
-                    // parallel), while later blocks still hash on the
-                    // pool. detectStream's initial cache clear also
-                    // clears every data version, so group 0 needs no
-                    // separate invalidateAllData.
-                    const int64_t group0 =
-                        std::min<int64_t>(versions, cout_g);
-                    std::vector<std::unique_ptr<SerialExecutor>> chains;
-                    std::vector<uint64_t> chain_skipped(
-                        static_cast<size_t>(group0), 0);
-                    for (int64_t of = 0; of < group0; ++of)
-                        chains.push_back(
-                            std::make_unique<SerialExecutor>(pool));
-
-                    det = frontend_->detectStream(
-                        rows, frontend_.signatureBits(),
-                        [&](const DetectionBlock &blk) {
-                            // The block's result pointers die with the
-                            // callback; copy into engine-owned storage
-                            // the chains can read asynchronously.
-                            std::copy(blk.results,
-                                      blk.results + blk.rows(),
-                                      row_results.begin() + blk.row0);
-                            for (int64_t of = 0; of < group0; ++of) {
-                                DetectionFrontend &fe = *frontend_;
-                                chains[static_cast<size_t>(of)]->run(
-                                    [&fe, &rows, &row_results,
-                                     &chain_skipped, w = weight_of(g, of, ic),
-                                     base = out.data() +
-                                            out.offset4(b, g * cout_g + of,
-                                                        0, 0),
-                                     of, r0 = blk.row0, r1 = blk.row1,
-                                     d] {
-                                        chain_skipped[static_cast<size_t>(
-                                            of)] +=
-                                            filterSegment(
-                                                fe, rows, row_results, w,
-                                                static_cast<int>(of), r0,
-                                                r1, d, base);
-                                    });
-                            }
-                        });
-                    for (auto &chain : chains)
-                        chain->wait();
-                    for (const uint64_t s : chain_skipped)
-                        stats.macsSkipped += s;
-                    oc_done = group0;
-                } else {
-                    // Run-then-filter: one full detection pass, then
-                    // the filter passes below.
-                    det = frontend_->detect(rows,
-                                            frontend_.signatureBits());
-                    for (int64_t i = 0; i < v; ++i) {
-                        row_results[static_cast<size_t>(i)] = {
-                            det.hitmap.outcome(i), det.hitmap.entryId(i)};
-                    }
-                }
-
-                const HitMix mix = det.mix();
-                stats.mix.vectors += mix.vectors;
-                stats.mix.hit += mix.hit;
-                stats.mix.mau += mix.mau;
-                stats.mix.mnu += mix.mnu;
+                stats.mix.vectors += pass.mix.vectors;
+                stats.mix.hit += pass.mix.hit;
+                stats.mix.mau += pass.mix.mau;
+                stats.mix.mnu += pass.mix.mnu;
                 ++stats.channelPasses;
                 stats.macsTotal += static_cast<uint64_t>(v) *
                                    static_cast<uint64_t>(cout_g) *
                                    static_cast<uint64_t>(d);
 
-                // Remaining filter passes in groups of `versions`
-                // in-flight filters (the multi-version data of
-                // Fig. 11). In overlapped mode the filters of a group
-                // run in parallel on the pool — each filter is a
-                // whole-row-range chain, so the owner-before-hit
-                // order within a filter still holds.
-                for (int64_t oc0 = oc_done; oc0 < cout_g;
-                     oc0 += versions) {
-                    frontend_->invalidateAllData();
+                for (int64_t oc0 = 0; oc0 < cout_g; oc0 += slots) {
                     const int64_t oc1 =
-                        std::min<int64_t>(oc0 + versions, cout_g);
+                        std::min<int64_t>(oc0 + slots, cout_g);
+                    const int64_t width = oc1 - oc0;
                     std::vector<uint64_t> skipped(
-                        static_cast<size_t>(oc1 - oc0), 0);
-                    const auto filter_pass = [&](int64_t fi) {
-                        const int64_t of = oc0 + fi;
-                        skipped[static_cast<size_t>(fi)] = filterSegment(
-                            *frontend_, rows, row_results,
-                            weight_of(g, of, ic),
-                            static_cast<int>(fi), 0, v, d,
-                            out.data() +
-                                out.offset4(b, g * cout_g + of, 0, 0));
-                    };
-                    if (pool) {
-                        pool->parallelFor(oc1 - oc0, filter_pass);
+                        static_cast<size_t>(width), 0);
+
+                    if (oc0 == 0 && pool) {
+                        // First filter group consumes the replayed
+                        // stream (§III-C2): per-filter serial chains
+                        // fill their grad columns block by block in
+                        // delivery order — every HIT's owner row is in
+                        // an earlier (or the same) block, so the copy
+                        // source is always filled first.
+                        std::vector<std::unique_ptr<SerialExecutor>>
+                            chains;
+                        for (int64_t fi = 0; fi < width; ++fi)
+                            chains.push_back(
+                                std::make_unique<SerialExecutor>(pool));
+                        frontend_->replayStream(
+                            pass, [&](const DetectionBlock &blk) {
+                                for (int64_t fi = 0; fi < width; ++fi) {
+                                    chains[static_cast<size_t>(fi)]->run(
+                                        [&owner, &skipped, &cols,
+                                         go = gradOut.data() +
+                                              gradOut.offset4(
+                                                  b, g * cout_g + oc0 + fi,
+                                                  0, 0),
+                                         w = weight_of(g, oc0 + fi, ic),
+                                         fi, r0 = blk.row0, r1 = blk.row1,
+                                         d] {
+                                            skipped[static_cast<size_t>(
+                                                fi)] +=
+                                                backwardSegment(
+                                                    owner, go, w,
+                                                    cols[static_cast<
+                                                             size_t>(fi)]
+                                                        .data(),
+                                                    r0, r1, d);
+                                        });
+                                }
+                            });
+                        for (auto &chain : chains)
+                            chain->wait();
                     } else {
-                        for (int64_t fi = 0; fi < oc1 - oc0; ++fi)
-                            filter_pass(fi);
+                        const auto filter_pass = [&](int64_t fi) {
+                            skipped[static_cast<size_t>(fi)] =
+                                backwardSegment(
+                                    owner,
+                                    gradOut.data() +
+                                        gradOut.offset4(
+                                            b, g * cout_g + oc0 + fi, 0,
+                                            0),
+                                    weight_of(g, oc0 + fi, ic),
+                                    cols[static_cast<size_t>(fi)].data(),
+                                    0, v, d);
+                        };
+                        if (pool) {
+                            pool->parallelFor(width, filter_pass);
+                        } else {
+                            for (int64_t fi = 0; fi < width; ++fi)
+                                filter_pass(fi);
+                        }
                     }
                     for (const uint64_t s : skipped)
                         stats.macsSkipped += s;
+
+                    // Scatter the group's grad columns in the exact
+                    // path's accumulation order — filters ascending,
+                    // output positions ascending — so a zero-hit
+                    // replay reproduces conv2dBackwardInput bit for
+                    // bit.
+                    for (int64_t fi = 0; fi < width; ++fi) {
+                        const float *col =
+                            cols[static_cast<size_t>(fi)].data();
+                        int64_t r = 0;
+                        for (int64_t y = 0; y < oh; ++y) {
+                            for (int64_t x = 0; x < ow; ++x, ++r) {
+                                const float *src = col + r * d;
+                                int64_t e = 0;
+                                for (int64_t ky = 0; ky < k; ++ky) {
+                                    for (int64_t kx = 0; kx < k;
+                                         ++kx, ++e) {
+                                        const int64_t iy =
+                                            y * spec.stride - spec.pad +
+                                            ky;
+                                        const int64_t ix =
+                                            x * spec.stride - spec.pad +
+                                            kx;
+                                        if (iy < 0 || ix < 0 ||
+                                            iy >= in_h || ix >= in_w)
+                                            continue;
+                                        grad_in.at4(b, g * cin_g + ic,
+                                                    iy, ix) +=
+                                            src[e];
+                                    }
+                                }
+                            }
+                        }
+                    }
                 }
             }
         }
     }
-    return out;
+    return grad_in;
 }
 
 } // namespace mercury

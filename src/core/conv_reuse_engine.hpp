@@ -23,11 +23,29 @@
  * outputs, hit/skip decisions, and statistics are bit-identical to
  * the serial run-then-filter path.
  *
- * Thread-safety: forward() is driven by one thread; the filter tasks
- * it spawns touch the MCACHE data plane concurrently, which the
- * ShardedMCache serializes per shard. Two threads must not call
- * forward() on one engine (or on two engines sharing a frontend)
- * concurrently.
+ * Cross-channel overlap (ROADMAP): the extraction tensor is double
+ * buffered, so in overlapped mode the engine extracts and *hashes*
+ * channel c+1 (DetectionFrontend::beginHashStream — no MCACHE state
+ * touched) while channel c's trailing filter groups are still
+ * draining against the cache, hiding the serial extraction + hashing
+ * fraction that the within-channel overlap could not reach.
+ *
+ * Backward (§III-C2): forward() optionally captures each channel
+ * pass into a SignatureRecord; backwardInput() then computes the
+ * input-gradient pass with the *same* reuse decisions, streamed back
+ * through the block hand-off with zero detection cost. A forward-HIT
+ * row reuses its owner row's grad-column products instead of
+ * multiplying the output gradient into the kernel again; rows that
+ * computed forward compute backward. With zero hits the result is
+ * bit-identical to the exact input gradient (tensor/ops
+ * conv2dBackwardInput): the scatter accumulates per input cell in
+ * the exact path's (filter, output-position) order.
+ *
+ * Thread-safety: forward() and backwardInput() are driven by one
+ * thread; the filter tasks they spawn touch the MCACHE data plane
+ * (forward) or engine-local grad-column buffers (backward)
+ * concurrently. Two threads must not call into one engine (or two
+ * engines sharing a frontend) concurrently.
  *
  * The engine also reports the measured HIT/MAU/MNU mix and the MACs
  * skipped, which feed the timing model.
@@ -93,10 +111,32 @@ class ConvReuseEngine
      * @param weight (Cout, Cin, kH, kW) — groups == 1
      * @param bias   (Cout) or empty
      * @param stats  filled with the measured reuse statistics
+     * @param record when non-null, cleared and then filled with one
+     *        captured pass per (image, channel) in execution order,
+     *        for the backward replay (§III-C2)
      */
     Tensor forward(const Tensor &input, const Tensor &weight,
                    const Tensor &bias, const ConvSpec &spec,
-                   ReuseStats &stats);
+                   ReuseStats &stats, SignatureRecord *record = nullptr);
+
+    /**
+     * Input-gradient pass with replayed reuse (§III-C2): consumes the
+     * record captured by forward() — in the same (image, channel)
+     * order — to skip the grad-column products of every forward-HIT
+     * row. Bit-identical to conv2dBackwardInput when the record holds
+     * no hits.
+     *
+     * @param gradOut (N, Cout, outH, outW) output gradient
+     * @param weight  the forward weights
+     * @param in_h    input height the gradient is scattered back to
+     * @param in_w    input width
+     * @param record  the forward pass's captured record
+     * @param stats   filled with the backward reuse statistics
+     */
+    Tensor backwardInput(const Tensor &gradOut, const Tensor &weight,
+                         const ConvSpec &spec, int64_t in_h, int64_t in_w,
+                         const SignatureRecord &record,
+                         ReuseStats &stats);
 
     /** Signature length this engine detects with. */
     int signatureBits() const { return frontend_.signatureBits(); }

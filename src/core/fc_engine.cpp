@@ -1,5 +1,6 @@
 #include "core/fc_engine.hpp"
 
+#include "core/reuse_replay.hpp"
 #include "util/logging.hpp"
 #include "util/thread_pool.hpp"
 
@@ -18,8 +19,11 @@ FcEngine::FcEngine(DetectionFrontend &frontend, int sig_bits)
 
 Tensor
 FcEngine::forward(const Tensor &input, const Tensor &weight,
-                  ReuseStats &stats, std::vector<int64_t> *owner_rows)
+                  ReuseStats &stats, std::vector<int64_t> *owner_rows,
+                  SignatureRecord *record)
 {
+    if (record)
+        record->clear();
     if (input.rank() != 2 || weight.rank() != 2 ||
         input.dim(1) != weight.dim(0)) {
         panic("FcEngine shape mismatch ", input.shapeStr(), " x ",
@@ -107,7 +111,8 @@ FcEngine::forward(const Tensor &input, const Tensor &weight,
                             compute_row(i);
                     });
                 }
-            });
+            },
+            record);
         stats.mix = det.mix();
         computes.wait();
         // Result forwarding from the earlier PEs, now all computed.
@@ -122,7 +127,7 @@ FcEngine::forward(const Tensor &input, const Tensor &weight,
 
     // Run-then-filter path: full detection pass, then one serial walk.
     const DetectionResult det =
-        frontend_->detect(input, frontend_.signatureBits());
+        frontend_->detect(input, frontend_.signatureBits(), record);
     stats.mix = det.mix();
     for (int64_t i = 0; i < n; ++i) {
         const McacheResult mr{det.hitmap.outcome(i),
@@ -138,6 +143,57 @@ FcEngine::forward(const Tensor &input, const Tensor &weight,
         }
         compute_row(i);
     }
+    return out;
+}
+
+Tensor
+FcEngine::backwardInput(const Tensor &grad, const Tensor &weight,
+                        const SignatureRecord &record, ReuseStats &stats)
+{
+    if (grad.rank() != 2 || weight.rank() != 2 ||
+        grad.dim(1) != weight.dim(1)) {
+        panic("FcEngine backward shape mismatch ", grad.shapeStr(),
+              " x ", weight.shapeStr(), "^T");
+    }
+    const int64_t n = grad.dim(0);
+    const int64_t d = weight.dim(0);
+    const int64_t m = weight.dim(1);
+    if (record.passCount() != 1)
+        panic("FC backward needs the forward minibatch's single "
+              "recorded pass, got ",
+              record.passCount());
+    const SignatureRecord::Pass &pass = record.pass(0);
+    if (pass.rows != n)
+        panic("recorded pass holds ", pass.rows, " rows, gradient has ",
+              n);
+
+    stats = ReuseStats{};
+    stats.channelPasses = 1;
+    stats.mix = pass.mix;
+    stats.macsTotal = static_cast<uint64_t>(n) *
+                      static_cast<uint64_t>(d) * static_cast<uint64_t>(m);
+
+    Tensor out({n, d});
+    // One computed input-gradient row: grad row i against every
+    // transposed weight row — the same accumulation order as
+    // matmulTransposeB, so a zero-hit replay is bit-identical.
+    // Forward-HIT rows receive their owner's gradient row instead
+    // (§III-C3 result forwarding, replayed).
+    replayRowBackward(
+        *frontend_, record, pass,
+        static_cast<uint64_t>(d) * static_cast<uint64_t>(m), stats,
+        [&](int64_t i) {
+            for (int64_t j = 0; j < d; ++j) {
+                float acc = 0.0f;
+                for (int64_t p = 0; p < m; ++p)
+                    acc += grad.at2(i, p) * weight.at2(j, p);
+                out.at2(i, j) = acc;
+            }
+        },
+        [&](int64_t i, int64_t o) {
+            for (int64_t j = 0; j < d; ++j)
+                out.at2(i, j) = out.at2(o, j);
+        });
     return out;
 }
 

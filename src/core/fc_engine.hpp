@@ -55,10 +55,26 @@ class FcEngine
      * @param owner_rows filled with the owner row index each input
      *        row's result came from (own index when computed); lets
      *        tests verify the forwarding pattern. May be null.
+     * @param record when non-null, cleared and filled with the
+     *        minibatch's single detection pass for the backward
+     *        replay (§III-C2)
      */
     Tensor forward(const Tensor &input, const Tensor &weight,
                    ReuseStats &stats,
-                   std::vector<int64_t> *owner_rows = nullptr);
+                   std::vector<int64_t> *owner_rows = nullptr,
+                   SignatureRecord *record = nullptr);
+
+    /**
+     * Input-gradient pass with replayed reuse (§III-C2):
+     * (N, M) x (D, M)^T -> (N, D). The record captured by forward()
+     * decides the skip set — a forward-HIT row receives its owner
+     * row's input-gradient row instead of recomputing the M x D
+     * products (the same "earlier PE" forwarding as forward, §III-C3).
+     * Bit-identical to matmulTransposeB(grad, weight) when the record
+     * holds no hits.
+     */
+    Tensor backwardInput(const Tensor &grad, const Tensor &weight,
+                         const SignatureRecord &record, ReuseStats &stats);
 
     /** Signature length this engine detects with. */
     int signatureBits() const { return frontend_.signatureBits(); }

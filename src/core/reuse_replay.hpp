@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Shared backward replay walk for the row-forwarding reuse engines
+ * (FC §III-C3, attention §III-C4, both under §III-C2 signature
+ * replay): every row of the recorded pass either computes its
+ * gradient row or — when it was a forward HIT — copies its owner
+ * row's result. One definition keeps the hand-off discipline (owner
+ * rows always computed first; HIT copies deferred until after the
+ * compute joins in the pooled mode) in a single place for both
+ * engines.
+ */
+
+#ifndef MERCURY_CORE_REUSE_REPLAY_HPP
+#define MERCURY_CORE_REUSE_REPLAY_HPP
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "core/conv_reuse_engine.hpp" // ReuseStats
+#include "pipeline/detection_frontend.hpp"
+#include "pipeline/signature_record.hpp"
+#include "util/thread_pool.hpp"
+
+namespace mercury {
+
+/**
+ * Walk one recorded pass row by row: `compute_row(i)` for rows that
+ * computed forward, `copy_row(i, owner)` for forward-HIT rows, with
+ * `row_skip_cost` MACs booked into `stats.macsSkipped` per copied
+ * row.
+ *
+ * Serial mode walks in stream order — owners are earlier rows, so
+ * their output rows are filled before any HIT row copies them. With
+ * the frontend's overlap knob and a pool, the replayed stream's
+ * computed rows fan out through a TaskGroup (they are mutually
+ * independent) and HIT rows are copied after the joins — owners are
+ * always computed rows, so forwarding chains have depth one. Both
+ * orders produce identical results; compute_row/copy_row must write
+ * disjoint rows (one invocation per row).
+ */
+template <typename ComputeRow, typename CopyRow>
+inline void
+replayRowBackward(DetectionFrontend &fe, const SignatureRecord &record,
+                  const SignatureRecord::Pass &pass,
+                  uint64_t row_skip_cost, ReuseStats &stats,
+                  const ComputeRow &compute_row, const CopyRow &copy_row)
+{
+    std::vector<int64_t> owner;
+    record.ownersOf(pass, owner);
+
+    if (fe.overlapEnabled()) {
+        ThreadPool *pool = fe.workerPool();
+        TaskGroup computes(pool);
+        std::vector<int64_t> forwards;
+        fe.replayStream(pass, [&](const DetectionBlock &blk) {
+            std::vector<int64_t> computed;
+            for (int64_t i = blk.row0; i < blk.row1; ++i) {
+                if (owner[static_cast<size_t>(i)] != i) {
+                    forwards.push_back(i);
+                    stats.macsSkipped += row_skip_cost;
+                } else {
+                    computed.push_back(i);
+                }
+            }
+            if (!computed.empty()) {
+                computes.run(
+                    [&compute_row, batch = std::move(computed)] {
+                        for (const int64_t i : batch)
+                            compute_row(i);
+                    });
+            }
+        });
+        computes.wait();
+        pool->parallelFor(
+            static_cast<int64_t>(forwards.size()), [&](int64_t f) {
+                const int64_t i = forwards[static_cast<size_t>(f)];
+                copy_row(i, owner[static_cast<size_t>(i)]);
+            });
+        return;
+    }
+
+    for (int64_t i = 0; i < pass.rows; ++i) {
+        const int64_t o = owner[static_cast<size_t>(i)];
+        if (o != i) {
+            copy_row(i, o);
+            stats.macsSkipped += row_skip_cost;
+            continue;
+        }
+        compute_row(i);
+    }
+}
+
+} // namespace mercury
+
+#endif // MERCURY_CORE_REUSE_REPLAY_HPP

@@ -19,9 +19,13 @@ SelfAttentionLayer::forward(const Tensor &x, MercuryContext *ctx)
         panic("attention expects (N, ", seqLen_ * embedDim_, "), got ",
               x.shapeStr());
     lastInput_ = x;
+    recordValid_ = false;
     const int64_t n = x.dim(0);
     Tensor out({n, seqLen_ * embedDim_});
 
+    const bool capture = ctx && ctx->backwardReuse();
+    if (capture)
+        record_.clear();
     for (int64_t s = 0; s < n; ++s) {
         Tensor xi({seqLen_, embedDim_});
         for (int64_t i = 0; i < xi.numel(); ++i)
@@ -31,7 +35,7 @@ SelfAttentionLayer::forward(const Tensor &x, MercuryContext *ctx)
             AttentionEngine engine(ctx->frontendFor(layerId_),
                                    ctx->signatureBits());
             ReuseStats stats;
-            yi = engine.forward(xi, stats);
+            yi = engine.forward(xi, stats, capture ? &record_ : nullptr);
             ctx->accumulate(stats);
         } else {
             Tensor w = matmulTransposeB(xi, xi);
@@ -40,15 +44,18 @@ SelfAttentionLayer::forward(const Tensor &x, MercuryContext *ctx)
         for (int64_t i = 0; i < yi.numel(); ++i)
             out[s * yi.numel() + i] = scale_ * yi[i];
     }
+    recordValid_ = capture;
     return out;
 }
 
 Tensor
-SelfAttentionLayer::backward(const Tensor &grad)
+SelfAttentionLayer::backwardImpl(const Tensor &grad, MercuryContext *ctx)
 {
     // Y = X Xt X with factors U = X, V = Xt, W = X:
     //   dL/dX = G (Xt X) + X Gt X + (X Xt) G
     const int64_t n = grad.dim(0);
+    const bool replay = ctx && ctx->backwardReuse() && recordValid_ &&
+                        record_.passCount() == n;
     Tensor out({n, seqLen_ * embedDim_});
     for (int64_t s = 0; s < n; ++s) {
         Tensor xi({seqLen_, embedDim_});
@@ -56,6 +63,18 @@ SelfAttentionLayer::backward(const Tensor &grad)
         for (int64_t i = 0; i < xi.numel(); ++i) {
             xi[i] = lastInput_[s * xi.numel() + i];
             gi[i] = scale_ * grad[s * xi.numel() + i];
+        }
+        if (replay) {
+            // Replay the sample's forward detection pass (§III-C2):
+            // forward-HIT token rows copy their owner's gradient row.
+            AttentionEngine engine(ctx->frontendFor(layerId_),
+                                   ctx->signatureBits());
+            ReuseStats stats;
+            Tensor gx = engine.backward(xi, gi, record_, s, stats);
+            ctx->accumulateBackward(stats);
+            for (int64_t i = 0; i < gx.numel(); ++i)
+                out[s * gx.numel() + i] = gx[i];
+            continue;
         }
         Tensor xtx = matmul(transpose2d(xi), xi);     // (E, E)
         Tensor term1 = matmul(gi, xtx);               // (T, E)

@@ -22,8 +22,11 @@ class SelfAttentionLayer : public Layer
                        uint64_t layer_id, float scale = 1.0f);
 
     Tensor forward(const Tensor &x, MercuryContext *ctx) override;
-    Tensor backward(const Tensor &grad) override;
     std::string name() const override { return "self-attention"; }
+
+  protected:
+    Tensor backwardImpl(const Tensor &grad,
+                        MercuryContext *ctx) override;
 
   private:
     int64_t seqLen_;
@@ -31,6 +34,10 @@ class SelfAttentionLayer : public Layer
     uint64_t layerId_;
     float scale_; ///< 1/seq_len-style normalization for stability
     Tensor lastInput_;
+    // Forward-captured detection outcomes, one pass per sample, for
+    // the backward replay (§III-C2).
+    SignatureRecord record_;
+    bool recordValid_ = false;
 };
 
 } // namespace mercury

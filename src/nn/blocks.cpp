@@ -38,11 +38,12 @@ ResidualBlock::forward(const Tensor &x, MercuryContext *ctx)
 }
 
 Tensor
-ResidualBlock::backward(const Tensor &grad)
+ResidualBlock::backwardImpl(const Tensor &grad, MercuryContext *ctx)
 {
     Tensor g = reluBackward(lastSum_, grad);
-    Tensor g_body = conv1_->backward(relu1_->backward(conv2_->backward(g)));
-    Tensor g_skip = proj_ ? proj_->backward(g) : g;
+    Tensor g_body = conv1_->backward(
+        relu1_->backward(conv2_->backward(g, ctx), ctx), ctx);
+    Tensor g_skip = proj_ ? proj_->backward(g, ctx) : g;
     for (int64_t i = 0; i < g_body.numel(); ++i)
         g_body[i] += g_skip[i];
     return g_body;
@@ -112,7 +113,7 @@ ConcatBlock::forward(const Tensor &x, MercuryContext *ctx)
 }
 
 Tensor
-ConcatBlock::backward(const Tensor &grad)
+ConcatBlock::backwardImpl(const Tensor &grad, MercuryContext *ctx)
 {
     Tensor grad_in;
     int64_t c_off = 0;
@@ -129,7 +130,7 @@ ConcatBlock::backward(const Tensor &grad)
         // Backward through the branch in reverse order.
         for (auto it = branches_[b].rbegin(); it != branches_[b].rend();
              ++it) {
-            g = (*it)->backward(g);
+            g = (*it)->backward(g, ctx);
         }
         if (grad_in.numel() == 0) {
             grad_in = g;
@@ -181,11 +182,11 @@ SequentialBlock::forward(const Tensor &x, MercuryContext *ctx)
 }
 
 Tensor
-SequentialBlock::backward(const Tensor &grad)
+SequentialBlock::backwardImpl(const Tensor &grad, MercuryContext *ctx)
 {
     Tensor g = grad;
     for (auto it = layers_.rbegin(); it != layers_.rend(); ++it)
-        g = (*it)->backward(g);
+        g = (*it)->backward(g, ctx);
     return g;
 }
 

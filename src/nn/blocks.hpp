@@ -28,10 +28,13 @@ class ResidualBlock : public Layer
                   uint64_t layer_id);
 
     Tensor forward(const Tensor &x, MercuryContext *ctx) override;
-    Tensor backward(const Tensor &grad) override;
     void step(float lr) override;
     std::string name() const override { return "residual"; }
     uint64_t paramCount() const override;
+
+  protected:
+    Tensor backwardImpl(const Tensor &grad,
+                        MercuryContext *ctx) override;
 
   private:
     std::unique_ptr<Conv2dLayer> conv1_;
@@ -54,10 +57,13 @@ class ConcatBlock : public Layer
     explicit ConcatBlock(std::vector<Branch> branches);
 
     Tensor forward(const Tensor &x, MercuryContext *ctx) override;
-    Tensor backward(const Tensor &grad) override;
     void step(float lr) override;
     std::string name() const override { return "concat"; }
     uint64_t paramCount() const override;
+
+  protected:
+    Tensor backwardImpl(const Tensor &grad,
+                        MercuryContext *ctx) override;
 
   private:
     std::vector<Branch> branches_;
@@ -71,10 +77,13 @@ class SequentialBlock : public Layer
     explicit SequentialBlock(std::vector<std::unique_ptr<Layer>> layers);
 
     Tensor forward(const Tensor &x, MercuryContext *ctx) override;
-    Tensor backward(const Tensor &grad) override;
     void step(float lr) override;
     std::string name() const override { return "sequential"; }
     uint64_t paramCount() const override;
+
+  protected:
+    Tensor backwardImpl(const Tensor &grad,
+                        MercuryContext *ctx) override;
 
   private:
     std::vector<std::unique_ptr<Layer>> layers_;

@@ -34,22 +34,41 @@ Tensor
 Conv2dLayer::forward(const Tensor &x, MercuryContext *ctx)
 {
     lastInput_ = x;
+    recordValid_ = false;
     if (ctx) {
         ConvReuseEngine engine(ctx->frontendFor(layerId_),
                                ctx->signatureBits());
         ReuseStats stats;
-        Tensor out = engine.forward(x, weight_, bias_, spec_, stats);
+        SignatureRecord *capture =
+            ctx->backwardReuse() ? &record_ : nullptr;
+        Tensor out =
+            engine.forward(x, weight_, bias_, spec_, stats, capture);
         ctx->accumulate(stats);
+        recordValid_ = capture != nullptr;
         return out;
     }
     return conv2dForward(x, weight_, bias_, spec_);
 }
 
 Tensor
-Conv2dLayer::backward(const Tensor &grad)
+Conv2dLayer::backwardImpl(const Tensor &grad, MercuryContext *ctx)
 {
     gradWeight_ = conv2dBackwardWeight(lastInput_, grad, spec_);
     gradBias_ = conv2dBackwardBias(grad);
+    if (ctx && ctx->backwardReuse() && recordValid_) {
+        // Replay the forward pass's detection outcomes through the
+        // backward filter pass (§III-C2): zero detection cost, and
+        // forward-HIT rows skip their grad-column products.
+        ConvReuseEngine engine(ctx->frontendFor(layerId_),
+                               ctx->signatureBits());
+        ReuseStats stats;
+        Tensor gin = engine.backwardInput(grad, weight_, spec_,
+                                          lastInput_.dim(2),
+                                          lastInput_.dim(3), record_,
+                                          stats);
+        ctx->accumulateBackward(stats);
+        return gin;
+    }
     return conv2dBackwardInput(grad, weight_, spec_, lastInput_.dim(2),
                                lastInput_.dim(3));
 }
@@ -91,13 +110,17 @@ DenseLayer::forward(const Tensor &x, MercuryContext *ctx)
     if (x.rank() != 2)
         panic("dense layer expects (N, D), got ", x.shapeStr());
     lastInput_ = x;
+    recordValid_ = false;
     Tensor out;
     if (ctx) {
         FcEngine engine(ctx->frontendFor(layerId_),
                         ctx->signatureBits());
         ReuseStats stats;
-        out = engine.forward(x, weight_, stats);
+        SignatureRecord *capture =
+            ctx->backwardReuse() ? &record_ : nullptr;
+        out = engine.forward(x, weight_, stats, nullptr, capture);
         ctx->accumulate(stats);
+        recordValid_ = capture != nullptr;
     } else {
         out = matmul(x, weight_);
     }
@@ -108,13 +131,24 @@ DenseLayer::forward(const Tensor &x, MercuryContext *ctx)
 }
 
 Tensor
-DenseLayer::backward(const Tensor &grad)
+DenseLayer::backwardImpl(const Tensor &grad, MercuryContext *ctx)
 {
     gradWeight_ = matmul(transpose2d(lastInput_), grad);
     gradBias_ = Tensor({grad.dim(1)});
     for (int64_t i = 0; i < grad.dim(0); ++i)
         for (int64_t j = 0; j < grad.dim(1); ++j)
             gradBias_[j] += grad.at2(i, j);
+    if (ctx && ctx->backwardReuse() && recordValid_) {
+        // Replayed input-gradient pass (§III-C2): forward-HIT rows
+        // receive their owner's gradient row, everyone else computes
+        // grad x W^T exactly.
+        FcEngine engine(ctx->frontendFor(layerId_),
+                        ctx->signatureBits());
+        ReuseStats stats;
+        Tensor gin = engine.backwardInput(grad, weight_, record_, stats);
+        ctx->accumulateBackward(stats);
+        return gin;
+    }
     return matmulTransposeB(grad, weight_);
 }
 
@@ -147,7 +181,7 @@ ReluLayer::forward(const Tensor &x, MercuryContext *)
 }
 
 Tensor
-ReluLayer::backward(const Tensor &grad)
+ReluLayer::backwardImpl(const Tensor &grad, MercuryContext *)
 {
     return reluBackward(lastInput_, grad);
 }
@@ -160,7 +194,7 @@ MaxPoolLayer::forward(const Tensor &x, MercuryContext *)
 }
 
 Tensor
-MaxPoolLayer::backward(const Tensor &grad)
+MaxPoolLayer::backwardImpl(const Tensor &grad, MercuryContext *)
 {
     return maxPool2x2Backward(lastInput_, grad, argmax_);
 }
@@ -173,7 +207,7 @@ GlobalAvgPoolLayer::forward(const Tensor &x, MercuryContext *)
 }
 
 Tensor
-GlobalAvgPoolLayer::backward(const Tensor &grad)
+GlobalAvgPoolLayer::backwardImpl(const Tensor &grad, MercuryContext *)
 {
     return globalAvgPoolBackward(lastInput_, grad);
 }
@@ -191,7 +225,7 @@ FlattenLayer::forward(const Tensor &x, MercuryContext *)
 }
 
 Tensor
-FlattenLayer::backward(const Tensor &grad)
+FlattenLayer::backwardImpl(const Tensor &grad, MercuryContext *)
 {
     Tensor out = grad;
     out.reshape(lastShape_);

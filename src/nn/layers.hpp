@@ -32,12 +32,29 @@ class Layer
 
     /**
      * Forward pass. `ctx` may be null (exact execution) or an
-     * enabled MercuryContext (reuse-approximated execution).
+     * enabled MercuryContext (reuse-approximated execution). With
+     * ctx->backwardReuse() set, reuse-capable layers additionally
+     * capture their detection outcomes for the backward replay.
      */
     virtual Tensor forward(const Tensor &x, MercuryContext *ctx) = 0;
 
-    /** Backward pass: input gradient from output gradient. */
-    virtual Tensor backward(const Tensor &grad) = 0;
+    /**
+     * Backward pass: input gradient from output gradient. `ctx` must
+     * be the context the matching forward ran with (or null): with
+     * backward reuse enabled, reuse-capable layers replay the
+     * forward-captured SignatureRecord to skip input-gradient
+     * products of forward-HIT rows (§III-C2); otherwise gradients
+     * are exact gradients of the perturbed forward.
+     *
+     * Non-virtual dispatcher so the ctx default argument lives in
+     * exactly one place (defaults on virtuals bind statically, and
+     * eleven overrides repeating `= nullptr` would be eleven chances
+     * to diverge); layers override backwardImpl.
+     */
+    Tensor backward(const Tensor &grad, MercuryContext *ctx = nullptr)
+    {
+        return backwardImpl(grad, ctx);
+    }
 
     /** SGD parameter update (no-op for stateless layers). */
     virtual void step(float lr) { (void)lr; }
@@ -46,6 +63,11 @@ class Layer
 
     /** Number of trainable parameters. */
     virtual uint64_t paramCount() const { return 0; }
+
+  protected:
+    /** Backward implementation; see backward(). */
+    virtual Tensor backwardImpl(const Tensor &grad,
+                                MercuryContext *ctx) = 0;
 };
 
 /** 2D convolution layer (square kernels, optional groups). */
@@ -60,13 +82,16 @@ class Conv2dLayer : public Layer
                 uint64_t layer_id, int64_t groups = 1);
 
     Tensor forward(const Tensor &x, MercuryContext *ctx) override;
-    Tensor backward(const Tensor &grad) override;
     void step(float lr) override;
     std::string name() const override { return "conv2d"; }
     uint64_t paramCount() const override;
 
     const Tensor &weights() const { return weight_; }
     const ConvSpec &spec() const { return spec_; }
+
+  protected:
+    Tensor backwardImpl(const Tensor &grad,
+                        MercuryContext *ctx) override;
 
   private:
     ConvSpec spec_;
@@ -76,6 +101,10 @@ class Conv2dLayer : public Layer
     Tensor gradWeight_;
     Tensor gradBias_;
     Tensor lastInput_;
+    // Forward-captured detection outcomes for the backward replay
+    // (§III-C2); valid only for the most recent ctx-enabled forward.
+    SignatureRecord record_;
+    bool recordValid_ = false;
 };
 
 /** Fully connected layer on (N, D) inputs. */
@@ -86,12 +115,15 @@ class DenseLayer : public Layer
                uint64_t layer_id);
 
     Tensor forward(const Tensor &x, MercuryContext *ctx) override;
-    Tensor backward(const Tensor &grad) override;
     void step(float lr) override;
     std::string name() const override { return "dense"; }
     uint64_t paramCount() const override;
 
     const Tensor &weights() const { return weight_; }
+
+  protected:
+    Tensor backwardImpl(const Tensor &grad,
+                        MercuryContext *ctx) override;
 
   private:
     uint64_t layerId_;
@@ -100,6 +132,10 @@ class DenseLayer : public Layer
     Tensor gradWeight_;
     Tensor gradBias_;
     Tensor lastInput_;
+    // Forward-captured detection outcomes for the backward replay
+    // (§III-C2); valid only for the most recent ctx-enabled forward.
+    SignatureRecord record_;
+    bool recordValid_ = false;
 };
 
 /** Elementwise ReLU. */
@@ -107,8 +143,11 @@ class ReluLayer : public Layer
 {
   public:
     Tensor forward(const Tensor &x, MercuryContext *ctx) override;
-    Tensor backward(const Tensor &grad) override;
     std::string name() const override { return "relu"; }
+
+  protected:
+    Tensor backwardImpl(const Tensor &grad,
+                        MercuryContext *ctx) override;
 
   private:
     Tensor lastInput_;
@@ -119,8 +158,11 @@ class MaxPoolLayer : public Layer
 {
   public:
     Tensor forward(const Tensor &x, MercuryContext *ctx) override;
-    Tensor backward(const Tensor &grad) override;
     std::string name() const override { return "maxpool2x2"; }
+
+  protected:
+    Tensor backwardImpl(const Tensor &grad,
+                        MercuryContext *ctx) override;
 
   private:
     Tensor lastInput_;
@@ -132,8 +174,11 @@ class GlobalAvgPoolLayer : public Layer
 {
   public:
     Tensor forward(const Tensor &x, MercuryContext *ctx) override;
-    Tensor backward(const Tensor &grad) override;
     std::string name() const override { return "gap"; }
+
+  protected:
+    Tensor backwardImpl(const Tensor &grad,
+                        MercuryContext *ctx) override;
 
   private:
     Tensor lastInput_;
@@ -144,8 +189,11 @@ class FlattenLayer : public Layer
 {
   public:
     Tensor forward(const Tensor &x, MercuryContext *ctx) override;
-    Tensor backward(const Tensor &grad) override;
     std::string name() const override { return "flatten"; }
+
+  protected:
+    Tensor backwardImpl(const Tensor &grad,
+                        MercuryContext *ctx) override;
 
   private:
     std::vector<int64_t> lastShape_;

@@ -92,22 +92,39 @@ MercuryContext::layerSeed(uint64_t layer_id) const
     return z ^ (z >> 31);
 }
 
+namespace {
+
+void
+addStats(ReuseStats &into, const ReuseStats &stats)
+{
+    into.mix.vectors += stats.mix.vectors;
+    into.mix.hit += stats.mix.hit;
+    into.mix.mau += stats.mix.mau;
+    into.mix.mnu += stats.mix.mnu;
+    into.macsTotal += stats.macsTotal;
+    into.macsSkipped += stats.macsSkipped;
+    into.channelPasses += stats.channelPasses;
+}
+
+} // namespace
+
 void
 MercuryContext::accumulate(const ReuseStats &stats)
 {
-    totals_.mix.vectors += stats.mix.vectors;
-    totals_.mix.hit += stats.mix.hit;
-    totals_.mix.mau += stats.mix.mau;
-    totals_.mix.mnu += stats.mix.mnu;
-    totals_.macsTotal += stats.macsTotal;
-    totals_.macsSkipped += stats.macsSkipped;
-    totals_.channelPasses += stats.channelPasses;
+    addStats(totals_, stats);
+}
+
+void
+MercuryContext::accumulateBackward(const ReuseStats &stats)
+{
+    addStats(backwardTotals_, stats);
 }
 
 void
 MercuryContext::resetStats()
 {
     totals_ = ReuseStats{};
+    backwardTotals_ = ReuseStats{};
 }
 
 } // namespace mercury

@@ -9,6 +9,15 @@
  * of the perturbed forward, so training "sees" exactly the
  * reuse-induced approximation the hardware would introduce — this is
  * what the accuracy experiments (paper Fig. 13) measure.
+ *
+ * With backward reuse enabled (§III-C2, AcceleratorConfig::
+ * backwardReuse), each layer's forward pass additionally captures its
+ * detection outcomes into a SignatureRecord, and the input-gradient
+ * pass replays that record through the reuse engines — skipping the
+ * grad products of forward-HIT rows with zero detection cost. Weight
+ * gradients stay exact either way. Backward statistics accumulate
+ * separately (backwardTotals) so the two halves of a training step
+ * can be reported against their own baselines.
  */
 
 #ifndef MERCURY_NN_MERCURY_HOOKS_HPP
@@ -84,11 +93,29 @@ class MercuryContext
     /** Per-layer deterministic projection seed. */
     uint64_t layerSeed(uint64_t layer_id) const;
 
-    /** Accumulate one engine invocation's statistics. */
+    /**
+     * Reuse saved signatures in the backward pass (§III-C2): when
+     * set, reuse-capable layers capture a SignatureRecord on forward
+     * and replay it through the engines' backward filter passes,
+     * skipping the input-gradient products of forward-HIT rows.
+     * Off by default: backward then computes exact gradients of the
+     * perturbed forward, the legacy accuracy-experiment setup.
+     */
+    void setBackwardReuse(bool enabled) { backwardReuse_ = enabled; }
+    bool backwardReuse() const { return backwardReuse_; }
+
+    /** Accumulate one forward engine invocation's statistics. */
     void accumulate(const ReuseStats &stats);
 
-    /** Totals since construction (or resetStats). */
+    /** Accumulate one backward (replay) invocation's statistics. */
+    void accumulateBackward(const ReuseStats &stats);
+
+    /** Forward totals since construction (or resetStats). */
     const ReuseStats &totals() const { return totals_; }
+
+    /** Backward-replay totals since construction (or resetStats). */
+    const ReuseStats &backwardTotals() const { return backwardTotals_; }
+
     void resetStats();
 
   private:
@@ -97,6 +124,7 @@ class MercuryContext
     int ways_;
     int versions_;
     uint64_t seed_;
+    bool backwardReuse_ = false;
     std::unique_ptr<MCache> cache_; // lazy, see cache()
     PipelineConfig pipeline_;
     // Pool and cache must outlive the frontends holding pointers to
@@ -105,6 +133,7 @@ class MercuryContext
     std::unique_ptr<ShardedMCache> shared_;    // shared by all frontends
     std::map<uint64_t, std::unique_ptr<DetectionFrontend>> frontends_;
     ReuseStats totals_;
+    ReuseStats backwardTotals_;
 
     ThreadPool *sharedPool();
     ShardedMCache &sharedCache();

@@ -38,7 +38,7 @@ Network::trainBatch(const Tensor &x, const std::vector<int> &labels,
     Tensor grad;
     const float loss = softmaxCrossEntropy(logits, labels, grad);
     for (auto it = layers_.rbegin(); it != layers_.rend(); ++it)
-        grad = (*it)->backward(grad);
+        grad = (*it)->backward(grad, ctx);
     for (auto &l : layers_)
         l->step(lr);
     return loss;

@@ -68,7 +68,8 @@ DetectionFrontend::poolFor()
 }
 
 DetectionResult
-DetectionFrontend::detect(const Tensor &rows, int bits)
+DetectionFrontend::detect(const Tensor &rows, int bits,
+                          SignatureRecord *capture)
 {
     if (rows.rank() != 2)
         panic("detect expects a (n, d) matrix, got ", rows.shapeStr());
@@ -81,24 +82,69 @@ DetectionFrontend::detect(const Tensor &rows, int bits)
     // follow run on this thread only. Quiescent here: one thread
     // drives a frontend's passes.
     cache_->setConcurrent(pipe_.overlap && pool != nullptr);
-    DetectionPipeline pipeline(rpqFor(rows.dim(1)), *cache_, bits, pipe_,
-                               pool);
-    return pipeline.run(rows);
+    DetectionPipeline pipeline(rpqFor(rows.dim(1)), *cache_, bits,
+                               pipe_.resolvedFor(rows.dim(0)), pool);
+    DetectionResult det = pipeline.run(rows);
+    if (capture)
+        capture->capturePass(det, bits, cache_->dataVersions(),
+                             cache_->entries());
+    return det;
 }
 
 DetectionResult
 DetectionFrontend::detectStream(const Tensor &rows, int bits,
-                                const BlockConsumer &on_block)
+                                const BlockConsumer &on_block,
+                                SignatureRecord *capture)
+{
+    std::unique_ptr<DetectionHashJob> job = beginHashStream(rows, bits);
+    return finishStream(*job, on_block, capture);
+}
+
+std::unique_ptr<DetectionHashJob>
+DetectionFrontend::beginHashStream(const Tensor &rows, int bits)
 {
     if (rows.rank() != 2)
         panic("detect expects a (n, d) matrix, got ", rows.shapeStr());
     ThreadPool *pool = poolFor();
+    DetectionPipeline pipeline(rpqFor(rows.dim(1)), *cache_, bits,
+                               pipe_.resolvedFor(rows.dim(0)), pool);
+    return pipeline.beginHash(rows);
+}
+
+DetectionResult
+DetectionFrontend::finishStream(DetectionHashJob &job,
+                                const BlockConsumer &on_block,
+                                SignatureRecord *capture)
+{
+    ThreadPool *pool = poolFor();
     // Streaming consumers schedule filter work against the data plane
     // while later probes run, so locks engage whenever a pool exists.
+    // The previous pass's filter tasks have drained by the time a new
+    // finishStream runs (one thread drives passes; engines join their
+    // chains before re-entering), so the cache is quiescent here even
+    // though the *hash* half of this job may already be in flight —
+    // hashing touches no cache state.
     cache_->setConcurrent(pool != nullptr);
-    DetectionPipeline pipeline(rpqFor(rows.dim(1)), *cache_, bits, pipe_,
-                               pool);
-    return pipeline.runStreaming(rows, on_block);
+    DetectionPipeline pipeline(rpqFor(job.vectorDim()), *cache_,
+                               job.signatureBits(),
+                               pipe_.resolvedFor(job.rowCount()), pool);
+    DetectionResult det = pipeline.finishStreaming(job, on_block);
+    if (capture)
+        capture->capturePass(det, job.signatureBits(),
+                             cache_->dataVersions(), cache_->entries());
+    return det;
+}
+
+void
+DetectionFrontend::replayStream(const SignatureRecord::Pass &pass,
+                                const BlockConsumer &on_block,
+                                bool with_signatures)
+{
+    // Replay never provisions an RPQ engine or touches the cache: the
+    // recorded pass carries everything the consumer needs.
+    DetectionPipeline::replayStreaming(
+        pass, pipe_.resolvedFor(pass.rows).blockRows, on_block,
+        with_signatures);
 }
 
 FrontendHandle::FrontendHandle(MCache &cache, int sig_bits, uint64_t seed,

@@ -38,6 +38,7 @@
 #include "core/similarity_detector.hpp"
 #include "pipeline/detection_pipeline.hpp"
 #include "pipeline/sharded_mcache.hpp"
+#include "pipeline/signature_record.hpp"
 #include "sim/config.hpp"
 #include "util/thread_pool.hpp"
 
@@ -98,8 +99,11 @@ class DetectionFrontend
      * Run one detection pass over a (num_vectors, d) matrix at the
      * given signature length. Clears the cache first; the RPQEngine
      * for dimension d is created on first use and reused afterwards.
+     * When `capture` is non-null the pass is appended to the record
+     * for later backward replay (§III-C2).
      */
-    DetectionResult detect(const Tensor &rows, int bits);
+    DetectionResult detect(const Tensor &rows, int bits,
+                           SignatureRecord *capture = nullptr);
 
     /**
      * Streaming form of detect(): identical result, but completed
@@ -110,7 +114,39 @@ class DetectionFrontend
      * submit filter work to workerPool() but must not block on it.
      */
     DetectionResult detectStream(const Tensor &rows, int bits,
-                                 const BlockConsumer &on_block);
+                                 const BlockConsumer &on_block,
+                                 SignatureRecord *capture = nullptr);
+
+    /**
+     * Start the hashing half of a streaming pass (see
+     * DetectionPipeline::beginHash): no MCACHE state is touched, so
+     * this may run while filter tasks of the previous finishStream
+     * are still draining — the cross-channel overlap. `rows` must
+     * outlive the job; consume the job with finishStream exactly
+     * once. One thread drives begin/finish, like every other pass.
+     */
+    std::unique_ptr<DetectionHashJob> beginHashStream(const Tensor &rows,
+                                                      int bits);
+
+    /** Probe-and-deliver half of a pass begun with beginHashStream. */
+    DetectionResult finishStream(DetectionHashJob &job,
+                                 const BlockConsumer &on_block,
+                                 SignatureRecord *capture = nullptr);
+
+    /**
+     * Replay a recorded pass through the block hand-off with zero
+     * hashing or probing cycles (§III-C2): blocks are delivered
+     * ascending with the recorded hit/owner outcomes, and the MCACHE
+     * is never touched — replay is safe regardless of what later
+     * forward passes did to the cache. Same callback
+     * threading/lifetime contract as detectStream. Signatures are
+     * decoded only on request (`with_signatures`); the backward
+     * filter passes consume outcomes alone, so the default skips the
+     * rows x bits decode and DetectionBlock::sigs is null.
+     */
+    void replayStream(const SignatureRecord::Pass &pass,
+                      const BlockConsumer &on_block,
+                      bool with_signatures = false);
 
     /**
      * The pool detection passes fan out to — shared pool if set,

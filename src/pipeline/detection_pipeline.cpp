@@ -23,6 +23,17 @@ PipelineConfig::fromConfig(const AcceleratorConfig &cfg)
     return pipe;
 }
 
+PipelineConfig
+PipelineConfig::resolvedFor(int64_t rows) const
+{
+    if (blockRows != 0)
+        return *this;
+    PipelineConfig resolved = *this;
+    resolved.blockRows =
+        tunedPipelineFor(std::max<int64_t>(rows, 1)).blockRows;
+    return resolved;
+}
+
 DetectionPipeline::DetectionPipeline(const RPQEngine &rpq,
                                      ShardedMCache &cache, int bits,
                                      const PipelineConfig &cfg,
@@ -112,124 +123,193 @@ DetectionPipeline::run(const Tensor &rows) const
     return res;
 }
 
-DetectionResult
-DetectionPipeline::runStreaming(const Tensor &rows,
-                                const BlockConsumer &on_block) const
+DetectionHashJob::DetectionHashJob(const Tensor &rows, const RPQEngine &rpq,
+                                   const ShardedMCache &cache, int bits,
+                                   int64_t block_rows)
+    : rows_(rows), rpq_(rpq), cache_(cache), bits_(bits),
+      blockRows_(block_rows), n_(rows.dim(0)),
+      blocks_((n_ + block_rows - 1) / block_rows),
+      sigs_(static_cast<size_t>(n_)), setOf_(static_cast<size_t>(n_)),
+      results_(static_cast<size_t>(n_)),
+      hashed_(static_cast<size_t>(blocks_), 0)
+{
+}
+
+DetectionHashJob::~DetectionHashJob()
+{
+    if (hashers_)
+        hashers_->wait();
+}
+
+void
+DetectionHashJob::projectBlock(int64_t b)
+{
+    // Stage 1: hash one block, precompute its set indices. Safe on
+    // any thread and concurrently with filter traffic of a previous
+    // pass — it reads only the row tensor and the cache geometry.
+    const int64_t r0 = b * blockRows_;
+    const int64_t r1 = std::min(n_, r0 + blockRows_);
+    rpq_.signatureBlock(rows_, r0, r1, bits_,
+                        sigs_.data() + static_cast<size_t>(r0));
+    for (int64_t i = r0; i < r1; ++i)
+        setOf_[static_cast<size_t>(i)] =
+            cache_.setIndexOf(sigs_[static_cast<size_t>(i)]);
+}
+
+std::unique_ptr<DetectionHashJob>
+DetectionPipeline::beginHash(const Tensor &rows) const
 {
     if (rows.rank() != 2 || rows.dim(1) != rpq_.vectorDim())
         panic("detect expects (n, ", rpq_.vectorDim(), ") got ",
               rows.shapeStr());
+    std::unique_ptr<DetectionHashJob> job(
+        new DetectionHashJob(rows, rpq_, cache_, bits_, cfg_.blockRows));
+    if (job->n_ == 0 || !pool_ || pool_->workers() <= 0)
+        return job; // hash inline when finishStreaming drives the pass
+
+    // Hashing fans out to the pool in any order; a sequencer pushes
+    // finished blocks into the hand-off queue in ascending block
+    // order, and finishStreaming probes + delivers as they arrive —
+    // overlapping stage 1 of later blocks with the consumer's work on
+    // earlier ones (Fig. 8).
+    //
+    // Hash tasks are self-replenishing (each one grabs the next
+    // unhashed block and resubmits) rather than enqueued all
+    // up-front: the pool's queue is FIFO, so pre-queueing every hash
+    // task would park the consumer's filter tasks behind the whole
+    // hashing phase and the overlap would never materialize on a
+    // saturated pool. With a window of ~workers in flight, hash and
+    // filter tasks interleave.
+    DetectionHashJob *j = job.get();
+    j->hashers_ = std::make_unique<TaskGroup>(pool_);
+    j->hashOne_ = [j] {
+        const int64_t b =
+            j->nextBlock_.fetch_add(1, std::memory_order_relaxed);
+        if (b >= j->blocks_)
+            return;
+        j->projectBlock(b);
+        {
+            std::lock_guard<std::mutex> lock(j->seqMutex_);
+            j->hashed_[static_cast<size_t>(b)] = 1;
+            while (j->frontier_ < j->blocks_ &&
+                   j->hashed_[static_cast<size_t>(j->frontier_)])
+                j->handoff_.push(j->frontier_++);
+        }
+        j->hashers_->run(j->hashOne_); // chain the next block
+    };
+    const int64_t seeds = std::min<int64_t>(
+        j->blocks_, static_cast<int64_t>(pool_->workers()) + 1);
+    for (int64_t s = 0; s < seeds; ++s)
+        j->hashers_->run(j->hashOne_);
+    return job;
+}
+
+DetectionResult
+DetectionPipeline::finishStreaming(DetectionHashJob &job,
+                                   const BlockConsumer &on_block) const
+{
+    if (&job.cache_ != &cache_)
+        panic("hash job finished on a different cache than it began on");
     cache_.clear();
-    const int64_t n = rows.dim(0);
+    const int64_t n = job.n_;
     DetectionResult res;
     res.hitmap.reset(n);
     if (n == 0)
         return res;
 
-    std::vector<Signature> sigs(static_cast<size_t>(n));
-    std::vector<int> set_of(static_cast<size_t>(n));
-    std::vector<McacheResult> results(static_cast<size_t>(n));
-    const int64_t block = cfg_.blockRows;
-    const int64_t blocks = (n + block - 1) / block;
-
-    // Stage 1, as in run(): hash one block, precompute its set
-    // indices. Safe on any thread — it only reads the cache geometry.
-    const auto project_block = [&](int64_t b) {
-        const int64_t r0 = b * block;
-        const int64_t r1 = std::min(n, r0 + block);
-        rpq_.signatureBlock(rows, r0, r1, bits_,
-                            sigs.data() + static_cast<size_t>(r0));
-        for (int64_t i = r0; i < r1; ++i)
-            set_of[static_cast<size_t>(i)] =
-                cache_.setIndexOf(sigs[static_cast<size_t>(i)]);
-    };
-
     // Stage 2 + hand-off: probe one hashed block in global stream
     // order (caller thread only, so every MCACHE set sees the batch
     // path's order) and deliver it to the consumer.
     const auto probe_and_deliver = [&](int64_t b) {
-        const int64_t r0 = b * block;
-        const int64_t r1 = std::min(n, r0 + block);
+        const int64_t r0 = b * job.blockRows_;
+        const int64_t r1 = std::min(n, r0 + job.blockRows_);
         for (int64_t i = r0; i < r1; ++i) {
-            results[static_cast<size_t>(i)] = cache_.lookupOrInsertInSet(
-                set_of[static_cast<size_t>(i)],
-                sigs[static_cast<size_t>(i)]);
+            job.results_[static_cast<size_t>(i)] =
+                cache_.lookupOrInsertInSet(
+                    job.setOf_[static_cast<size_t>(i)],
+                    job.sigs_[static_cast<size_t>(i)]);
         }
         if (on_block) {
             DetectionBlock blk;
             blk.index = b;
             blk.row0 = r0;
             blk.row1 = r1;
-            blk.sigs = sigs.data() + static_cast<size_t>(r0);
-            blk.results = results.data() + static_cast<size_t>(r0);
+            blk.sigs = job.sigs_.data() + static_cast<size_t>(r0);
+            blk.results = job.results_.data() + static_cast<size_t>(r0);
             on_block(blk);
         }
     };
 
-    if (pool_ && pool_->workers() > 0) {
-        // Hashing fans out to the pool in any order; a sequencer
-        // pushes finished blocks into the hand-off queue in ascending
-        // block order, and the calling thread probes + delivers as
-        // they arrive — overlapping stage 1 of later blocks with the
-        // consumer's work on earlier ones (Fig. 8).
-        //
-        // Hash tasks are self-replenishing (each one grabs the next
-        // unhashed block and resubmits) rather than enqueued all
-        // up-front: the pool's queue is FIFO, so pre-queueing every
-        // hash task would park the consumer's filter tasks behind the
-        // whole hashing phase and the overlap would never materialize
-        // on a saturated pool. With a window of ~workers in flight,
-        // hash and filter tasks interleave.
-        SpscQueue<int64_t> handoff;
-        std::mutex seq_mutex;
-        std::vector<char> hashed(static_cast<size_t>(blocks), 0);
-        int64_t frontier = 0;
-        std::atomic<int64_t> next_block{0};
-        TaskGroup hashers(pool_);
-        std::function<void()> hash_one = [&] {
-            const int64_t b =
-                next_block.fetch_add(1, std::memory_order_relaxed);
-            if (b >= blocks)
-                return;
-            project_block(b);
-            {
-                std::lock_guard<std::mutex> lock(seq_mutex);
-                hashed[static_cast<size_t>(b)] = 1;
-                while (frontier < blocks &&
-                       hashed[static_cast<size_t>(frontier)])
-                    handoff.push(frontier++);
-            }
-            hashers.run(hash_one); // chain the next block
-        };
-        const int64_t seeds = std::min<int64_t>(
-            blocks, static_cast<int64_t>(pool_->workers()) + 1);
-        for (int64_t s = 0; s < seeds; ++s)
-            hashers.run(hash_one);
-        for (int64_t delivered = 0; delivered < blocks; ++delivered) {
+    if (job.hashers_) {
+        for (int64_t delivered = 0; delivered < job.blocks_; ++delivered) {
             int64_t b = -1;
             // Exactly `blocks` pushes occur and nobody closes the
             // queue, so pop() can only return false if the sequencer
             // logic breaks — defensive, loud, never expected to fire.
-            if (!handoff.pop(b))
+            if (!job.handoff_.pop(b))
                 panic("detection hand-off queue closed early");
             probe_and_deliver(b);
         }
-        hashers.wait();
+        job.hashers_->wait();
     } else {
-        for (int64_t b = 0; b < blocks; ++b) {
-            project_block(b);
+        for (int64_t b = 0; b < job.blocks_; ++b) {
+            job.projectBlock(b);
             probe_and_deliver(b);
         }
     }
 
     // Stage 3: stitch, exactly as the batch path.
     for (int64_t i = 0; i < n; ++i) {
-        const McacheResult &r = results[static_cast<size_t>(i)];
+        const McacheResult &r = job.results_[static_cast<size_t>(i)];
         res.hitmap.record(i, r);
-        res.table.append(std::move(sigs[static_cast<size_t>(i)]),
+        res.table.append(std::move(job.sigs_[static_cast<size_t>(i)]),
                          r.entryId);
     }
     return res;
+}
+
+DetectionResult
+DetectionPipeline::runStreaming(const Tensor &rows,
+                                const BlockConsumer &on_block) const
+{
+    const std::unique_ptr<DetectionHashJob> job = beginHash(rows);
+    return finishStreaming(*job, on_block);
+}
+
+void
+DetectionPipeline::replayStreaming(const SignatureRecord::Pass &pass,
+                                   int64_t block_rows,
+                                   const BlockConsumer &on_block,
+                                   bool with_signatures)
+{
+    if (block_rows <= 0)
+        panic("replay block size must be positive, got ", block_rows);
+    const int64_t n = pass.rows;
+    const int64_t blocks = (n + block_rows - 1) / block_rows;
+    // Per-block scratch the DetectionBlock pointers alias: valid only
+    // during the callback, exactly like a live pass's buffers.
+    std::vector<Signature> sigs(
+        with_signatures
+            ? static_cast<size_t>(std::min<int64_t>(n, block_rows))
+            : size_t{0});
+    std::vector<McacheResult> results(static_cast<size_t>(
+        std::min<int64_t>(n, block_rows)));
+    for (int64_t b = 0; b < blocks; ++b) {
+        const int64_t r0 = b * block_rows;
+        const int64_t r1 = std::min(n, r0 + block_rows);
+        if (with_signatures)
+            pass.decodeSignatures(r0, r1, sigs.data());
+        pass.decodeResults(r0, r1, results.data());
+        if (on_block) {
+            DetectionBlock blk;
+            blk.index = b;
+            blk.row0 = r0;
+            blk.row1 = r1;
+            blk.sigs = with_signatures ? sigs.data() : nullptr;
+            blk.results = results.data();
+            on_block(blk);
+        }
+    }
 }
 
 } // namespace mercury

@@ -84,7 +84,9 @@ struct AcceleratorConfig
      * projection work block, MCACHE shard count (clamped to the set
      * count), and worker threads (1 = single-threaded legacy path,
      * 0 = auto-detect). Results are bit-identical across all values;
-     * the knobs trade only throughput.
+     * the knobs trade only throughput. pipelineBlockRows = 0 resolves
+     * per pass to the sweep-tuned value for the pass size (see
+     * tunedPipelineFor / bench/sweep_tuning).
      */
     int64_t pipelineBlockRows = 64;
     int pipelineShards = 4;
@@ -103,9 +105,51 @@ struct AcceleratorConfig
      */
     bool overlapDetection = false;
 
+    /**
+     * Reuse saved signatures in the backward pass (§III-C2): the
+     * input-gradient pass of every reuse-capable layer replays the
+     * forward pass's SignatureRecord — skipping the grad products of
+     * forward-HIT rows — instead of running (or paying for) a second
+     * detection pass. In the timing model the backward signature cost
+     * becomes the replay-only charge (one Signature Table read per
+     * vector) rather than a full regeneration. Functionally the
+     * backward outputs are bit-identical to the exact input gradient
+     * whenever the forward pass recorded no hits.
+     */
+    bool backwardReuse = false;
+
     /** Total MCACHE entries. */
     int mcacheEntries() const { return mcacheSets * mcacheWays; }
 };
+
+/** Sweep-tuned pipeline knobs for one detection-pass size. */
+struct PipelineTuning
+{
+    int64_t blockRows;
+    int shards;
+};
+
+/**
+ * Per-layer-size pipeline defaults picked by bench/sweep_tuning over
+ * ImageNet-scale layer shapes (ResNet-50 conv sizes at 224x224
+ * inputs; recorded in BENCH_tuning.json). Measured: passes with
+ * cheap per-row hashing (3x3 kernels, d = 9) are flat across block
+ * sizes, so they keep the stock 64-row blocks; the large-vector stem
+ * pass (12544 rows, d = 49) peaks at 128-row blocks (+13% over 64).
+ * Shards stay at the stock 4: larger shard counts only pay off with
+ * real probe parallelism, which the recording host (one core) cannot
+ * exhibit — re-pick after the ROADMAP wall-clock scaling study. The
+ * shard value applies at MCACHE construction (shards are baked into
+ * the ShardedMCache); blockRows is applied per pass when
+ * pipelineBlockRows = 0 (auto).
+ */
+inline PipelineTuning
+tunedPipelineFor(int64_t rows_per_pass)
+{
+    if (rows_per_pass <= 4096)
+        return {64, 4};
+    return {128, 4};
+}
 
 } // namespace mercury
 

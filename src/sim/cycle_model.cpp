@@ -36,6 +36,14 @@ broadcastDotCycles(uint64_t d)
     return d + 1;
 }
 
+uint64_t
+signatureReplayCycles(uint64_t vectors, uint64_t ports)
+{
+    if (vectors == 0)
+        return 0;
+    return ceilDiv(vectors, ports == 0 ? 1 : ports);
+}
+
 PESetSchedule::PESetSchedule(uint64_t vectors, uint64_t x, bool pipelined)
     : vectors_(vectors), x_(x), pipelined_(pipelined), totalCycles_(0)
 {

@@ -45,6 +45,16 @@ uint64_t pipelinedCompletion(uint64_t j, uint64_t x);
 uint64_t broadcastDotCycles(uint64_t d);
 
 /**
+ * Cycles to replay `vectors` saved signatures out of the Signature
+ * Table during the backward pass (§III-C2). Signatures were generated
+ * on forward; backward only streams them back — one table read per
+ * vector, spread across `ports` parallel read ports — so the charge
+ * is the ceil(vectors / ports) streaming time instead of the
+ * bits-many projection passes a regeneration would cost.
+ */
+uint64_t signatureReplayCycles(uint64_t vectors, uint64_t ports);
+
+/**
  * Cycle-by-cycle validation model of the pipelined PE-set schedule.
  *
  * Reconstructs the Fig. 8b reservation table for an x-PE set streaming

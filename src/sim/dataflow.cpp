@@ -213,6 +213,63 @@ Dataflow::mercuryLayerCycles(const LayerShape &shape, int64_t batch,
     return c;
 }
 
+namespace {
+
+/** Vectors a layer hashes over a batch (for the replay charge). */
+uint64_t
+hashedVectors(const LayerShape &shape, int64_t batch)
+{
+    switch (shape.type) {
+      case LayerType::Conv:
+        if (shape.kernel == 1)
+            return static_cast<uint64_t>(pointwiseBatch(shape, batch));
+        return static_cast<uint64_t>(batch) *
+               static_cast<uint64_t>(shape.inChannels) *
+               static_cast<uint64_t>(shape.vectorsPerChannel());
+      case LayerType::FullyConnected:
+      case LayerType::Attention:
+        return static_cast<uint64_t>(batch) *
+               static_cast<uint64_t>(shape.vectorsPerImage());
+      case LayerType::Pool:
+        return 0;
+    }
+    return 0;
+}
+
+} // namespace
+
+LayerCycles
+Dataflow::backwardLayerCycles(const LayerShape &shape, int64_t batch,
+                              const HitMix &channel_mix,
+                              int sig_bits) const
+{
+    if (!config_.backwardReuse || !shape.reusable()) {
+        // No replay: the input-gradient pass runs at the baseline
+        // cost (pooling backward mirrors pooling forward too).
+        LayerCycles c;
+        c.baseline = baselineLayerCycles(shape, batch);
+        c.computation = c.baseline;
+        return c;
+    }
+
+    // Replayed reuse: the compute shrinkage follows the forward
+    // accounting with signature generation free (saved signatures,
+    // §III-C2) — then the replay streaming charge and the vanished
+    // insert serialization are applied on top.
+    LayerCycles c = mercuryLayerCycles(shape, batch, channel_mix,
+                                       sig_bits,
+                                       /*saved_signatures=*/true);
+    c.cacheOverhead = 0; // replay performs no MCACHE inserts
+    c.signature = signatureReplayCycles(
+        hashedVectors(shape, batch),
+        static_cast<uint64_t>(config_.numPEs));
+    // Fig. 8 extended to backward: the replay stream hides under the
+    // remaining gradient compute when detection overlap is on.
+    if (config_.overlapDetection)
+        c.signature -= std::min(c.signature, c.computation);
+    return c;
+}
+
 uint64_t
 Dataflow::fcBaseline(const LayerShape &shape, int64_t batch) const
 {

@@ -113,6 +113,26 @@ class Dataflow
                                    const HitMix &channel_mix, int sig_bits,
                                    bool saved_signatures = false) const;
 
+    /**
+     * MERCURY cycles of the input-gradient (backward) pass of a layer
+     * (§III-C2). The backward MAC structure mirrors the forward pass
+     * (Eq. 2 is a full correlation with the flipped kernel), so the
+     * baseline backward cost equals the forward baseline.
+     *
+     * With config.backwardReuse off, backward runs without reuse and
+     * costs the baseline. With it on, the forward pass's signatures
+     * are *replayed* from the Signature Table: compute shrinks by the
+     * forward hit fraction exactly as in the forward accounting, the
+     * MCACHE insert serialization disappears (tags were placed on
+     * forward; replay inserts nothing), and the signature charge is
+     * the replay-only streaming cost (signatureReplayCycles) instead
+     * of a regeneration. config.overlapDetection additionally hides
+     * the replay charge under compute, Fig. 8-style.
+     */
+    LayerCycles backwardLayerCycles(const LayerShape &shape, int64_t batch,
+                                    const HitMix &channel_mix,
+                                    int sig_bits) const;
+
   protected:
     explicit Dataflow(const AcceleratorConfig &cfg);
 

@@ -173,6 +173,95 @@ TEST(OverlapAccounting, SavedSignaturesStayFree)
     EXPECT_EQ(c.signature, 0u);
 }
 
+TEST(BackwardReplay, WithoutKnobBackwardCostsTheBaseline)
+{
+    for (const DataflowKind kind :
+         {DataflowKind::RowStationary, DataflowKind::WeightStationary,
+          DataflowKind::InputStationary}) {
+        auto cfg = defaultConfig(kind);
+        ASSERT_FALSE(cfg.backwardReuse);
+        const auto df = Dataflow::create(cfg);
+        LayerShape shape = LayerShape::conv("conv", 8, 64, 16, 16, 3);
+        const HitMix mix =
+            HitMix::fromFractions(shape.vectorsPerChannel(), 0.86);
+        const LayerCycles c = df->backwardLayerCycles(shape, 1, mix, 20);
+        EXPECT_EQ(c.mercuryTotal(), c.baseline);
+        EXPECT_EQ(c.signature, 0u);
+        EXPECT_EQ(c.cacheOverhead, 0u);
+        EXPECT_DOUBLE_EQ(c.speedup(), 1.0);
+    }
+}
+
+TEST(BackwardReplay, ReplayChargesTableReadsNotRegeneration)
+{
+    auto cfg = defaultConfig();
+    cfg.backwardReuse = true;
+    const auto df = Dataflow::create(cfg);
+    LayerShape shape = LayerShape::conv("conv", 8, 64, 16, 16, 3);
+    const HitMix mix =
+        HitMix::fromFractions(shape.vectorsPerChannel(), 0.4);
+
+    const LayerCycles fwd = df->mercuryLayerCycles(shape, 1, mix, 20);
+    const LayerCycles bwd = df->backwardLayerCycles(shape, 1, mix, 20);
+    // Same compute shrinkage as the forward accounting...
+    EXPECT_EQ(bwd.computation, fwd.computation);
+    EXPECT_EQ(bwd.baseline, fwd.baseline);
+    // ...but no insert serialization (no MAU inserts on replay) and a
+    // replay-only signature charge: one table read per hashed vector
+    // across the PEs, far below regeneration.
+    EXPECT_EQ(bwd.cacheOverhead, 0u);
+    const uint64_t vectors =
+        static_cast<uint64_t>(shape.inChannels) *
+        static_cast<uint64_t>(shape.vectorsPerChannel());
+    EXPECT_EQ(bwd.signature,
+              signatureReplayCycles(
+                  vectors, static_cast<uint64_t>(cfg.numPEs)));
+    EXPECT_LT(bwd.signature, fwd.signature);
+}
+
+TEST(BackwardReplay, SpeedupExceedsOneAndAHalfAtPaperHitRate)
+{
+    // The acceptance operating point: VGG13-sized conv at the
+    // measured 86% hit rate must gain > 1.5x on the input-gradient
+    // pass once signatures are replayed.
+    auto cfg = defaultConfig();
+    cfg.backwardReuse = true;
+    const auto df = Dataflow::create(cfg);
+    LayerShape shape =
+        LayerShape::conv("vgg13-conv", 64, 64, 32, 32, 3);
+    const HitMix mix =
+        HitMix::fromFractions(shape.vectorsPerChannel(), 0.86);
+    const LayerCycles c = df->backwardLayerCycles(shape, 1, mix, 16);
+    EXPECT_GT(c.speedup(), 1.5);
+}
+
+TEST(BackwardReplay, OverlapHidesTheReplayStream)
+{
+    auto cfg = defaultConfig();
+    cfg.backwardReuse = true;
+    cfg.overlapDetection = true;
+    const auto df = Dataflow::create(cfg);
+    LayerShape shape = LayerShape::conv("conv", 8, 64, 16, 16, 3);
+    const HitMix mix =
+        HitMix::fromFractions(shape.vectorsPerChannel(), 0.4);
+    const LayerCycles c = df->backwardLayerCycles(shape, 1, mix, 20);
+    // The table-read stream is tiny next to the remaining gradient
+    // compute, so Fig. 8-style overlap hides it completely.
+    EXPECT_EQ(c.signature, 0u);
+}
+
+TEST(BackwardReplay, PoolLayersNeverReplay)
+{
+    auto cfg = defaultConfig();
+    cfg.backwardReuse = true;
+    const auto df = Dataflow::create(cfg);
+    LayerShape shape = LayerShape::pool("pool", 8, 16, 16, 2, 2);
+    const HitMix mix;
+    const LayerCycles c = df->backwardLayerCycles(shape, 1, mix, 20);
+    EXPECT_EQ(c.mercuryTotal(), c.baseline);
+    EXPECT_EQ(c.signature, 0u);
+}
+
 TEST(RowStationary, FewFiltersMakeSignaturesUnprofitable)
 {
     // With Cout barely above the signature length the overhead can

@@ -1,0 +1,643 @@
+/**
+ * @file
+ * Tests for the signature-replay subsystem (§III-C2): the
+ * SignatureRecord capture, the replayed block stream, the backward
+ * filter passes of all three reuse engines (bit-identical to the
+ * exact input gradient at zero hits, skipping exactly the forward
+ * HIT rows otherwise, serial == overlapped), the NN-layer
+ * integration behind MercuryContext::backwardReuse, and a concurrent
+ * replay-consumption stress for the TSan CI job.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/attention_engine.hpp"
+#include "core/conv_reuse_engine.hpp"
+#include "core/fc_engine.hpp"
+#include "nn/attention_layer.hpp"
+#include "nn/layers.hpp"
+#include "nn/mercury_hooks.hpp"
+#include "nn/network.hpp"
+#include "pipeline/detection_frontend.hpp"
+#include "pipeline/signature_record.hpp"
+#include "tensor/ops.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+#include "workloads/synthetic.hpp"
+
+namespace mercury {
+namespace {
+
+constexpr int kSets = 64;
+constexpr int kWays = 16;
+constexpr int kVersions = 4;
+constexpr uint64_t kSeed = 777;
+
+/** Input whose channel planes are built from a few prototype rows. */
+Tensor
+similarInput(int64_t n, int64_t c, int64_t h, int64_t w, float eps,
+             uint64_t seed)
+{
+    Rng rng(seed);
+    Tensor t({n, c, h, w});
+    for (int64_t b = 0; b < n; ++b)
+        for (int64_t ch = 0; ch < c; ++ch) {
+            const float base = static_cast<float>(rng.normal());
+            for (int64_t y = 0; y < h; ++y)
+                for (int64_t x = 0; x < w; ++x)
+                    t.at4(b, ch, y, x) =
+                        base + eps * static_cast<float>(rng.normal());
+        }
+    return t;
+}
+
+/** (n, d) matrix of duplicated prototype rows (guaranteed hits). */
+Tensor
+duplicateRows(int64_t n, int64_t d, int64_t uniques, uint64_t seed)
+{
+    Rng rng(seed);
+    Tensor proto({uniques, d});
+    proto.fillNormal(rng);
+    Tensor rows({n, d});
+    for (int64_t i = 0; i < n; ++i)
+        for (int64_t j = 0; j < d; ++j)
+            rows.at2(i, j) = proto.at2(i % uniques, j);
+    return rows;
+}
+
+// ---------------------------------------------------------------------
+// SignatureRecord capture + replay stream
+// ---------------------------------------------------------------------
+
+TEST(Record, CapturesOutcomesSignaturesAndMix)
+{
+    Tensor rows = duplicateRows(96, 12, 7, kSeed);
+    DetectionFrontend fe(kSets, kWays, kVersions, 32, kSeed);
+    SignatureRecord record;
+    const DetectionResult det = fe.detect(rows, 20, &record);
+
+    ASSERT_EQ(record.passCount(), 1);
+    ASSERT_EQ(record.dataVersions(), kVersions);
+    ASSERT_EQ(record.entries(), int64_t{kSets} * kWays);
+    const SignatureRecord::Pass &pass = record.pass(0);
+    ASSERT_EQ(pass.rows, rows.dim(0));
+    EXPECT_EQ(pass.bits, 20);
+    for (int64_t i = 0; i < pass.rows; ++i) {
+        EXPECT_EQ(pass.outcome(i), det.hitmap.outcome(i));
+        EXPECT_EQ(pass.entryId(i), det.hitmap.entryId(i));
+        EXPECT_TRUE(pass.signatureOf(i) == det.table.signature(i))
+            << "signature mismatch at row " << i;
+    }
+    const HitMix a = pass.mix, b = det.mix();
+    EXPECT_EQ(a.hit, b.hit);
+    EXPECT_EQ(a.mau, b.mau);
+    EXPECT_EQ(a.mnu, b.mnu);
+    EXPECT_GT(a.hit, 0) << "duplicate rows must hit";
+    EXPECT_GT(record.storageBytes(), 0u);
+}
+
+TEST(Record, OwnersAreEarlierComputedRows)
+{
+    Tensor rows = duplicateRows(64, 10, 5, kSeed + 1);
+    DetectionFrontend fe(kSets, kWays, kVersions, 32, kSeed);
+    SignatureRecord record;
+    fe.detect(rows, 24, &record);
+    const SignatureRecord::Pass &pass = record.pass(0);
+
+    std::vector<int64_t> owner;
+    record.ownersOf(pass, owner);
+    ASSERT_EQ(static_cast<int64_t>(owner.size()), pass.rows);
+    for (int64_t i = 0; i < pass.rows; ++i) {
+        if (pass.outcome(i) == McacheOutcome::Hit) {
+            ASSERT_LT(owner[i], i) << "HIT owner must be earlier";
+            EXPECT_EQ(owner[owner[i]], owner[i])
+                << "owners always compute (depth-one chains)";
+        } else {
+            EXPECT_EQ(owner[i], i);
+        }
+    }
+}
+
+TEST(Replay, StreamDeliversRecordedBlocksAscending)
+{
+    Tensor rows = duplicateRows(100, 8, 9, kSeed + 2);
+    PipelineConfig pipe;
+    pipe.blockRows = 32;
+    DetectionFrontend fe(kSets, kWays, kVersions, 32, kSeed, pipe);
+    SignatureRecord record;
+    fe.detect(rows, 16, &record);
+    const SignatureRecord::Pass &pass = record.pass(0);
+
+    int64_t next_row = 0, next_index = 0;
+    fe.replayStream(
+        pass,
+        [&](const DetectionBlock &blk) {
+            EXPECT_EQ(blk.index, next_index++);
+            EXPECT_EQ(blk.row0, next_row);
+            next_row = blk.row1;
+            for (int64_t i = blk.row0; i < blk.row1; ++i) {
+                EXPECT_EQ(blk.results[i - blk.row0].outcome,
+                          pass.outcome(i));
+                EXPECT_EQ(blk.results[i - blk.row0].entryId,
+                          pass.entryId(i));
+                EXPECT_TRUE(blk.sigs[i - blk.row0] ==
+                            pass.signatureOf(i));
+            }
+        },
+        /*with_signatures=*/true);
+    EXPECT_EQ(next_row, pass.rows);
+
+    // The default replay skips the signature decode entirely — the
+    // backward consumers read outcomes only.
+    fe.replayStream(pass, [&](const DetectionBlock &blk) {
+        EXPECT_EQ(blk.sigs, nullptr);
+        EXPECT_NE(blk.results, nullptr);
+    });
+}
+
+// ---------------------------------------------------------------------
+// Conv backward replay
+// ---------------------------------------------------------------------
+
+ConvSpec
+convSpec(int64_t cin, int64_t cout, int64_t k, int64_t stride = 1,
+         int64_t pad = 0, int64_t groups = 1)
+{
+    ConvSpec spec;
+    spec.inChannels = cin;
+    spec.outChannels = cout;
+    spec.kernelH = spec.kernelW = k;
+    spec.stride = stride;
+    spec.pad = pad;
+    spec.groups = groups;
+    return spec;
+}
+
+TEST(ConvBackward, BitIdenticalToExactGradientWhenNoHits)
+{
+    Rng rng(31);
+    Tensor in({2, 3, 8, 8});
+    in.fillNormal(rng); // white noise: no similarity at 32 bits
+    const ConvSpec spec = convSpec(3, 5, 3, 1, 1);
+    Tensor w({5, 3, 3, 3});
+    w.fillNormal(rng);
+    Tensor grad({2, 5, 8, 8});
+    grad.fillNormal(rng);
+
+    DetectionFrontend fe(kSets, kWays, kVersions, 32, kSeed);
+    ConvReuseEngine engine(fe, 32);
+    ReuseStats fstats;
+    SignatureRecord record;
+    engine.forward(in, w, Tensor(), spec, fstats, &record);
+    ASSERT_EQ(fstats.mix.hit, 0)
+        << "white noise at 32 bits must not hit (seeded, deterministic)";
+
+    ReuseStats bstats;
+    Tensor gin = engine.backwardInput(grad, w, spec, 8, 8, record, bstats);
+    Tensor ref = conv2dBackwardInput(grad, w, spec, 8, 8);
+    EXPECT_TRUE(gin == ref)
+        << "zero-hit replay must be bit-identical, max diff "
+        << gin.maxAbsDiff(ref);
+    EXPECT_EQ(bstats.macsSkipped, 0u);
+    EXPECT_EQ(bstats.macsTotal, fstats.macsTotal);
+}
+
+TEST(ConvBackward, StridedPaddedGroupedBitIdenticalWhenNoHits)
+{
+    Rng rng(33);
+    Tensor in({1, 4, 9, 9});
+    in.fillNormal(rng);
+    const ConvSpec spec = convSpec(4, 6, 3, 2, 1, 2);
+    Tensor w({6, 2, 3, 3});
+    w.fillNormal(rng);
+    const int64_t oh = spec.outH(9), ow = spec.outW(9);
+    Tensor grad({1, 6, oh, ow});
+    grad.fillNormal(rng);
+
+    DetectionFrontend fe(kSets, kWays, kVersions, 32, kSeed);
+    ConvReuseEngine engine(fe, 32);
+    ReuseStats fstats;
+    SignatureRecord record;
+    engine.forward(in, w, Tensor(), spec, fstats, &record);
+    ASSERT_EQ(fstats.mix.hit, 0);
+
+    ReuseStats bstats;
+    Tensor gin = engine.backwardInput(grad, w, spec, 9, 9, record, bstats);
+    Tensor ref = conv2dBackwardInput(grad, w, spec, 9, 9);
+    EXPECT_TRUE(gin == ref);
+}
+
+TEST(ConvBackward, SkipsExactlyTheForwardHitRows)
+{
+    Tensor in = similarInput(1, 4, 12, 12, 1e-4f, 62);
+    Rng rng(63);
+    const ConvSpec spec = convSpec(4, 8, 3);
+    Tensor w({8, 4, 3, 3});
+    w.fillNormal(rng);
+    const int64_t oh = spec.outH(12), ow = spec.outW(12);
+    Tensor grad({1, 8, oh, ow});
+    grad.fillNormal(rng);
+
+    DetectionFrontend fe(kSets, kWays, kVersions, 32, kSeed);
+    ConvReuseEngine engine(fe, 16);
+    ReuseStats fstats;
+    SignatureRecord record;
+    engine.forward(in, w, Tensor(), spec, fstats, &record);
+    ASSERT_GT(fstats.mix.hit, 0) << "smooth input must hit";
+
+    ReuseStats bstats;
+    Tensor gin =
+        engine.backwardInput(grad, w, spec, 12, 12, record, bstats);
+    // Backward skips the same rows forward skipped: d MACs per HIT
+    // row per filter, identical to the forward accounting.
+    EXPECT_EQ(bstats.macsSkipped, fstats.macsSkipped);
+    EXPECT_EQ(bstats.mix.hit, fstats.mix.hit);
+    EXPECT_EQ(bstats.mix.vectors, fstats.mix.vectors);
+    // With hits present the replayed gradient differs from the exact
+    // one (that approximation is the measured trade-off), but it must
+    // stay finite and deterministic.
+    for (int64_t i = 0; i < gin.numel(); ++i)
+        ASSERT_TRUE(std::isfinite(gin[i]));
+    ReuseStats bstats2;
+    Tensor gin2 =
+        engine.backwardInput(grad, w, spec, 12, 12, record, bstats2);
+    EXPECT_TRUE(gin == gin2);
+}
+
+TEST(ConvBackward, OverlappedReplayBitIdenticalToSerial)
+{
+    Tensor in = similarInput(1, 6, 10, 10, 1e-3f, 91);
+    Rng rng(92);
+    const ConvSpec spec = convSpec(6, 9, 3, 1, 1);
+    Tensor w({9, 6, 3, 3});
+    w.fillNormal(rng);
+    Tensor grad({1, 9, 10, 10});
+    grad.fillNormal(rng);
+
+    PipelineConfig serial_pipe;
+    serial_pipe.blockRows = 16;
+    DetectionFrontend serial_fe(kSets, kWays, kVersions, 32, kSeed,
+                                serial_pipe);
+    ConvReuseEngine serial(serial_fe, 16);
+
+    PipelineConfig overlap_pipe = serial_pipe;
+    overlap_pipe.threads = 4;
+    overlap_pipe.overlap = true;
+    DetectionFrontend overlap_fe(kSets, kWays, kVersions, 32, kSeed,
+                                 overlap_pipe);
+    ConvReuseEngine overlapped(overlap_fe, 16);
+
+    ReuseStats fs, fo;
+    SignatureRecord rs, ro;
+    const Tensor out_s = serial.forward(in, w, Tensor(), spec, fs, &rs);
+    const Tensor out_o =
+        overlapped.forward(in, w, Tensor(), spec, fo, &ro);
+    ASSERT_TRUE(out_s == out_o)
+        << "overlapped forward with capture must stay bit-identical";
+    ASSERT_EQ(rs.passCount(), ro.passCount());
+
+    ReuseStats bs, bo;
+    Tensor gs = serial.backwardInput(grad, w, spec, 10, 10, rs, bs);
+    Tensor go = overlapped.backwardInput(grad, w, spec, 10, 10, ro, bo);
+    EXPECT_TRUE(gs == go);
+    EXPECT_EQ(bs.macsSkipped, bo.macsSkipped);
+}
+
+// ---------------------------------------------------------------------
+// FC backward replay
+// ---------------------------------------------------------------------
+
+TEST(FcBackward, BitIdenticalToExactGradientWhenNoHits)
+{
+    Rng rng(41);
+    Tensor in({24, 16});
+    in.fillNormal(rng);
+    Tensor w({16, 10});
+    w.fillNormal(rng);
+    Tensor grad({24, 10});
+    grad.fillNormal(rng);
+
+    DetectionFrontend fe(kSets, kWays, kVersions, 32, kSeed);
+    FcEngine engine(fe, 32);
+    ReuseStats fstats;
+    SignatureRecord record;
+    engine.forward(in, w, fstats, nullptr, &record);
+    ASSERT_EQ(fstats.mix.hit, 0);
+
+    ReuseStats bstats;
+    Tensor gin = engine.backwardInput(grad, w, record, bstats);
+    Tensor ref = matmulTransposeB(grad, w);
+    EXPECT_TRUE(gin == ref);
+    EXPECT_EQ(bstats.macsSkipped, 0u);
+}
+
+TEST(FcBackward, HitRowsReceiveTheirOwnersGradientRow)
+{
+    Tensor in = duplicateRows(30, 12, 6, kSeed + 5);
+    Rng rng(43);
+    Tensor w({12, 7});
+    w.fillNormal(rng);
+    Tensor grad({30, 7});
+    grad.fillNormal(rng);
+
+    DetectionFrontend fe(kSets, kWays, kVersions, 32, kSeed);
+    FcEngine engine(fe, 24);
+    ReuseStats fstats;
+    SignatureRecord record;
+    std::vector<int64_t> owners;
+    engine.forward(in, w, fstats, &owners, &record);
+    ASSERT_GT(fstats.mix.hit, 0);
+
+    ReuseStats bstats;
+    Tensor gin = engine.backwardInput(grad, w, record, bstats);
+    for (int64_t i = 0; i < 30; ++i) {
+        const int64_t o = owners[static_cast<size_t>(i)];
+        if (o == i)
+            continue;
+        for (int64_t j = 0; j < 12; ++j)
+            EXPECT_EQ(gin.at2(i, j), gin.at2(o, j))
+                << "row " << i << " must copy owner " << o;
+    }
+    EXPECT_EQ(bstats.macsSkipped, fstats.macsSkipped);
+}
+
+TEST(FcBackward, OverlappedReplayBitIdenticalToSerial)
+{
+    Tensor in = duplicateRows(120, 20, 11, kSeed + 6);
+    Rng rng(44);
+    Tensor w({20, 9});
+    w.fillNormal(rng);
+    Tensor grad({120, 9});
+    grad.fillNormal(rng);
+
+    PipelineConfig serial_pipe;
+    serial_pipe.blockRows = 32;
+    DetectionFrontend serial_fe(kSets, kWays, kVersions, 32, kSeed,
+                                serial_pipe);
+    FcEngine serial(serial_fe, 24);
+
+    PipelineConfig overlap_pipe = serial_pipe;
+    overlap_pipe.threads = 4;
+    overlap_pipe.overlap = true;
+    DetectionFrontend overlap_fe(kSets, kWays, kVersions, 32, kSeed,
+                                 overlap_pipe);
+    FcEngine overlapped(overlap_fe, 24);
+
+    ReuseStats fs, fo;
+    SignatureRecord rs, ro;
+    serial.forward(in, w, fs, nullptr, &rs);
+    overlapped.forward(in, w, fo, nullptr, &ro);
+
+    ReuseStats bs, bo;
+    Tensor gs = serial.backwardInput(grad, w, rs, bs);
+    Tensor go = overlapped.backwardInput(grad, w, ro, bo);
+    EXPECT_TRUE(gs == go);
+    EXPECT_EQ(bs.macsSkipped, bo.macsSkipped);
+}
+
+// ---------------------------------------------------------------------
+// Attention backward replay
+// ---------------------------------------------------------------------
+
+/** The exact factorized attention backward of one sample. */
+Tensor
+exactAttentionBackward(const Tensor &x, const Tensor &g)
+{
+    Tensor xtx = matmul(transpose2d(x), x);
+    Tensor term1 = matmul(g, xtx);
+    Tensor term2 = matmul(matmul(x, transpose2d(g)), x);
+    Tensor term3 = matmul(matmulTransposeB(x, x), g);
+    Tensor out(x.shape());
+    for (int64_t i = 0; i < out.numel(); ++i)
+        out[i] = term1[i] + term2[i] + term3[i];
+    return out;
+}
+
+TEST(AttentionBackward, BitIdenticalToExactGradientWhenNoHits)
+{
+    Rng rng(51);
+    Tensor x({12, 8});
+    x.fillNormal(rng);
+    Tensor g({12, 8});
+    g.fillNormal(rng);
+
+    DetectionFrontend fe(kSets, kWays, kVersions, 32, kSeed);
+    AttentionEngine engine(fe, 32);
+    ReuseStats fstats;
+    SignatureRecord record;
+    record.clear();
+    engine.forward(x, fstats, &record);
+    ASSERT_EQ(fstats.mix.hit, 0);
+
+    ReuseStats bstats;
+    Tensor gin = engine.backward(x, g, record, 0, bstats);
+    Tensor ref = exactAttentionBackward(x, g);
+    EXPECT_TRUE(gin == ref);
+    EXPECT_EQ(bstats.macsSkipped, 0u);
+}
+
+TEST(AttentionBackward, HitRowsCopyOwnerGradientRows)
+{
+    Tensor x = duplicateRows(16, 8, 4, kSeed + 7);
+    Rng rng(52);
+    Tensor g({16, 8});
+    g.fillNormal(rng);
+
+    DetectionFrontend fe(kSets, kWays, kVersions, 32, kSeed);
+    AttentionEngine engine(fe, 24);
+    ReuseStats fstats;
+    SignatureRecord record;
+    engine.forward(x, fstats, &record);
+    ASSERT_GT(fstats.mix.hit, 0);
+
+    std::vector<int64_t> owner;
+    record.ownersOf(record.pass(0), owner);
+    ReuseStats bstats;
+    Tensor gin = engine.backward(x, g, record, 0, bstats);
+    for (int64_t i = 0; i < 16; ++i) {
+        const int64_t o = owner[static_cast<size_t>(i)];
+        if (o == i)
+            continue;
+        for (int64_t j = 0; j < 8; ++j)
+            EXPECT_EQ(gin.at2(i, j), gin.at2(o, j));
+    }
+    EXPECT_GT(bstats.macsSkipped, 0u);
+}
+
+TEST(AttentionBackward, OverlappedReplayBitIdenticalToSerial)
+{
+    Tensor x = duplicateRows(48, 10, 9, kSeed + 8);
+    Rng rng(53);
+    Tensor g({48, 10});
+    g.fillNormal(rng);
+
+    PipelineConfig serial_pipe;
+    serial_pipe.blockRows = 16;
+    DetectionFrontend serial_fe(kSets, kWays, kVersions, 32, kSeed,
+                                serial_pipe);
+    AttentionEngine serial(serial_fe, 24);
+
+    PipelineConfig overlap_pipe = serial_pipe;
+    overlap_pipe.threads = 4;
+    overlap_pipe.overlap = true;
+    DetectionFrontend overlap_fe(kSets, kWays, kVersions, 32, kSeed,
+                                 overlap_pipe);
+    AttentionEngine overlapped(overlap_fe, 24);
+
+    ReuseStats fs, fo;
+    SignatureRecord rs, ro;
+    serial.forward(x, fs, &rs);
+    overlapped.forward(x, fo, &ro);
+
+    ReuseStats bs, bo;
+    Tensor gs = serial.backward(x, g, rs, 0, bs);
+    Tensor go = overlapped.backward(x, g, ro, 0, bo);
+    EXPECT_TRUE(gs == go);
+    EXPECT_EQ(bs.macsSkipped, bo.macsSkipped);
+}
+
+// ---------------------------------------------------------------------
+// NN-layer integration (MercuryContext::backwardReuse)
+// ---------------------------------------------------------------------
+
+TEST(LayerReplay, ConvLayerReplayEqualsExactBackwardAtZeroHits)
+{
+    Rng rng(61);
+    Tensor in({1, 2, 6, 6});
+    in.fillNormal(rng); // white noise: no hits at 32 bits
+    Conv2dLayer layer(2, 4, 3, 1, 0, rng, /*layer_id=*/1);
+    Tensor grad({1, 4, 4, 4});
+    grad.fillNormal(rng);
+
+    MercuryContext ctx(32);
+    ctx.setBackwardReuse(true);
+    layer.forward(in, &ctx);
+    ASSERT_EQ(ctx.totals().mix.hit, 0);
+
+    Tensor replayed = layer.backward(grad, &ctx);
+    Tensor exact = layer.backward(grad, nullptr);
+    EXPECT_TRUE(replayed == exact);
+    EXPECT_GT(ctx.backwardTotals().mix.vectors, 0);
+    EXPECT_EQ(ctx.backwardTotals().macsSkipped, 0u);
+}
+
+TEST(LayerReplay, DenseLayerReplayEqualsExactBackwardAtZeroHits)
+{
+    Rng rng(62);
+    Tensor in({8, 12});
+    in.fillNormal(rng);
+    DenseLayer layer(12, 5, rng, /*layer_id=*/2);
+    Tensor grad({8, 5});
+    grad.fillNormal(rng);
+
+    MercuryContext ctx(32);
+    ctx.setBackwardReuse(true);
+    layer.forward(in, &ctx);
+    ASSERT_EQ(ctx.totals().mix.hit, 0);
+
+    Tensor replayed = layer.backward(grad, &ctx);
+    Tensor exact = layer.backward(grad, nullptr);
+    EXPECT_TRUE(replayed == exact);
+}
+
+TEST(LayerReplay, AttentionLayerReplayEqualsExactBackwardAtZeroHits)
+{
+    Rng rng(63);
+    Tensor in({2, 6 * 8});
+    in.fillNormal(rng);
+    SelfAttentionLayer layer(6, 8, /*layer_id=*/3, 0.25f);
+    Tensor grad({2, 6 * 8});
+    grad.fillNormal(rng);
+
+    MercuryContext ctx(32);
+    ctx.setBackwardReuse(true);
+    layer.forward(in, &ctx);
+    ASSERT_EQ(ctx.totals().mix.hit, 0);
+
+    Tensor replayed = layer.backward(grad, &ctx);
+    Tensor exact = layer.backward(grad, nullptr);
+    EXPECT_TRUE(replayed == exact);
+}
+
+TEST(LayerReplay, WithoutKnobBackwardIsExactEvenWithContext)
+{
+    Rng rng(64);
+    Tensor in({1, 2, 6, 6});
+    in.fillNormal(rng);
+    Conv2dLayer layer(2, 3, 3, 1, 0, rng, /*layer_id=*/4);
+    Tensor grad({1, 3, 4, 4});
+    grad.fillNormal(rng);
+
+    MercuryContext ctx(16); // knob off
+    layer.forward(in, &ctx);
+    Tensor with_ctx = layer.backward(grad, &ctx);
+    Tensor exact = layer.backward(grad, nullptr);
+    EXPECT_TRUE(with_ctx == exact);
+    EXPECT_EQ(ctx.backwardTotals().mix.vectors, 0);
+}
+
+TEST(LayerReplay, TrainingStepRunsWithBackwardReuse)
+{
+    Dataset ds = makeImageDataset(4, 2, 2, 8, kSeed, 0.01f);
+    Rng rng(65);
+    Network net;
+    net.add(std::make_unique<Conv2dLayer>(2, 4, 3, 1, 1, rng, 1));
+    net.add(std::make_unique<ReluLayer>());
+    net.add(std::make_unique<FlattenLayer>());
+    net.add(std::make_unique<DenseLayer>(4 * 8 * 8, 2, rng, 2));
+
+    MercuryContext ctx(16);
+    ctx.setBackwardReuse(true);
+    const float loss = net.trainBatch(ds.inputs, ds.labels, 0.01f, &ctx);
+    EXPECT_TRUE(std::isfinite(loss));
+    EXPECT_GT(ctx.totals().mix.vectors, 0);
+    EXPECT_GT(ctx.backwardTotals().mix.vectors, 0);
+    // The conv layer's backward replay covers the same vector
+    // population its forward detection covered.
+    EXPECT_EQ(ctx.backwardTotals().mix.hit, ctx.totals().mix.hit);
+}
+
+// ---------------------------------------------------------------------
+// Concurrent replay consumption (TSan stress)
+// ---------------------------------------------------------------------
+
+TEST(ReplayStress, ConcurrentConsumersOnSharedPool)
+{
+    // Several overlapped backward passes in a row over a record with
+    // real hits: replay delivery on the driving thread races chain /
+    // task-group consumption on the pool. Run under TSan in CI.
+    Tensor in = similarInput(1, 8, 12, 12, 1e-3f, 95);
+    Rng rng(96);
+    const ConvSpec spec = convSpec(8, 12, 3, 1, 1);
+    Tensor w({12, 8, 3, 3});
+    w.fillNormal(rng);
+    Tensor grad({1, 12, 12, 12});
+    grad.fillNormal(rng);
+
+    PipelineConfig pipe;
+    pipe.blockRows = 8; // many blocks -> many chained segments
+    pipe.threads = 4;
+    pipe.overlap = true;
+    DetectionFrontend fe(kSets, kWays, kVersions, 32, kSeed, pipe);
+    ConvReuseEngine engine(fe, 16);
+
+    ReuseStats fstats;
+    SignatureRecord record;
+    engine.forward(in, w, Tensor(), spec, fstats, &record);
+
+    Tensor first;
+    for (int round = 0; round < 3; ++round) {
+        ReuseStats bstats;
+        Tensor gin =
+            engine.backwardInput(grad, w, spec, 12, 12, record, bstats);
+        if (round == 0)
+            first = gin;
+        else
+            ASSERT_TRUE(gin == first) << "replay must be deterministic";
+    }
+}
+
+} // namespace
+} // namespace mercury
