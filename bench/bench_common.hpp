@@ -41,6 +41,23 @@ smoke()
 }
 
 /**
+ * Reduced-rep mode (MERCURY_BENCH_REPS=N): non-smoke runs cap at N
+ * repetitions per measurement with no minimum-time requirement. The
+ * CI wall-clock step uses this to measure real shapes on multi-core
+ * runners in bounded time; the recorded BENCH_*.json numbers still
+ * come from full-rep runs. Returns 0 when unset (full reps).
+ */
+inline int
+reducedReps()
+{
+    const char *env = std::getenv("MERCURY_BENCH_REPS");
+    if (env == nullptr || env[0] == '\0')
+        return 0;
+    const int reps = std::atoi(env);
+    return reps > 0 ? reps : 0;
+}
+
+/**
  * Best-of-reps wall time of one invocation, in seconds: repeat until
  * both `min_reps` runs and `min_total` seconds have accumulated, and
  * report the fastest. Smoke mode clamps both so CI runs in seconds —
@@ -54,6 +71,9 @@ bestSeconds(Fn &&fn, double min_total = 0.4, int min_reps = 3)
     if (smoke()) {
         min_total = 0.01;
         min_reps = 1;
+    } else if (const int reps = reducedReps()) {
+        min_total = 0.0;
+        min_reps = reps;
     }
     using clock = std::chrono::steady_clock;
     double best = 1e30, total = 0.0;

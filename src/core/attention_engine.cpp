@@ -165,7 +165,8 @@ AttentionEngine::forward(const Tensor &x, ReuseStats &stats,
 Tensor
 AttentionEngine::backward(const Tensor &x, const Tensor &g,
                           const SignatureRecord &record,
-                          int64_t pass_index, ReuseStats &stats)
+                          int64_t pass_index, ReuseStats &stats,
+                          const Tensor *xtx_pre)
 {
     if (x.rank() != 2 || g.rank() != 2 || x.shape() != g.shape())
         panic("AttentionEngine backward expects matching (T, D) input "
@@ -186,14 +187,23 @@ AttentionEngine::backward(const Tensor &x, const Tensor &g,
     stats = ReuseStats{};
     stats.channelPasses = 1;
     stats.mix = pass.mix;
-    stats.macsTotal = static_cast<uint64_t>(t) * row_cost +
-                      static_cast<uint64_t>(t) *
-                          static_cast<uint64_t>(d) *
-                          static_cast<uint64_t>(d);
+    // The shared Xt X factor is charged here only when this call
+    // computes it; a precomputed factor was charged to the
+    // weight-gradient pass that produced it (backwardProjection).
+    stats.macsTotal = static_cast<uint64_t>(t) * row_cost;
+    if (!xtx_pre) {
+        stats.macsTotal += static_cast<uint64_t>(t) *
+                           static_cast<uint64_t>(d) *
+                           static_cast<uint64_t>(d);
+    }
 
     // Shared factor, via the same tensor op the exact path uses so a
-    // zero-hit replay stays bit-identical.
-    const Tensor xtx = matmul(transpose2d(x), x); // (D, D)
+    // zero-hit replay stays bit-identical (a replayed factor is
+    // itself bit-identical to this op at zero hits).
+    Tensor xtx_local;
+    if (!xtx_pre)
+        xtx_local = matmul(transpose2d(x), x); // (D, D)
+    const Tensor &xtx = xtx_pre ? *xtx_pre : xtx_local;
     Tensor out({t, d});
 
     // One computed gradient row of dX = G (Xt X) + X Gt X + (X Xt) G:
@@ -251,6 +261,31 @@ AttentionEngine::backward(const Tensor &x, const Tensor &g,
                               out.at2(i, j) = out.at2(o, j);
                       });
     return out;
+}
+
+Tensor
+AttentionEngine::backwardProjection(const Tensor &x,
+                                    const SignatureRecord &record,
+                                    int64_t pass_index, ReuseStats &stats)
+{
+    if (x.rank() != 2)
+        panic("AttentionEngine expects (T, D), got ", x.shapeStr());
+    const int64_t t = x.dim(0);
+    const int64_t d = x.dim(1);
+    const SignatureRecord::Pass &pass = record.pass(pass_index);
+    if (pass.rows != t)
+        panic("recorded pass holds ", pass.rows, " rows, sample has ", t);
+
+    stats = ReuseStats{};
+    stats.channelPasses = 1;
+    stats.mix = pass.mix;
+    stats.macsTotal = static_cast<uint64_t>(t) *
+                      static_cast<uint64_t>(d) * static_cast<uint64_t>(d);
+
+    // Sum-then-multiply (§III-C2 on the dW-shaped projection factor):
+    // group the token rows by forward owner, one outer product per
+    // group with the owner's row.
+    return replayWeightGrad(*frontend_, record, pass, x, x, stats);
 }
 
 } // namespace mercury

@@ -70,10 +70,32 @@ class AttentionEngine
      * the sample (pre-scaled exactly as the exact path scales it),
      * `pass_index` selects the sample's recorded pass. Bit-identical
      * to the exact factorized backward when the pass holds no hits.
+     *
+     * When `xtx` is non-null it is used as the sample's shared
+     * projection factor Xt X instead of recomputing it — pass the
+     * result of backwardProjection() to ride the weight-gradient
+     * replay; the projection's t*d*d MACs are then charged by that
+     * call, not here.
      */
     Tensor backward(const Tensor &x, const Tensor &g,
                     const SignatureRecord &record, int64_t pass_index,
-                    ReuseStats &stats);
+                    ReuseStats &stats, const Tensor *xtx = nullptr);
+
+    /**
+     * Projection-gradient factor with replayed reuse (§III-C2 applied
+     * to the dW-shaped reduction of the layer): Xt X = Σ_t x_t ⊗ x_t
+     * is the weight-gradient analogue of the parameter-free attention
+     * formulation — the (D, D) factor backprop multiplies every
+     * gradient row through. A forward-HIT token row's outer product
+     * factors through its owner as x_owner ⊗ (Σ x over the owner's
+     * hit-group) — sum-then-multiply, one multiply per group.
+     * Bit-identical to matmul(transpose2d(x), x) when the pass holds
+     * no hits; exact up to float-summation order of the grouped token
+     * rows otherwise.
+     */
+    Tensor backwardProjection(const Tensor &x,
+                              const SignatureRecord &record,
+                              int64_t pass_index, ReuseStats &stats);
 
     /** Signature length this engine detects with. */
     int signatureBits() const { return frontend_.signatureBits(); }

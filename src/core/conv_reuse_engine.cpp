@@ -58,6 +58,35 @@ filterSegment(DetectionFrontend &fe, const Tensor &rows,
 }
 
 /**
+ * Extract the (v, k*k) patch rows of one (image, channel) pass — the
+ * Fig. 7a vector extraction shared by the forward detection pass and
+ * the weight-gradient replay (which needs the owner patches back).
+ */
+void
+extractChannelPatches(const Tensor &input, const ConvSpec &spec, int64_t b,
+                      int64_t c, int64_t oh, int64_t ow, Tensor &rows)
+{
+    const int64_t k = spec.kernelH;
+    int64_t r = 0;
+    for (int64_t y = 0; y < oh; ++y) {
+        for (int64_t x = 0; x < ow; ++x, ++r) {
+            int64_t e = 0;
+            for (int64_t ky = 0; ky < k; ++ky) {
+                for (int64_t kx = 0; kx < k; ++kx, ++e) {
+                    const int64_t iy = y * spec.stride - spec.pad + ky;
+                    const int64_t ix = x * spec.stride - spec.pad + kx;
+                    const bool inside = iy >= 0 && ix >= 0 &&
+                                        iy < input.dim(2) &&
+                                        ix < input.dim(3);
+                    rows.at2(r, e) =
+                        inside ? input.at4(b, c, iy, ix) : 0.0f;
+                }
+            }
+        }
+    }
+}
+
+/**
  * One backward filter segment over rows [r0, r1): fill the filter's
  * grad-column rows. A row that computed forward multiplies its output
  * gradient into the kernel; a forward-HIT row copies its owner's
@@ -82,6 +111,33 @@ backwardSegment(const std::vector<int64_t> &owner, const float *go,
             const float gv = go[r];
             for (int64_t e = 0; e < d; ++e)
                 dst[e] = gv * w[e];
+        }
+    }
+    return skipped;
+}
+
+/**
+ * One weight-gradient group-sum segment over rows [r0, r1) of one
+ * filter: fold each row's output gradient into its owner's group
+ * accumulator (§III-C2 sum-then-multiply, Eq. 1). An owner slot
+ * starts as a bit-exact copy of its own gradient, so singleton groups
+ * reproduce the exact per-row contribution; HIT rows accumulate with
+ * adds. Stream order per filter guarantees the owner's copy lands
+ * before any of its hits fold in. Returns the MACs the filter's
+ * deferred outer products will skip.
+ */
+uint64_t
+weightGradSumSegment(const std::vector<int64_t> &owner, const float *go,
+                     float *gcol, int64_t r0, int64_t r1, int64_t d)
+{
+    uint64_t skipped = 0;
+    for (int64_t r = r0; r < r1; ++r) {
+        const int64_t o = owner[static_cast<size_t>(r)];
+        if (o == r) {
+            gcol[r] = go[r];
+        } else {
+            gcol[o] += go[r];
+            skipped += static_cast<uint64_t>(d);
         }
     }
     return skipped;
@@ -151,24 +207,8 @@ ConvReuseEngine::forward(const Tensor &input, const Tensor &weight,
     if (overlapped)
         bufs[1] = Tensor({v, d});
     const auto extract = [&](const PassId &p, Tensor &rows) {
-        const int64_t c = p.g * cin_g + p.ic;
-        int64_t r = 0;
-        for (int64_t y = 0; y < oh; ++y) {
-            for (int64_t x = 0; x < ow; ++x, ++r) {
-                int64_t e = 0;
-                for (int64_t ky = 0; ky < k; ++ky) {
-                    for (int64_t kx = 0; kx < k; ++kx, ++e) {
-                        const int64_t iy = y * spec.stride - spec.pad + ky;
-                        const int64_t ix = x * spec.stride - spec.pad + kx;
-                        const bool inside = iy >= 0 && ix >= 0 &&
-                                            iy < input.dim(2) &&
-                                            ix < input.dim(3);
-                        rows.at2(r, e) =
-                            inside ? input.at4(p.b, c, iy, ix) : 0.0f;
-                    }
-                }
-            }
-        }
+        extractChannelPatches(input, spec, p.b, p.g * cin_g + p.ic, oh,
+                              ow, rows);
     };
 
     stats = ReuseStats{};
@@ -470,6 +510,171 @@ ConvReuseEngine::backwardInput(const Tensor &gradOut, const Tensor &weight,
         }
     }
     return grad_in;
+}
+
+Tensor
+ConvReuseEngine::backwardWeights(const Tensor &input, const Tensor &gradOut,
+                                 const ConvSpec &spec,
+                                 const SignatureRecord &record,
+                                 ReuseStats &stats)
+{
+    if (input.rank() != 4 || gradOut.rank() != 4)
+        panic("ConvReuseEngine expects rank-4 input and gradient");
+    const int64_t n = input.dim(0);
+    const int64_t oh = gradOut.dim(2);
+    const int64_t ow = gradOut.dim(3);
+    const int64_t k = spec.kernelH;
+    if (spec.kernelW != k)
+        panic("ConvReuseEngine expects square kernels");
+    const int64_t d = k * k;
+    const int64_t v = oh * ow;
+    const int64_t cin_g = spec.inChannels / spec.groups;
+    const int64_t cout_g = spec.outChannels / spec.groups;
+    if (record.passCount() != n * spec.groups * cin_g)
+        panic("record holds ", record.passCount(),
+              " passes, weight gradient needs ", n * spec.groups * cin_g,
+              " — was forward captured with the same layer geometry?");
+    // Like backwardInput: as many filters in flight as the forward
+    // pass kept data versions, one group-sum buffer per slot.
+    const int64_t slots =
+        std::max<int64_t>(1, std::min<int64_t>(record.dataVersions(),
+                                               cout_g));
+
+    const bool pooled = frontend_->overlapEnabled();
+    ThreadPool *pool = pooled ? frontend_->workerPool() : nullptr;
+
+    Tensor grad_w({spec.outChannels, cin_g, k, k});
+    stats = ReuseStats{};
+
+    Tensor rows({v, d});
+    std::vector<int64_t> owner;
+    std::vector<std::vector<float>> gcols(static_cast<size_t>(slots));
+    for (auto &c : gcols)
+        c.resize(static_cast<size_t>(v));
+
+    int64_t pass_idx = 0;
+    for (int64_t b = 0; b < n; ++b) {
+        for (int64_t g = 0; g < spec.groups; ++g) {
+            for (int64_t ic = 0; ic < cin_g; ++ic) {
+                const SignatureRecord::Pass &pass =
+                    record.pass(pass_idx++);
+                if (pass.rows != v)
+                    panic("recorded pass holds ", pass.rows,
+                          " rows, gradient has ", v);
+                record.ownersOf(pass, owner);
+                // The owners' patches are the single representative
+                // each hit-group multiplies through.
+                extractChannelPatches(input, spec, b, g * cin_g + ic,
+                                      oh, ow, rows);
+
+                stats.mix.vectors += pass.mix.vectors;
+                stats.mix.hit += pass.mix.hit;
+                stats.mix.mau += pass.mix.mau;
+                stats.mix.mnu += pass.mix.mnu;
+                ++stats.channelPasses;
+                stats.macsTotal += static_cast<uint64_t>(v) *
+                                   static_cast<uint64_t>(cout_g) *
+                                   static_cast<uint64_t>(d);
+
+                for (int64_t oc0 = 0; oc0 < cout_g; oc0 += slots) {
+                    const int64_t oc1 =
+                        std::min<int64_t>(oc0 + slots, cout_g);
+                    const int64_t width = oc1 - oc0;
+                    std::vector<uint64_t> skipped(
+                        static_cast<size_t>(width), 0);
+
+                    // Phase 1 — group sums: fold every row's output
+                    // gradient into its owner's accumulator, per
+                    // filter.
+                    if (oc0 == 0 && pool) {
+                        // First filter group consumes the replayed
+                        // stream (§III-C2): per-filter serial chains
+                        // fold blocks in delivery order — every HIT's
+                        // owner is in an earlier (or the same) block,
+                        // so the owner's copy always lands first.
+                        std::vector<std::unique_ptr<SerialExecutor>>
+                            chains;
+                        for (int64_t fi = 0; fi < width; ++fi)
+                            chains.push_back(
+                                std::make_unique<SerialExecutor>(pool));
+                        frontend_->replayStream(
+                            pass, [&](const DetectionBlock &blk) {
+                                for (int64_t fi = 0; fi < width; ++fi) {
+                                    chains[static_cast<size_t>(fi)]->run(
+                                        [&owner, &skipped, &gcols,
+                                         go = gradOut.data() +
+                                              gradOut.offset4(
+                                                  b, g * cout_g + oc0 + fi,
+                                                  0, 0),
+                                         fi, r0 = blk.row0, r1 = blk.row1,
+                                         d] {
+                                            skipped[static_cast<size_t>(
+                                                fi)] +=
+                                                weightGradSumSegment(
+                                                    owner, go,
+                                                    gcols[static_cast<
+                                                              size_t>(fi)]
+                                                        .data(),
+                                                    r0, r1, d);
+                                        });
+                                }
+                            });
+                        for (auto &chain : chains)
+                            chain->wait();
+                    } else {
+                        const auto sum_pass = [&](int64_t fi) {
+                            skipped[static_cast<size_t>(fi)] =
+                                weightGradSumSegment(
+                                    owner,
+                                    gradOut.data() +
+                                        gradOut.offset4(
+                                            b, g * cout_g + oc0 + fi, 0,
+                                            0),
+                                    gcols[static_cast<size_t>(fi)].data(),
+                                    0, v, d);
+                        };
+                        if (pool) {
+                            pool->parallelFor(width, sum_pass);
+                        } else {
+                            for (int64_t fi = 0; fi < width; ++fi)
+                                sum_pass(fi);
+                        }
+                    }
+                    for (const uint64_t s : skipped)
+                        stats.macsSkipped += s;
+
+                    // Phase 2 — one multiply per group: the owner's
+                    // patch times its summed gradient, owners
+                    // ascending, so a zero-hit replay accumulates
+                    // each weight element in conv2dBackwardWeight's
+                    // (batch, output-position) order. Filters write
+                    // disjoint grad_w rows and may run in parallel.
+                    const auto mul_pass = [&](int64_t fi) {
+                        const int64_t oc = g * cout_g + oc0 + fi;
+                        float *gw =
+                            grad_w.data() + ((oc * cin_g + ic) * k) * k;
+                        const float *gcol =
+                            gcols[static_cast<size_t>(fi)].data();
+                        for (int64_t r = 0; r < v; ++r) {
+                            if (owner[static_cast<size_t>(r)] != r)
+                                continue;
+                            const float gv = gcol[r];
+                            const float *patch = rows.data() + r * d;
+                            for (int64_t e = 0; e < d; ++e)
+                                gw[e] += gv * patch[e];
+                        }
+                    };
+                    if (pool) {
+                        pool->parallelFor(width, mul_pass);
+                    } else {
+                        for (int64_t fi = 0; fi < width; ++fi)
+                            mul_pass(fi);
+                    }
+                }
+            }
+        }
+    }
+    return grad_w;
 }
 
 } // namespace mercury

@@ -41,11 +41,22 @@
  * conv2dBackwardInput): the scatter accumulates per input cell in
  * the exact path's (filter, output-position) order.
  *
- * Thread-safety: forward() and backwardInput() are driven by one
- * thread; the filter tasks they spawn touch the MCACHE data plane
- * (forward) or engine-local grad-column buffers (backward)
- * concurrently. Two threads must not call into one engine (or two
- * engines sharing a frontend) concurrently.
+ * Weight gradients (§III-C2 applied to Eq. 1): backwardWeights()
+ * replays the same record over dW = X ⊛ dY. A forward-HIT row's
+ * contribution x_hit ⊗ dy_hit factors through the owner's patch as
+ * x_owner ⊗ (Σ dy over the owner's hit-group), so the pass first
+ * sums the output gradients of each hit-group (cheap adds, charged
+ * as per-group accumulate cycles in the timing model) and then does
+ * one multiply per group — sum-then-multiply. With zero hits the
+ * result is bit-identical to conv2dBackwardWeight; with hits it is
+ * the exact dW up to the float-summation order of the grouped
+ * gradient rows.
+ *
+ * Thread-safety: forward(), backwardInput(), and backwardWeights()
+ * are driven by one thread; the filter tasks they spawn touch the
+ * MCACHE data plane (forward) or engine-local grad-column / group-sum
+ * buffers (backward) concurrently. Two threads must not call into one
+ * engine (or two engines sharing a frontend) concurrently.
  *
  * The engine also reports the measured HIT/MAU/MNU mix and the MACs
  * skipped, which feed the timing model.
@@ -137,6 +148,25 @@ class ConvReuseEngine
                          const ConvSpec &spec, int64_t in_h, int64_t in_w,
                          const SignatureRecord &record,
                          ReuseStats &stats);
+
+    /**
+     * Weight-gradient pass with replayed reuse (§III-C2, Eq. 1):
+     * consumes the record captured by forward() — in the same
+     * (image, channel) order — to factor every forward-HIT row's
+     * dW contribution through its owner's patch (sum-then-multiply).
+     * Bit-identical to conv2dBackwardWeight when the record holds no
+     * hits; exact up to float-summation order of the grouped output
+     * gradients otherwise.
+     *
+     * @param input   the forward input (patches are re-extracted)
+     * @param gradOut (N, Cout, outH, outW) output gradient
+     * @param record  the forward pass's captured record
+     * @param stats   filled with the dW-pass reuse statistics
+     */
+    Tensor backwardWeights(const Tensor &input, const Tensor &gradOut,
+                           const ConvSpec &spec,
+                           const SignatureRecord &record,
+                           ReuseStats &stats);
 
     /** Signature length this engine detects with. */
     int signatureBits() const { return frontend_.signatureBits(); }

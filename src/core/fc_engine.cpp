@@ -197,4 +197,38 @@ FcEngine::backwardInput(const Tensor &grad, const Tensor &weight,
     return out;
 }
 
+Tensor
+FcEngine::backwardWeights(const Tensor &input, const Tensor &grad,
+                          const SignatureRecord &record, ReuseStats &stats)
+{
+    if (input.rank() != 2 || grad.rank() != 2 ||
+        input.dim(0) != grad.dim(0)) {
+        panic("FcEngine weight-gradient shape mismatch ",
+              input.shapeStr(), "^T x ", grad.shapeStr());
+    }
+    const int64_t n = input.dim(0);
+    const int64_t d = input.dim(1);
+    const int64_t m = grad.dim(1);
+    if (record.passCount() != 1)
+        panic("FC weight gradient needs the forward minibatch's single "
+              "recorded pass, got ",
+              record.passCount());
+    const SignatureRecord::Pass &pass = record.pass(0);
+    if (pass.rows != n)
+        panic("recorded pass holds ", pass.rows, " rows, gradient has ",
+              n);
+
+    stats = ReuseStats{};
+    stats.channelPasses = 1;
+    stats.mix = pass.mix;
+    stats.macsTotal = static_cast<uint64_t>(n) *
+                      static_cast<uint64_t>(d) * static_cast<uint64_t>(m);
+
+    // Sum-then-multiply (§III-C2 on Eq. 1): group the output
+    // gradients by forward owner, then one outer product per group
+    // with the owner's input row.
+    return replayWeightGrad(*frontend_, record, pass, input, grad,
+                            stats);
+}
+
 } // namespace mercury

@@ -76,6 +76,23 @@ class FcEngine
     Tensor backwardInput(const Tensor &grad, const Tensor &weight,
                          const SignatureRecord &record, ReuseStats &stats);
 
+    /**
+     * Weight-gradient pass with replayed reuse (§III-C2, Eq. 1):
+     * dW = Xt G = Σ_i x_i ⊗ g_i over the minibatch rows. A
+     * forward-HIT row's contribution factors through its owner's
+     * input row as x_owner ⊗ (Σ g over the owner's hit-group) —
+     * sum-then-multiply, one outer product per group. Bit-identical
+     * to matmul(transpose2d(input), grad) when the record holds no
+     * hits; exact up to float-summation order of the grouped gradient
+     * rows otherwise.
+     *
+     * @param input the forward minibatch input (N, D)
+     * @param grad  the output gradient (N, M)
+     */
+    Tensor backwardWeights(const Tensor &input, const Tensor &grad,
+                           const SignatureRecord &record,
+                           ReuseStats &stats);
+
     /** Signature length this engine detects with. */
     int signatureBits() const { return frontend_.signatureBits(); }
 

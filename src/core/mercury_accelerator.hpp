@@ -9,10 +9,15 @@
  *
  *  - forward propagation per layer, with signature generation;
  *  - backward propagation with two computations per layer (Eq. 1 and
- *    Eq. 2): the weight-gradient pass hashes gradient vectors anew,
- *    while the input-gradient pass reuses the signatures saved during
- *    the forward pass of the consumer layer when the filter
- *    dimensions match (§III-C2);
+ *    Eq. 2): the weight-gradient pass hashes gradient vectors anew —
+ *    or, with weightGradReuse, replays the forward record by
+ *    sum-then-multiply — while the input-gradient pass reuses the
+ *    signatures saved during the forward pass of the consumer layer
+ *    when the filter dimensions match (§III-C2);
+ *  - record spill accounting: with a replay knob on, each layer's
+ *    SignatureRecord occupies the global buffer between its forward
+ *    and backward passes; the part past capacity spills to memory
+ *    (TrainingReport::recordPeakBytes / recordSpillBytes);
  *  - adaptation: signature growth on loss plateaus and per-layer
  *    stoppage when detection costs more than it saves (§III-D).
  */
@@ -74,6 +79,18 @@ struct TrainingReport
     int finalSignatureBits = 0;
     int layersOn = 0;
     int layersOff = 0;
+
+    /**
+     * SignatureRecord spill accounting (§III-C2): when a replay knob
+     * (backwardReuse / weightGradReuse) holds records between forward
+     * and backward, the peak record working set of one batch, and the
+     * traffic of the part that spilled past the global buffer (write
+     * out + read back) accumulated over all accounted batches —
+     * divide by the batch count for a per-batch bandwidth figure.
+     * Zero when nothing replays.
+     */
+    uint64_t recordPeakBytes = 0;
+    uint64_t recordSpillBytes = 0;
 
     double speedup() const { return totals.speedup(); }
 

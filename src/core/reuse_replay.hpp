@@ -8,6 +8,13 @@
  * rows always computed first; HIT copies deferred until after the
  * compute joins in the pooled mode) in a single place for both
  * engines.
+ *
+ * Also hosts the shared weight-gradient replay (ReuseSense-style
+ * sum-then-multiply): the dW-shaped reductions of the FC layer
+ * (dW = Xt G) and the attention projection factor (Xt X) are both
+ * sums of per-row outer products, so a forward-HIT row's contribution
+ * factors through its owner's row — sum the right-hand rows of each
+ * owner's hit-group first, then do one outer product per group.
  */
 
 #ifndef MERCURY_CORE_REUSE_REPLAY_HPP
@@ -89,6 +96,99 @@ replayRowBackward(DetectionFrontend &fe, const SignatureRecord &record,
         }
         compute_row(i);
     }
+}
+
+/**
+ * Weight-gradient replay of one recorded pass (§III-C2 applied to
+ * Eq. 1): computes At B — the dW-shaped reduction Σ_r a_r ⊗ b_r over
+ * the pass's n rows — with every forward-HIT row factored through its
+ * owner (sum-then-multiply). Owners accumulate the b-rows of their
+ * hit-group first (the owner's own row is a bit-exact copy, hits are
+ * float adds), then each group performs one outer product with the
+ * owner's a-row, in owner-ascending order.
+ *
+ * With zero hits every group is a singleton, so the element
+ * accumulation order — contraction rows ascending, with the same
+ * skip of zero-valued a elements — reproduces
+ * matmul(transpose2d(a), b) bit for bit. With hits the result is the
+ * exact sum up to float-summation order of the grouped b-rows.
+ *
+ * `stats.macsSkipped` gains da x db per HIT row (its outer product is
+ * replaced by db accumulate adds, which the cycle model charges
+ * separately as per-group accumulate cycles). In overlapped mode the
+ * group sums consume the replayed block hand-off — block by block on
+ * the calling thread, purely to keep the one stream discipline (and
+ * the sanitizer-stressed code path) every backward consumer shares;
+ * nothing can overlap with the scan, since no group is complete
+ * before the last row. The outer products then fan out over the
+ * pool, one output row per task; results are bit-identical to the
+ * serial walk.
+ */
+inline Tensor
+replayWeightGrad(DetectionFrontend &fe, const SignatureRecord &record,
+                 const SignatureRecord::Pass &pass, const Tensor &a,
+                 const Tensor &b, ReuseStats &stats)
+{
+    const int64_t n = pass.rows;
+    const int64_t da = a.dim(1);
+    const int64_t db = b.dim(1);
+    std::vector<int64_t> owner;
+    record.ownersOf(pass, owner);
+
+    // Group sums over the pass's b-rows: the owner slot starts as a
+    // copy of its own row (bit-exact for singleton groups), HIT rows
+    // fold in with adds. Stream order guarantees the owner's copy
+    // lands before any of its hits accumulate.
+    std::vector<float> gsum(static_cast<size_t>(n * db), 0.0f);
+    const auto sum_rows = [&](int64_t r0, int64_t r1) {
+        for (int64_t r = r0; r < r1; ++r) {
+            const int64_t o = owner[static_cast<size_t>(r)];
+            float *dst = gsum.data() + o * db;
+            const float *src = b.data() + r * db;
+            if (o == r) {
+                std::copy(src, src + db, dst);
+            } else {
+                for (int64_t p = 0; p < db; ++p)
+                    dst[p] += src[p];
+                stats.macsSkipped += static_cast<uint64_t>(da) *
+                                     static_cast<uint64_t>(db);
+            }
+        }
+    };
+
+    // One output row j of At B: one multiply per group, owners
+    // ascending — the same contraction order (and zero-skip) as
+    // matmul(transpose2d(a), b) walks for row j.
+    Tensor out({da, db});
+    const auto mul_row = [&](int64_t j) {
+        for (int64_t r = 0; r < n; ++r) {
+            if (owner[static_cast<size_t>(r)] != r)
+                continue;
+            const float av = a.at2(r, j);
+            if (av == 0.0f)
+                continue;
+            const float *gs = gsum.data() + r * db;
+            for (int64_t p = 0; p < db; ++p)
+                out.at2(j, p) += av * gs[p];
+        }
+    };
+
+    if (fe.overlapEnabled()) {
+        // The group sums consume the replayed hand-off on the calling
+        // thread — a cheap serial scan kept on the shared stream
+        // discipline; the per-group outer products then fan out over
+        // the pool, one disjoint output row per task.
+        fe.replayStream(pass, [&](const DetectionBlock &blk) {
+            sum_rows(blk.row0, blk.row1);
+        });
+        fe.workerPool()->parallelFor(da, mul_row);
+        return out;
+    }
+
+    sum_rows(0, n);
+    for (int64_t j = 0; j < da; ++j)
+        mul_row(j);
+    return out;
 }
 
 } // namespace mercury

@@ -40,7 +40,7 @@ Conv2dLayer::forward(const Tensor &x, MercuryContext *ctx)
                                ctx->signatureBits());
         ReuseStats stats;
         SignatureRecord *capture =
-            ctx->backwardReuse() ? &record_ : nullptr;
+            ctx->capturesRecords() ? &record_ : nullptr;
         Tensor out =
             engine.forward(x, weight_, bias_, spec_, stats, capture);
         ctx->accumulate(stats);
@@ -53,7 +53,19 @@ Conv2dLayer::forward(const Tensor &x, MercuryContext *ctx)
 Tensor
 Conv2dLayer::backwardImpl(const Tensor &grad, MercuryContext *ctx)
 {
-    gradWeight_ = conv2dBackwardWeight(lastInput_, grad, spec_);
+    if (ctx && ctx->weightGradReuse() && recordValid_) {
+        // Weight-gradient replay (§III-C2 on Eq. 1): sum each forward
+        // hit-group's output gradients, then one multiply per group
+        // through the owner's patch.
+        ConvReuseEngine engine(ctx->frontendFor(layerId_),
+                               ctx->signatureBits());
+        ReuseStats wstats;
+        gradWeight_ = engine.backwardWeights(lastInput_, grad, spec_,
+                                             record_, wstats);
+        ctx->accumulateWeightGrad(wstats);
+    } else {
+        gradWeight_ = conv2dBackwardWeight(lastInput_, grad, spec_);
+    }
     gradBias_ = conv2dBackwardBias(grad);
     if (ctx && ctx->backwardReuse() && recordValid_) {
         // Replay the forward pass's detection outcomes through the
@@ -117,7 +129,7 @@ DenseLayer::forward(const Tensor &x, MercuryContext *ctx)
                         ctx->signatureBits());
         ReuseStats stats;
         SignatureRecord *capture =
-            ctx->backwardReuse() ? &record_ : nullptr;
+            ctx->capturesRecords() ? &record_ : nullptr;
         out = engine.forward(x, weight_, stats, nullptr, capture);
         ctx->accumulate(stats);
         recordValid_ = capture != nullptr;
@@ -133,7 +145,19 @@ DenseLayer::forward(const Tensor &x, MercuryContext *ctx)
 Tensor
 DenseLayer::backwardImpl(const Tensor &grad, MercuryContext *ctx)
 {
-    gradWeight_ = matmul(transpose2d(lastInput_), grad);
+    if (ctx && ctx->weightGradReuse() && recordValid_) {
+        // Weight-gradient replay (§III-C2 on Eq. 1): one outer
+        // product per forward hit-group through the owner's input
+        // row.
+        FcEngine engine(ctx->frontendFor(layerId_),
+                        ctx->signatureBits());
+        ReuseStats wstats;
+        gradWeight_ =
+            engine.backwardWeights(lastInput_, grad, record_, wstats);
+        ctx->accumulateWeightGrad(wstats);
+    } else {
+        gradWeight_ = matmul(transpose2d(lastInput_), grad);
+    }
     gradBias_ = Tensor({grad.dim(1)});
     for (int64_t i = 0; i < grad.dim(0); ++i)
         for (int64_t j = 0; j < grad.dim(1); ++j)

@@ -33,8 +33,10 @@ class Layer
     /**
      * Forward pass. `ctx` may be null (exact execution) or an
      * enabled MercuryContext (reuse-approximated execution). With
-     * ctx->backwardReuse() set, reuse-capable layers additionally
-     * capture their detection outcomes for the backward replay.
+     * ctx->backwardReuse() or ctx->weightGradReuse() set,
+     * reuse-capable layers additionally capture their detection
+     * outcomes once for the backward replay — one record feeds both
+     * gradient passes.
      */
     virtual Tensor forward(const Tensor &x, MercuryContext *ctx) = 0;
 
@@ -43,8 +45,11 @@ class Layer
      * be the context the matching forward ran with (or null): with
      * backward reuse enabled, reuse-capable layers replay the
      * forward-captured SignatureRecord to skip input-gradient
-     * products of forward-HIT rows (§III-C2); otherwise gradients
-     * are exact gradients of the perturbed forward.
+     * products of forward-HIT rows (§III-C2); with weight-gradient
+     * reuse enabled they additionally compute dW by sum-then-multiply
+     * over the same record (one multiply per forward hit-group);
+     * otherwise gradients are exact gradients of the perturbed
+     * forward.
      *
      * Non-virtual dispatcher so the ctx default argument lives in
      * exactly one place (defaults on virtuals bind statically, and

@@ -121,10 +121,17 @@ MercuryContext::accumulateBackward(const ReuseStats &stats)
 }
 
 void
+MercuryContext::accumulateWeightGrad(const ReuseStats &stats)
+{
+    addStats(weightGradTotals_, stats);
+}
+
+void
 MercuryContext::resetStats()
 {
     totals_ = ReuseStats{};
     backwardTotals_ = ReuseStats{};
+    weightGradTotals_ = ReuseStats{};
 }
 
 } // namespace mercury

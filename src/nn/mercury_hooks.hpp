@@ -104,17 +104,46 @@ class MercuryContext
     void setBackwardReuse(bool enabled) { backwardReuse_ = enabled; }
     bool backwardReuse() const { return backwardReuse_; }
 
+    /**
+     * Reuse saved signatures in the weight-gradient pass (§III-C2 on
+     * Eq. 1, AcceleratorConfig::weightGradReuse): when set,
+     * reuse-capable layers capture a SignatureRecord on forward (the
+     * same record backwardReuse uses — one captured detection pass
+     * feeds both) and compute dW by sum-then-multiply: the output
+     * gradients of each forward hit-group are summed first, then one
+     * multiply runs per group through the owner's input patch. Off by
+     * default: weight gradients are then exact gradients of the
+     * perturbed forward.
+     */
+    void setWeightGradReuse(bool enabled) { weightGradReuse_ = enabled; }
+    bool weightGradReuse() const { return weightGradReuse_; }
+
+    /** True when layers must capture a record on forward. */
+    bool capturesRecords() const
+    {
+        return backwardReuse_ || weightGradReuse_;
+    }
+
     /** Accumulate one forward engine invocation's statistics. */
     void accumulate(const ReuseStats &stats);
 
     /** Accumulate one backward (replay) invocation's statistics. */
     void accumulateBackward(const ReuseStats &stats);
 
+    /** Accumulate one weight-gradient (replay) invocation's stats. */
+    void accumulateWeightGrad(const ReuseStats &stats);
+
     /** Forward totals since construction (or resetStats). */
     const ReuseStats &totals() const { return totals_; }
 
     /** Backward-replay totals since construction (or resetStats). */
     const ReuseStats &backwardTotals() const { return backwardTotals_; }
+
+    /** Weight-gradient-replay totals since construction. */
+    const ReuseStats &weightGradTotals() const
+    {
+        return weightGradTotals_;
+    }
 
     void resetStats();
 
@@ -125,6 +154,7 @@ class MercuryContext
     int versions_;
     uint64_t seed_;
     bool backwardReuse_ = false;
+    bool weightGradReuse_ = false;
     std::unique_ptr<MCache> cache_; // lazy, see cache()
     PipelineConfig pipeline_;
     // Pool and cache must outlive the frontends holding pointers to
@@ -134,6 +164,7 @@ class MercuryContext
     std::map<uint64_t, std::unique_ptr<DetectionFrontend>> frontends_;
     ReuseStats totals_;
     ReuseStats backwardTotals_;
+    ReuseStats weightGradTotals_;
 
     ThreadPool *sharedPool();
     ShardedMCache &sharedCache();

@@ -118,6 +118,22 @@ struct AcceleratorConfig
      */
     bool backwardReuse = false;
 
+    /**
+     * Reuse saved signatures in the weight-gradient pass (§III-C2
+     * applied to Eq. 1): dW = X ⊛ dY walks the same forward input
+     * patches, so a forward-HIT row's contribution factors through
+     * its owner's patch as x_owner ⊗ (Σ dy over the owner's
+     * hit-group) — the output gradients of each hit-group are summed
+     * first (cheap adds), then one multiply runs per group
+     * (sum-then-multiply). In the timing model the dW pass shrinks by
+     * the forward hit fraction, pays the per-group accumulate adds
+     * and the replay-only signature charge, and performs no MCACHE
+     * inserts. Functionally the dW outputs are bit-identical to the
+     * exact weight gradient whenever the forward pass recorded no
+     * hits, and exact up to float-summation order otherwise.
+     */
+    bool weightGradReuse = false;
+
     /** Total MCACHE entries. */
     int mcacheEntries() const { return mcacheSets * mcacheWays; }
 };

@@ -240,34 +240,85 @@ hashedVectors(const LayerShape &shape, int64_t batch)
 
 LayerCycles
 Dataflow::backwardLayerCycles(const LayerShape &shape, int64_t batch,
-                              const HitMix &channel_mix,
-                              int sig_bits) const
+                              const HitMix &channel_mix, int sig_bits,
+                              bool include_weight_grad) const
 {
+    LayerCycles c;
     if (!config_.backwardReuse || !shape.reusable()) {
         // No replay: the input-gradient pass runs at the baseline
         // cost (pooling backward mirrors pooling forward too).
+        c.baseline = baselineLayerCycles(shape, batch);
+        c.computation = c.baseline;
+    } else {
+        // Replayed reuse: the compute shrinkage follows the forward
+        // accounting with signature generation free (saved
+        // signatures, §III-C2) — then the replay streaming charge and
+        // the vanished insert serialization are applied on top.
+        c = mercuryLayerCycles(shape, batch, channel_mix, sig_bits,
+                               /*saved_signatures=*/true);
+        c.cacheOverhead = 0; // replay performs no MCACHE inserts
+        c.signature = signatureReplayCycles(
+            hashedVectors(shape, batch),
+            static_cast<uint64_t>(config_.numPEs));
+        // Fig. 8 extended to backward: the replay stream hides under
+        // the remaining gradient compute when detection overlap is
+        // on.
+        if (config_.overlapDetection)
+            c.signature -= std::min(c.signature, c.computation);
+    }
+    if (include_weight_grad) {
+        c += weightGradLayerCycles(shape, batch, channel_mix, sig_bits);
+    }
+    return c;
+}
+
+LayerCycles
+Dataflow::weightGradLayerCycles(const LayerShape &shape, int64_t batch,
+                                const HitMix &channel_mix,
+                                int sig_bits) const
+{
+    if (!config_.weightGradReuse || !shape.reusable()) {
+        // No replay: dW walks the same MAC structure as the forward
+        // pass, at the baseline cost.
         LayerCycles c;
         c.baseline = baselineLayerCycles(shape, batch);
         c.computation = c.baseline;
         return c;
     }
 
-    // Replayed reuse: the compute shrinkage follows the forward
-    // accounting with signature generation free (saved signatures,
-    // §III-C2) — then the replay streaming charge and the vanished
-    // insert serialization are applied on top.
+    // Replayed sum-then-multiply (§III-C2 on Eq. 1): the owner-only
+    // outer products follow the forward compute shrinkage with
+    // signature generation free; on top, every HIT row pays one
+    // accumulate add per filter to fold its output gradient into the
+    // owner's group sum, spread across the PEs.
     LayerCycles c = mercuryLayerCycles(shape, batch, channel_mix,
                                        sig_bits,
                                        /*saved_signatures=*/true);
     c.cacheOverhead = 0; // replay performs no MCACHE inserts
-    c.signature = signatureReplayCycles(
-        hashedVectors(shape, batch),
+    const uint64_t vectors = hashedVectors(shape, batch);
+    const uint64_t hits = static_cast<uint64_t>(std::llround(
+        channel_mix.hitFraction() * static_cast<double>(vectors)));
+    c.computation += ceilDiv(
+        hits * static_cast<uint64_t>(shape.weightVectors()),
         static_cast<uint64_t>(config_.numPEs));
-    // Fig. 8 extended to backward: the replay stream hides under the
-    // remaining gradient compute when detection overlap is on.
+    c.signature = signatureReplayCycles(
+        vectors, static_cast<uint64_t>(config_.numPEs));
     if (config_.overlapDetection)
         c.signature -= std::min(c.signature, c.computation);
     return c;
+}
+
+uint64_t
+Dataflow::recordSpillBytes(const LayerShape &shape, int64_t batch,
+                           int sig_bits) const
+{
+    if (!shape.reusable())
+        return 0;
+    // Per recorded row: the bit-packed signature words, a 4-byte
+    // entry id, and a 1-byte outcome — SignatureRecord's layout.
+    const uint64_t per_row =
+        static_cast<uint64_t>((sig_bits + 63) / 64) * 8 + 4 + 1;
+    return hashedVectors(shape, batch) * per_row;
 }
 
 uint64_t

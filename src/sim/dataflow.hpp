@@ -128,10 +128,50 @@ class Dataflow
      * the replay-only streaming cost (signatureReplayCycles) instead
      * of a regeneration. config.overlapDetection additionally hides
      * the replay charge under compute, Fig. 8-style.
+     *
+     * With `include_weight_grad` the result additionally carries the
+     * weight-gradient pass (weightGradLayerCycles) — the full
+     * backward half of a training step for this layer.
      */
     LayerCycles backwardLayerCycles(const LayerShape &shape, int64_t batch,
                                     const HitMix &channel_mix,
-                                    int sig_bits) const;
+                                    int sig_bits,
+                                    bool include_weight_grad = false) const;
+
+    /**
+     * MERCURY cycles of the weight-gradient (dW) pass of a layer
+     * (§III-C2 applied to Eq. 1). dW = X ⊛ dY has the same MAC
+     * structure as the forward pass, so its baseline equals the
+     * forward baseline.
+     *
+     * With config.weightGradReuse off, the pass runs without reuse
+     * and costs the baseline. With it on, the forward record is
+     * replayed (sum-then-multiply): the outer products shrink by the
+     * forward hit fraction exactly as in the forward accounting, each
+     * HIT row instead pays one accumulate add per filter to fold its
+     * output gradient into the owner's group sum (charged across the
+     * PEs), the signature charge is the replay-only streaming cost,
+     * and no MCACHE inserts happen. config.overlapDetection hides the
+     * replay stream under the remaining compute, Fig. 8-style.
+     */
+    LayerCycles weightGradLayerCycles(const LayerShape &shape,
+                                      int64_t batch,
+                                      const HitMix &channel_mix,
+                                      int sig_bits) const;
+
+    /**
+     * Bytes the SignatureRecord of one forward pass of this layer
+     * occupies between forward and backward (§III-C2 spill
+     * accounting): per hashed vector, the bit-packed signature words
+     * plus the entry id and outcome — mirroring the functional
+     * SignatureRecord storage layout, so the estimate matches
+     * SignatureRecord::storageBytes for an engine-captured record of
+     * the same geometry. Feed it to GlobalBuffer::holdRecord to model
+     * the buffer occupancy (and spill traffic) of records held for
+     * the gradient passes.
+     */
+    uint64_t recordSpillBytes(const LayerShape &shape, int64_t batch,
+                              int sig_bits) const;
 
   protected:
     explicit Dataflow(const AcceleratorConfig &cfg);

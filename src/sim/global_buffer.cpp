@@ -1,5 +1,7 @@
 #include "sim/global_buffer.hpp"
 
+#include <algorithm>
+
 namespace mercury {
 
 GlobalBuffer::GlobalBuffer(uint64_t capacity_bytes)
@@ -31,6 +33,27 @@ GlobalBuffer::signatureTraffic(uint64_t bytes)
     signatureBytes_ += bytes;
 }
 
+void
+GlobalBuffer::holdRecord(uint64_t bytes)
+{
+    // The part of the record working set pushed past capacity spills
+    // to memory: written out now, read back when the backward pass
+    // replays it — two transfers per spilled byte.
+    const uint64_t before =
+        recordBytesHeld_ > capacity_ ? recordBytesHeld_ - capacity_ : 0;
+    recordBytesHeld_ += bytes;
+    const uint64_t after =
+        recordBytesHeld_ > capacity_ ? recordBytesHeld_ - capacity_ : 0;
+    signatureBytes_ += 2 * (after - before);
+    peakRecordBytes_ = std::max(peakRecordBytes_, recordBytesHeld_);
+}
+
+void
+GlobalBuffer::releaseRecord(uint64_t bytes)
+{
+    recordBytesHeld_ -= std::min(recordBytesHeld_, bytes);
+}
+
 uint64_t
 GlobalBuffer::totalBytes() const
 {
@@ -41,6 +64,7 @@ void
 GlobalBuffer::reset()
 {
     weightBytes_ = inputBytes_ = outputBytes_ = signatureBytes_ = 0;
+    recordBytesHeld_ = peakRecordBytes_ = 0;
 }
 
 } // namespace mercury

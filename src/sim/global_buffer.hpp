@@ -32,6 +32,20 @@ class GlobalBuffer
     void writeOutputs(uint64_t bytes);
     void signatureTraffic(uint64_t bytes);
 
+    /**
+     * SignatureRecord occupancy (§III-C2): a layer's record is held
+     * from its forward detection pass until its gradient passes
+     * consume it. holdRecord tracks the live bytes and peak; any part
+     * of the working set that no longer fits the buffer spills to
+     * memory, charged as signature traffic (one write out now, one
+     * read back at the backward pass). releaseRecord drops the bytes
+     * once the backward pass has replayed them.
+     */
+    void holdRecord(uint64_t bytes);
+    void releaseRecord(uint64_t bytes);
+    uint64_t recordBytesHeld() const { return recordBytesHeld_; }
+    uint64_t peakRecordBytes() const { return peakRecordBytes_; }
+
     uint64_t totalBytes() const;
     uint64_t weightBytes() const { return weightBytes_; }
     uint64_t inputBytes() const { return inputBytes_; }
@@ -52,6 +66,8 @@ class GlobalBuffer
     uint64_t inputBytes_ = 0;
     uint64_t outputBytes_ = 0;
     uint64_t signatureBytes_ = 0;
+    uint64_t recordBytesHeld_ = 0;
+    uint64_t peakRecordBytes_ = 0;
 };
 
 } // namespace mercury

@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
 
 #include "sim/cycle_model.hpp"
 #include "sim/dataflow.hpp"
@@ -260,6 +261,131 @@ TEST(BackwardReplay, PoolLayersNeverReplay)
     const LayerCycles c = df->backwardLayerCycles(shape, 1, mix, 20);
     EXPECT_EQ(c.mercuryTotal(), c.baseline);
     EXPECT_EQ(c.signature, 0u);
+}
+
+TEST(WeightGradAccounting, WithoutKnobDwCostsTheBaseline)
+{
+    for (const DataflowKind kind :
+         {DataflowKind::RowStationary, DataflowKind::WeightStationary,
+          DataflowKind::InputStationary}) {
+        auto cfg = defaultConfig(kind);
+        ASSERT_FALSE(cfg.weightGradReuse);
+        const auto df = Dataflow::create(cfg);
+        LayerShape shape = LayerShape::conv("conv", 8, 64, 16, 16, 3);
+        const HitMix mix =
+            HitMix::fromFractions(shape.vectorsPerChannel(), 0.86);
+        const LayerCycles c =
+            df->weightGradLayerCycles(shape, 1, mix, 20);
+        EXPECT_EQ(c.mercuryTotal(), c.baseline);
+        EXPECT_EQ(c.signature, 0u);
+        EXPECT_EQ(c.cacheOverhead, 0u);
+        EXPECT_DOUBLE_EQ(c.speedup(), 1.0);
+    }
+}
+
+TEST(WeightGradAccounting, ReplayChargesGroupAccumulatesAndTableReads)
+{
+    auto cfg = defaultConfig();
+    cfg.weightGradReuse = true;
+    const auto df = Dataflow::create(cfg);
+    LayerShape shape = LayerShape::conv("conv", 8, 64, 16, 16, 3);
+    const HitMix mix =
+        HitMix::fromFractions(shape.vectorsPerChannel(), 0.4);
+
+    const LayerCycles fwd = df->mercuryLayerCycles(shape, 1, mix, 20,
+                                                   /*saved=*/true);
+    const LayerCycles dw = df->weightGradLayerCycles(shape, 1, mix, 20);
+    EXPECT_EQ(dw.baseline, fwd.baseline);
+    // The owner-only outer products follow the forward shrinkage;
+    // every HIT row adds one accumulate per filter on top, spread
+    // across the PEs.
+    const uint64_t vectors =
+        static_cast<uint64_t>(shape.inChannels) *
+        static_cast<uint64_t>(shape.vectorsPerChannel());
+    const uint64_t hits = static_cast<uint64_t>(
+        std::llround(mix.hitFraction() * static_cast<double>(vectors)));
+    EXPECT_EQ(dw.computation,
+              fwd.computation +
+                  ceilDiv(hits * static_cast<uint64_t>(
+                                     shape.weightVectors()),
+                          static_cast<uint64_t>(cfg.numPEs)));
+    // No MCACHE inserts, replay-only signature charge.
+    EXPECT_EQ(dw.cacheOverhead, 0u);
+    EXPECT_EQ(dw.signature,
+              signatureReplayCycles(
+                  vectors, static_cast<uint64_t>(cfg.numPEs)));
+}
+
+TEST(WeightGradAccounting, SpeedupExceedsOneAndAHalfAtPaperHitRate)
+{
+    // The acceptance operating point: VGG13-sized conv at the
+    // measured 86% hit rate must gain > 1.5x on the dW pass once the
+    // forward record is replayed by sum-then-multiply.
+    auto cfg = defaultConfig();
+    cfg.weightGradReuse = true;
+    const auto df = Dataflow::create(cfg);
+    LayerShape shape =
+        LayerShape::conv("vgg13-conv", 64, 64, 32, 32, 3);
+    const HitMix mix =
+        HitMix::fromFractions(shape.vectorsPerChannel(), 0.86);
+    const LayerCycles c = df->weightGradLayerCycles(shape, 1, mix, 16);
+    EXPECT_GT(c.speedup(), 1.5);
+}
+
+TEST(WeightGradAccounting, OverlapHidesTheReplayStream)
+{
+    auto cfg = defaultConfig();
+    cfg.weightGradReuse = true;
+    cfg.overlapDetection = true;
+    const auto df = Dataflow::create(cfg);
+    LayerShape shape = LayerShape::conv("conv", 8, 64, 16, 16, 3);
+    const HitMix mix =
+        HitMix::fromFractions(shape.vectorsPerChannel(), 0.4);
+    const LayerCycles c = df->weightGradLayerCycles(shape, 1, mix, 20);
+    EXPECT_EQ(c.signature, 0u);
+}
+
+TEST(WeightGradAccounting, BackwardGainsTheDwTerm)
+{
+    // backwardLayerCycles(include_weight_grad=true) is the whole
+    // backward half: the input-gradient pass plus the dW pass,
+    // component by component.
+    auto cfg = defaultConfig();
+    cfg.backwardReuse = true;
+    cfg.weightGradReuse = true;
+    const auto df = Dataflow::create(cfg);
+    LayerShape shape = LayerShape::conv("conv", 8, 64, 16, 16, 3);
+    const HitMix mix =
+        HitMix::fromFractions(shape.vectorsPerChannel(), 0.5);
+
+    const LayerCycles dx = df->backwardLayerCycles(shape, 1, mix, 20);
+    const LayerCycles dw = df->weightGradLayerCycles(shape, 1, mix, 20);
+    const LayerCycles both =
+        df->backwardLayerCycles(shape, 1, mix, 20,
+                                /*include_weight_grad=*/true);
+    EXPECT_EQ(both.baseline, dx.baseline + dw.baseline);
+    EXPECT_EQ(both.computation, dx.computation + dw.computation);
+    EXPECT_EQ(both.signature, dx.signature + dw.signature);
+    EXPECT_EQ(both.cacheOverhead, dx.cacheOverhead + dw.cacheOverhead);
+}
+
+TEST(RecordSpill, EstimatePerRowMatchesSignatureRecordLayout)
+{
+    const auto df = Dataflow::create(defaultConfig());
+    LayerShape shape = LayerShape::conv("conv", 3, 5, 8, 8, 3, 1, 1);
+    // Per hashed vector: one 64-bit signature word at 16 bits, a
+    // 4-byte entry id, a 1-byte outcome = 13 bytes.
+    const uint64_t vectors =
+        static_cast<uint64_t>(shape.inChannels) *
+        static_cast<uint64_t>(shape.vectorsPerChannel());
+    EXPECT_EQ(df->recordSpillBytes(shape, 1, 16), vectors * 13u);
+    // 65 bits need a second signature word.
+    EXPECT_EQ(df->recordSpillBytes(shape, 1, 65), vectors * 21u);
+    // Batches scale linearly; pools record nothing.
+    EXPECT_EQ(df->recordSpillBytes(shape, 4, 16),
+              4u * vectors * 13u);
+    LayerShape pool = LayerShape::pool("pool", 8, 16, 16, 2, 2);
+    EXPECT_EQ(df->recordSpillBytes(pool, 1, 16), 0u);
 }
 
 TEST(RowStationary, FewFiltersMakeSignaturesUnprofitable)

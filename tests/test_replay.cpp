@@ -4,13 +4,17 @@
  * SignatureRecord capture, the replayed block stream, the backward
  * filter passes of all three reuse engines (bit-identical to the
  * exact input gradient at zero hits, skipping exactly the forward
- * HIT rows otherwise, serial == overlapped), the NN-layer
- * integration behind MercuryContext::backwardReuse, and a concurrent
- * replay-consumption stress for the TSan CI job.
+ * HIT rows otherwise, serial == overlapped), the weight-gradient
+ * sum-then-multiply replay of all three engines (bit-identical to
+ * the exact dW at zero hits, exact up to float-summation order
+ * otherwise), the NN-layer integration behind
+ * MercuryContext::backwardReuse / weightGradReuse, and concurrent
+ * replay-consumption stresses for the sanitizer CI jobs.
  */
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 
 #include "core/attention_engine.hpp"
@@ -22,6 +26,8 @@
 #include "nn/network.hpp"
 #include "pipeline/detection_frontend.hpp"
 #include "pipeline/signature_record.hpp"
+#include "sim/dataflow.hpp"
+#include "sim/global_buffer.hpp"
 #include "tensor/ops.hpp"
 #include "util/rng.hpp"
 #include "util/thread_pool.hpp"
@@ -499,6 +505,344 @@ TEST(AttentionBackward, OverlappedReplayBitIdenticalToSerial)
 }
 
 // ---------------------------------------------------------------------
+// Weight-gradient replay (§III-C2 on Eq. 1, sum-then-multiply)
+// ---------------------------------------------------------------------
+
+TEST(ConvWeightGrad, BitIdenticalToExactGradientWhenNoHits)
+{
+    Rng rng(71);
+    Tensor in({2, 3, 8, 8});
+    in.fillNormal(rng); // white noise: no similarity at 32 bits
+    const ConvSpec spec = convSpec(3, 5, 3, 1, 1);
+    Tensor w({5, 3, 3, 3});
+    w.fillNormal(rng);
+    Tensor grad({2, 5, 8, 8});
+    grad.fillNormal(rng);
+
+    DetectionFrontend fe(kSets, kWays, kVersions, 32, kSeed);
+    ConvReuseEngine engine(fe, 32);
+    ReuseStats fstats;
+    SignatureRecord record;
+    engine.forward(in, w, Tensor(), spec, fstats, &record);
+    ASSERT_EQ(fstats.mix.hit, 0);
+
+    ReuseStats wstats;
+    Tensor dw = engine.backwardWeights(in, grad, spec, record, wstats);
+    Tensor ref = conv2dBackwardWeight(in, grad, spec);
+    EXPECT_TRUE(dw == ref)
+        << "zero-hit dW replay must be bit-identical, max diff "
+        << dw.maxAbsDiff(ref);
+    EXPECT_EQ(wstats.macsSkipped, 0u);
+    EXPECT_EQ(wstats.macsTotal, fstats.macsTotal);
+}
+
+TEST(ConvWeightGrad, StridedPaddedGroupedBitIdenticalWhenNoHits)
+{
+    Rng rng(72);
+    Tensor in({1, 4, 9, 9});
+    in.fillNormal(rng);
+    const ConvSpec spec = convSpec(4, 6, 3, 2, 1, 2);
+    Tensor w({6, 2, 3, 3});
+    w.fillNormal(rng);
+    const int64_t oh = spec.outH(9), ow = spec.outW(9);
+    Tensor grad({1, 6, oh, ow});
+    grad.fillNormal(rng);
+
+    DetectionFrontend fe(kSets, kWays, kVersions, 32, kSeed);
+    ConvReuseEngine engine(fe, 32);
+    ReuseStats fstats;
+    SignatureRecord record;
+    engine.forward(in, w, Tensor(), spec, fstats, &record);
+    ASSERT_EQ(fstats.mix.hit, 0);
+
+    ReuseStats wstats;
+    Tensor dw = engine.backwardWeights(in, grad, spec, record, wstats);
+    Tensor ref = conv2dBackwardWeight(in, grad, spec);
+    EXPECT_TRUE(dw == ref);
+}
+
+TEST(ConvWeightGrad, SumThenMultiplyMatchesExactDwWithinTolerance)
+{
+    // Near-identical patches produce real hit-groups; the replayed dW
+    // factors each group through its owner's patch, so it differs
+    // from the exact dW only by the patch deltas and the group-sum
+    // float order — a tight relative tolerance.
+    Tensor in = similarInput(1, 4, 12, 12, 1e-4f, 73);
+    Rng rng(74);
+    const ConvSpec spec = convSpec(4, 8, 3);
+    Tensor w({8, 4, 3, 3});
+    w.fillNormal(rng);
+    const int64_t oh = spec.outH(12), ow = spec.outW(12);
+    Tensor grad({1, 8, oh, ow});
+    grad.fillNormal(rng);
+
+    DetectionFrontend fe(kSets, kWays, kVersions, 32, kSeed);
+    ConvReuseEngine engine(fe, 16);
+    ReuseStats fstats;
+    SignatureRecord record;
+    engine.forward(in, w, Tensor(), spec, fstats, &record);
+    ASSERT_GT(fstats.mix.hit, 0) << "smooth input must hit";
+
+    ReuseStats wstats;
+    Tensor dw = engine.backwardWeights(in, grad, spec, record, wstats);
+    Tensor ref = conv2dBackwardWeight(in, grad, spec);
+    float scale = 0.0f;
+    for (int64_t i = 0; i < ref.numel(); ++i)
+        scale = std::max(scale, std::abs(ref[i]));
+    ASSERT_GT(scale, 0.0f);
+    EXPECT_LT(dw.maxAbsDiff(ref), 0.02f * scale)
+        << "sum-then-multiply drifted past the group tolerance";
+    // The dW pass skips the same rows forward skipped: d MACs per HIT
+    // row per filter.
+    EXPECT_EQ(wstats.macsSkipped, fstats.macsSkipped);
+    EXPECT_EQ(wstats.mix.hit, fstats.mix.hit);
+    // Deterministic: replaying the same record reproduces the bits.
+    ReuseStats wstats2;
+    Tensor dw2 = engine.backwardWeights(in, grad, spec, record, wstats2);
+    EXPECT_TRUE(dw == dw2);
+}
+
+TEST(ConvWeightGrad, OverlappedReplayBitIdenticalToSerial)
+{
+    Tensor in = similarInput(1, 6, 10, 10, 1e-3f, 75);
+    Rng rng(76);
+    const ConvSpec spec = convSpec(6, 9, 3, 1, 1);
+    Tensor w({9, 6, 3, 3});
+    w.fillNormal(rng);
+    Tensor grad({1, 9, 10, 10});
+    grad.fillNormal(rng);
+
+    PipelineConfig serial_pipe;
+    serial_pipe.blockRows = 16;
+    DetectionFrontend serial_fe(kSets, kWays, kVersions, 32, kSeed,
+                                serial_pipe);
+    ConvReuseEngine serial(serial_fe, 16);
+
+    PipelineConfig overlap_pipe = serial_pipe;
+    overlap_pipe.threads = 4;
+    overlap_pipe.overlap = true;
+    DetectionFrontend overlap_fe(kSets, kWays, kVersions, 32, kSeed,
+                                 overlap_pipe);
+    ConvReuseEngine overlapped(overlap_fe, 16);
+
+    ReuseStats fs, fo;
+    SignatureRecord rs, ro;
+    serial.forward(in, w, Tensor(), spec, fs, &rs);
+    overlapped.forward(in, w, Tensor(), spec, fo, &ro);
+
+    ReuseStats ws, wo;
+    Tensor ds = serial.backwardWeights(in, grad, spec, rs, ws);
+    Tensor dov = overlapped.backwardWeights(in, grad, spec, ro, wo);
+    EXPECT_TRUE(ds == dov);
+    EXPECT_EQ(ws.macsSkipped, wo.macsSkipped);
+}
+
+TEST(FcWeightGrad, BitIdenticalToExactGradientWhenNoHits)
+{
+    Rng rng(81);
+    Tensor in({24, 16});
+    in.fillNormal(rng);
+    Tensor grad({24, 10});
+    grad.fillNormal(rng);
+
+    DetectionFrontend fe(kSets, kWays, kVersions, 32, kSeed);
+    FcEngine engine(fe, 32);
+    ReuseStats fstats;
+    SignatureRecord record;
+    Tensor w({16, 10});
+    w.fillNormal(rng);
+    engine.forward(in, w, fstats, nullptr, &record);
+    ASSERT_EQ(fstats.mix.hit, 0);
+
+    ReuseStats wstats;
+    Tensor dw = engine.backwardWeights(in, grad, record, wstats);
+    Tensor ref = matmul(transpose2d(in), grad);
+    EXPECT_TRUE(dw == ref);
+    EXPECT_EQ(wstats.macsSkipped, 0u);
+}
+
+TEST(FcWeightGrad, GroupSumsFactorThroughTheOwnersRow)
+{
+    // Duplicated rows: a hit's input row equals its owner's bit for
+    // bit, so the replayed dW is the exact dW re-associated into
+    // group sums. Check against an independent restatement of the
+    // sum-then-multiply spec (bit-exact) and against the exact dW
+    // (tight tolerance, float-summation order only).
+    Tensor in = duplicateRows(30, 12, 6, kSeed + 15);
+    Rng rng(82);
+    Tensor w({12, 7});
+    w.fillNormal(rng);
+    Tensor grad({30, 7});
+    grad.fillNormal(rng);
+
+    DetectionFrontend fe(kSets, kWays, kVersions, 32, kSeed);
+    FcEngine engine(fe, 24);
+    ReuseStats fstats;
+    SignatureRecord record;
+    engine.forward(in, w, fstats, nullptr, &record);
+    ASSERT_GT(fstats.mix.hit, 0);
+
+    ReuseStats wstats;
+    Tensor dw = engine.backwardWeights(in, grad, record, wstats);
+
+    // Independent sum-then-multiply reference from the owner map.
+    const SignatureRecord::Pass &pass = record.pass(0);
+    std::vector<int64_t> owner;
+    record.ownersOf(pass, owner);
+    Tensor gsum({30, 7});
+    for (int64_t r = 0; r < 30; ++r) {
+        const int64_t o = owner[static_cast<size_t>(r)];
+        for (int64_t p = 0; p < 7; ++p) {
+            if (o == r)
+                gsum.at2(o, p) = grad.at2(r, p);
+            else
+                gsum.at2(o, p) += grad.at2(r, p);
+        }
+    }
+    Tensor ref({12, 7});
+    for (int64_t j = 0; j < 12; ++j) {
+        for (int64_t r = 0; r < 30; ++r) {
+            if (owner[static_cast<size_t>(r)] != r)
+                continue;
+            const float av = in.at2(r, j);
+            if (av == 0.0f)
+                continue;
+            for (int64_t p = 0; p < 7; ++p)
+                ref.at2(j, p) += av * gsum.at2(r, p);
+        }
+    }
+    EXPECT_TRUE(dw == ref)
+        << "engine must implement the sum-then-multiply order exactly";
+
+    Tensor exact = matmul(transpose2d(in), grad);
+    float scale = 0.0f;
+    for (int64_t i = 0; i < exact.numel(); ++i)
+        scale = std::max(scale, std::abs(exact[i]));
+    EXPECT_LT(dw.maxAbsDiff(exact), 1e-4f * scale)
+        << "identical-row groups differ from exact only by summation "
+           "order";
+    EXPECT_EQ(wstats.macsSkipped, fstats.macsSkipped);
+}
+
+TEST(FcWeightGrad, OverlappedReplayBitIdenticalToSerial)
+{
+    Tensor in = duplicateRows(120, 20, 11, kSeed + 16);
+    Rng rng(83);
+    Tensor w({20, 9});
+    w.fillNormal(rng);
+    Tensor grad({120, 9});
+    grad.fillNormal(rng);
+
+    PipelineConfig serial_pipe;
+    serial_pipe.blockRows = 32;
+    DetectionFrontend serial_fe(kSets, kWays, kVersions, 32, kSeed,
+                                serial_pipe);
+    FcEngine serial(serial_fe, 24);
+
+    PipelineConfig overlap_pipe = serial_pipe;
+    overlap_pipe.threads = 4;
+    overlap_pipe.overlap = true;
+    DetectionFrontend overlap_fe(kSets, kWays, kVersions, 32, kSeed,
+                                 overlap_pipe);
+    FcEngine overlapped(overlap_fe, 24);
+
+    ReuseStats fs, fo;
+    SignatureRecord rs, ro;
+    serial.forward(in, w, fs, nullptr, &rs);
+    overlapped.forward(in, w, fo, nullptr, &ro);
+
+    ReuseStats ws, wo;
+    Tensor ds = serial.backwardWeights(in, grad, rs, ws);
+    Tensor dov = overlapped.backwardWeights(in, grad, ro, wo);
+    EXPECT_TRUE(ds == dov);
+    EXPECT_EQ(ws.macsSkipped, wo.macsSkipped);
+}
+
+TEST(AttentionWeightGrad, ProjectionBitIdenticalToExactWhenNoHits)
+{
+    Rng rng(85);
+    Tensor x({12, 8});
+    x.fillNormal(rng);
+    Tensor g({12, 8});
+    g.fillNormal(rng);
+
+    DetectionFrontend fe(kSets, kWays, kVersions, 32, kSeed);
+    AttentionEngine engine(fe, 32);
+    ReuseStats fstats;
+    SignatureRecord record;
+    engine.forward(x, fstats, &record);
+    ASSERT_EQ(fstats.mix.hit, 0);
+
+    ReuseStats wstats;
+    Tensor xtx = engine.backwardProjection(x, record, 0, wstats);
+    Tensor ref = matmul(transpose2d(x), x);
+    EXPECT_TRUE(xtx == ref);
+    EXPECT_EQ(wstats.macsSkipped, 0u);
+
+    // Feeding the replayed factor back into the input-gradient replay
+    // reproduces the exact backward bit for bit.
+    ReuseStats bstats;
+    Tensor gin = engine.backward(x, g, record, 0, bstats, &xtx);
+    Tensor bref = exactAttentionBackward(x, g);
+    EXPECT_TRUE(gin == bref);
+}
+
+TEST(AttentionWeightGrad, ProjectionGroupSumsWithinTolerance)
+{
+    Tensor x = duplicateRows(16, 8, 4, kSeed + 17);
+
+    DetectionFrontend fe(kSets, kWays, kVersions, 32, kSeed);
+    AttentionEngine engine(fe, 24);
+    ReuseStats fstats;
+    SignatureRecord record;
+    engine.forward(x, fstats, &record);
+    ASSERT_GT(fstats.mix.hit, 0);
+
+    ReuseStats wstats;
+    Tensor xtx = engine.backwardProjection(x, record, 0, wstats);
+    Tensor ref = matmul(transpose2d(x), x);
+    float scale = 0.0f;
+    for (int64_t i = 0; i < ref.numel(); ++i)
+        scale = std::max(scale, std::abs(ref[i]));
+    EXPECT_LT(xtx.maxAbsDiff(ref), 1e-4f * scale)
+        << "identical-row groups differ from exact only by summation "
+           "order";
+    EXPECT_GT(wstats.macsSkipped, 0u);
+    // d*d MACs skipped per HIT token row.
+    EXPECT_EQ(wstats.macsSkipped,
+              static_cast<uint64_t>(fstats.mix.hit) * 8u * 8u);
+}
+
+TEST(AttentionWeightGrad, OverlappedProjectionBitIdenticalToSerial)
+{
+    Tensor x = duplicateRows(48, 10, 9, kSeed + 18);
+
+    PipelineConfig serial_pipe;
+    serial_pipe.blockRows = 16;
+    DetectionFrontend serial_fe(kSets, kWays, kVersions, 32, kSeed,
+                                serial_pipe);
+    AttentionEngine serial(serial_fe, 24);
+
+    PipelineConfig overlap_pipe = serial_pipe;
+    overlap_pipe.threads = 4;
+    overlap_pipe.overlap = true;
+    DetectionFrontend overlap_fe(kSets, kWays, kVersions, 32, kSeed,
+                                 overlap_pipe);
+    AttentionEngine overlapped(overlap_fe, 24);
+
+    ReuseStats fs, fo;
+    SignatureRecord rs, ro;
+    serial.forward(x, fs, &rs);
+    overlapped.forward(x, fo, &ro);
+
+    ReuseStats ws, wo;
+    Tensor ps = serial.backwardProjection(x, rs, 0, ws);
+    Tensor po = overlapped.backwardProjection(x, ro, 0, wo);
+    EXPECT_TRUE(ps == po);
+    EXPECT_EQ(ws.macsSkipped, wo.macsSkipped);
+}
+
+// ---------------------------------------------------------------------
 // NN-layer integration (MercuryContext::backwardReuse)
 // ---------------------------------------------------------------------
 
@@ -600,6 +944,160 @@ TEST(LayerReplay, TrainingStepRunsWithBackwardReuse)
 }
 
 // ---------------------------------------------------------------------
+// SignatureRecord spill accounting (records held forward -> backward)
+// ---------------------------------------------------------------------
+
+TEST(RecordSpill, DataflowEstimateMatchesCapturedRecord)
+{
+    // The timing model's per-layer spill estimate must equal what the
+    // functional engine actually records for the same geometry.
+    Rng rng(99);
+    Tensor in({2, 3, 8, 8});
+    in.fillNormal(rng);
+    const ConvSpec spec = convSpec(3, 5, 3, 1, 1);
+    Tensor w({5, 3, 3, 3});
+    w.fillNormal(rng);
+
+    DetectionFrontend fe(kSets, kWays, kVersions, 32, kSeed);
+    ConvReuseEngine engine(fe, 16);
+    ReuseStats stats;
+    SignatureRecord record;
+    engine.forward(in, w, Tensor(), spec, stats, &record);
+
+    const auto df = Dataflow::create(AcceleratorConfig{});
+    const LayerShape shape =
+        LayerShape::conv("conv", 3, 5, 8, 8, 3, 1, 1);
+    EXPECT_EQ(record.storageBytes(),
+              df->recordSpillBytes(shape, 2, 16));
+}
+
+TEST(RecordSpill, BufferChargesTrafficOnlyPastCapacity)
+{
+    GlobalBuffer buffer(1000);
+    buffer.holdRecord(600);
+    EXPECT_EQ(buffer.recordBytesHeld(), 600u);
+    EXPECT_EQ(buffer.signatureBytes(), 0u) << "fits: no spill";
+    // The second record pushes 200 bytes past capacity: written out
+    // now, read back at the backward pass — two transfers each.
+    buffer.holdRecord(600);
+    EXPECT_EQ(buffer.recordBytesHeld(), 1200u);
+    EXPECT_EQ(buffer.peakRecordBytes(), 1200u);
+    EXPECT_EQ(buffer.signatureBytes(), 400u);
+    buffer.releaseRecord(600);
+    buffer.releaseRecord(600);
+    EXPECT_EQ(buffer.recordBytesHeld(), 0u);
+    // A later batch that fits spills nothing more.
+    buffer.holdRecord(600);
+    EXPECT_EQ(buffer.signatureBytes(), 400u);
+    EXPECT_EQ(buffer.peakRecordBytes(), 1200u);
+}
+
+// ---------------------------------------------------------------------
+// NN-layer integration (MercuryContext::weightGradReuse)
+// ---------------------------------------------------------------------
+
+TEST(LayerWeightGrad, ConvLayerReplayedDwEqualsExactAtZeroHits)
+{
+    // Two identically initialized layers: one steps on the replayed
+    // dW, one on the exact dW. At zero hits the weights must stay bit
+    // for bit in lockstep.
+    Rng rng_a(66), rng_b(66);
+    Conv2dLayer reuse_layer(2, 4, 3, 1, 0, rng_a, /*layer_id=*/11);
+    Conv2dLayer exact_layer(2, 4, 3, 1, 0, rng_b, /*layer_id=*/11);
+    Rng rng(67);
+    Tensor in({1, 2, 6, 6});
+    in.fillNormal(rng); // white noise: no hits at 32 bits
+    Tensor grad({1, 4, 4, 4});
+    grad.fillNormal(rng);
+
+    MercuryContext ctx(32);
+    ctx.setWeightGradReuse(true);
+    reuse_layer.forward(in, &ctx);
+    ASSERT_EQ(ctx.totals().mix.hit, 0);
+    exact_layer.forward(in, nullptr);
+
+    reuse_layer.backward(grad, &ctx);
+    exact_layer.backward(grad, nullptr);
+    reuse_layer.step(0.01f);
+    exact_layer.step(0.01f);
+    EXPECT_TRUE(reuse_layer.weights() == exact_layer.weights());
+    EXPECT_GT(ctx.weightGradTotals().mix.vectors, 0);
+    EXPECT_EQ(ctx.weightGradTotals().macsSkipped, 0u);
+    // The knob affects only dW: the input gradient stayed exact.
+    EXPECT_EQ(ctx.backwardTotals().mix.vectors, 0);
+}
+
+TEST(LayerWeightGrad, DenseLayerReplayedDwEqualsExactAtZeroHits)
+{
+    Rng rng_a(68), rng_b(68);
+    DenseLayer reuse_layer(12, 5, rng_a, /*layer_id=*/12);
+    DenseLayer exact_layer(12, 5, rng_b, /*layer_id=*/12);
+    Rng rng(69);
+    Tensor in({8, 12});
+    in.fillNormal(rng);
+    Tensor grad({8, 5});
+    grad.fillNormal(rng);
+
+    MercuryContext ctx(32);
+    ctx.setWeightGradReuse(true);
+    reuse_layer.forward(in, &ctx);
+    ASSERT_EQ(ctx.totals().mix.hit, 0);
+    exact_layer.forward(in, nullptr);
+
+    reuse_layer.backward(grad, &ctx);
+    exact_layer.backward(grad, nullptr);
+    reuse_layer.step(0.01f);
+    exact_layer.step(0.01f);
+    EXPECT_TRUE(reuse_layer.weights() == exact_layer.weights());
+    EXPECT_GT(ctx.weightGradTotals().mix.vectors, 0);
+}
+
+TEST(LayerWeightGrad, AttentionLayerReplayedProjectionEqualsExactAtZeroHits)
+{
+    Rng rng(70);
+    Tensor in({2, 6 * 8});
+    in.fillNormal(rng);
+    SelfAttentionLayer layer(6, 8, /*layer_id=*/13, 0.25f);
+    Tensor grad({2, 6 * 8});
+    grad.fillNormal(rng);
+
+    MercuryContext ctx(32);
+    ctx.setWeightGradReuse(true); // projection replay, exact dX path
+    layer.forward(in, &ctx);
+    ASSERT_EQ(ctx.totals().mix.hit, 0);
+
+    Tensor replayed = layer.backward(grad, &ctx);
+    Tensor exact = layer.backward(grad, nullptr);
+    EXPECT_TRUE(replayed == exact);
+    EXPECT_GT(ctx.weightGradTotals().mix.vectors, 0);
+}
+
+TEST(LayerWeightGrad, TrainingStepRunsWithBothReplayKnobs)
+{
+    Dataset ds = makeImageDataset(4, 2, 2, 8, kSeed, 0.01f);
+    Rng rng(77);
+    Network net;
+    net.add(std::make_unique<Conv2dLayer>(2, 4, 3, 1, 1, rng, 21));
+    net.add(std::make_unique<ReluLayer>());
+    net.add(std::make_unique<FlattenLayer>());
+    net.add(std::make_unique<DenseLayer>(4 * 8 * 8, 2, rng, 22));
+
+    MercuryContext ctx(16);
+    ctx.setBackwardReuse(true);
+    ctx.setWeightGradReuse(true);
+    const float loss = net.trainBatch(ds.inputs, ds.labels, 0.01f, &ctx);
+    EXPECT_TRUE(std::isfinite(loss));
+    EXPECT_GT(ctx.totals().mix.vectors, 0);
+    EXPECT_GT(ctx.backwardTotals().mix.vectors, 0);
+    EXPECT_GT(ctx.weightGradTotals().mix.vectors, 0);
+    // One captured detection pass feeds forward, dX, and dW: all
+    // three see the same hit population.
+    EXPECT_EQ(ctx.weightGradTotals().mix.hit, ctx.totals().mix.hit);
+    EXPECT_EQ(ctx.weightGradTotals().mix.vectors,
+              ctx.totals().mix.vectors);
+}
+
+// ---------------------------------------------------------------------
 // Concurrent replay consumption (TSan stress)
 // ---------------------------------------------------------------------
 
@@ -636,6 +1134,44 @@ TEST(ReplayStress, ConcurrentConsumersOnSharedPool)
             first = gin;
         else
             ASSERT_TRUE(gin == first) << "replay must be deterministic";
+    }
+}
+
+TEST(ReplayStress, ConcurrentWeightGradConsumersOnSharedPool)
+{
+    // The dW twin of the stress above: group-sum chains consume the
+    // replayed stream while the per-group outer products fan out over
+    // the pool. Run under TSan and ASan+UBSan in CI — the scatter /
+    // accumulate paths are exactly where heap and ordering bugs hide.
+    Tensor in = similarInput(1, 8, 12, 12, 1e-3f, 97);
+    Rng rng(98);
+    const ConvSpec spec = convSpec(8, 12, 3, 1, 1);
+    Tensor w({12, 8, 3, 3});
+    w.fillNormal(rng);
+    Tensor grad({1, 12, 12, 12});
+    grad.fillNormal(rng);
+
+    PipelineConfig pipe;
+    pipe.blockRows = 8; // many blocks -> many chained segments
+    pipe.threads = 4;
+    pipe.overlap = true;
+    DetectionFrontend fe(kSets, kWays, kVersions, 32, kSeed, pipe);
+    ConvReuseEngine engine(fe, 16);
+
+    ReuseStats fstats;
+    SignatureRecord record;
+    engine.forward(in, w, Tensor(), spec, fstats, &record);
+
+    Tensor first;
+    for (int round = 0; round < 3; ++round) {
+        ReuseStats wstats;
+        Tensor dw =
+            engine.backwardWeights(in, grad, spec, record, wstats);
+        if (round == 0)
+            first = dw;
+        else
+            ASSERT_TRUE(dw == first)
+                << "dW replay must be deterministic";
     }
 }
 

@@ -1,0 +1,192 @@
+#!/usr/bin/env python3
+"""Bench-regression gate for the BENCH_*.json result lines.
+
+Every microbench prints one ``ARTIFACT {json}`` line (see
+bench/bench_common.hpp, bench::ResultLine). CI captures the bench
+stdout, and this script compares the fresh lines against the committed
+baselines at the repository root:
+
+ - The committed ``BENCH_*.json`` files are JSON-lines: one entry per
+   recorded configuration, distinguished by ``bench`` and
+   ``config.smoke``. CI's smoke runs are compared against committed
+   smoke entries; full runs against full entries. A fresh line with no
+   committed counterpart of the same mode is reported but not gated
+   (there is nothing meaningful to compare across modes).
+ - Only deterministic keys are gated: ``modeled_speedup`` and every
+   ``model_*_speedup`` key present in both lines. Wall-clock keys
+   vary by host and are never gated.
+ - Modeled speedups are deterministic *given the measured hit mix*,
+   and the mix derives from signs of float dot products — a different
+   compiler's FMA/reassociation choices can flip a borderline
+   signature bit and shift it. When both lines carry ``hit_frac`` and
+   they disagree by more than 0.005, the entry is reported and
+   skipped instead of gated (re-record the baseline from CI's fresh
+   JSON artifact to re-arm it); when the mixes match, a speedup drop
+   is a real model/code regression.
+ - A gated key fails the run when the fresh value drops more than
+   ``--tolerance`` (default 5%) below the committed one. Improvements
+   and small noise pass.
+
+Usage:
+    check_bench.py [--repo DIR] [--tolerance FRAC]
+                   [--write-fresh DIR] OUTPUT_FILE...
+
+OUTPUT_FILE arguments are captured bench stdout (any text; only the
+``BENCH_*.json {...}`` lines are read). With ``--write-fresh`` the
+fresh lines are also written one file per artifact, for upload as a
+workflow artifact.
+"""
+
+import argparse
+import json
+import os
+import re
+import sys
+
+LINE_RE = re.compile(r"^(BENCH_[A-Za-z0-9_.-]+\.json)\s+(\{.*\})\s*$")
+
+
+def parse_lines(paths):
+    """All ``artifact -> [entry, ...]`` result lines in the files."""
+    fresh = {}
+    for path in paths:
+        with open(path, "r", encoding="utf-8") as f:
+            for line in f:
+                m = LINE_RE.match(line.strip())
+                if not m:
+                    continue
+                artifact, payload = m.group(1), m.group(2)
+                try:
+                    entry = json.loads(payload)
+                except json.JSONDecodeError as e:
+                    print(f"ERROR: unparseable result line in {path}: {e}")
+                    sys.exit(2)
+                fresh.setdefault(artifact, []).append(entry)
+    return fresh
+
+
+def load_baselines(path):
+    """Committed JSON-lines entries of one BENCH_*.json file."""
+    entries = []
+    with open(path, "r", encoding="utf-8") as f:
+        for line in f:
+            line = line.strip()
+            if line:
+                entries.append(json.loads(line))
+    return entries
+
+
+def entry_mode(entry):
+    """(bench, smoke-flag) identity of a result line."""
+    smoke = entry.get("config", {}).get("smoke", 0)
+    return entry.get("bench", "?"), int(smoke)
+
+
+def gated_keys(fresh, committed):
+    """Deterministic speedup keys present and numeric in both."""
+    keys = []
+    for key in sorted(set(fresh) & set(committed)):
+        if key != "modeled_speedup" and not (
+            key.startswith("model_") and key.endswith("_speedup")
+        ):
+            continue
+        if isinstance(fresh[key], (int, float)) and isinstance(
+            committed[key], (int, float)
+        ):
+            keys.append(key)
+    return keys
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("outputs", nargs="+", help="captured bench stdout files")
+    ap.add_argument("--repo", default=".", help="repository root")
+    ap.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.05,
+        help="allowed fractional drop below the committed value",
+    )
+    ap.add_argument(
+        "--write-fresh",
+        metavar="DIR",
+        help="also write the fresh lines, one file per artifact",
+    )
+    args = ap.parse_args()
+
+    fresh_by_artifact = parse_lines(args.outputs)
+    if not fresh_by_artifact:
+        print("ERROR: no BENCH_*.json result lines found in the inputs")
+        return 2
+
+    if args.write_fresh:
+        os.makedirs(args.write_fresh, exist_ok=True)
+        for artifact, entries in fresh_by_artifact.items():
+            out = os.path.join(args.write_fresh, artifact)
+            with open(out, "w", encoding="utf-8") as f:
+                for entry in entries:
+                    f.write(json.dumps(entry) + "\n")
+
+    failures = []
+    compared = 0
+    for artifact, entries in sorted(fresh_by_artifact.items()):
+        committed_path = os.path.join(args.repo, artifact)
+        if not os.path.exists(committed_path):
+            print(f"{artifact}: no committed baseline, skipping")
+            continue
+        baselines = load_baselines(committed_path)
+        for entry in entries:
+            mode = entry_mode(entry)
+            base = next(
+                (b for b in baselines if entry_mode(b) == mode), None
+            )
+            if base is None:
+                print(
+                    f"{artifact}: no committed {mode[0]} entry with "
+                    f"smoke={mode[1]}, skipping (record one to gate it)"
+                )
+                continue
+            fresh_mix = entry.get("hit_frac")
+            base_mix = base.get("hit_frac")
+            if (
+                isinstance(fresh_mix, (int, float))
+                and isinstance(base_mix, (int, float))
+                and abs(fresh_mix - base_mix) > 0.005
+            ):
+                print(
+                    f"{artifact} [{mode[0]} smoke={mode[1]}]: measured "
+                    f"hit_frac {fresh_mix:.3f} != committed "
+                    f"{base_mix:.3f} — host FP divergence, skipping "
+                    f"(re-record the baseline from the fresh artifact)"
+                )
+                continue
+            keys = gated_keys(entry, base)
+            if not keys:
+                print(f"{artifact} [{mode[0]}]: no gateable keys")
+                continue
+            for key in keys:
+                compared += 1
+                floor = base[key] * (1.0 - args.tolerance)
+                status = "ok" if entry[key] >= floor else "REGRESSED"
+                print(
+                    f"{artifact} [{mode[0]} smoke={mode[1]}] {key}: "
+                    f"fresh {entry[key]:.3f} vs committed "
+                    f"{base[key]:.3f} (floor {floor:.3f}) -> {status}"
+                )
+                if status == "REGRESSED":
+                    failures.append((artifact, key, entry[key], base[key]))
+
+    if failures:
+        print(f"\nFAIL: {len(failures)} modeled speedup(s) regressed "
+              f">{args.tolerance:.0%} vs the committed baselines")
+        return 1
+    if compared == 0:
+        print("\nWARNING: nothing compared — no committed entries matched")
+        return 0
+    print(f"\nOK: {compared} modeled speedup(s) within "
+          f"{args.tolerance:.0%} of the committed baselines")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
