@@ -124,7 +124,8 @@ main()
             }
         }
         t.print();
-        const PipelineTuning tuned = tunedPipelineFor(shape.rows);
+        const PipelineTuning tuned = tunedPipelineFor(
+            shape.rows, ThreadPool::resolveThreads(0));
         std::printf("best: blockRows=%lld shards=%d (%.0f rows/s); "
                     "tunedPipelineFor(%lld) -> blockRows=%lld "
                     "shards=%d\n\n",

@@ -1,8 +1,10 @@
 #include "core/attention_engine.hpp"
 
-#include "core/reuse_replay.hpp"
+#include <vector>
+
+#include "core/reuse_runtime.hpp"
+#include "tensor/ops.hpp"
 #include "util/logging.hpp"
-#include "util/thread_pool.hpp"
 
 namespace mercury {
 
@@ -27,7 +29,6 @@ AttentionEngine::forward(const Tensor &x, ReuseStats &stats,
     const int64_t d = x.dim(1);
 
     stats = ReuseStats{};
-    stats.channelPasses = 1;
     // W = X Xt costs T*T*D MACs; Y = W X costs T*T*D MACs.
     stats.macsTotal = 2ull * static_cast<uint64_t>(t) *
                       static_cast<uint64_t>(t) *
@@ -35,29 +36,30 @@ AttentionEngine::forward(const Tensor &x, ReuseStats &stats,
 
     std::vector<int64_t> owner_of_entry(
         static_cast<size_t>(frontend_->entries()), -1);
-    std::vector<int64_t> owner(static_cast<size_t>(t), -1);
-
-    // Owner bookkeeping for one row, in stream order (§III-C3 style:
-    // the first MAU row of an entry owns it; owners always compute).
-    const auto record_owner = [&](int64_t i, const McacheResult &mr) {
-        owner[static_cast<size_t>(i)] = i;
-        if (mr.outcome == McacheOutcome::Hit &&
-            owner_of_entry[static_cast<size_t>(mr.entryId)] >= 0) {
-            owner[static_cast<size_t>(i)] =
-                owner_of_entry[static_cast<size_t>(mr.entryId)];
-        } else if (mr.outcome == McacheOutcome::Mau) {
-            owner_of_entry[static_cast<size_t>(mr.entryId)] = i;
-        }
-        return owner[static_cast<size_t>(i)];
-    };
 
     Tensor w({t, t});
     Tensor y({t, d});
 
-    // Both stages for one computed row: w_i = X x_i (needs only X),
-    // then y_i = w_i X (needs only the row's own w_i) — so a computed
-    // row is self-contained and rows can run in any order.
-    const auto compute_row = [&](int64_t i) {
+    // One RowPass over the token rows (§III-C3-style forwarding): a
+    // computed row is self-contained — w_i = X x_i needs only X, then
+    // y_i = w_i X needs only the row's own w_i — so computed rows run
+    // in any order; a HIT row copies only its owner's Y row (its W
+    // row is never read, exactly as in the staged formulation).
+    ReuseRuntime rt(*frontend_, frontend_.signatureBits());
+    ReuseRuntime::RowPass pass;
+    pass.ownerOf = [&](int64_t i, const McacheResult &mr) {
+        // The first MAU row of an entry owns it; owners always
+        // compute (§III-C3 "earlier PE" discipline).
+        int64_t owner = i;
+        if (mr.outcome == McacheOutcome::Hit &&
+            owner_of_entry[static_cast<size_t>(mr.entryId)] >= 0) {
+            owner = owner_of_entry[static_cast<size_t>(mr.entryId)];
+        } else if (mr.outcome == McacheOutcome::Mau) {
+            owner_of_entry[static_cast<size_t>(mr.entryId)] = i;
+        }
+        return owner;
+    };
+    pass.computeRow = [&](int64_t i) {
         for (int64_t j = 0; j < t; ++j) {
             float acc = 0.0f;
             for (int64_t e = 0; e < d; ++e)
@@ -71,94 +73,15 @@ AttentionEngine::forward(const Tensor &x, ReuseStats &stats,
             y.at2(i, j) = acc;
         }
     };
+    pass.copyRow = [&](int64_t i, int64_t o) {
+        for (int64_t j = 0; j < d; ++j)
+            y.at2(i, j) = y.at2(o, j);
+    };
+    // A forwarded row skips both of its stages: t*d (W) + t*d (Y).
+    pass.rowSkipCost =
+        2ull * static_cast<uint64_t>(t) * static_cast<uint64_t>(d);
 
-    if (frontend_->overlapEnabled()) {
-        // Streaming pass: computed rows of each delivered block fan
-        // out to the pool while later blocks hash; forwarded rows are
-        // copied after the joins (owners always compute, and nothing
-        // reads a forwarded row's W, so only Y needs the copy — as in
-        // the serial path, where a HIT's W row is never read either).
-        ThreadPool *pool = frontend_->workerPool();
-        TaskGroup computes(pool);
-        std::vector<int64_t> forwards;
-        const DetectionResult det = frontend_->detectStream(
-            x, frontend_.signatureBits(),
-            [&](const DetectionBlock &blk) {
-                std::vector<int64_t> computed;
-                for (int64_t i = blk.row0; i < blk.row1; ++i) {
-                    if (record_owner(i, blk.results[i - blk.row0]) != i) {
-                        forwards.push_back(i);
-                        stats.macsSkipped +=
-                            2ull * static_cast<uint64_t>(t) *
-                            static_cast<uint64_t>(d);
-                    } else {
-                        computed.push_back(i);
-                    }
-                }
-                if (!computed.empty()) {
-                    computes.run([&compute_row,
-                                  batch = std::move(computed)] {
-                        for (const int64_t i : batch)
-                            compute_row(i);
-                    });
-                }
-            },
-            record);
-        stats.mix = det.mix();
-        computes.wait();
-        pool->parallelFor(
-            static_cast<int64_t>(forwards.size()), [&](int64_t f) {
-                const int64_t i = forwards[static_cast<size_t>(f)];
-                const int64_t o = owner[static_cast<size_t>(i)];
-                for (int64_t j = 0; j < d; ++j)
-                    y.at2(i, j) = y.at2(o, j);
-            });
-        return y;
-    }
-
-    // Run-then-filter path.
-    const DetectionResult det =
-        frontend_->detect(x, frontend_.signatureBits(), record);
-    stats.mix = det.mix();
-    for (int64_t i = 0; i < t; ++i) {
-        record_owner(i, {det.hitmap.outcome(i), det.hitmap.entryId(i)});
-    }
-
-    // Stage 1: W = X Xt with row forwarding.
-    for (int64_t i = 0; i < t; ++i) {
-        const int64_t o = owner[static_cast<size_t>(i)];
-        if (o != i) {
-            for (int64_t j = 0; j < t; ++j)
-                w.at2(i, j) = w.at2(o, j);
-            stats.macsSkipped +=
-                static_cast<uint64_t>(t) * static_cast<uint64_t>(d);
-            continue;
-        }
-        for (int64_t j = 0; j < t; ++j) {
-            float acc = 0.0f;
-            for (int64_t e = 0; e < d; ++e)
-                acc += x.at2(i, e) * x.at2(j, e);
-            w.at2(i, j) = acc;
-        }
-    }
-
-    // Stage 2: Y = W X with the same forwarding pattern.
-    for (int64_t i = 0; i < t; ++i) {
-        const int64_t o = owner[static_cast<size_t>(i)];
-        if (o != i) {
-            for (int64_t j = 0; j < d; ++j)
-                y.at2(i, j) = y.at2(o, j);
-            stats.macsSkipped +=
-                static_cast<uint64_t>(t) * static_cast<uint64_t>(d);
-            continue;
-        }
-        for (int64_t j = 0; j < d; ++j) {
-            float acc = 0.0f;
-            for (int64_t e = 0; e < t; ++e)
-                acc += w.at2(i, e) * x.at2(e, j);
-            y.at2(i, j) = acc;
-        }
-    }
+    rt.runRows(ReuseRuntime::StreamSource::live(x, record), pass, stats);
     return y;
 }
 
@@ -185,8 +108,6 @@ AttentionEngine::backward(const Tensor &x, const Tensor &g,
         static_cast<uint64_t>(d) * static_cast<uint64_t>(d) +
         4ull * static_cast<uint64_t>(t) * static_cast<uint64_t>(d);
     stats = ReuseStats{};
-    stats.channelPasses = 1;
-    stats.mix = pass.mix;
     // The shared Xt X factor is charged here only when this call
     // computes it; a precomputed factor was charged to the
     // weight-gradient pass that produced it (backwardProjection).
@@ -206,11 +127,21 @@ AttentionEngine::backward(const Tensor &x, const Tensor &g,
     const Tensor &xtx = xtx_pre ? *xtx_pre : xtx_local;
     Tensor out({t, d});
 
-    // One computed gradient row of dX = G (Xt X) + X Gt X + (X Xt) G:
+    std::vector<int64_t> owner;
+    record.ownersOf(pass, owner);
+
+    // One replayed RowPass (§III-C2): computed rows run the
+    // three-term gradient of dX = G (Xt X) + X Gt X + (X Xt) G —
     // every term is row-wise in the row's own X / G row plus whole
     // matrices, and the element accumulation order matches the exact
-    // matmul-factored path exactly.
-    const auto compute_row = [&](int64_t i) {
+    // matmul-factored path exactly; forward-HIT token rows copy their
+    // owner's row.
+    ReuseRuntime rt(*frontend_, frontend_.signatureBits());
+    ReuseRuntime::RowPass rp;
+    rp.ownerOf = [&](int64_t i, const McacheResult &) {
+        return owner[static_cast<size_t>(i)];
+    };
+    rp.computeRow = [&](int64_t i) {
         std::vector<float> t1(static_cast<size_t>(d));
         std::vector<float> u(static_cast<size_t>(t));
         std::vector<float> t2(static_cast<size_t>(d));
@@ -252,14 +183,13 @@ AttentionEngine::backward(const Tensor &x, const Tensor &g,
                             t3[static_cast<size_t>(j)];
         }
     };
+    rp.copyRow = [&](int64_t i, int64_t o) {
+        for (int64_t j = 0; j < d; ++j)
+            out.at2(i, j) = out.at2(o, j);
+    };
+    rp.rowSkipCost = row_cost;
 
-    // Replayed pass (§III-C2): computed rows run the three-term
-    // gradient; forward-HIT token rows copy their owner's row.
-    replayRowBackward(*frontend_, record, pass, row_cost, stats,
-                      compute_row, [&](int64_t i, int64_t o) {
-                          for (int64_t j = 0; j < d; ++j)
-                              out.at2(i, j) = out.at2(o, j);
-                      });
+    rt.runRows(ReuseRuntime::StreamSource::replay(pass), rp, stats);
     return out;
 }
 
@@ -277,15 +207,14 @@ AttentionEngine::backwardProjection(const Tensor &x,
         panic("recorded pass holds ", pass.rows, " rows, sample has ", t);
 
     stats = ReuseStats{};
-    stats.channelPasses = 1;
-    stats.mix = pass.mix;
     stats.macsTotal = static_cast<uint64_t>(t) *
                       static_cast<uint64_t>(d) * static_cast<uint64_t>(d);
 
     // Sum-then-multiply (§III-C2 on the dW-shaped projection factor):
     // group the token rows by forward owner, one outer product per
     // group with the owner's row.
-    return replayWeightGrad(*frontend_, record, pass, x, x, stats);
+    ReuseRuntime rt(*frontend_, frontend_.signatureBits());
+    return weightGradReplay(rt, record, pass, x, x, stats);
 }
 
 } // namespace mercury

@@ -23,8 +23,8 @@
 
 #include <memory>
 
-#include "core/conv_reuse_engine.hpp" // ReuseStats
 #include "core/mcache.hpp"
+#include "core/reuse_runtime.hpp" // ReuseStats
 #include "pipeline/detection_frontend.hpp"
 #include "tensor/tensor.hpp"
 

@@ -3,7 +3,6 @@
 #include <algorithm>
 
 #include "util/logging.hpp"
-#include "util/thread_pool.hpp"
 
 namespace mercury {
 
@@ -23,11 +22,9 @@ namespace {
 /**
  * One filter pass over rows [r0, r1): HIT vectors fetch the owner's dot
  * product from the MCACHE data plane (version slot `ver`), misses
- * compute, MAU rows deposit. Returns the MACs skipped. Rows must be
- * processed in stream order per filter so every HIT's owner (an
- * earlier MAU row) has already deposited — the serial path walks all
- * rows at once, the overlapped path keeps this invariant by chaining
- * a filter's blocks through one SerialExecutor.
+ * compute, MAU rows deposit. Returns the MACs skipped. The runtime
+ * guarantees rows arrive in stream order per filter, so every HIT's
+ * owner (an earlier MAU row) has already deposited.
  */
 uint64_t
 filterSegment(DetectionFrontend &fe, const Tensor &rows,
@@ -171,10 +168,9 @@ ConvReuseEngine::forward(const Tensor &input, const Tensor &weight,
                     out[out.offset4(b, oc, 0, 0) + i] = bias[oc];
     }
 
-    const int versions = frontend_->dataVersions();
-    const bool overlapped = frontend_->overlapEnabled();
-    ThreadPool *pool = overlapped ? frontend_->workerPool() : nullptr;
-    std::vector<McacheResult> row_results(static_cast<size_t>(v));
+    const int64_t versions = frontend_->dataVersions();
+    ReuseRuntime rt(*frontend_, frontend_.signatureBits());
+    const bool overlapped = rt.overlapped();
     if (record)
         record->clear();
 
@@ -186,7 +182,9 @@ ConvReuseEngine::forward(const Tensor &input, const Tensor &weight,
     };
 
     // Channel passes in execution order (also the record's pass
-    // order, which backwardInput re-walks).
+    // order, which the backward replays re-walk). Grouped / depthwise
+    // convolutions enumerate (group, channel-within-group) pairs; the
+    // per-pass descriptor below is the same for every grouping.
     struct PassId
     {
         int64_t b, g, ic;
@@ -221,122 +219,55 @@ ConvReuseEngine::forward(const Tensor &input, const Tensor &weight,
 
     for (size_t pi = 0; pi < order.size(); ++pi) {
         const PassId p = order[pi];
-        const int64_t b = p.b;
-        const int64_t g = p.g;
-        const int64_t ic = p.ic;
         Tensor &rows = bufs[overlapped ? (pi & 1) : 0];
         if (!overlapped)
             extract(p, rows); // Fig. 7a extraction, single buffer pace
 
-        DetectionResult det;
-        // Filters already finished in the overlapped group 0.
-        int64_t oc_done = 0;
-
+        // One FilterPassSet per channel pass: cout_g filter passes,
+        // `versions` in flight (the multi-version data of Fig. 11),
+        // MCACHE version slot f % versions per filter.
+        const std::vector<McacheResult> &row_results = rt.rowResults();
+        ReuseRuntime::FilterPassSet set;
+        set.rows = v;
+        set.filters = cout_g;
+        set.inFlight = versions;
+        set.segment = [&, p](int64_t f, int64_t r0, int64_t r1) {
+            return filterSegment(
+                *frontend_, rows, row_results, weight_of(p.g, f, p.ic),
+                static_cast<int>(f % versions), r0, r1, d,
+                out.data() + out.offset4(p.b, p.g * cout_g + f, 0, 0));
+        };
+        // The streamed group needs no clear: the stream's initial
+        // cache clear also clears every data version.
+        set.beforeGroup = [this](int64_t, int64_t) {
+            frontend_->invalidateAllData();
+        };
+        // Cross-channel overlap: extract and hash the next pass into
+        // the other buffer while this channel's chains drain —
+        // hashing touches no MCACHE state, so it is safe beside the
+        // data-plane traffic of the in-flight filters.
+        std::unique_ptr<DetectionHashJob> next_job;
         if (overlapped) {
-            // Streaming channel pass: the first `versions` filter
-            // passes consume detection blocks as they are delivered,
-            // each filter on its own serial chain (stream order per
-            // filter, filters in parallel), while later blocks still
-            // hash on the pool. finishStream's initial cache clear
-            // also clears every data version, so group 0 needs no
-            // separate invalidateAllData.
-            const int64_t group0 = std::min<int64_t>(versions, cout_g);
-            std::vector<std::unique_ptr<SerialExecutor>> chains;
-            std::vector<uint64_t> chain_skipped(
-                static_cast<size_t>(group0), 0);
-            for (int64_t of = 0; of < group0; ++of)
-                chains.push_back(std::make_unique<SerialExecutor>(pool));
-
-            det = frontend_->finishStream(
-                *job,
-                [&](const DetectionBlock &blk) {
-                    // The block's result pointers die with the
-                    // callback; copy into engine-owned storage the
-                    // chains can read asynchronously.
-                    std::copy(blk.results, blk.results + blk.rows(),
-                              row_results.begin() + blk.row0);
-                    for (int64_t of = 0; of < group0; ++of) {
-                        DetectionFrontend &fe = *frontend_;
-                        chains[static_cast<size_t>(of)]->run(
-                            [&fe, &rows, &row_results, &chain_skipped,
-                             w = weight_of(g, of, ic),
-                             base = out.data() +
-                                    out.offset4(b, g * cout_g + of, 0, 0),
-                             of, r0 = blk.row0, r1 = blk.row1, d] {
-                                chain_skipped[static_cast<size_t>(of)] +=
-                                    filterSegment(fe, rows, row_results,
-                                                  w, static_cast<int>(of),
-                                                  r0, r1, d, base);
-                            });
-                    }
-                },
-                record);
-
-            // Cross-channel overlap: extract and hash the next pass
-            // into the other buffer while this channel's group-0
-            // chains (and then its trailing filter groups) drain —
-            // hashing touches no MCACHE state, so it is safe beside
-            // the data-plane traffic of the in-flight filters.
-            std::unique_ptr<DetectionHashJob> next_job;
-            if (pi + 1 < order.size()) {
-                Tensor &next = bufs[(pi + 1) & 1];
-                extract(order[pi + 1], next);
-                next_job = frontend_->beginHashStream(
-                    next, frontend_.signatureBits());
-            }
-            for (auto &chain : chains)
-                chain->wait();
-            for (const uint64_t s : chain_skipped)
-                stats.macsSkipped += s;
-            oc_done = group0;
-            job = std::move(next_job);
-        } else {
-            // Run-then-filter: one full detection pass, then the
-            // filter passes below.
-            det = frontend_->detect(rows, frontend_.signatureBits(),
-                                    record);
-            for (int64_t i = 0; i < v; ++i) {
-                row_results[static_cast<size_t>(i)] = {
-                    det.hitmap.outcome(i), det.hitmap.entryId(i)};
-            }
+            set.onStreamDelivered = [&] {
+                if (pi + 1 < order.size()) {
+                    Tensor &next = bufs[(pi + 1) & 1];
+                    extract(order[pi + 1], next);
+                    next_job = frontend_->beginHashStream(
+                        next, frontend_.signatureBits());
+                }
+            };
         }
 
-        const HitMix mix = det.mix();
-        stats.mix.vectors += mix.vectors;
-        stats.mix.hit += mix.hit;
-        stats.mix.mau += mix.mau;
-        stats.mix.mnu += mix.mnu;
-        ++stats.channelPasses;
+        rt.runFilterPasses(
+            overlapped ? ReuseRuntime::StreamSource::hashed(*job, record)
+                       : ReuseRuntime::StreamSource::live(rows, record),
+            set, stats);
+        if (overlapped)
+            job = std::move(next_job);
+
         stats.macsTotal += static_cast<uint64_t>(v) *
                            static_cast<uint64_t>(cout_g) *
                            static_cast<uint64_t>(d);
-
-        // Remaining filter passes in groups of `versions` in-flight
-        // filters (the multi-version data of Fig. 11). In overlapped
-        // mode the filters of a group run in parallel on the pool —
-        // each filter is a whole-row-range chain, so the
-        // owner-before-hit order within a filter still holds.
-        for (int64_t oc0 = oc_done; oc0 < cout_g; oc0 += versions) {
-            frontend_->invalidateAllData();
-            const int64_t oc1 = std::min<int64_t>(oc0 + versions, cout_g);
-            std::vector<uint64_t> skipped(
-                static_cast<size_t>(oc1 - oc0), 0);
-            const auto filter_pass = [&](int64_t fi) {
-                const int64_t of = oc0 + fi;
-                skipped[static_cast<size_t>(fi)] = filterSegment(
-                    *frontend_, rows, row_results, weight_of(g, of, ic),
-                    static_cast<int>(fi), 0, v, d,
-                    out.data() + out.offset4(b, g * cout_g + of, 0, 0));
-            };
-            if (pool) {
-                pool->parallelFor(oc1 - oc0, filter_pass);
-            } else {
-                for (int64_t fi = 0; fi < oc1 - oc0; ++fi)
-                    filter_pass(fi);
-            }
-            for (const uint64_t s : skipped)
-                stats.macsSkipped += s;
-        }
     }
     return out;
 }
@@ -369,9 +300,7 @@ ConvReuseEngine::backwardInput(const Tensor &gradOut, const Tensor &weight,
         std::max<int64_t>(1, std::min<int64_t>(record.dataVersions(),
                                                cout_g));
 
-    const bool pooled = frontend_->overlapEnabled();
-    ThreadPool *pool = pooled ? frontend_->workerPool() : nullptr;
-
+    ReuseRuntime rt(*frontend_, frontend_.signatureBits());
     Tensor grad_in({n, spec.inChannels, in_h, in_w});
     stats = ReuseStats{};
 
@@ -396,90 +325,36 @@ ConvReuseEngine::backwardInput(const Tensor &gradOut, const Tensor &weight,
                           " rows, gradient has ", v);
                 record.ownersOf(pass, owner);
 
-                stats.mix.vectors += pass.mix.vectors;
-                stats.mix.hit += pass.mix.hit;
-                stats.mix.mau += pass.mix.mau;
-                stats.mix.mnu += pass.mix.mnu;
-                ++stats.channelPasses;
                 stats.macsTotal += static_cast<uint64_t>(v) *
                                    static_cast<uint64_t>(cout_g) *
                                    static_cast<uint64_t>(d);
 
-                for (int64_t oc0 = 0; oc0 < cout_g; oc0 += slots) {
-                    const int64_t oc1 =
-                        std::min<int64_t>(oc0 + slots, cout_g);
-                    const int64_t width = oc1 - oc0;
-                    std::vector<uint64_t> skipped(
-                        static_cast<size_t>(width), 0);
-
-                    if (oc0 == 0 && pool) {
-                        // First filter group consumes the replayed
-                        // stream (§III-C2): per-filter serial chains
-                        // fill their grad columns block by block in
-                        // delivery order — every HIT's owner row is in
-                        // an earlier (or the same) block, so the copy
-                        // source is always filled first.
-                        std::vector<std::unique_ptr<SerialExecutor>>
-                            chains;
-                        for (int64_t fi = 0; fi < width; ++fi)
-                            chains.push_back(
-                                std::make_unique<SerialExecutor>(pool));
-                        frontend_->replayStream(
-                            pass, [&](const DetectionBlock &blk) {
-                                for (int64_t fi = 0; fi < width; ++fi) {
-                                    chains[static_cast<size_t>(fi)]->run(
-                                        [&owner, &skipped, &cols,
-                                         go = gradOut.data() +
-                                              gradOut.offset4(
-                                                  b, g * cout_g + oc0 + fi,
-                                                  0, 0),
-                                         w = weight_of(g, oc0 + fi, ic),
-                                         fi, r0 = blk.row0, r1 = blk.row1,
-                                         d] {
-                                            skipped[static_cast<size_t>(
-                                                fi)] +=
-                                                backwardSegment(
-                                                    owner, go, w,
-                                                    cols[static_cast<
-                                                             size_t>(fi)]
-                                                        .data(),
-                                                    r0, r1, d);
-                                        });
-                                }
-                            });
-                        for (auto &chain : chains)
-                            chain->wait();
-                    } else {
-                        const auto filter_pass = [&](int64_t fi) {
-                            skipped[static_cast<size_t>(fi)] =
-                                backwardSegment(
-                                    owner,
-                                    gradOut.data() +
-                                        gradOut.offset4(
-                                            b, g * cout_g + oc0 + fi, 0,
-                                            0),
-                                    weight_of(g, oc0 + fi, ic),
-                                    cols[static_cast<size_t>(fi)].data(),
-                                    0, v, d);
-                        };
-                        if (pool) {
-                            pool->parallelFor(width, filter_pass);
-                        } else {
-                            for (int64_t fi = 0; fi < width; ++fi)
-                                filter_pass(fi);
-                        }
-                    }
-                    for (const uint64_t s : skipped)
-                        stats.macsSkipped += s;
-
-                    // Scatter the group's grad columns in the exact
-                    // path's accumulation order — filters ascending,
-                    // output positions ascending — so a zero-hit
-                    // replay reproduces conv2dBackwardInput bit for
-                    // bit.
-                    for (int64_t fi = 0; fi < width; ++fi) {
+                // One replayed FilterPassSet per channel pass
+                // (§III-C2): the grad-column fills consume the
+                // stream — every HIT's owner row is in an earlier
+                // (or the same) block, so per-filter stream order
+                // makes the copy source always filled first.
+                ReuseRuntime::FilterPassSet set;
+                set.rows = v;
+                set.filters = cout_g;
+                set.inFlight = slots;
+                set.segment = [&](int64_t f, int64_t r0, int64_t r1) {
+                    return backwardSegment(
+                        owner,
+                        gradOut.data() +
+                            gradOut.offset4(b, g * cout_g + f, 0, 0),
+                        weight_of(g, f, ic),
+                        cols[static_cast<size_t>(f % slots)].data(), r0,
+                        r1, d);
+                };
+                // Scatter the group's grad columns in the exact
+                // path's accumulation order — filters ascending,
+                // output positions ascending — so a zero-hit replay
+                // reproduces conv2dBackwardInput bit for bit.
+                set.afterGroup = [&](int64_t f0, int64_t f1) {
+                    for (int64_t f = f0; f < f1; ++f) {
                         const float *col =
-                            cols[static_cast<size_t>(fi)].data();
+                            cols[static_cast<size_t>(f % slots)].data();
                         int64_t r = 0;
                         for (int64_t y = 0; y < oh; ++y) {
                             for (int64_t x = 0; x < ow; ++x, ++r) {
@@ -498,14 +373,17 @@ ConvReuseEngine::backwardInput(const Tensor &gradOut, const Tensor &weight,
                                             iy >= in_h || ix >= in_w)
                                             continue;
                                         grad_in.at4(b, g * cin_g + ic,
-                                                    iy, ix) +=
-                                            src[e];
+                                                    iy, ix) += src[e];
                                     }
                                 }
                             }
                         }
                     }
-                }
+                };
+
+                rt.runFilterPasses(
+                    ReuseRuntime::StreamSource::replay(pass), set,
+                    stats);
             }
         }
     }
@@ -540,9 +418,7 @@ ConvReuseEngine::backwardWeights(const Tensor &input, const Tensor &gradOut,
         std::max<int64_t>(1, std::min<int64_t>(record.dataVersions(),
                                                cout_g));
 
-    const bool pooled = frontend_->overlapEnabled();
-    ThreadPool *pool = pooled ? frontend_->workerPool() : nullptr;
-
+    ReuseRuntime rt(*frontend_, frontend_.signatureBits());
     Tensor grad_w({spec.outChannels, cin_g, k, k});
     stats = ReuseStats{};
 
@@ -567,94 +443,40 @@ ConvReuseEngine::backwardWeights(const Tensor &input, const Tensor &gradOut,
                 extractChannelPatches(input, spec, b, g * cin_g + ic,
                                       oh, ow, rows);
 
-                stats.mix.vectors += pass.mix.vectors;
-                stats.mix.hit += pass.mix.hit;
-                stats.mix.mau += pass.mix.mau;
-                stats.mix.mnu += pass.mix.mnu;
-                ++stats.channelPasses;
                 stats.macsTotal += static_cast<uint64_t>(v) *
                                    static_cast<uint64_t>(cout_g) *
                                    static_cast<uint64_t>(d);
 
-                for (int64_t oc0 = 0; oc0 < cout_g; oc0 += slots) {
-                    const int64_t oc1 =
-                        std::min<int64_t>(oc0 + slots, cout_g);
-                    const int64_t width = oc1 - oc0;
-                    std::vector<uint64_t> skipped(
-                        static_cast<size_t>(width), 0);
-
-                    // Phase 1 — group sums: fold every row's output
-                    // gradient into its owner's accumulator, per
-                    // filter.
-                    if (oc0 == 0 && pool) {
-                        // First filter group consumes the replayed
-                        // stream (§III-C2): per-filter serial chains
-                        // fold blocks in delivery order — every HIT's
-                        // owner is in an earlier (or the same) block,
-                        // so the owner's copy always lands first.
-                        std::vector<std::unique_ptr<SerialExecutor>>
-                            chains;
-                        for (int64_t fi = 0; fi < width; ++fi)
-                            chains.push_back(
-                                std::make_unique<SerialExecutor>(pool));
-                        frontend_->replayStream(
-                            pass, [&](const DetectionBlock &blk) {
-                                for (int64_t fi = 0; fi < width; ++fi) {
-                                    chains[static_cast<size_t>(fi)]->run(
-                                        [&owner, &skipped, &gcols,
-                                         go = gradOut.data() +
-                                              gradOut.offset4(
-                                                  b, g * cout_g + oc0 + fi,
-                                                  0, 0),
-                                         fi, r0 = blk.row0, r1 = blk.row1,
-                                         d] {
-                                            skipped[static_cast<size_t>(
-                                                fi)] +=
-                                                weightGradSumSegment(
-                                                    owner, go,
-                                                    gcols[static_cast<
-                                                              size_t>(fi)]
-                                                        .data(),
-                                                    r0, r1, d);
-                                        });
-                                }
-                            });
-                        for (auto &chain : chains)
-                            chain->wait();
-                    } else {
-                        const auto sum_pass = [&](int64_t fi) {
-                            skipped[static_cast<size_t>(fi)] =
-                                weightGradSumSegment(
-                                    owner,
-                                    gradOut.data() +
-                                        gradOut.offset4(
-                                            b, g * cout_g + oc0 + fi, 0,
-                                            0),
-                                    gcols[static_cast<size_t>(fi)].data(),
-                                    0, v, d);
-                        };
-                        if (pool) {
-                            pool->parallelFor(width, sum_pass);
-                        } else {
-                            for (int64_t fi = 0; fi < width; ++fi)
-                                sum_pass(fi);
-                        }
-                    }
-                    for (const uint64_t s : skipped)
-                        stats.macsSkipped += s;
-
-                    // Phase 2 — one multiply per group: the owner's
-                    // patch times its summed gradient, owners
-                    // ascending, so a zero-hit replay accumulates
-                    // each weight element in conv2dBackwardWeight's
-                    // (batch, output-position) order. Filters write
-                    // disjoint grad_w rows and may run in parallel.
-                    const auto mul_pass = [&](int64_t fi) {
-                        const int64_t oc = g * cout_g + oc0 + fi;
+                // One replayed FilterPassSet per channel pass
+                // (§III-C2 sum-then-multiply, Eq. 1): the segments
+                // fold each row's output gradient into its owner's
+                // group accumulator on the stream; afterGroup then
+                // runs one multiply per group through the owner's
+                // patch, owners ascending, so a zero-hit replay
+                // accumulates each weight element in
+                // conv2dBackwardWeight's (batch, output-position)
+                // order. Filters write disjoint grad_w rows and fan
+                // out in parallel.
+                ReuseRuntime::FilterPassSet set;
+                set.rows = v;
+                set.filters = cout_g;
+                set.inFlight = slots;
+                set.segment = [&](int64_t f, int64_t r0, int64_t r1) {
+                    return weightGradSumSegment(
+                        owner,
+                        gradOut.data() +
+                            gradOut.offset4(b, g * cout_g + f, 0, 0),
+                        gcols[static_cast<size_t>(f % slots)].data(), r0,
+                        r1, d);
+                };
+                set.afterGroup = [&](int64_t f0, int64_t f1) {
+                    rt.parallelChains(f1 - f0, [&](int64_t i) {
+                        const int64_t f = f0 + i;
+                        const int64_t oc = g * cout_g + f;
                         float *gw =
                             grad_w.data() + ((oc * cin_g + ic) * k) * k;
                         const float *gcol =
-                            gcols[static_cast<size_t>(fi)].data();
+                            gcols[static_cast<size_t>(f % slots)].data();
                         for (int64_t r = 0; r < v; ++r) {
                             if (owner[static_cast<size_t>(r)] != r)
                                 continue;
@@ -663,14 +485,12 @@ ConvReuseEngine::backwardWeights(const Tensor &input, const Tensor &gradOut,
                             for (int64_t e = 0; e < d; ++e)
                                 gw[e] += gv * patch[e];
                         }
-                    };
-                    if (pool) {
-                        pool->parallelFor(width, mul_pass);
-                    } else {
-                        for (int64_t fi = 0; fi < width; ++fi)
-                            mul_pass(fi);
-                    }
-                }
+                    });
+                };
+
+                rt.runFilterPasses(
+                    ReuseRuntime::StreamSource::replay(pass), set,
+                    stats);
             }
         }
     }

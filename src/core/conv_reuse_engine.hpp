@@ -58,6 +58,14 @@
  * buffers (backward) concurrently. Two threads must not call into one
  * engine (or two engines sharing a frontend) concurrently.
  *
+ * Scheduling — serial vs overlapped execution, the per-filter stream
+ * chains, and the grouped fan-outs — is delegated to ReuseRuntime
+ * (core/reuse_runtime.hpp): each of the three passes is expressed as
+ * a FilterPassSet descriptor, so this file holds only the conv shape
+ * logic (patch extraction, group/filter geometry, scatter orders).
+ * Grouped and depthwise convolutions (spec.groups > 1) are the same
+ * descriptors over per-group filter ranges — no separate engine.
+ *
  * The engine also reports the measured HIT/MAU/MNU mix and the MACs
  * skipped, which feed the timing model.
  */
@@ -70,6 +78,7 @@
 #include <vector>
 
 #include "core/mcache.hpp"
+#include "core/reuse_runtime.hpp"
 #include "core/similarity_detector.hpp"
 #include "pipeline/detection_frontend.hpp"
 #include "sim/dataflow.hpp"
@@ -77,23 +86,6 @@
 #include "tensor/tensor.hpp"
 
 namespace mercury {
-
-/** Aggregated statistics of one reuse-enabled convolution. */
-struct ReuseStats
-{
-    HitMix mix;                ///< summed over all (image, channel) passes
-    uint64_t macsTotal = 0;    ///< baseline MAC count
-    uint64_t macsSkipped = 0;  ///< MACs avoided through reuse
-    int64_t channelPasses = 0; ///< number of detection passes run
-
-    double skipFraction() const
-    {
-        return macsTotal
-                   ? static_cast<double>(macsSkipped) /
-                         static_cast<double>(macsTotal)
-                   : 0.0;
-    }
-};
 
 /** Functional conv-layer engine with MERCURY computation reuse. */
 class ConvReuseEngine

@@ -1,8 +1,7 @@
 #include "core/fc_engine.hpp"
 
-#include "core/reuse_replay.hpp"
+#include "core/reuse_runtime.hpp"
 #include "util/logging.hpp"
-#include "util/thread_pool.hpp"
 
 namespace mercury {
 
@@ -34,7 +33,6 @@ FcEngine::forward(const Tensor &input, const Tensor &weight,
     const int64_t m = weight.dim(1);
 
     stats = ReuseStats{};
-    stats.channelPasses = 1;
     stats.macsTotal =
         static_cast<uint64_t>(n) * static_cast<uint64_t>(d) *
         static_cast<uint64_t>(m);
@@ -50,19 +48,13 @@ FcEngine::forward(const Tensor &input, const Tensor &weight,
 
     Tensor out({n, m});
 
-    // One computed output row: the row's dot product against every
-    // weight column.
-    const auto compute_row = [&](int64_t i) {
-        for (int64_t j = 0; j < m; ++j) {
-            float acc = 0.0f;
-            for (int64_t e = 0; e < d; ++e)
-                acc += input.at2(i, e) * weight.at2(e, j);
-            out.at2(i, j) = acc;
-        }
-    };
-    // Owner bookkeeping for one row, in stream order. Returns the
-    // owner (the row itself when it must compute).
-    const auto owner_of = [&](int64_t i, const McacheResult &mr) {
+    // One RowPass over the minibatch: stream-order owner bookkeeping
+    // on the driving thread, computed rows fanned out (they are
+    // mutually independent), HIT rows forwarded from their earlier
+    // PE once every owner has computed.
+    ReuseRuntime rt(*frontend_, frontend_.signatureBits());
+    ReuseRuntime::RowPass pass;
+    pass.ownerOf = [&](int64_t i, const McacheResult &mr) {
         int64_t owner = i;
         if (mr.outcome == McacheOutcome::Hit &&
             owner_of_entry[static_cast<size_t>(mr.entryId)] >= 0) {
@@ -74,75 +66,25 @@ FcEngine::forward(const Tensor &input, const Tensor &weight,
             (*owner_rows)[static_cast<size_t>(i)] = owner;
         return owner;
     };
-
-    if (frontend_->overlapEnabled()) {
-        // Streaming pass: as each detection block is delivered, its
-        // computed rows are fanned out to the pool (they are mutually
-        // independent) while later blocks still hash; forwarded rows
-        // are copied after the joins, since every owner is a computed
-        // row. Bookkeeping runs on this thread in stream order.
-        ThreadPool *pool = frontend_->workerPool();
-        TaskGroup computes(pool);
-        struct Forward
-        {
-            int64_t row;
-            int64_t owner;
-        };
-        std::vector<Forward> forwards;
-        const DetectionResult det = frontend_->detectStream(
-            input, frontend_.signatureBits(),
-            [&](const DetectionBlock &blk) {
-                std::vector<int64_t> computed;
-                for (int64_t i = blk.row0; i < blk.row1; ++i) {
-                    const int64_t owner =
-                        owner_of(i, blk.results[i - blk.row0]);
-                    if (owner != i) {
-                        forwards.push_back({i, owner});
-                        stats.macsSkipped += static_cast<uint64_t>(d) *
-                                             static_cast<uint64_t>(m);
-                    } else {
-                        computed.push_back(i);
-                    }
-                }
-                if (!computed.empty()) {
-                    computes.run([&compute_row,
-                                  batch = std::move(computed)] {
-                        for (const int64_t i : batch)
-                            compute_row(i);
-                    });
-                }
-            },
-            record);
-        stats.mix = det.mix();
-        computes.wait();
-        // Result forwarding from the earlier PEs, now all computed.
-        pool->parallelFor(
-            static_cast<int64_t>(forwards.size()), [&](int64_t f) {
-                const Forward fwd = forwards[static_cast<size_t>(f)];
-                for (int64_t j = 0; j < m; ++j)
-                    out.at2(fwd.row, j) = out.at2(fwd.owner, j);
-            });
-        return out;
-    }
-
-    // Run-then-filter path: full detection pass, then one serial walk.
-    const DetectionResult det =
-        frontend_->detect(input, frontend_.signatureBits(), record);
-    stats.mix = det.mix();
-    for (int64_t i = 0; i < n; ++i) {
-        const McacheResult mr{det.hitmap.outcome(i),
-                              det.hitmap.entryId(i)};
-        const int64_t owner = owner_of(i, mr);
-        if (owner != i) {
-            // Result forwarding from the earlier PE.
-            for (int64_t j = 0; j < m; ++j)
-                out.at2(i, j) = out.at2(owner, j);
-            stats.macsSkipped += static_cast<uint64_t>(d) *
-                                 static_cast<uint64_t>(m);
-            continue;
+    pass.computeRow = [&](int64_t i) {
+        // The row's dot product against every weight column.
+        for (int64_t j = 0; j < m; ++j) {
+            float acc = 0.0f;
+            for (int64_t e = 0; e < d; ++e)
+                acc += input.at2(i, e) * weight.at2(e, j);
+            out.at2(i, j) = acc;
         }
-        compute_row(i);
-    }
+    };
+    pass.copyRow = [&](int64_t i, int64_t o) {
+        // Result forwarding from the earlier PE.
+        for (int64_t j = 0; j < m; ++j)
+            out.at2(i, j) = out.at2(o, j);
+    };
+    pass.rowSkipCost =
+        static_cast<uint64_t>(d) * static_cast<uint64_t>(m);
+
+    rt.runRows(ReuseRuntime::StreamSource::live(input, record), pass,
+               stats);
     return out;
 }
 
@@ -168,32 +110,39 @@ FcEngine::backwardInput(const Tensor &grad, const Tensor &weight,
               n);
 
     stats = ReuseStats{};
-    stats.channelPasses = 1;
-    stats.mix = pass.mix;
     stats.macsTotal = static_cast<uint64_t>(n) *
                       static_cast<uint64_t>(d) * static_cast<uint64_t>(m);
 
+    std::vector<int64_t> owner;
+    record.ownersOf(pass, owner);
+
     Tensor out({n, d});
-    // One computed input-gradient row: grad row i against every
-    // transposed weight row — the same accumulation order as
-    // matmulTransposeB, so a zero-hit replay is bit-identical.
-    // Forward-HIT rows receive their owner's gradient row instead
-    // (§III-C3 result forwarding, replayed).
-    replayRowBackward(
-        *frontend_, record, pass,
-        static_cast<uint64_t>(d) * static_cast<uint64_t>(m), stats,
-        [&](int64_t i) {
-            for (int64_t j = 0; j < d; ++j) {
-                float acc = 0.0f;
-                for (int64_t p = 0; p < m; ++p)
-                    acc += grad.at2(i, p) * weight.at2(j, p);
-                out.at2(i, j) = acc;
-            }
-        },
-        [&](int64_t i, int64_t o) {
-            for (int64_t j = 0; j < d; ++j)
-                out.at2(i, j) = out.at2(o, j);
-        });
+    // One replayed RowPass (§III-C2): a computed input-gradient row
+    // is grad row i against every transposed weight row — the same
+    // accumulation order as matmulTransposeB, so a zero-hit replay is
+    // bit-identical. Forward-HIT rows receive their owner's gradient
+    // row instead (§III-C3 result forwarding, replayed).
+    ReuseRuntime rt(*frontend_, frontend_.signatureBits());
+    ReuseRuntime::RowPass rp;
+    rp.ownerOf = [&](int64_t i, const McacheResult &) {
+        return owner[static_cast<size_t>(i)];
+    };
+    rp.computeRow = [&](int64_t i) {
+        for (int64_t j = 0; j < d; ++j) {
+            float acc = 0.0f;
+            for (int64_t p = 0; p < m; ++p)
+                acc += grad.at2(i, p) * weight.at2(j, p);
+            out.at2(i, j) = acc;
+        }
+    };
+    rp.copyRow = [&](int64_t i, int64_t o) {
+        for (int64_t j = 0; j < d; ++j)
+            out.at2(i, j) = out.at2(o, j);
+    };
+    rp.rowSkipCost =
+        static_cast<uint64_t>(d) * static_cast<uint64_t>(m);
+
+    rt.runRows(ReuseRuntime::StreamSource::replay(pass), rp, stats);
     return out;
 }
 
@@ -219,16 +168,14 @@ FcEngine::backwardWeights(const Tensor &input, const Tensor &grad,
               n);
 
     stats = ReuseStats{};
-    stats.channelPasses = 1;
-    stats.mix = pass.mix;
     stats.macsTotal = static_cast<uint64_t>(n) *
                       static_cast<uint64_t>(d) * static_cast<uint64_t>(m);
 
     // Sum-then-multiply (§III-C2 on Eq. 1): group the output
     // gradients by forward owner, then one outer product per group
     // with the owner's input row.
-    return replayWeightGrad(*frontend_, record, pass, input, grad,
-                            stats);
+    ReuseRuntime rt(*frontend_, frontend_.signatureBits());
+    return weightGradReplay(rt, record, pass, input, grad, stats);
 }
 
 } // namespace mercury

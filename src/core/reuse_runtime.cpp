@@ -1,0 +1,290 @@
+#include "core/reuse_runtime.hpp"
+
+#include <algorithm>
+#include <memory>
+
+namespace mercury {
+
+DetectionResult
+ReuseRuntime::deliver(const StreamSource &src, const BlockConsumer &cb)
+{
+    if (src.pass_) {
+        fe_.replayStream(*src.pass_, cb);
+        return DetectionResult{};
+    }
+    if (src.job_)
+        return fe_.finishStream(*src.job_, cb, src.capture_);
+    return fe_.detectStream(*src.rows_, bits_, cb, src.capture_);
+}
+
+DetectionResult
+ReuseRuntime::consumeSerial(const StreamSource &src)
+{
+    if (src.pass_)
+        return DetectionResult{};
+    DetectionResult det;
+    if (src.job_) {
+        det = fe_.finishStream(
+            *src.job_, [](const DetectionBlock &) {}, src.capture_);
+    } else {
+        det = fe_.detect(*src.rows_, bits_, src.capture_);
+    }
+    const int64_t n = det.hitmap.size();
+    rowResults_.resize(static_cast<size_t>(n));
+    for (int64_t i = 0; i < n; ++i) {
+        rowResults_[static_cast<size_t>(i)] = {det.hitmap.outcome(i),
+                                               det.hitmap.entryId(i)};
+    }
+    return det;
+}
+
+void
+ReuseRuntime::addPassStats(const StreamSource &src,
+                           const DetectionResult &det, ReuseStats &stats)
+{
+    stats.mix += src.isReplay() ? src.pass_->mix : det.mix();
+    ++stats.channelPasses;
+}
+
+void
+ReuseRuntime::parallelChains(int64_t width,
+                             const std::function<void(int64_t)> &fn)
+{
+    if (ThreadPool *p = pool()) {
+        p->parallelFor(width, fn);
+        return;
+    }
+    for (int64_t i = 0; i < width; ++i)
+        fn(i);
+}
+
+DetectionResult
+ReuseRuntime::runFilterPasses(const StreamSource &src,
+                              const FilterPassSet &set, ReuseStats &stats)
+{
+    DetectionResult det;
+    int64_t f_done = 0;
+
+    if (overlapped()) {
+        // The first in-flight group consumes the stream: one serial
+        // chain per filter keeps that filter's blocks in delivery
+        // order (owner-before-hit within a filter) while distinct
+        // filters run in parallel and later blocks still hash.
+        ThreadPool *p = pool();
+        const int64_t group0 =
+            std::min<int64_t>(set.inFlight, set.filters);
+        std::vector<std::unique_ptr<SerialExecutor>> chains;
+        std::vector<uint64_t> skipped(static_cast<size_t>(group0), 0);
+        chains.reserve(static_cast<size_t>(group0));
+        for (int64_t f = 0; f < group0; ++f)
+            chains.push_back(std::make_unique<SerialExecutor>(p));
+
+        const bool live = !src.isReplay();
+        if (live)
+            rowResults_.resize(static_cast<size_t>(src.rowCount()));
+        det = deliver(src, [&](const DetectionBlock &blk) {
+            if (live) {
+                // The block's result pointers die with the callback;
+                // copy into runtime-owned storage the chains can read
+                // asynchronously.
+                std::copy(blk.results, blk.results + blk.rows(),
+                          rowResults_.begin() + blk.row0);
+            }
+            for (int64_t f = 0; f < group0; ++f) {
+                chains[static_cast<size_t>(f)]->run(
+                    [&set, &skipped, f, r0 = blk.row0, r1 = blk.row1] {
+                        skipped[static_cast<size_t>(f)] +=
+                            set.segment(f, r0, r1);
+                    });
+            }
+        });
+        // Cross-channel overlap window: the stream has delivered but
+        // the chains may still be draining.
+        if (set.onStreamDelivered)
+            set.onStreamDelivered();
+        for (auto &chain : chains)
+            chain->wait();
+        for (const uint64_t s : skipped)
+            stats.macsSkipped += s;
+        if (set.afterGroup)
+            set.afterGroup(0, group0);
+        f_done = group0;
+    } else {
+        det = consumeSerial(src);
+        if (set.onStreamDelivered)
+            set.onStreamDelivered();
+    }
+
+    // Remaining groups run whole-range: the stream has drained, so
+    // every filter covers rows [0, rows) in one segment; filters of a
+    // group fan out over the pool (each is a whole-row-range chain,
+    // so the owner-before-hit order within a filter still holds).
+    for (int64_t f0 = f_done; f0 < set.filters; f0 += set.inFlight) {
+        const int64_t f1 =
+            std::min<int64_t>(f0 + set.inFlight, set.filters);
+        if (set.beforeGroup)
+            set.beforeGroup(f0, f1);
+        std::vector<uint64_t> skipped(static_cast<size_t>(f1 - f0), 0);
+        parallelChains(f1 - f0, [&](int64_t i) {
+            skipped[static_cast<size_t>(i)] =
+                set.segment(f0 + i, 0, set.rows);
+        });
+        for (const uint64_t s : skipped)
+            stats.macsSkipped += s;
+        if (set.afterGroup)
+            set.afterGroup(f0, f1);
+    }
+
+    addPassStats(src, det, stats);
+    return det;
+}
+
+DetectionResult
+ReuseRuntime::runRows(const StreamSource &src, const RowPass &pass,
+                      ReuseStats &stats)
+{
+    DetectionResult det;
+
+    if (overlapped()) {
+        // Computed rows of each delivered block fan out to the pool
+        // while later blocks hash; forwarded rows are copied after
+        // the joins (owners are always computed rows, so forwarding
+        // chains have depth one). Bookkeeping runs on this thread in
+        // stream order.
+        ThreadPool *p = pool();
+        TaskGroup computes(p);
+        struct Forward
+        {
+            int64_t row;
+            int64_t owner;
+        };
+        std::vector<Forward> forwards;
+        det = deliver(src, [&](const DetectionBlock &blk) {
+            std::vector<int64_t> computed;
+            for (int64_t i = blk.row0; i < blk.row1; ++i) {
+                const int64_t o =
+                    pass.ownerOf(i, blk.results[i - blk.row0]);
+                if (o != i) {
+                    forwards.push_back({i, o});
+                    stats.macsSkipped += pass.rowSkipCost;
+                } else {
+                    computed.push_back(i);
+                }
+            }
+            if (!computed.empty()) {
+                computes.run([&pass, batch = std::move(computed)] {
+                    for (const int64_t i : batch)
+                        pass.computeRow(i);
+                });
+            }
+        });
+        computes.wait();
+        p->parallelFor(
+            static_cast<int64_t>(forwards.size()), [&](int64_t k) {
+                const Forward fwd = forwards[static_cast<size_t>(k)];
+                pass.copyRow(fwd.row, fwd.owner);
+            });
+    } else {
+        det = consumeSerial(src);
+        const int64_t n = src.rowCount();
+        const bool live = !src.isReplay();
+        for (int64_t i = 0; i < n; ++i) {
+            const McacheResult res =
+                live ? rowResults_[static_cast<size_t>(i)]
+                     : McacheResult{};
+            const int64_t o = pass.ownerOf(i, res);
+            if (o != i) {
+                pass.copyRow(i, o);
+                stats.macsSkipped += pass.rowSkipCost;
+                continue;
+            }
+            pass.computeRow(i);
+        }
+    }
+
+    addPassStats(src, det, stats);
+    return det;
+}
+
+DetectionResult
+ReuseRuntime::runScan(const StreamSource &src, const ScanPass &pass,
+                      ReuseStats &stats)
+{
+    DetectionResult det;
+
+    if (overlapped()) {
+        // The scan consumes the hand-off on the driving thread — no
+        // block is independent of the ones before it — then the
+        // finish items fan out, one disjoint slice per task.
+        det = deliver(src, [&](const DetectionBlock &blk) {
+            pass.scan(blk.row0, blk.row1);
+        });
+        if (pass.finishItems > 0)
+            pool()->parallelFor(pass.finishItems, pass.finishItem);
+    } else {
+        det = consumeSerial(src);
+        pass.scan(0, src.rowCount());
+        for (int64_t i = 0; i < pass.finishItems; ++i)
+            pass.finishItem(i);
+    }
+
+    addPassStats(src, det, stats);
+    return det;
+}
+
+Tensor
+weightGradReplay(ReuseRuntime &rt, const SignatureRecord &record,
+                 const SignatureRecord::Pass &pass, const Tensor &a,
+                 const Tensor &b, ReuseStats &stats)
+{
+    const int64_t n = pass.rows;
+    const int64_t da = a.dim(1);
+    const int64_t db = b.dim(1);
+    std::vector<int64_t> owner;
+    record.ownersOf(pass, owner);
+
+    // Group sums over the pass's b-rows: the owner slot starts as a
+    // copy of its own row (bit-exact for singleton groups), HIT rows
+    // fold in with adds. Stream order guarantees the owner's copy
+    // lands before any of its hits accumulate.
+    std::vector<float> gsum(static_cast<size_t>(n * db), 0.0f);
+    Tensor out({da, db});
+
+    ReuseRuntime::ScanPass scan;
+    scan.scan = [&](int64_t r0, int64_t r1) {
+        for (int64_t r = r0; r < r1; ++r) {
+            const int64_t o = owner[static_cast<size_t>(r)];
+            float *dst = gsum.data() + o * db;
+            const float *src = b.data() + r * db;
+            if (o == r) {
+                std::copy(src, src + db, dst);
+            } else {
+                for (int64_t p = 0; p < db; ++p)
+                    dst[p] += src[p];
+                stats.macsSkipped += static_cast<uint64_t>(da) *
+                                     static_cast<uint64_t>(db);
+            }
+        }
+    };
+    // One output row j of At B: one multiply per group, owners
+    // ascending — the same contraction order (and zero-skip) as
+    // matmul(transpose2d(a), b) walks for row j.
+    scan.finishItems = da;
+    scan.finishItem = [&](int64_t j) {
+        for (int64_t r = 0; r < n; ++r) {
+            if (owner[static_cast<size_t>(r)] != r)
+                continue;
+            const float av = a.at2(r, j);
+            if (av == 0.0f)
+                continue;
+            const float *gs = gsum.data() + r * db;
+            for (int64_t p = 0; p < db; ++p)
+                out.at2(j, p) += av * gs[p];
+        }
+    };
+
+    rt.runScan(ReuseRuntime::StreamSource::replay(pass), scan, stats);
+    return out;
+}
+
+} // namespace mercury

@@ -100,16 +100,17 @@ mobilenetLikeProxy(Rng &rng, int num_classes)
     auto net = std::make_unique<Network>();
     uint64_t id = 1;
     addConvRelu(*net, kProxyImageChannels, 12, rng, id++);
-    // Inverted residual flavour: expand 1x1, depthwise 3x3, project.
-    net->add(std::make_unique<Conv2dLayer>(12, 24, 1, 1, 0, rng, id++));
-    net->add(std::make_unique<ReluLayer>());
-    net->add(
-        std::make_unique<Conv2dLayer>(24, 24, 3, 1, 1, rng, id++, 24));
-    net->add(std::make_unique<ReluLayer>());
-    net->add(std::make_unique<Conv2dLayer>(24, 12, 1, 1, 0, rng, id++));
+    // Two MobileNet-V2 inverted residual blocks (expand 1x1,
+    // depthwise 3x3, linear project): the first keeps shape and
+    // exercises the identity skip, the second changes width. All
+    // three reuse passes flow through the depthwise convolutions.
+    net->add(std::make_unique<InvertedResidualBlock>(12, 12, 2, 1, rng,
+                                                     id++));
+    net->add(std::make_unique<InvertedResidualBlock>(12, 16, 2, 1, rng,
+                                                     id++));
     net->add(std::make_unique<MaxPoolLayer>());
     net->add(std::make_unique<FlattenLayer>());
-    net->add(std::make_unique<DenseLayer>(12 * 6 * 6, num_classes, rng,
+    net->add(std::make_unique<DenseLayer>(16 * 6 * 6, num_classes, rng,
                                           id++));
     return net;
 }

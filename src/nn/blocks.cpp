@@ -207,6 +207,83 @@ SequentialBlock::paramCount() const
 }
 
 // ---------------------------------------------------------------------
+// InvertedResidualBlock
+// ---------------------------------------------------------------------
+
+InvertedResidualBlock::InvertedResidualBlock(int64_t c_in, int64_t c_out,
+                                             int64_t expand,
+                                             int64_t stride, Rng &rng,
+                                             uint64_t layer_id)
+    : skip_(stride == 1 && c_in == c_out)
+{
+    const int64_t mid = c_in * expand;
+    expand_ = std::make_unique<Conv2dLayer>(c_in, mid, 1, 1, 0, rng,
+                                            layer_id * 16 + 0);
+    relu1_ = std::make_unique<ReluLayer>();
+    depthwise_ = std::make_unique<Conv2dLayer>(mid, mid, 3, stride, 1,
+                                               rng, layer_id * 16 + 1,
+                                               /*groups=*/mid);
+    relu2_ = std::make_unique<ReluLayer>();
+    // Linear bottleneck: no activation after the projection (the
+    // MobileNet-V2 structure the model zoo's layer tables mirror).
+    project_ = std::make_unique<Conv2dLayer>(mid, c_out, 1, 1, 0, rng,
+                                             layer_id * 16 + 2);
+}
+
+Tensor
+InvertedResidualBlock::forward(const Tensor &x, MercuryContext *ctx)
+{
+    Tensor body = project_->forward(
+        relu2_->forward(depthwise_->forward(
+                            relu1_->forward(expand_->forward(x, ctx), ctx),
+                            ctx),
+                        ctx),
+        ctx);
+    if (skip_) {
+        if (body.shape() != x.shape())
+            panic("inverted residual shape mismatch: ", body.shapeStr(),
+                  " vs ", x.shapeStr());
+        for (int64_t i = 0; i < body.numel(); ++i)
+            body[i] += x[i];
+    }
+    return body;
+}
+
+Tensor
+InvertedResidualBlock::backwardImpl(const Tensor &grad,
+                                    MercuryContext *ctx)
+{
+    Tensor g_body = expand_->backward(
+        relu1_->backward(depthwise_->backward(
+                             relu2_->backward(project_->backward(grad,
+                                                                 ctx),
+                                              ctx),
+                             ctx),
+                         ctx),
+        ctx);
+    if (skip_) {
+        for (int64_t i = 0; i < g_body.numel(); ++i)
+            g_body[i] += grad[i];
+    }
+    return g_body;
+}
+
+void
+InvertedResidualBlock::step(float lr)
+{
+    expand_->step(lr);
+    depthwise_->step(lr);
+    project_->step(lr);
+}
+
+uint64_t
+InvertedResidualBlock::paramCount() const
+{
+    return expand_->paramCount() + depthwise_->paramCount() +
+           project_->paramCount();
+}
+
+// ---------------------------------------------------------------------
 // Fire module
 // ---------------------------------------------------------------------
 

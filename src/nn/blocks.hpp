@@ -90,6 +90,46 @@ class SequentialBlock : public Layer
 };
 
 /**
+ * MobileNet-V2 inverted residual: expand 1x1 -> ReLU -> depthwise
+ * 3x3 (groups == expanded channels) -> ReLU -> project 1x1 (linear),
+ * with an identity skip when the block preserves shape (stride 1 and
+ * c_in == c_out). All three convolutions are ordinary Conv2dLayers,
+ * so MERCURY reuse — forward, dX, and dW — flows through the
+ * depthwise and grouped passes exactly like any other conv: the
+ * ConvReuseEngine's pass descriptors enumerate (group,
+ * channel-within-group) pairs, no special casing.
+ */
+class InvertedResidualBlock : public Layer
+{
+  public:
+    /**
+     * @param c_in   input channels
+     * @param c_out  output channels
+     * @param expand expansion factor (mid = c_in * expand)
+     * @param stride depthwise stride (1 keeps the skip, 2 downsamples)
+     */
+    InvertedResidualBlock(int64_t c_in, int64_t c_out, int64_t expand,
+                          int64_t stride, Rng &rng, uint64_t layer_id);
+
+    Tensor forward(const Tensor &x, MercuryContext *ctx) override;
+    void step(float lr) override;
+    std::string name() const override { return "inverted_residual"; }
+    uint64_t paramCount() const override;
+
+  protected:
+    Tensor backwardImpl(const Tensor &grad,
+                        MercuryContext *ctx) override;
+
+  private:
+    std::unique_ptr<Conv2dLayer> expand_;  // 1x1, c_in -> mid
+    std::unique_ptr<ReluLayer> relu1_;
+    std::unique_ptr<Conv2dLayer> depthwise_; // 3x3, groups == mid
+    std::unique_ptr<ReluLayer> relu2_;
+    std::unique_ptr<Conv2dLayer> project_; // 1x1 linear, mid -> c_out
+    bool skip_;                            // identity residual add
+};
+
+/**
  * SqueezeNet fire module: a 1x1 squeeze convolution followed by
  * parallel 1x1 and 3x3 expand convolutions, concatenated.
  */

@@ -49,7 +49,7 @@ MercuryContext::sharedCache()
 {
     if (!shared_) {
         shared_ = std::make_unique<ShardedMCache>(
-            sets_, ways_, versions_, pipeline_.shards);
+            sets_, ways_, versions_, pipeline_.resolvedShards());
     }
     return *shared_;
 }

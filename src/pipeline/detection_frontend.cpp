@@ -10,9 +10,8 @@ namespace mercury {
 DetectionFrontend::DetectionFrontend(int sets, int ways, int data_versions,
                                      int max_bits, uint64_t seed,
                                      PipelineConfig pipe)
-    : ownedCache_(std::make_unique<ShardedMCache>(sets, ways,
-                                                  data_versions,
-                                                  pipe.shards)),
+    : ownedCache_(std::make_unique<ShardedMCache>(
+          sets, ways, data_versions, pipe.resolvedShards())),
       cache_(ownedCache_.get()), pipe_(pipe), maxBits_(max_bits),
       seed_(seed)
 {

@@ -23,6 +23,18 @@ PipelineConfig::fromConfig(const AcceleratorConfig &cfg)
     return pipe;
 }
 
+int
+PipelineConfig::resolvedShards() const
+{
+    if (shards != 0)
+        return shards;
+    // The band depends only on the probe parallelism available, not
+    // the pass size (tunedPipelineFor keeps shards constant across
+    // row bands).
+    return tunedPipelineFor(1, ThreadPool::resolveThreads(threads))
+        .shards;
+}
+
 PipelineConfig
 PipelineConfig::resolvedFor(int64_t rows) const
 {
@@ -30,7 +42,9 @@ PipelineConfig::resolvedFor(int64_t rows) const
         return *this;
     PipelineConfig resolved = *this;
     resolved.blockRows =
-        tunedPipelineFor(std::max<int64_t>(rows, 1)).blockRows;
+        tunedPipelineFor(std::max<int64_t>(rows, 1),
+                         ThreadPool::resolveThreads(threads))
+            .blockRows;
     return resolved;
 }
 

@@ -63,6 +63,7 @@
 #include "pipeline/sharded_mcache.hpp"
 #include "pipeline/signature_record.hpp"
 #include "sim/config.hpp"
+#include "util/executors.hpp"
 #include "util/spsc_queue.hpp"
 #include "util/thread_pool.hpp"
 
@@ -78,7 +79,12 @@ struct PipelineConfig
      */
     int64_t blockRows = 64;
 
-    /** MCACHE shards (stage 2 parallelism; clamped to the set count). */
+    /**
+     * MCACHE shards (stage 2 parallelism; clamped to the set count).
+     * 0 = auto: resolved at cache construction to the thread-scaled
+     * band (resolvedShards) — shards beyond the number of
+     * concurrently probing threads only add lock/merge overhead.
+     */
     int shards = 4;
 
     /** Worker threads: 1 = run inline (legacy order), 0 = auto. */
@@ -104,6 +110,14 @@ struct PipelineConfig
      * size; explicit values pass through untouched.
      */
     PipelineConfig resolvedFor(int64_t rows) const;
+
+    /**
+     * Effective shard count for MCACHE construction: shards == 0
+     * (auto) resolves to the tunedPipelineFor band for the resolved
+     * thread count; explicit values pass through untouched (the
+     * ShardedMCache still clamps to its set count).
+     */
+    int resolvedShards() const;
 };
 
 /**

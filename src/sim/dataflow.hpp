@@ -55,6 +55,16 @@ struct HitMix
 
     /** Validate internal consistency (counts sum to vectors). */
     bool consistent() const { return hit + mau + mnu == vectors; }
+
+    /** Accumulate another population's counts (pass aggregation). */
+    HitMix &operator+=(const HitMix &other)
+    {
+        vectors += other.vectors;
+        hit += other.hit;
+        mau += other.mau;
+        mnu += other.mnu;
+        return *this;
+    }
 };
 
 /** Cycle cost decomposition of one layer under MERCURY. */

@@ -2,10 +2,8 @@
  * @file
  * Small fixed-size worker pool with a shared work queue, used by the
  * detection pipeline (src/pipeline) to run row blocks and MCACHE
- * shards concurrently, plus two composition helpers the overlapped
- * reuse engines build on: TaskGroup (submit-many, join-once) and
- * SerialExecutor (a FIFO task chain — at most one task of the chain
- * runs at a time, in submission order).
+ * shards concurrently. The composition helpers built on it (TaskGroup
+ * and SerialExecutor) live in util/executors.hpp.
  *
  * The pool is deliberately minimal: submit closures, or run an
  * index-space loop with parallelFor(). The calling thread
@@ -82,93 +80,6 @@ class ThreadPool
     bool stopping_ = false;
 
     void workerLoop();
-};
-
-/**
- * Join handle over a set of independently submitted tasks: run() any
- * number of closures, wait() once for all of them. The overlapped FC
- * and attention engines use one group per forward pass to join the
- * per-block compute tasks they spawned while detection was still
- * streaming.
- *
- * Concurrency contract: run() may be called from any thread,
- * including from inside a task of this very group (the streaming
- * pipeline's self-replenishing hash chain does exactly that); the
- * bookkeeping is mutex-protected. wait() is called by one owner
- * thread (the engine's caller) and must not be called from inside a
- * pool task. With a null pool every run() executes inline and wait()
- * is a no-op.
- */
-class TaskGroup
-{
-  public:
-    /** @param pool worker pool, or nullptr to run everything inline */
-    explicit TaskGroup(ThreadPool *pool)
-        : pool_(pool)
-    {
-    }
-
-    /** Destructor joins: outstanding tasks finish before teardown. */
-    ~TaskGroup() { wait(); }
-
-    TaskGroup(const TaskGroup &) = delete;
-    TaskGroup &operator=(const TaskGroup &) = delete;
-
-    /** Submit one task (inline when the pool is null). */
-    void run(std::function<void()> task);
-
-    /** Block until every task submitted so far has completed. */
-    void wait();
-
-  private:
-    ThreadPool *pool_;
-    std::mutex mutex_;
-    std::condition_variable done_;
-    int64_t pending_ = 0;
-};
-
-/**
- * FIFO task chain over a ThreadPool: tasks submitted to one executor
- * run in submission order and never concurrently with each other
- * (tasks of *different* executors do run concurrently). This is the
- * ordering primitive behind the overlapped conv engine: one executor
- * per in-flight filter keeps that filter's row blocks in stream
- * order — preserving the MCACHE owner-writes-before-hit-reads
- * discipline — while distinct filters proceed in parallel.
- *
- * Concurrency contract: run() and wait() are called by one owner
- * thread; the chain itself executes on pool workers (inline with a
- * null pool). wait() must not be called from inside a pool task.
- */
-class SerialExecutor
-{
-  public:
-    /** @param pool worker pool, or nullptr to run everything inline */
-    explicit SerialExecutor(ThreadPool *pool)
-        : pool_(pool)
-    {
-    }
-
-    /** Destructor drains the chain. */
-    ~SerialExecutor() { wait(); }
-
-    SerialExecutor(const SerialExecutor &) = delete;
-    SerialExecutor &operator=(const SerialExecutor &) = delete;
-
-    /** Append one task to the chain (inline when the pool is null). */
-    void run(std::function<void()> task);
-
-    /** Block until the chain is drained (queue empty, nothing running). */
-    void wait();
-
-  private:
-    ThreadPool *pool_;
-    std::mutex mutex_;
-    std::condition_variable idle_;
-    std::deque<std::function<void()>> queue_;
-    bool active_ = false; ///< a pump task is scheduled or running
-
-    void pump();
 };
 
 } // namespace mercury

@@ -477,6 +477,103 @@ TEST(RowStationary, BatchScalesLinearly)
     EXPECT_EQ(b4.baseline, 4 * b1.baseline);
 }
 
+// ---------------------------------------------------------------------
+// Grouped / depthwise convolution accounting (the MobileNet-style
+// workload): a channel pass of a grouped conv meets only its group's
+// outChannels / groups filters, so baseline and MERCURY compute scale
+// down by the group count while the signature charge — one hash per
+// extracted vector, one vector per (image, channel) pass regardless
+// of grouping — stays put.
+// ---------------------------------------------------------------------
+
+TEST(GroupedConv, BaselineScalesDownByGroupCount)
+{
+    RowStationaryDataflow df(defaultConfig());
+    // 16 -> 16 channels of 16x16, 3x3: dense vs 4 groups vs depthwise.
+    const LayerShape dense =
+        LayerShape::conv("dense", 16, 16, 16, 16, 3, 1, 0, 1);
+    const LayerShape grouped =
+        LayerShape::conv("grouped", 16, 16, 16, 16, 3, 1, 0, 4);
+    const LayerShape depthwise =
+        LayerShape::conv("dw", 16, 16, 16, 16, 3, 1, 0, 16);
+    EXPECT_EQ(dense.weightVectors(), 16);
+    EXPECT_EQ(grouped.weightVectors(), 4);
+    EXPECT_EQ(depthwise.weightVectors(), 1);
+    EXPECT_EQ(dense.macCount(1), 4 * grouped.macCount(1));
+    EXPECT_EQ(dense.macCount(1), 16 * depthwise.macCount(1));
+    EXPECT_EQ(df.baselineLayerCycles(dense, 2),
+              4 * df.baselineLayerCycles(grouped, 2));
+    EXPECT_EQ(df.baselineLayerCycles(dense, 2),
+              16 * df.baselineLayerCycles(depthwise, 2));
+}
+
+TEST(GroupedConv, SignatureChargeIndependentOfGrouping)
+{
+    // The detection pass hashes one vector per output position per
+    // (image, channel) pass whatever the grouping, so the signature
+    // cycles of dense and depthwise variants of one geometry match.
+    RowStationaryDataflow df(defaultConfig());
+    const LayerShape dense =
+        LayerShape::conv("dense", 16, 16, 16, 16, 3, 1, 0, 1);
+    const LayerShape depthwise =
+        LayerShape::conv("dw", 16, 16, 16, 16, 3, 1, 0, 16);
+    const HitMix mix =
+        HitMix::fromFractions(dense.vectorsPerChannel(), 0.5);
+    const LayerCycles cd = df.mercuryLayerCycles(dense, 1, mix, 20);
+    const LayerCycles cw = df.mercuryLayerCycles(depthwise, 1, mix, 20);
+    EXPECT_EQ(cd.signature, cw.signature);
+    EXPECT_GT(cd.computation, cw.computation);
+}
+
+TEST(GroupedConv, DepthwiseReuseStillPaysAtHighHitRates)
+{
+    // One filter per pass makes detection overhead proportionally
+    // large (the few-filters effect, Fig. 12), but a replayed record
+    // (saved signatures) keeps the dW/dX passes profitable.
+    RowStationaryDataflow df(defaultConfig());
+    const LayerShape depthwise =
+        LayerShape::conv("dw", 32, 32, 16, 16, 3, 1, 1, 32);
+    const HitMix mix =
+        HitMix::fromFractions(depthwise.vectorsPerChannel(), 0.85);
+    const LayerCycles saved =
+        df.mercuryLayerCycles(depthwise, 1, mix, 20, true);
+    EXPECT_LT(saved.mercuryTotal(), saved.baseline);
+}
+
+TEST(GroupedConv, BackwardAndWeightGradHonorGroups)
+{
+    AcceleratorConfig cfg = defaultConfig();
+    cfg.backwardReuse = true;
+    cfg.weightGradReuse = true;
+    RowStationaryDataflow df(cfg);
+    const LayerShape depthwise =
+        LayerShape::conv("dw", 16, 16, 16, 16, 3, 1, 1, 16);
+    const HitMix mix =
+        HitMix::fromFractions(depthwise.vectorsPerChannel(), 0.6);
+    const LayerCycles dx =
+        df.backwardLayerCycles(depthwise, 1, mix, 20);
+    const LayerCycles dw =
+        df.weightGradLayerCycles(depthwise, 1, mix, 20);
+    // Replayed passes of the depthwise layer stay below its baseline.
+    EXPECT_GT(dx.baseline, 0u);
+    EXPECT_LT(dx.mercuryTotal(), dx.baseline);
+    EXPECT_LT(dw.mercuryTotal(), dw.baseline);
+}
+
+TEST(GroupedConv, PointwiseGroupedMapsToPerGroupFc)
+{
+    // 1x1 grouped convs (ResNeXt-style) map to the FC formulation
+    // with per-group widths: every spatial position of every group is
+    // one Cin/groups-dimensional vector meeting Cout/groups columns.
+    RowStationaryDataflow df(defaultConfig());
+    const LayerShape pw =
+        LayerShape::conv("pw", 16, 16, 8, 8, 1, 1, 0, 4);
+    const LayerShape fc_equiv = LayerShape::fc("pw.fc", 4, 4);
+    EXPECT_EQ(df.baselineLayerCycles(pw, 1),
+              df.baselineLayerCycles(fc_equiv,
+                                     pw.vectorsPerChannel() * 4));
+}
+
 TEST(FullyConnected, BaselineSpreadsOverPEs)
 {
     auto df = Dataflow::create(defaultConfig());

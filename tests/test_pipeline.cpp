@@ -655,60 +655,6 @@ TEST(SpscQueue, PushAfterCloseDies)
     EXPECT_DEATH(q.push(1), "closed");
 }
 
-TEST(SerialExecutor, RunsTasksInSubmissionOrderWithoutOverlap)
-{
-    ThreadPool pool(3);
-    SerialExecutor chain(&pool);
-    std::vector<int> order;
-    std::atomic<int> in_flight{0};
-    std::atomic<bool> overlapped{false};
-    for (int i = 0; i < 64; ++i) {
-        chain.run([&, i] {
-            if (in_flight.fetch_add(1) != 0)
-                overlapped.store(true);
-            order.push_back(i); // safe iff tasks never overlap
-            in_flight.fetch_sub(1);
-        });
-    }
-    chain.wait();
-    EXPECT_FALSE(overlapped.load());
-    ASSERT_EQ(order.size(), 64u);
-    for (int i = 0; i < 64; ++i)
-        EXPECT_EQ(order[static_cast<size_t>(i)], i);
-
-    // Two executors on one pool do run concurrently with each other;
-    // their combined task count still adds up.
-    SerialExecutor a(&pool), b(&pool);
-    std::atomic<int> ran{0};
-    for (int i = 0; i < 32; ++i) {
-        a.run([&] { ran.fetch_add(1); });
-        b.run([&] { ran.fetch_add(1); });
-    }
-    a.wait();
-    b.wait();
-    EXPECT_EQ(ran.load(), 64);
-}
-
-TEST(TaskGroup, JoinsAllSubmittedTasks)
-{
-    ThreadPool pool(2);
-    TaskGroup group(&pool);
-    std::atomic<int> ran{0};
-    for (int i = 0; i < 100; ++i)
-        group.run([&] { ran.fetch_add(1); });
-    group.wait();
-    EXPECT_EQ(ran.load(), 100);
-    // A group is reusable after a wait.
-    group.run([&] { ran.fetch_add(1); });
-    group.wait();
-    EXPECT_EQ(ran.load(), 101);
-    // Null pool: inline execution.
-    TaskGroup inline_group(nullptr);
-    inline_group.run([&] { ran.fetch_add(1); });
-    inline_group.wait();
-    EXPECT_EQ(ran.load(), 102);
-}
-
 TEST(Pipeline, ConfigKnobsLiftFromAcceleratorConfig)
 {
     AcceleratorConfig cfg;
@@ -730,6 +676,47 @@ TEST(Pipeline, ConfigKnobsLiftFromAcceleratorConfig)
     const HitMix mix = fe.detect(rows, 16).mix();
     EXPECT_TRUE(mix.consistent());
     EXPECT_EQ(mix.vectors, 64);
+}
+
+TEST(Pipeline, ResolvedShardsTracksThreadBand)
+{
+    // Explicit values pass through untouched.
+    PipelineConfig pipe;
+    pipe.shards = 7;
+    EXPECT_EQ(pipe.resolvedShards(), 7);
+
+    // 0 = auto: the tunedPipelineFor band for the resolved thread
+    // count — the measured floor of 4 up to serial, scaling with the
+    // probing threads, clamped at 16.
+    pipe.shards = 0;
+    pipe.threads = 1;
+    EXPECT_EQ(pipe.resolvedShards(), 4);
+    pipe.threads = 8;
+    EXPECT_EQ(pipe.resolvedShards(), 8);
+    pipe.threads = 64;
+    EXPECT_EQ(pipe.resolvedShards(), 16);
+}
+
+TEST(Pipeline, AutoShardsFrontendMatchesExplicitShards)
+{
+    // Detection results are bit-identical across shard counts, so the
+    // auto band must change nothing observable.
+    Tensor rows = prototypeVectors(96, 10, 9, 0.01f, 11);
+    PipelineConfig auto_pipe;
+    auto_pipe.shards = 0;
+    auto_pipe.threads = 8;
+    DetectionFrontend auto_fe(32, 8, 2, kMaxBits, 13, auto_pipe);
+    PipelineConfig fixed_pipe;
+    fixed_pipe.shards = 8;
+    fixed_pipe.threads = 8;
+    DetectionFrontend fixed_fe(32, 8, 2, kMaxBits, 13, fixed_pipe);
+    const DetectionResult a = auto_fe.detect(rows, 20);
+    const DetectionResult b = fixed_fe.detect(rows, 20);
+    ASSERT_EQ(a.hitmap.size(), b.hitmap.size());
+    for (int64_t i = 0; i < a.hitmap.size(); ++i) {
+        EXPECT_EQ(a.hitmap.outcome(i), b.hitmap.outcome(i)) << i;
+        EXPECT_EQ(a.hitmap.entryId(i), b.hitmap.entryId(i)) << i;
+    }
 }
 
 } // namespace

@@ -1,18 +1,24 @@
 /**
  * @file
  * Unit tests for the util substrate: deterministic RNG, statistics,
- * and table rendering.
+ * table rendering, and the pool composition helpers (TaskGroup,
+ * SerialExecutor) that the streaming reuse passes are built on.
  */
 
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <set>
+#include <thread>
+#include <vector>
 
+#include "util/executors.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
+#include "util/thread_pool.hpp"
 
 namespace mercury {
 namespace {
@@ -237,6 +243,144 @@ TEST(Table, CountGroupsThousands)
     EXPECT_EQ(Table::count(1234567), "1,234,567");
     EXPECT_EQ(Table::count(12), "12");
     EXPECT_EQ(Table::count(0), "0");
+}
+
+// ---------------------------------------------------------------------
+// Executors (util/executors.hpp): the ordering primitives under the
+// streaming reuse passes. SerialExecutor must run one chain's tasks
+// strictly in submission order with no overlap (the MCACHE
+// owner-before-hit discipline hangs off this); TaskGroup must join
+// everything submitted, from any thread.
+// ---------------------------------------------------------------------
+
+TEST(SerialExecutor, RunsTasksInSubmissionOrderWithoutOverlap)
+{
+    ThreadPool pool(3);
+    SerialExecutor chain(&pool);
+    std::vector<int> order;
+    std::atomic<int> in_flight{0};
+    std::atomic<bool> overlapped{false};
+    for (int i = 0; i < 64; ++i) {
+        chain.run([&, i] {
+            if (in_flight.fetch_add(1) != 0)
+                overlapped.store(true);
+            order.push_back(i); // safe iff tasks never overlap
+            in_flight.fetch_sub(1);
+        });
+    }
+    chain.wait();
+    EXPECT_FALSE(overlapped.load());
+    ASSERT_EQ(order.size(), 64u);
+    for (int i = 0; i < 64; ++i)
+        EXPECT_EQ(order[static_cast<size_t>(i)], i);
+
+    // Two executors on one pool do run concurrently with each other;
+    // their combined task count still adds up.
+    SerialExecutor a(&pool), b(&pool);
+    std::atomic<int> ran{0};
+    for (int i = 0; i < 32; ++i) {
+        a.run([&] { ran.fetch_add(1); });
+        b.run([&] { ran.fetch_add(1); });
+    }
+    a.wait();
+    b.wait();
+    EXPECT_EQ(ran.load(), 64);
+}
+
+TEST(SerialExecutor, NullPoolRunsInlineInOrder)
+{
+    SerialExecutor chain(nullptr);
+    std::vector<int> order;
+    for (int i = 0; i < 8; ++i)
+        chain.run([&, i] { order.push_back(i); });
+    chain.wait(); // no-op: everything already ran inline
+    ASSERT_EQ(order.size(), 8u);
+    for (int i = 0; i < 8; ++i)
+        EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(SerialExecutor, ReusableAfterWaitAndDrainsOnDestruction)
+{
+    ThreadPool pool(2);
+    std::atomic<int> ran{0};
+    {
+        SerialExecutor chain(&pool);
+        for (int i = 0; i < 16; ++i)
+            chain.run([&] { ran.fetch_add(1); });
+        chain.wait();
+        EXPECT_EQ(ran.load(), 16);
+        // A drained chain accepts more work.
+        for (int i = 0; i < 16; ++i)
+            chain.run([&] { ran.fetch_add(1); });
+        // Destructor drains the outstanding tail.
+    }
+    EXPECT_EQ(ran.load(), 32);
+}
+
+TEST(SerialExecutor, ManyChainsInterleaveButStayInternallyOrdered)
+{
+    // The conv pass shape: one chain per in-flight filter, every
+    // chain receiving every block in stream order. Each chain records
+    // the block sequence it saw; all must equal the submission order.
+    constexpr int kChains = 4;
+    constexpr int kBlocks = 100;
+    ThreadPool pool(3);
+    std::vector<std::unique_ptr<SerialExecutor>> chains;
+    std::vector<std::vector<int>> seen(kChains);
+    for (int c = 0; c < kChains; ++c)
+        chains.push_back(std::make_unique<SerialExecutor>(&pool));
+    for (int b = 0; b < kBlocks; ++b)
+        for (int c = 0; c < kChains; ++c)
+            chains[static_cast<size_t>(c)]->run(
+                [&seen, c, b] { seen[static_cast<size_t>(c)].push_back(b); });
+    for (auto &chain : chains)
+        chain->wait();
+    for (int c = 0; c < kChains; ++c) {
+        ASSERT_EQ(seen[static_cast<size_t>(c)].size(),
+                  static_cast<size_t>(kBlocks));
+        for (int b = 0; b < kBlocks; ++b)
+            EXPECT_EQ(seen[static_cast<size_t>(c)][static_cast<size_t>(b)],
+                      b);
+    }
+}
+
+TEST(TaskGroup, JoinsAllSubmittedTasks)
+{
+    ThreadPool pool(2);
+    TaskGroup group(&pool);
+    std::atomic<int> ran{0};
+    for (int i = 0; i < 100; ++i)
+        group.run([&] { ran.fetch_add(1); });
+    group.wait();
+    EXPECT_EQ(ran.load(), 100);
+    // A group is reusable after a wait.
+    group.run([&] { ran.fetch_add(1); });
+    group.wait();
+    EXPECT_EQ(ran.load(), 101);
+    // Null pool: inline execution.
+    TaskGroup inline_group(nullptr);
+    inline_group.run([&] { ran.fetch_add(1); });
+    inline_group.wait();
+    EXPECT_EQ(ran.load(), 102);
+}
+
+TEST(TaskGroup, SubmitFromInsideATaskIsJoined)
+{
+    // The streaming pipeline's self-replenishing hash chain submits
+    // the next hash task from inside the current one; wait() must
+    // cover tasks enqueued that way too.
+    ThreadPool pool(2);
+    TaskGroup group(&pool);
+    std::atomic<int> ran{0};
+    group.run([&] {
+        ran.fetch_add(1);
+        group.run([&] {
+            ran.fetch_add(1);
+            group.run([&] { ran.fetch_add(1); });
+        });
+    });
+    group.wait();
+    EXPECT_EQ(ran.load(), 3);
 }
 
 } // namespace
