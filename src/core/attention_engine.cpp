@@ -2,6 +2,7 @@
 
 #include <vector>
 
+#include "core/kernels/kernels.hpp"
 #include "core/reuse_runtime.hpp"
 #include "tensor/ops.hpp"
 #include "util/logging.hpp"
@@ -74,8 +75,11 @@ AttentionEngine::forward(const Tensor &x, ReuseStats &stats,
         }
     };
     pass.copyRow = [&](int64_t i, int64_t o) {
-        for (int64_t j = 0; j < d; ++j)
-            y.at2(i, j) = y.at2(o, j);
+        kernels::ops().copySpan(y.data() + i * d, y.data() + o * d, d);
+    };
+    pass.copyRowSpan = [&](int64_t r0, int64_t r1, int64_t o0) {
+        kernels::ops().copySpan(y.data() + r0 * d, y.data() + o0 * d,
+                                (r1 - r0) * d);
     };
     // A forwarded row skips both of its stages: t*d (W) + t*d (Y).
     pass.rowSkipCost =
@@ -184,8 +188,12 @@ AttentionEngine::backward(const Tensor &x, const Tensor &g,
         }
     };
     rp.copyRow = [&](int64_t i, int64_t o) {
-        for (int64_t j = 0; j < d; ++j)
-            out.at2(i, j) = out.at2(o, j);
+        kernels::ops().copySpan(out.data() + i * d, out.data() + o * d,
+                                d);
+    };
+    rp.copyRowSpan = [&](int64_t r0, int64_t r1, int64_t o0) {
+        kernels::ops().copySpan(out.data() + r0 * d,
+                                out.data() + o0 * d, (r1 - r0) * d);
     };
     rp.rowSkipCost = row_cost;
 

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "core/kernels/kernels.hpp"
+#include "core/span_batcher.hpp"
 #include "util/logging.hpp"
 
 namespace mercury {
@@ -20,14 +22,18 @@ ConvReuseEngine::ConvReuseEngine(DetectionFrontend &frontend, int sig_bits)
 namespace {
 
 /**
- * One filter pass over rows [r0, r1): HIT vectors fetch the owner's dot
- * product from the MCACHE data plane (version slot `ver`), misses
- * compute, MAU rows deposit. Returns the MACs skipped. The runtime
- * guarantees rows arrive in stream order per filter, so every HIT's
- * owner (an earlier MAU row) has already deposited.
+ * One filter pass over rows [r0, r1): HIT vectors fetch the owner's
+ * dot product from the runtime's arena-backed data plane (version
+ * slot `ver`), misses compute, MAU rows deposit. Returns the MACs
+ * skipped. The runtime guarantees rows arrive in stream order per
+ * filter, so every HIT's owner (an earlier MAU row) has already
+ * deposited; each filter owns its version slot exclusively for the
+ * whole channel pass, which is what makes the plane's unsynchronized
+ * access race-free (see pass_arena.hpp) — the per-shard MCACHE locks
+ * this path used to take millions of times per layer are gone.
  */
 uint64_t
-filterSegment(DetectionFrontend &fe, const Tensor &rows,
+filterSegment(PassDataPlane &plane, const Tensor &rows,
               const std::vector<McacheResult> &row_results,
               const float *w, int ver, int64_t r0, int64_t r1, int64_t d,
               float *out_base)
@@ -37,7 +43,7 @@ filterSegment(DetectionFrontend &fe, const Tensor &rows,
         const McacheResult &mr = row_results[static_cast<size_t>(i)];
         float val;
         if (mr.outcome == McacheOutcome::Hit &&
-            fe.readDataIfValid(mr.entryId, ver, val)) {
+            plane.readIfValid(mr.entryId, ver, val)) {
             // Reuse the earlier vector's result.
             skipped += static_cast<uint64_t>(d);
         } else {
@@ -47,7 +53,7 @@ filterSegment(DetectionFrontend &fe, const Tensor &rows,
                 acc += row[e] * w[e];
             val = acc;
             if (mr.outcome == McacheOutcome::Mau)
-                fe.writeData(mr.entryId, ver, acc);
+                plane.write(mr.entryId, ver, acc);
         }
         out_base[i] += val;
     }
@@ -96,19 +102,30 @@ backwardSegment(const std::vector<int64_t> &owner, const float *go,
                 const float *w, float *col, int64_t r0, int64_t r1,
                 int64_t d)
 {
+    const kernels::KernelOps &k = kernels::ops();
     uint64_t skipped = 0;
-    for (int64_t r = r0; r < r1; ++r) {
-        float *dst = col + r * d;
+    int64_t r = r0;
+    while (r < r1) {
         const int64_t o = owner[static_cast<size_t>(r)];
-        if (o != r) {
-            const float *src = col + o * d;
-            std::copy(src, src + d, dst);
-            skipped += static_cast<uint64_t>(d);
-        } else {
-            const float gv = go[r];
-            for (int64_t e = 0; e < d; ++e)
-                dst[e] = gv * w[e];
+        if (o == r) {
+            k.scaleSpan(col + r * d, go[r], w, d);
+            ++r;
+            continue;
         }
+        // Coalesce adjacent HIT rows whose owners are also adjacent
+        // into one span copy: destination rows r.. and source rows
+        // o.. are each contiguous in the column buffer, and the
+        // owner run ends before row r (owners are computed rows, so
+        // the index sets are disjoint and o + len <= r) — the ranges
+        // never overlap.
+        int64_t e = r + 1;
+        while (e < r1 && owner[static_cast<size_t>(e)] != e &&
+               owner[static_cast<size_t>(e)] ==
+                   owner[static_cast<size_t>(e - 1)] + 1)
+            ++e;
+        k.copySpan(col + r * d, col + o * d, (e - r) * d);
+        skipped += static_cast<uint64_t>(e - r) * static_cast<uint64_t>(d);
+        r = e;
     }
     return skipped;
 }
@@ -168,11 +185,24 @@ ConvReuseEngine::forward(const Tensor &input, const Tensor &weight,
                     out[out.offset4(b, oc, 0, 0) + i] = bias[oc];
     }
 
-    const int64_t versions = frontend_->dataVersions();
     ReuseRuntime rt(*frontend_, frontend_.signatureBits());
     const bool overlapped = rt.overlapped();
     if (record)
         record->clear();
+
+    // HIT forwarding runs on the runtime's arena-backed data plane
+    // instead of the locked MCACHE data plane: same validity
+    // semantics, but plain unsynchronized access — the scheduler's
+    // version-slot discipline already guarantees exclusive cells (see
+    // pass_arena.hpp). The plane is host scratch memory, not a model
+    // of the MCACHE's version SRAM (the cycle model still charges the
+    // Fig. 11 version constraint), so it affords one slot PER FILTER:
+    // forwarding only ever reads a value the same filter deposited,
+    // unique slots make that true with every filter of a channel pass
+    // in flight at once — no filter groups, no between-group
+    // invalidation barriers.
+    PassDataPlane &plane = rt.dataPlane();
+    plane.configure(frontend_->entries(), static_cast<int>(cout_g));
 
     // Weight pointer of one filter pass: filter `of` of group g
     // against input channel c.
@@ -223,24 +253,26 @@ ConvReuseEngine::forward(const Tensor &input, const Tensor &weight,
         if (!overlapped)
             extract(p, rows); // Fig. 7a extraction, single buffer pace
 
+        // Pass-start clear of the data plane (the MCACHE tag plane is
+        // cleared by the detection pass itself). Driving thread, no
+        // segments in flight yet — quiescent by construction.
+        plane.invalidateAll();
+
         // One FilterPassSet per channel pass: cout_g filter passes,
-        // `versions` in flight (the multi-version data of Fig. 11),
-        // MCACHE version slot f % versions per filter.
+        // ALL in flight (each filter owns data-plane slot f outright,
+        // so no slot is ever recycled within a pass — the runtime
+        // streams the whole pass through its chains with no group
+        // barriers).
         const std::vector<McacheResult> &row_results = rt.rowResults();
         ReuseRuntime::FilterPassSet set;
         set.rows = v;
         set.filters = cout_g;
-        set.inFlight = versions;
+        set.inFlight = cout_g;
         set.segment = [&, p](int64_t f, int64_t r0, int64_t r1) {
             return filterSegment(
-                *frontend_, rows, row_results, weight_of(p.g, f, p.ic),
-                static_cast<int>(f % versions), r0, r1, d,
+                plane, rows, row_results, weight_of(p.g, f, p.ic),
+                static_cast<int>(f), r0, r1, d,
                 out.data() + out.offset4(p.b, p.g * cout_g + f, 0, 0));
-        };
-        // The streamed group needs no clear: the stream's initial
-        // cache clear also clears every data version.
-        set.beforeGroup = [this](int64_t, int64_t) {
-            frontend_->invalidateAllData();
         };
         // Cross-channel overlap: extract and hash the next pass into
         // the other buffer while this channel's chains drain —
@@ -350,8 +382,17 @@ ConvReuseEngine::backwardInput(const Tensor &gradOut, const Tensor &weight,
                 // Scatter the group's grad columns in the exact
                 // path's accumulation order — filters ascending,
                 // output positions ascending — so a zero-hit replay
-                // reproduces conv2dBackwardInput bit for bit.
+                // reproduces conv2dBackwardInput bit for bit. Each
+                // kernel row clips to one contiguous in-bounds
+                // column window (span_batcher.hpp), so the scatter
+                // runs as one addSpan per (position, kernel row) —
+                // elementwise adds, each cell accumulated in the
+                // same order as the per-element loop it replaces.
                 set.afterGroup = [&](int64_t f0, int64_t f1) {
+                    const kernels::KernelOps &kn = kernels::ops();
+                    float *gin_base =
+                        grad_in.data() +
+                        grad_in.offset4(b, g * cin_g + ic, 0, 0);
                     for (int64_t f = f0; f < f1; ++f) {
                         const float *col =
                             cols[static_cast<size_t>(f % slots)].data();
@@ -359,22 +400,22 @@ ConvReuseEngine::backwardInput(const Tensor &gradOut, const Tensor &weight,
                         for (int64_t y = 0; y < oh; ++y) {
                             for (int64_t x = 0; x < ow; ++x, ++r) {
                                 const float *src = col + r * d;
-                                int64_t e = 0;
+                                const KxSpan kxs = kxSpan(
+                                    x, spec.stride, spec.pad, k, in_w);
+                                if (kxs.kx0 >= kxs.kx1)
+                                    continue;
+                                const int64_t ix0 =
+                                    x * spec.stride - spec.pad +
+                                    kxs.kx0;
                                 for (int64_t ky = 0; ky < k; ++ky) {
-                                    for (int64_t kx = 0; kx < k;
-                                         ++kx, ++e) {
-                                        const int64_t iy =
-                                            y * spec.stride - spec.pad +
-                                            ky;
-                                        const int64_t ix =
-                                            x * spec.stride - spec.pad +
-                                            kx;
-                                        if (iy < 0 || ix < 0 ||
-                                            iy >= in_h || ix >= in_w)
-                                            continue;
-                                        grad_in.at4(b, g * cin_g + ic,
-                                                    iy, ix) += src[e];
-                                    }
+                                    const int64_t iy =
+                                        y * spec.stride - spec.pad + ky;
+                                    if (iy < 0 || iy >= in_h)
+                                        continue;
+                                    kn.addSpan(
+                                        gin_base + iy * in_w + ix0,
+                                        src + ky * k + kxs.kx0,
+                                        kxs.kx1 - kxs.kx0);
                                 }
                             }
                         }
@@ -470,6 +511,7 @@ ConvReuseEngine::backwardWeights(const Tensor &input, const Tensor &gradOut,
                         r1, d);
                 };
                 set.afterGroup = [&](int64_t f0, int64_t f1) {
+                    const kernels::KernelOps &kn = kernels::ops();
                     rt.parallelChains(f1 - f0, [&](int64_t i) {
                         const int64_t f = f0 + i;
                         const int64_t oc = g * cout_g + f;
@@ -481,9 +523,7 @@ ConvReuseEngine::backwardWeights(const Tensor &input, const Tensor &gradOut,
                             if (owner[static_cast<size_t>(r)] != r)
                                 continue;
                             const float gv = gcol[r];
-                            const float *patch = rows.data() + r * d;
-                            for (int64_t e = 0; e < d; ++e)
-                                gw[e] += gv * patch[e];
+                            kn.axpy(gw, gv, rows.data() + r * d, d);
                         }
                     });
                 };

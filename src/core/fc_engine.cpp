@@ -1,5 +1,6 @@
 #include "core/fc_engine.hpp"
 
+#include "core/kernels/kernels.hpp"
 #include "core/reuse_runtime.hpp"
 #include "util/logging.hpp"
 
@@ -77,8 +78,12 @@ FcEngine::forward(const Tensor &input, const Tensor &weight,
     };
     pass.copyRow = [&](int64_t i, int64_t o) {
         // Result forwarding from the earlier PE.
-        for (int64_t j = 0; j < m; ++j)
-            out.at2(i, j) = out.at2(o, j);
+        kernels::ops().copySpan(out.data() + i * m, out.data() + o * m,
+                                m);
+    };
+    pass.copyRowSpan = [&](int64_t r0, int64_t r1, int64_t o0) {
+        kernels::ops().copySpan(out.data() + r0 * m,
+                                out.data() + o0 * m, (r1 - r0) * m);
     };
     pass.rowSkipCost =
         static_cast<uint64_t>(d) * static_cast<uint64_t>(m);
@@ -136,8 +141,12 @@ FcEngine::backwardInput(const Tensor &grad, const Tensor &weight,
         }
     };
     rp.copyRow = [&](int64_t i, int64_t o) {
-        for (int64_t j = 0; j < d; ++j)
-            out.at2(i, j) = out.at2(o, j);
+        kernels::ops().copySpan(out.data() + i * d, out.data() + o * d,
+                                d);
+    };
+    rp.copyRowSpan = [&](int64_t r0, int64_t r1, int64_t o0) {
+        kernels::ops().copySpan(out.data() + r0 * d,
+                                out.data() + o0 * d, (r1 - r0) * d);
     };
     rp.rowSkipCost =
         static_cast<uint64_t>(d) * static_cast<uint64_t>(m);

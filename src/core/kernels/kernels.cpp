@@ -1,0 +1,63 @@
+/**
+ * @file
+ * One-time kernel-table dispatch: AVX2 when compiler and CPU both
+ * allow it, MERCURY_KERNELS=scalar|avx2 to override, scalar always
+ * the fallback.
+ */
+
+#include "core/kernels/kernels.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+#include "util/logging.hpp"
+
+namespace mercury {
+namespace kernels {
+namespace {
+
+/** Test override (pinned table), or null for normal dispatch. */
+std::atomic<const KernelOps *> g_forced{nullptr};
+
+const KernelOps *
+resolve()
+{
+    const char *env = std::getenv("MERCURY_KERNELS");
+    if (env != nullptr && env[0] != '\0') {
+        if (std::strcmp(env, "scalar") == 0)
+            return &scalarOps();
+        if (std::strcmp(env, "avx2") == 0) {
+            if (const KernelOps *t = avx2Ops())
+                return t;
+            warn("MERCURY_KERNELS=avx2 requested but AVX2 is "
+                    "unavailable; using scalar kernels");
+            return &scalarOps();
+        }
+        warn("unknown MERCURY_KERNELS value '", env,
+                "' (expected scalar|avx2); using automatic dispatch");
+    }
+    if (const KernelOps *t = avx2Ops())
+        return t;
+    return &scalarOps();
+}
+
+} // namespace
+
+const KernelOps &
+ops()
+{
+    if (const KernelOps *forced = g_forced.load(std::memory_order_acquire))
+        return *forced;
+    static const KernelOps *dispatched = resolve();
+    return *dispatched;
+}
+
+void
+forceForTesting(const KernelOps *table)
+{
+    g_forced.store(table, std::memory_order_release);
+}
+
+} // namespace kernels
+} // namespace mercury

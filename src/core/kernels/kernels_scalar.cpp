@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Scalar reference bodies of the kernel layer. These are the
+ * bit-identity anchors: the AVX2 bodies must reproduce every output
+ * of these loops exactly (see kernels.hpp for how). The projection
+ * body is the natural per-(row, filter) dot product over the
+ * column-major matrix — the same element order RPQEngine::project()
+ * walks — so it needs no interleaved mirror.
+ */
+
+#include "core/kernels/kernels.hpp"
+
+#include <cstring>
+
+namespace mercury {
+namespace kernels {
+namespace {
+
+void
+projectRowsScalar(const float *rows, int64_t nrows, int64_t d,
+                  const float *cols, const float * /*inter*/,
+                  int /*inter_stride*/, int bits, float *out)
+{
+    for (int64_t r = 0; r < nrows; ++r) {
+        const float *v = rows + r * d;
+        float *acc = out + r * bits;
+        for (int n = 0; n < bits; ++n) {
+            const float *col = cols + static_cast<int64_t>(n) * d;
+            float a = 0.0f;
+            for (int64_t i = 0; i < d; ++i)
+                a += v[i] * col[i];
+            acc[n] = a;
+        }
+    }
+}
+
+void
+signPackScalar(const float *proj, int64_t nrows, int bits,
+               int64_t words_per_row, uint64_t *out)
+{
+    for (int64_t r = 0; r < nrows; ++r) {
+        const float *p = proj + r * bits;
+        uint64_t *w = out + r * words_per_row;
+        std::memset(w, 0, static_cast<size_t>(words_per_row) *
+                              sizeof(uint64_t));
+        for (int n = 0; n < bits; ++n) {
+            if (p[n] < 0.0f)
+                w[n >> 6] |= 1ull << (n & 63);
+        }
+    }
+}
+
+void
+copySpanScalar(float *dst, const float *src, int64_t n)
+{
+    std::memcpy(dst, src, static_cast<size_t>(n) * sizeof(float));
+}
+
+void
+addSpanScalar(float *dst, const float *src, int64_t n)
+{
+    for (int64_t e = 0; e < n; ++e)
+        dst[e] += src[e];
+}
+
+void
+scaleSpanScalar(float *dst, float a, const float *src, int64_t n)
+{
+    for (int64_t e = 0; e < n; ++e)
+        dst[e] = a * src[e];
+}
+
+void
+axpyScalar(float *dst, float a, const float *src, int64_t n)
+{
+    for (int64_t e = 0; e < n; ++e)
+        dst[e] += a * src[e];
+}
+
+const KernelOps kScalarOps = {
+    "scalar",          // name
+    false,             // wantsInterleaved
+    projectRowsScalar, // projectRows
+    signPackScalar,    // signPack
+    copySpanScalar,    // copySpan
+    addSpanScalar,     // addSpan
+    scaleSpanScalar,   // scaleSpan
+    axpyScalar,        // axpy
+};
+
+} // namespace
+
+const KernelOps &
+scalarOps()
+{
+    return kScalarOps;
+}
+
+} // namespace kernels
+} // namespace mercury

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <memory>
 
+#include "core/kernels/kernels.hpp"
+#include "core/span_batcher.hpp"
+
 namespace mercury {
 
 DetectionResult
@@ -17,11 +20,23 @@ ReuseRuntime::deliver(const StreamSource &src, const BlockConsumer &cb)
     return fe_.detectStream(*src.rows_, bits_, cb, src.capture_);
 }
 
+void
+ReuseRuntime::sizeRowResults(const StreamSource &src)
+{
+    // Sized once, from the source's row count, before any block is
+    // delivered — the stream callbacks and serial fills below only
+    // write elements in place (capacity persists across passes, so
+    // steady state never reallocates).
+    if (!src.isReplay())
+        rowResults_.resize(static_cast<size_t>(src.rowCount()));
+}
+
 DetectionResult
 ReuseRuntime::consumeSerial(const StreamSource &src)
 {
     if (src.pass_)
         return DetectionResult{};
+    sizeRowResults(src);
     DetectionResult det;
     if (src.job_) {
         det = fe_.finishStream(
@@ -30,7 +45,6 @@ ReuseRuntime::consumeSerial(const StreamSource &src)
         det = fe_.detect(*src.rows_, bits_, src.capture_);
     }
     const int64_t n = det.hitmap.size();
-    rowResults_.resize(static_cast<size_t>(n));
     for (int64_t i = 0; i < n; ++i) {
         rowResults_[static_cast<size_t>(i)] = {det.hitmap.outcome(i),
                                                det.hitmap.entryId(i)};
@@ -66,22 +80,29 @@ ReuseRuntime::runFilterPasses(const StreamSource &src,
     int64_t f_done = 0;
 
     if (overlapped()) {
-        // The first in-flight group consumes the stream: one serial
-        // chain per filter keeps that filter's blocks in delivery
-        // order (owner-before-hit within a filter) while distinct
-        // filters run in parallel and later blocks still hash.
+        // The first in-flight group consumes the stream. Each serial
+        // chain owns a contiguous RANGE of the group's filters: every
+        // block of a filter flows through one chain in delivery order
+        // (owner-before-hit within a filter), distinct chains run in
+        // parallel, and later blocks still hash. Chain width is
+        // capped at the pool's executor count — more chains than
+        // executors cannot add parallelism, only task churn (the
+        // in-flight group can be as wide as every filter of the pass
+        // when the engine's per-filter state allows it).
         ThreadPool *p = pool();
         const int64_t group0 =
             std::min<int64_t>(set.inFlight, set.filters);
-        std::vector<std::unique_ptr<SerialExecutor>> chains;
-        std::vector<uint64_t> skipped(static_cast<size_t>(group0), 0);
-        chains.reserve(static_cast<size_t>(group0));
-        for (int64_t f = 0; f < group0; ++f)
-            chains.push_back(std::make_unique<SerialExecutor>(p));
+        const int64_t nchains = std::min<int64_t>(
+            group0, static_cast<int64_t>(p->workers()) + 1);
+        // The consumer chains are runtime members reused across
+        // channel passes; a drained SerialExecutor is safely
+        // re-armed by its next run().
+        while (static_cast<int64_t>(chains_.size()) < nchains)
+            chains_.push_back(std::make_unique<SerialExecutor>(p));
+        std::vector<uint64_t> skipped(static_cast<size_t>(nchains), 0);
 
         const bool live = !src.isReplay();
-        if (live)
-            rowResults_.resize(static_cast<size_t>(src.rowCount()));
+        sizeRowResults(src);
         det = deliver(src, [&](const DetectionBlock &blk) {
             if (live) {
                 // The block's result pointers die with the callback;
@@ -90,11 +111,16 @@ ReuseRuntime::runFilterPasses(const StreamSource &src,
                 std::copy(blk.results, blk.results + blk.rows(),
                           rowResults_.begin() + blk.row0);
             }
-            for (int64_t f = 0; f < group0; ++f) {
-                chains[static_cast<size_t>(f)]->run(
-                    [&set, &skipped, f, r0 = blk.row0, r1 = blk.row1] {
-                        skipped[static_cast<size_t>(f)] +=
-                            set.segment(f, r0, r1);
+            for (int64_t c = 0; c < nchains; ++c) {
+                const int64_t f0 = c * group0 / nchains;
+                const int64_t f1 = (c + 1) * group0 / nchains;
+                chains_[static_cast<size_t>(c)]->run(
+                    [&set, &skipped, c, f0, f1, r0 = blk.row0,
+                     r1 = blk.row1] {
+                        uint64_t s = 0;
+                        for (int64_t f = f0; f < f1; ++f)
+                            s += set.segment(f, r0, r1);
+                        skipped[static_cast<size_t>(c)] += s;
                     });
             }
         });
@@ -102,8 +128,8 @@ ReuseRuntime::runFilterPasses(const StreamSource &src,
         // the chains may still be draining.
         if (set.onStreamDelivered)
             set.onStreamDelivered();
-        for (auto &chain : chains)
-            chain->wait();
+        for (int64_t c = 0; c < nchains; ++c)
+            chains_[static_cast<size_t>(c)]->wait();
         for (const uint64_t s : skipped)
             stats.macsSkipped += s;
         if (set.afterGroup)
@@ -150,40 +176,62 @@ ReuseRuntime::runRows(const StreamSource &src, const RowPass &pass,
         // while later blocks hash; forwarded rows are copied after
         // the joins (owners are always computed rows, so forwarding
         // chains have depth one). Bookkeeping runs on this thread in
-        // stream order.
+        // stream order. All per-pass lists live in the runtime arena:
+        // the computed slab is indexed by block start (each block's
+        // batch is a stable slice the fanned-out task reads), and the
+        // forward lists grow only on this thread.
         ThreadPool *p = pool();
+        arena_.reset();
+        const int64_t n = src.rowCount();
+        int64_t *fwd_rows = arena_.indices(n);
+        int64_t *fwd_owners = arena_.indices(n);
+        int64_t *computed = arena_.indices(n);
+        int64_t nfwd = 0;
         TaskGroup computes(p);
-        struct Forward
-        {
-            int64_t row;
-            int64_t owner;
-        };
-        std::vector<Forward> forwards;
         det = deliver(src, [&](const DetectionBlock &blk) {
-            std::vector<int64_t> computed;
+            int64_t *batch = computed + blk.row0;
+            int64_t nc = 0;
             for (int64_t i = blk.row0; i < blk.row1; ++i) {
                 const int64_t o =
                     pass.ownerOf(i, blk.results[i - blk.row0]);
                 if (o != i) {
-                    forwards.push_back({i, o});
+                    fwd_rows[nfwd] = i;
+                    fwd_owners[nfwd] = o;
+                    ++nfwd;
                     stats.macsSkipped += pass.rowSkipCost;
                 } else {
-                    computed.push_back(i);
+                    batch[nc++] = i;
                 }
             }
-            if (!computed.empty()) {
-                computes.run([&pass, batch = std::move(computed)] {
-                    for (const int64_t i : batch)
-                        pass.computeRow(i);
+            if (nc > 0) {
+                computes.run([&pass, batch, nc] {
+                    for (int64_t j = 0; j < nc; ++j)
+                        pass.computeRow(batch[j]);
                 });
             }
         });
         computes.wait();
-        p->parallelFor(
-            static_cast<int64_t>(forwards.size()), [&](int64_t k) {
-                const Forward fwd = forwards[static_cast<size_t>(k)];
-                pass.copyRow(fwd.row, fwd.owner);
-            });
+        // Coalesce adjacent forwards (rows and owners both stepping
+        // by one) into span copies; the spans partition the forward
+        // list, so span j is [starts[j], starts[j+1]).
+        int64_t *starts = arena_.indices(nfwd);
+        int64_t nspans = 0;
+        forEachConsecutiveSpan(fwd_rows, fwd_owners, nfwd,
+                               [&](int64_t i0, int64_t) {
+                                   starts[nspans++] = i0;
+                               });
+        p->parallelFor(nspans, [&](int64_t j) {
+            const int64_t i0 = starts[j];
+            const int64_t i1 = j + 1 < nspans ? starts[j + 1] : nfwd;
+            if (i1 - i0 > 1 && pass.copyRowSpan) {
+                pass.copyRowSpan(fwd_rows[i0],
+                                 fwd_rows[i0] + (i1 - i0),
+                                 fwd_owners[i0]);
+            } else {
+                for (int64_t i = i0; i < i1; ++i)
+                    pass.copyRow(fwd_rows[i], fwd_owners[i]);
+            }
+        });
     } else {
         det = consumeSerial(src);
         const int64_t n = src.rowCount();
@@ -246,21 +294,25 @@ weightGradReplay(ReuseRuntime &rt, const SignatureRecord &record,
     // Group sums over the pass's b-rows: the owner slot starts as a
     // copy of its own row (bit-exact for singleton groups), HIT rows
     // fold in with adds. Stream order guarantees the owner's copy
-    // lands before any of its hits accumulate.
-    std::vector<float> gsum(static_cast<size_t>(n * db), 0.0f);
+    // lands before any of its hits accumulate. The buffer comes from
+    // the runtime's scratch arena (no per-pass allocation); owner
+    // slots are always copy-initialized before any read and
+    // non-owner slots are never read, so it needs no zero fill.
+    rt.scratch().reset();
+    float *gsum = rt.scratch().floats(n * db);
     Tensor out({da, db});
+    const kernels::KernelOps &k = kernels::ops();
 
     ReuseRuntime::ScanPass scan;
     scan.scan = [&](int64_t r0, int64_t r1) {
         for (int64_t r = r0; r < r1; ++r) {
             const int64_t o = owner[static_cast<size_t>(r)];
-            float *dst = gsum.data() + o * db;
+            float *dst = gsum + o * db;
             const float *src = b.data() + r * db;
             if (o == r) {
-                std::copy(src, src + db, dst);
+                k.copySpan(dst, src, db);
             } else {
-                for (int64_t p = 0; p < db; ++p)
-                    dst[p] += src[p];
+                k.addSpan(dst, src, db);
                 stats.macsSkipped += static_cast<uint64_t>(da) *
                                      static_cast<uint64_t>(db);
             }
@@ -271,15 +323,14 @@ weightGradReplay(ReuseRuntime &rt, const SignatureRecord &record,
     // matmul(transpose2d(a), b) walks for row j.
     scan.finishItems = da;
     scan.finishItem = [&](int64_t j) {
+        float *oj = out.data() + j * db;
         for (int64_t r = 0; r < n; ++r) {
             if (owner[static_cast<size_t>(r)] != r)
                 continue;
             const float av = a.at2(r, j);
             if (av == 0.0f)
                 continue;
-            const float *gs = gsum.data() + r * db;
-            for (int64_t p = 0; p < db; ++p)
-                out.at2(j, p) += av * gs[p];
+            k.axpy(oj, av, gsum + r * db, db);
         }
     };
 

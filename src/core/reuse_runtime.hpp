@@ -49,9 +49,11 @@
  *    it computes or copies its owner's result. Computed rows are
  *    mutually independent and fan out through a TaskGroup while later
  *    blocks still hash; copies run after the joins (owners are always
- *    computed rows, so forwarding chains have depth one). FC and
- *    attention forward, and both of their input-gradient replays, are
- *    RowPasses.
+ *    computed rows, so forwarding chains have depth one), with
+ *    adjacent forwards whose owners are also adjacent coalesced into
+ *    single span copies (span_batcher.hpp, RowPass::copyRowSpan). FC
+ *    and attention forward, and both of their input-gradient replays,
+ *    are RowPasses.
  *
  *  - ScanPass — an ordered scan over the stream on the driving thread
  *    (per-owner group accumulation, §III-C2 sum-then-multiply),
@@ -66,8 +68,11 @@
  * block's MCACHE probe happens-before its delivery. Chained segments
  * of one filter run in delivery order and never concurrently with
  * each other; segments of different filters, and computed-row tasks,
- * run concurrently on the pool and may touch the MCACHE data plane
- * (per-shard locks serialize that; see ShardedMCache). Block result
+ * run concurrently on the pool. Conv-forward HIT forwarding runs on
+ * the runtime's arena-backed PassDataPlane, where the per-filter
+ * version-slot discipline makes unsynchronized access race-free (see
+ * pass_arena.hpp); the MCACHE data plane remains available to
+ * callers and is serialized by per-shard locks. Block result
  * pointers die when the delivery callback returns — the runtime
  * copies them into rowResults() before any chain task can run.
  * Replay sources never touch the MCACHE at all. With overlap disabled
@@ -81,8 +86,10 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <vector>
 
+#include "core/pass_arena.hpp"
 #include "pipeline/detection_frontend.hpp"
 #include "pipeline/signature_record.hpp"
 #include "sim/dataflow.hpp"
@@ -235,6 +242,17 @@ class ReuseRuntime
             ownerOf;
         std::function<void(int64_t row)> computeRow;
         std::function<void(int64_t row, int64_t owner)> copyRow;
+        /**
+         * Optional span form of copyRow: copy rows [row0, row1) from
+         * owners [owner0, owner0 + (row1 - row0)) in one move. The
+         * overlapped scheduler coalesces adjacent forwards whose rows
+         * and owners both step by one (see span_batcher.hpp — such
+         * source/destination ranges never overlap) and calls this
+         * instead of per-row copies; per-row copyRow remains the
+         * fallback for singletons and when this is unset.
+         */
+        std::function<void(int64_t row0, int64_t row1, int64_t owner0)>
+            copyRowSpan;
         uint64_t rowSkipCost = 0;
     };
 
@@ -273,6 +291,26 @@ class ReuseRuntime
         return rowResults_;
     }
 
+    /**
+     * Engine-facing scratch arena: cache-aligned buffers that persist
+     * across the runtime's passes (see pass_arena.hpp). The engine
+     * owns the reset cadence — reset only between its own passes,
+     * never while tasks of a running pass may still touch a taken
+     * buffer. (The runtime's internal bookkeeping uses a separate
+     * arena reset at every run* entry, so engine buffers survive
+     * run* calls.)
+     */
+    PassArena &scratch() { return scratch_; }
+
+    /**
+     * The arena-backed per-pass data plane (see pass_arena.hpp): the
+     * lock-free replacement for the MCACHE data plane in conv-forward
+     * HIT forwarding. The engine configures it per layer call and
+     * invalidates it between filter groups; storage persists across
+     * passes.
+     */
+    PassDataPlane &dataPlane() { return plane_; }
+
     /** Run one chained filter-pass set over the stream. */
     DetectionResult runFilterPasses(const StreamSource &src,
                                     const FilterPassSet &set,
@@ -298,10 +336,19 @@ class ReuseRuntime
     DetectionFrontend &fe_;
     int bits_;
     std::vector<McacheResult> rowResults_;
+    PassArena arena_;   ///< runtime bookkeeping; reset at run* entry
+    PassArena scratch_; ///< engine scratch; engine-owned reset cadence
+    PassDataPlane plane_;
+    /// Reused stream-consumer chains (runFilterPasses); constructing
+    /// a SerialExecutor per filter per channel pass was measurable.
+    std::vector<std::unique_ptr<SerialExecutor>> chains_;
 
     /** Stream the source's blocks to `cb` (overlapped delivery). */
     DetectionResult deliver(const StreamSource &src,
                             const BlockConsumer &cb);
+
+    /** Size rowResults_ once from the source, before streaming. */
+    void sizeRowResults(const StreamSource &src);
 
     /** Serial consumption: batch-detect live sources, fill results. */
     DetectionResult consumeSerial(const StreamSource &src);

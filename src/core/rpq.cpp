@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "core/kernels/kernels.hpp"
 #include "util/logging.hpp"
 
 namespace mercury {
@@ -98,47 +99,16 @@ RPQEngine::projectBlock(const Tensor &rows, int64_t row0, int64_t row1,
     if (bits <= 0 || bits > maxBits_)
         panic("projectBlock asked for ", bits, " bits, engine has ",
               maxBits_);
-    const int64_t d = vectorDim_;
-    const int mb = maxBits_;
-    const float *m = interleaved();
-    std::fill(out, out + (row1 - row0) * bits, 0.0f);
-
-    // 4-row microtile: each interleaved matrix line is streamed once
-    // per four rows instead of once per row. Every (row, filter)
-    // accumulator still sums elements in ascending i order, so the
-    // results stay bit-identical to the scalar project() path.
-    int64_t r = row0;
-    for (; r + 4 <= row1; r += 4) {
-        const float *v0 = rows.data() + r * d;
-        const float *v1 = v0 + d;
-        const float *v2 = v1 + d;
-        const float *v3 = v2 + d;
-        float *a0 = out + (r - row0) * bits;
-        float *a1 = a0 + bits;
-        float *a2 = a1 + bits;
-        float *a3 = a2 + bits;
-        for (int64_t i = 0; i < d; ++i) {
-            const float *mi = m + i * mb;
-            const float x0 = v0[i], x1 = v1[i], x2 = v2[i], x3 = v3[i];
-            for (int n = 0; n < bits; ++n) {
-                const float w = mi[n];
-                a0[n] += x0 * w;
-                a1[n] += x1 * w;
-                a2[n] += x2 * w;
-                a3[n] += x3 * w;
-            }
-        }
-    }
-    for (; r < row1; ++r) {
-        const float *v = rows.data() + r * d;
-        float *acc = out + (r - row0) * bits;
-        for (int64_t i = 0; i < d; ++i) {
-            const float vi = v[i];
-            const float *mi = m + i * mb;
-            for (int n = 0; n < bits; ++n)
-                acc[n] += vi * mi[n];
-        }
-    }
+    // The active kernel table does the work: every table accumulates
+    // each (row, filter) sum in ascending element order with mul+add,
+    // so results are bit-identical to the scalar project() path no
+    // matter which table dispatched. Only tables that read the
+    // bit-interleaved mirror pay for building it.
+    const kernels::KernelOps &k = kernels::ops();
+    k.projectRows(rows.data() + row0 * vectorDim_, row1 - row0,
+                  vectorDim_, matrix_.data(),
+                  k.wantsInterleaved ? interleaved() : nullptr, maxBits_,
+                  bits, out);
 }
 
 void
@@ -146,19 +116,23 @@ RPQEngine::signatureBlock(const Tensor &rows, int64_t row0, int64_t row1,
                           int bits, Signature *out) const
 {
     // Tile so the projection block stays L1-resident even for long
-    // signatures.
+    // signatures; the sign-pack kernel turns each tile's projections
+    // into packed words, which construct Signatures without touching
+    // individual bits.
     constexpr int64_t kTileRows = 32;
+    const int wpr = Signature::wordsFor(bits);
     std::vector<float> proj(static_cast<size_t>(kTileRows) *
                             static_cast<size_t>(std::max(bits, 1)));
+    std::vector<uint64_t> words(static_cast<size_t>(kTileRows) *
+                                static_cast<size_t>(std::max(wpr, 1)));
+    const kernels::KernelOps &k = kernels::ops();
     for (int64_t t0 = row0; t0 < row1; t0 += kTileRows) {
         const int64_t t1 = std::min(row1, t0 + kTileRows);
         projectBlock(rows, t0, t1, bits, proj.data());
+        k.signPack(proj.data(), t1 - t0, bits, wpr, words.data());
         for (int64_t r = t0; r < t1; ++r) {
-            const float *p = proj.data() + (r - t0) * bits;
-            Signature sig(bits);
-            for (int n = 0; n < bits; ++n)
-                sig.setBit(n, p[n] < 0.0f);
-            out[r - row0] = std::move(sig);
+            out[r - row0] = Signature::fromWords(
+                bits, words.data() + (r - t0) * wpr);
         }
     }
 }

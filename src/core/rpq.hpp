@@ -61,12 +61,12 @@ class RPQEngine
      * Blocked matrix-matrix projection (the pipeline's batch front
      * end, Fig. 7/8): project rows [row0, row1) of a (n, d) matrix
      * against the first `bits` random filters at once, writing a
-     * row-major (row1 - row0, bits) block to `out`. Uses the
-     * bit-interleaved mirror of the projection matrix so the inner
-     * loop runs over independent per-filter accumulators (vectorizes,
-     * no serial FP dependence), while each per-(row, filter) sum
-     * accumulates in the same element order as project() — results
-     * are bit-identical to the scalar path.
+     * row-major (row1 - row0, bits) block to `out`. Runs through the
+     * dispatched kernel table (src/core/kernels/): the AVX2 body
+     * vectorizes over independent per-filter accumulators of the
+     * bit-interleaved matrix mirror, while each per-(row, filter)
+     * sum accumulates in the same element order as project() —
+     * results are bit-identical to the scalar path.
      */
     void projectBlock(const Tensor &rows, int64_t row0, int64_t row1,
                       int bits, float *out) const;
@@ -104,9 +104,9 @@ class RPQEngine
     std::vector<float> matrix_;
     // Bit-interleaved mirror for the blocked projection: element i of
     // every filter is contiguous at [i * maxBits_, (i + 1) * maxBits_).
-    // Built lazily on the first projectBlock call (scalar-only users
-    // never pay the 2x matrix memory); call_once keeps concurrent
-    // block projections safe.
+    // Built lazily on the first projectBlock call under a kernel
+    // table that wants it (the scalar table never pays the 2x matrix
+    // memory); call_once keeps concurrent block projections safe.
     mutable std::vector<float> interleaved_;
     mutable std::once_flag interleavedOnce_;
 

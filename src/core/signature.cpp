@@ -5,11 +5,29 @@
 namespace mercury {
 
 Signature::Signature(int bits)
-    : bits_(bits),
-      words_(static_cast<size_t>(wordsFor(bits)), 0)
+    : bits_(bits)
 {
     if (bits < 0)
         panic("negative signature length ", bits);
+    if (bits > 64)
+        overflow_.assign(static_cast<size_t>(wordsFor(bits) - 1), 0);
+}
+
+Signature
+Signature::fromWords(int bits, const uint64_t *words)
+{
+    Signature out(bits);
+    if (bits <= 0)
+        return out;
+    const int nw = wordsFor(bits);
+    out.word0_ = words[0];
+    for (int w = 1; w < nw; ++w)
+        out.overflow_[static_cast<size_t>(w - 1)] = words[w];
+    // Keep the invariant the word-wise operator== and hash() rely on:
+    // bits past the length are zero.
+    if (bits & 63)
+        out.wordRef(nw - 1) &= (1ull << (bits & 63)) - 1;
+    return out;
 }
 
 void
@@ -20,30 +38,12 @@ Signature::checkIndex(int i) const
               " bits");
 }
 
-bool
-Signature::bit(int i) const
-{
-    checkIndex(i);
-    return (words_[static_cast<size_t>(i / 64)] >> (i % 64)) & 1;
-}
-
-void
-Signature::setBit(int i, bool value)
-{
-    checkIndex(i);
-    const uint64_t mask = 1ull << (i % 64);
-    if (value)
-        words_[static_cast<size_t>(i / 64)] |= mask;
-    else
-        words_[static_cast<size_t>(i / 64)] &= ~mask;
-}
-
 void
 Signature::appendBit(bool value)
 {
     ++bits_;
-    if (wordsFor(bits_) > static_cast<int>(words_.size()))
-        words_.push_back(0);
+    if (wordsFor(bits_) - 1 > static_cast<int>(overflow_.size()))
+        overflow_.push_back(0);
     setBit(bits_ - 1, value);
 }
 
@@ -54,15 +54,11 @@ Signature::prefix(int bits) const
         panic("prefix of ", bits, " bits from a ", bits_,
               "-bit signature");
     Signature out(bits);
-    for (int i = 0; i < bits; ++i)
-        out.setBit(i, bit(i));
+    for (int w = 0; w < wordsFor(bits); ++w)
+        out.wordRef(w) = word(w);
+    if (bits & 63)
+        out.wordRef(wordsFor(bits) - 1) &= (1ull << (bits & 63)) - 1;
     return out;
-}
-
-bool
-Signature::operator==(const Signature &other) const
-{
-    return bits_ == other.bits_ && words_ == other.words_;
 }
 
 uint64_t
@@ -71,8 +67,8 @@ Signature::hash() const
     // SplitMix64-style mixing over the words plus the length, so
     // signatures of different lengths never alias.
     uint64_t h = 0x9E3779B97F4A7C15ull ^ static_cast<uint64_t>(bits_);
-    for (uint64_t w : words_) {
-        h ^= w + 0x9E3779B97F4A7C15ull + (h << 6) + (h >> 2);
+    for (int w = 0; w < wordsFor(bits_); ++w) {
+        h ^= word(w) + 0x9E3779B97F4A7C15ull + (h << 6) + (h >> 2);
         h *= 0xBF58476D1CE4E5B9ull;
         h ^= h >> 27;
     }

@@ -3,6 +3,13 @@
  * RPQ signatures: variable-length bit sequences produced by random
  * projection + sign quantization (§II-A). Two input vectors with the
  * same signature are considered similar.
+ *
+ * Storage is small-buffer optimized: the first 64 bits live inline
+ * (word0_) and only longer signatures allocate an overflow vector.
+ * Practical signature lengths sit well under 64 bits (the adaptive
+ * controller tops out at 16–32), so the hashing hot path — thousands
+ * of Signature constructions per channel pass in the streaming
+ * pipeline — performs zero heap allocations.
  */
 
 #ifndef MERCURY_CORE_SIGNATURE_HPP
@@ -24,13 +31,36 @@ class Signature
     /** Zero-initialized signature of the given bit length. */
     explicit Signature(int bits);
 
+    /**
+     * Signature from pre-packed little-endian words (the sign-pack
+     * kernel's output format): bit i is (words[i/64] >> (i%64)) & 1.
+     * Bits beyond `bits` in the last word are masked off.
+     */
+    static Signature fromWords(int bits, const uint64_t *words);
+
+    /** 64-bit words needed for a bit length. */
+    static int wordsFor(int bits) { return (bits + 63) / 64; }
+
     int bits() const { return bits_; }
 
     /** Read bit i (0-based). */
-    bool bit(int i) const;
+    bool bit(int i) const
+    {
+        checkIndex(i);
+        return (word(i >> 6) >> (i & 63)) & 1;
+    }
 
     /** Set bit i (0-based). */
-    void setBit(int i, bool value);
+    void setBit(int i, bool value)
+    {
+        checkIndex(i);
+        const uint64_t mask = 1ull << (i & 63);
+        uint64_t &w = wordRef(i >> 6);
+        if (value)
+            w |= mask;
+        else
+            w &= ~mask;
+    }
 
     /** Append one bit, growing the length (adaptive growth §III-D). */
     void appendBit(bool value);
@@ -42,7 +72,11 @@ class Signature
      */
     Signature prefix(int bits) const;
 
-    bool operator==(const Signature &other) const;
+    bool operator==(const Signature &other) const
+    {
+        return bits_ == other.bits_ && word0_ == other.word0_ &&
+               overflow_ == other.overflow_;
+    }
     bool operator!=(const Signature &other) const
     {
         return !(*this == other);
@@ -56,9 +90,17 @@ class Signature
 
   private:
     int bits_ = 0;
-    std::vector<uint64_t> words_;
+    uint64_t word0_ = 0;             ///< inline first word (bits 0..63)
+    std::vector<uint64_t> overflow_; ///< words 1.. for bits_ > 64
 
-    static int wordsFor(int bits) { return (bits + 63) / 64; }
+    uint64_t word(int w) const
+    {
+        return w == 0 ? word0_ : overflow_[static_cast<size_t>(w - 1)];
+    }
+    uint64_t &wordRef(int w)
+    {
+        return w == 0 ? word0_ : overflow_[static_cast<size_t>(w - 1)];
+    }
     void checkIndex(int i) const;
 };
 

@@ -39,6 +39,14 @@ ThreadPool::submit(std::function<void()> task)
     {
         std::lock_guard<std::mutex> lock(mutex_);
         queue_.push_back(std::move(task));
+        // Every worker is awake: each is either running a task (and
+        // will re-check the queue under the mutex before sleeping) or
+        // between the idle decrement and its own queue check — either
+        // way the new task is seen without a wakeup. Skipping the
+        // notify elides a futex syscall per submit on the streaming
+        // hot path, where submits vastly outnumber sleeps.
+        if (idleWorkers_ == 0)
+            return;
     }
     ready_.notify_one();
 }
@@ -50,8 +58,11 @@ ThreadPool::workerLoop()
         std::function<void()> task;
         {
             std::unique_lock<std::mutex> lock(mutex_);
-            ready_.wait(lock,
-                        [this] { return stopping_ || !queue_.empty(); });
+            while (!stopping_ && queue_.empty()) {
+                ++idleWorkers_;
+                ready_.wait(lock);
+                --idleWorkers_;
+            }
             if (queue_.empty())
                 return; // stopping and drained
             task = std::move(queue_.front());

@@ -77,6 +77,7 @@ class ThreadPool
     std::deque<std::function<void()>> queue_;
     std::mutex mutex_;
     std::condition_variable ready_;
+    int idleWorkers_ = 0; ///< workers asleep in ready_.wait
     bool stopping_ = false;
 
     void workerLoop();

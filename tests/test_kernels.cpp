@@ -1,0 +1,421 @@
+/**
+ * @file
+ * Tests for the runtime-dispatched SIMD kernel layer: exact
+ * AVX2-vs-scalar bit-identity of every KernelOps body across odd
+ * shapes and tails, the span-batching helpers, the PassArena /
+ * PassDataPlane contracts, and end-to-end engine bit-identity under a
+ * forced kernel table.
+ *
+ * AVX2-specific cases skip (GTEST_SKIP) on hosts without AVX2; the
+ * scalar path and the helpers are covered everywhere.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <random>
+#include <vector>
+
+#include "core/conv_reuse_engine.hpp"
+#include "core/fc_engine.hpp"
+#include "core/kernels/kernels.hpp"
+#include "core/mcache.hpp"
+#include "core/pass_arena.hpp"
+#include "core/rpq.hpp"
+#include "core/signature.hpp"
+#include "core/span_batcher.hpp"
+#include "util/rng.hpp"
+
+namespace mercury {
+namespace {
+
+using kernels::KernelOps;
+
+/** Restores normal dispatch when a forced-table test exits. */
+struct ForceGuard
+{
+    explicit ForceGuard(const KernelOps *t)
+    {
+        kernels::forceForTesting(t);
+    }
+    ~ForceGuard() { kernels::forceForTesting(nullptr); }
+};
+
+std::vector<float>
+randomFloats(int64_t n, uint64_t seed)
+{
+    std::mt19937_64 rng(seed);
+    std::uniform_real_distribution<float> dist(-2.0f, 2.0f);
+    std::vector<float> v(static_cast<size_t>(n));
+    for (float &x : v)
+        x = dist(rng);
+    return v;
+}
+
+TEST(Kernels, ScalarTableAlwaysAvailable)
+{
+    const KernelOps &sc = kernels::scalarOps();
+    EXPECT_STREQ(sc.name, "scalar");
+    EXPECT_FALSE(sc.wantsInterleaved);
+    const KernelOps &active = kernels::ops();
+    EXPECT_TRUE(std::string(active.name) == "scalar" ||
+                std::string(active.name) == "avx2");
+}
+
+TEST(Kernels, ProjectRowsBitIdentity)
+{
+    const KernelOps *ax = kernels::avx2Ops();
+    if (!ax)
+        GTEST_SKIP() << "host lacks AVX2";
+    const KernelOps &sc = kernels::scalarOps();
+
+    // Odd row counts exercise the 4-row register-tile tail; odd bit
+    // counts exercise the 8-filter lane tail; 67 bits exercises
+    // multi-word signatures downstream.
+    for (int64_t nrows : {1, 3, 7, 33}) {
+        for (int64_t d : {9, 16, 25, 27}) {
+            for (int bits : {1, 7, 8, 16, 31, 64, 67}) {
+                const std::vector<float> rows = randomFloats(
+                    nrows * d,
+                    1000 + static_cast<uint64_t>(nrows * d * bits));
+                std::vector<float> cols(
+                    static_cast<size_t>(d) * bits);
+                std::vector<float> inter(
+                    static_cast<size_t>(d) * bits);
+                const std::vector<float> vals = randomFloats(
+                    d * bits, 77 + static_cast<uint64_t>(bits));
+                for (int n = 0; n < bits; ++n)
+                    for (int64_t i = 0; i < d; ++i) {
+                        const float v =
+                            vals[static_cast<size_t>(n) * d + i];
+                        cols[static_cast<size_t>(n) * d + i] = v;
+                        inter[static_cast<size_t>(i) * bits + n] = v;
+                    }
+                std::vector<float> out_sc(
+                    static_cast<size_t>(nrows) * bits, -7.0f);
+                std::vector<float> out_ax(out_sc);
+                sc.projectRows(rows.data(), nrows, d, cols.data(),
+                               nullptr, bits, bits, out_sc.data());
+                ax->projectRows(rows.data(), nrows, d, cols.data(),
+                                inter.data(), bits, bits,
+                                out_ax.data());
+                // Bit-identity, not tolerance: memcmp the blocks.
+                ASSERT_EQ(0, std::memcmp(out_sc.data(), out_ax.data(),
+                                         out_sc.size() *
+                                             sizeof(float)))
+                    << "nrows=" << nrows << " d=" << d
+                    << " bits=" << bits;
+            }
+        }
+    }
+}
+
+TEST(Kernels, ProjectRowsStridedInterleave)
+{
+    // inter_stride > bits: the mirror is built for max_bits but a
+    // narrower projection reads only the first `bits` lanes.
+    const KernelOps *ax = kernels::avx2Ops();
+    if (!ax)
+        GTEST_SKIP() << "host lacks AVX2";
+    const int64_t d = 27, nrows = 13;
+    const int max_bits = 48, bits = 19;
+    const std::vector<float> rows = randomFloats(nrows * d, 5);
+    const std::vector<float> vals = randomFloats(d * max_bits, 6);
+    std::vector<float> cols(static_cast<size_t>(d) * max_bits);
+    std::vector<float> inter(static_cast<size_t>(d) * max_bits);
+    for (int n = 0; n < max_bits; ++n)
+        for (int64_t i = 0; i < d; ++i) {
+            const float v = vals[static_cast<size_t>(n) * d + i];
+            cols[static_cast<size_t>(n) * d + i] = v;
+            inter[static_cast<size_t>(i) * max_bits + n] = v;
+        }
+    std::vector<float> out_sc(static_cast<size_t>(nrows) * bits);
+    std::vector<float> out_ax(out_sc);
+    kernels::scalarOps().projectRows(rows.data(), nrows, d,
+                                     cols.data(), nullptr, max_bits,
+                                     bits, out_sc.data());
+    ax->projectRows(rows.data(), nrows, d, cols.data(), inter.data(),
+                    max_bits, bits, out_ax.data());
+    EXPECT_EQ(0, std::memcmp(out_sc.data(), out_ax.data(),
+                             out_sc.size() * sizeof(float)));
+}
+
+TEST(Kernels, SignPackBitIdentity)
+{
+    const KernelOps *ax = kernels::avx2Ops();
+    if (!ax)
+        GTEST_SKIP() << "host lacks AVX2";
+    const KernelOps &sc = kernels::scalarOps();
+    for (int64_t nrows : {1, 3, 9}) {
+        for (int bits : {1, 7, 8, 16, 31, 63, 64, 67, 128, 130}) {
+            const int64_t wpr = Signature::wordsFor(bits);
+            std::vector<float> proj =
+                randomFloats(nrows * bits, 31 * bits + nrows);
+            // Plant the trap values: -0.0f must NOT set the bit
+            // (matches p < 0.0f), +0.0f must not either.
+            proj[0] = -0.0f;
+            if (proj.size() > 1)
+                proj[1] = 0.0f;
+            std::vector<uint64_t> w_sc(
+                static_cast<size_t>(nrows * wpr), ~0ull);
+            std::vector<uint64_t> w_ax(w_sc);
+            sc.signPack(proj.data(), nrows, bits, wpr, w_sc.data());
+            ax->signPack(proj.data(), nrows, bits, wpr, w_ax.data());
+            ASSERT_EQ(w_sc, w_ax) << "nrows=" << nrows
+                                  << " bits=" << bits;
+            EXPECT_EQ(0u, w_sc[0] & 1u) << "-0.0f set a sign bit";
+            // Unused high bits of the last word must be zero so
+            // Signature equality/hash see canonical words.
+            if (bits % 64 != 0) {
+                const uint64_t mask = ~((1ull << (bits % 64)) - 1);
+                for (int64_t r = 0; r < nrows; ++r)
+                    EXPECT_EQ(0u,
+                              w_sc[static_cast<size_t>(
+                                       (r + 1) * wpr - 1)] &
+                                  mask);
+            }
+        }
+    }
+}
+
+TEST(Kernels, SpanKernelsBitIdentity)
+{
+    const KernelOps *ax = kernels::avx2Ops();
+    if (!ax)
+        GTEST_SKIP() << "host lacks AVX2";
+    const KernelOps &sc = kernels::scalarOps();
+    for (int64_t n : {0, 1, 7, 8, 9, 31, 64, 1000}) {
+        const std::vector<float> src = randomFloats(n, 11 + n);
+        const std::vector<float> base = randomFloats(n, 13 + n);
+        const float a = 1.7f;
+
+        std::vector<float> d1(base), d2(base);
+        sc.copySpan(d1.data(), src.data(), n);
+        ax->copySpan(d2.data(), src.data(), n);
+        ASSERT_EQ(d1, d2) << "copySpan n=" << n;
+
+        d1 = base;
+        d2 = base;
+        sc.addSpan(d1.data(), src.data(), n);
+        ax->addSpan(d2.data(), src.data(), n);
+        ASSERT_EQ(d1, d2) << "addSpan n=" << n;
+
+        d1 = base;
+        d2 = base;
+        sc.scaleSpan(d1.data(), a, src.data(), n);
+        ax->scaleSpan(d2.data(), a, src.data(), n);
+        ASSERT_EQ(d1, d2) << "scaleSpan n=" << n;
+
+        d1 = base;
+        d2 = base;
+        sc.axpy(d1.data(), a, src.data(), n);
+        ax->axpy(d2.data(), a, src.data(), n);
+        ASSERT_EQ(d1, d2) << "axpy n=" << n;
+    }
+}
+
+TEST(Kernels, ProjectBlockMatchesPerRowProject)
+{
+    // The engine's blocked front end must agree bit-for-bit with the
+    // scalar per-row project() regardless of the dispatched table.
+    RPQEngine rpq(27, 40, 99);
+    Rng rng(3);
+    Tensor rows({21, 27});
+    rows.fillNormal(rng);
+    for (int bits : {1, 8, 17, 40}) {
+        std::vector<float> block(static_cast<size_t>(21) * bits);
+        rpq.projectBlock(rows, 0, 21, bits, block.data());
+        for (int64_t r = 0; r < 21; ++r)
+            for (int n = 0; n < bits; ++n)
+                ASSERT_EQ(rpq.project(rows.data() + r * 27, n),
+                          block[static_cast<size_t>(r) * bits + n])
+                    << "row " << r << " bit " << n;
+    }
+    // signatureBlock likewise matches signatureOfRow.
+    std::vector<Signature> sigs(21);
+    rpq.signatureBlock(rows, 0, 21, 40, sigs.data());
+    for (int64_t r = 0; r < 21; ++r)
+        ASSERT_TRUE(sigs[static_cast<size_t>(r)] ==
+                    rpq.signatureOfRow(rows, r, 40));
+}
+
+TEST(SpanBatcher, ConsecutiveSpans)
+{
+    // rows/owners both stepping by one fuse; any break splits.
+    const std::vector<int64_t> rows = {2, 3, 4, 6, 7, 9, 10, 11, 15};
+    const std::vector<int64_t> owners = {0, 1, 2, 0, 1, 3, 4, 8, 9};
+    std::vector<std::pair<int64_t, int64_t>> spans;
+    forEachConsecutiveSpan(rows.data(), owners.data(),
+                           static_cast<int64_t>(rows.size()),
+                           [&](int64_t i0, int64_t i1) {
+                               spans.emplace_back(i0, i1);
+                           });
+    // {2,3,4}<-{0,1,2}; {6,7}<-{0,1}; {9,10}<-{3,4}; {11}<-{8}
+    // (rows 10->11 consecutive but owners 4->8 not); {15}<-{9}.
+    const std::vector<std::pair<int64_t, int64_t>> expect = {
+        {0, 3}, {3, 5}, {5, 7}, {7, 8}, {8, 9}};
+    EXPECT_EQ(expect, spans);
+
+    // Empty list: no callbacks.
+    forEachConsecutiveSpan(rows.data(), owners.data(), 0,
+                           [&](int64_t, int64_t) { FAIL(); });
+}
+
+TEST(SpanBatcher, KxSpanClipping)
+{
+    // k=3, in_w=5, pad=1, stride=1: x=0 clips the left column,
+    // x=4 clips the right, interior columns are full.
+    EXPECT_EQ(1, kxSpan(0, 1, 1, 3, 5).kx0);
+    EXPECT_EQ(3, kxSpan(0, 1, 1, 3, 5).kx1);
+    EXPECT_EQ(0, kxSpan(2, 1, 1, 3, 5).kx0);
+    EXPECT_EQ(3, kxSpan(2, 1, 1, 3, 5).kx1);
+    EXPECT_EQ(0, kxSpan(4, 1, 1, 3, 5).kx0);
+    EXPECT_EQ(2, kxSpan(4, 1, 1, 3, 5).kx1);
+    // Fully out-of-bounds window is empty (kx0 >= kx1).
+    const KxSpan empty = kxSpan(10, 1, 0, 3, 5);
+    EXPECT_GE(empty.kx0, empty.kx1);
+    // Strided: x=1, stride=2, pad=1 -> base=1, full window.
+    EXPECT_EQ(0, kxSpan(1, 2, 1, 3, 5).kx0);
+    EXPECT_EQ(3, kxSpan(1, 2, 1, 3, 5).kx1);
+}
+
+TEST(PassArena, AlignmentAndReuse)
+{
+    PassArena arena;
+    float *a = arena.floats(100);
+    int64_t *b = arena.indices(7);
+    uint8_t *c = arena.bytes(3);
+    EXPECT_EQ(0u, reinterpret_cast<uintptr_t>(a) % 64);
+    EXPECT_EQ(0u, reinterpret_cast<uintptr_t>(b) % 64);
+    EXPECT_EQ(0u, reinterpret_cast<uintptr_t>(c) % 64);
+    a[99] = 1.0f;
+    b[6] = 2;
+    c[2] = 3;
+
+    // reset() rewinds without freeing: the same storage comes back.
+    arena.reset();
+    float *a2 = arena.floats(100);
+    EXPECT_EQ(a, a2);
+
+    // An allocation bigger than the chunk gets its own chunk and is
+    // still aligned; after reset the sequence replays identically.
+    float *big = arena.floats(1 << 18);
+    EXPECT_EQ(0u, reinterpret_cast<uintptr_t>(big) % 64);
+    big[(1 << 18) - 1] = 4.0f;
+    arena.reset();
+    EXPECT_EQ(a, arena.floats(100));
+    EXPECT_EQ(big, arena.floats(1 << 18));
+}
+
+TEST(PassDataPlane, WriteReadInvalidate)
+{
+    PassDataPlane plane;
+    plane.configure(16, 4);
+    EXPECT_EQ(16, plane.entries());
+    EXPECT_EQ(4, plane.versions());
+
+    float v = 0.0f;
+    EXPECT_FALSE(plane.readIfValid(5, 2, v));
+    plane.write(5, 2, 1.5f);
+    ASSERT_TRUE(plane.readIfValid(5, 2, v));
+    EXPECT_EQ(1.5f, v);
+    // Neighboring cells in both axes stay invalid.
+    EXPECT_FALSE(plane.readIfValid(4, 2, v));
+    EXPECT_FALSE(plane.readIfValid(6, 2, v));
+    EXPECT_FALSE(plane.readIfValid(5, 1, v));
+    EXPECT_FALSE(plane.readIfValid(5, 3, v));
+
+    plane.invalidateAll();
+    EXPECT_FALSE(plane.readIfValid(5, 2, v));
+
+    // Growing reconfiguration keeps the shape and clears validity.
+    plane.write(0, 0, 2.0f);
+    plane.configure(32, 8);
+    EXPECT_FALSE(plane.readIfValid(0, 0, v));
+    EXPECT_EQ(32, plane.entries());
+}
+
+/** Conv forward under a specific kernel table. */
+Tensor
+convForwardWith(const KernelOps *table, ReuseStats &stats)
+{
+    ForceGuard guard(table);
+    Rng rng(17);
+    Tensor in({2, 3, 8, 8});
+    // Low-frequency input so HIT forwarding (the span-copy path)
+    // actually runs.
+    for (int64_t b = 0; b < 2; ++b)
+        for (int64_t c = 0; c < 3; ++c) {
+            const float base = static_cast<float>(rng.normal());
+            for (int64_t y = 0; y < 8; ++y)
+                for (int64_t x = 0; x < 8; ++x)
+                    in.at4(b, c, y, x) =
+                        base +
+                        0.01f * static_cast<float>(rng.normal());
+        }
+    Tensor w({4, 3, 3, 3});
+    w.fillNormal(rng);
+    ConvSpec spec;
+    spec.inChannels = 3;
+    spec.outChannels = 4;
+    spec.kernelH = spec.kernelW = 3;
+    spec.pad = 1;
+
+    MCache cache(256, 8, 4);
+    ConvReuseEngine engine(cache, 8, 21);
+    return engine.forward(in, w, Tensor(), spec, stats);
+}
+
+TEST(Kernels, ConvForwardScalarVsAvx2BitIdentical)
+{
+    if (!kernels::avx2Ops())
+        GTEST_SKIP() << "host lacks AVX2";
+    ReuseStats s1, s2;
+    const Tensor a = convForwardWith(&kernels::scalarOps(), s1);
+    const Tensor b = convForwardWith(kernels::avx2Ops(), s2);
+    // Same hit mix (identical signatures) and identical floats.
+    EXPECT_EQ(s1.mix.hit, s2.mix.hit);
+    EXPECT_GT(s1.mix.hit, 0) << "test shape produced no HITs";
+    ASSERT_EQ(a.numel(), b.numel());
+    EXPECT_EQ(0, std::memcmp(a.data(), b.data(),
+                             static_cast<size_t>(a.numel()) *
+                                 sizeof(float)));
+}
+
+/** FC forward under a specific kernel table. */
+Tensor
+fcForwardWith(const KernelOps *table, ReuseStats &stats)
+{
+    ForceGuard guard(table);
+    Rng rng(23);
+    Tensor in({24, 16});
+    // Duplicate blocks of rows so HIT spans coalesce.
+    for (int64_t i = 0; i < 24; ++i)
+        for (int64_t j = 0; j < 16; ++j)
+            in.at2(i, j) = static_cast<float>((i / 8) + 1) *
+                           0.25f * static_cast<float>(j % 5);
+    Tensor w({16, 10});
+    w.fillNormal(rng);
+    MCache cache(128, 8, 4);
+    FcEngine engine(cache, 12, 31);
+    return engine.forward(in, w, stats);
+}
+
+TEST(Kernels, FcForwardScalarVsAvx2BitIdentical)
+{
+    if (!kernels::avx2Ops())
+        GTEST_SKIP() << "host lacks AVX2";
+    ReuseStats s1, s2;
+    const Tensor a = fcForwardWith(&kernels::scalarOps(), s1);
+    const Tensor b = fcForwardWith(kernels::avx2Ops(), s2);
+    EXPECT_EQ(s1.mix.hit, s2.mix.hit);
+    EXPECT_GT(s1.mix.hit, 0) << "test shape produced no HITs";
+    ASSERT_EQ(a.numel(), b.numel());
+    EXPECT_EQ(0, std::memcmp(a.data(), b.data(),
+                             static_cast<size_t>(a.numel()) *
+                                 sizeof(float)));
+}
+
+} // namespace
+} // namespace mercury

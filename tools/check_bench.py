@@ -12,9 +12,22 @@ baselines at the repository root:
    smoke entries; full runs against full entries. A fresh line with no
    committed counterpart of the same mode is reported but not gated
    (there is nothing meaningful to compare across modes).
- - Only deterministic keys are gated: ``modeled_speedup`` and every
+ - Deterministic keys are always gated: ``modeled_speedup`` and every
    ``model_*_speedup`` key present in both lines. Wall-clock keys
    vary by host and are never gated.
+ - Kernel-performance keys (``*_gbps``, ``*_cycles_per_row``, and the
+   remaining non-``wall*`` ``*_speedup`` keys, from
+   bench/micro_kernels.cpp) are gated at 3x the tolerance (TSC and
+   bandwidth measurements on shared hosts carry run-to-run noise the
+   deterministic modeled keys do not), only on non-smoke entries
+   (smoke-mode perf numbers are documented as meaningless in
+   bench_common.hpp), and only when both lines carry the same
+   ``config.cpu`` (an AVX2 baseline says nothing about a scalar-only
+   host). ``*_cycles_per_row`` gates in the opposite
+   direction — fewer cycles is better, so the fresh value fails when
+   it rises more than the tolerance above the committed one. Every
+   perf comparison prints a one-line delta for the CI log, gated or
+   not.
  - Modeled speedups are deterministic *given the measured hit mix*,
    and the mix derives from signs of float dot products — a different
    compiler's FMA/reassociation choices can flip a borderline
@@ -82,18 +95,38 @@ def entry_mode(entry):
     return entry.get("bench", "?"), int(smoke)
 
 
+def key_class(key):
+    """Gate class of one result key.
+
+    Returns ``("model", "floor")`` for the deterministic modeled
+    speedups, ``("perf", "floor")`` / ``("perf", "ceiling")`` for the
+    host-dependent kernel-performance keys, or ``None`` for keys that
+    are never gated (wall clocks, raw counts, configs).
+    """
+    if key == "modeled_speedup" or (
+        key.startswith("model_") and key.endswith("_speedup")
+    ):
+        return ("model", "floor")
+    if key.startswith("wall"):
+        return None
+    if key.endswith("_gbps") or key.endswith("_speedup"):
+        return ("perf", "floor")
+    if key.endswith("_cycles_per_row"):
+        return ("perf", "ceiling")
+    return None
+
+
 def gated_keys(fresh, committed):
-    """Deterministic speedup keys present and numeric in both."""
+    """``(key, class, direction)`` for keys numeric in both lines."""
     keys = []
     for key in sorted(set(fresh) & set(committed)):
-        if key != "modeled_speedup" and not (
-            key.startswith("model_") and key.endswith("_speedup")
-        ):
+        cls = key_class(key)
+        if cls is None:
             continue
         if isinstance(fresh[key], (int, float)) and isinstance(
             committed[key], (int, float)
         ):
-            keys.append(key)
+            keys.append((key, cls[0], cls[1]))
     return keys
 
 
@@ -164,26 +197,59 @@ def main():
             if not keys:
                 print(f"{artifact} [{mode[0]}]: no gateable keys")
                 continue
-            for key in keys:
+            # Perf keys are host-dependent: gate only full-mode runs
+            # on the same CPU class as the committed baseline.
+            fresh_cpu = entry.get("config", {}).get("cpu")
+            base_cpu = base.get("config", {}).get("cpu")
+            perf_skip = None
+            if mode[1]:
+                perf_skip = "smoke-mode perf numbers are not meaningful"
+            elif fresh_cpu != base_cpu:
+                perf_skip = (
+                    f"config.cpu {fresh_cpu!r} != committed {base_cpu!r}"
+                )
+            for key, cls, direction in keys:
+                delta = (
+                    (entry[key] / base[key] - 1.0) * 100.0
+                    if base[key]
+                    else 0.0
+                )
+                if cls == "perf" and perf_skip:
+                    print(
+                        f"{artifact} [{mode[0]} smoke={mode[1]}] {key}: "
+                        f"fresh {entry[key]:.3f} vs committed "
+                        f"{base[key]:.3f} ({delta:+.1f}%) -> "
+                        f"info only ({perf_skip})"
+                    )
+                    continue
                 compared += 1
-                floor = base[key] * (1.0 - args.tolerance)
-                status = "ok" if entry[key] >= floor else "REGRESSED"
+                tol = args.tolerance * (3.0 if cls == "perf" else 1.0)
+                if direction == "ceiling":
+                    bound = base[key] * (1.0 + tol)
+                    ok = entry[key] <= bound
+                    bound_str = f"ceiling {bound:.3f}"
+                else:
+                    bound = base[key] * (1.0 - tol)
+                    ok = entry[key] >= bound
+                    bound_str = f"floor {bound:.3f}"
+                status = "ok" if ok else "REGRESSED"
                 print(
                     f"{artifact} [{mode[0]} smoke={mode[1]}] {key}: "
                     f"fresh {entry[key]:.3f} vs committed "
-                    f"{base[key]:.3f} (floor {floor:.3f}) -> {status}"
+                    f"{base[key]:.3f} ({delta:+.1f}%, {bound_str}) "
+                    f"-> {status}"
                 )
                 if status == "REGRESSED":
                     failures.append((artifact, key, entry[key], base[key]))
 
     if failures:
-        print(f"\nFAIL: {len(failures)} modeled speedup(s) regressed "
+        print(f"\nFAIL: {len(failures)} gated key(s) regressed "
               f">{args.tolerance:.0%} vs the committed baselines")
         return 1
     if compared == 0:
         print("\nWARNING: nothing compared — no committed entries matched")
         return 0
-    print(f"\nOK: {compared} modeled speedup(s) within "
+    print(f"\nOK: {compared} gated key(s) within "
           f"{args.tolerance:.0%} of the committed baselines")
     return 0
 
