@@ -74,6 +74,7 @@ MCache::lookupOrInsertInSet(int set, const Signature &sig)
     for (int w = 0; w < ways_; ++w) {
         Line &l = lines_[static_cast<size_t>(base + w)];
         if (l.validTag && l.tag == sig) {
+            l.epoch = epoch_;
             stats_.stat("hits")++;
             return {McacheOutcome::Hit, base + w};
         }
@@ -82,9 +83,16 @@ MCache::lookupOrInsertInSet(int set, const Signature &sig)
     for (int w = 0; w < ways_; ++w) {
         Line &l = lines_[static_cast<size_t>(base + w)];
         if (!l.validTag) {
+            if (quotaGate_ && !quotaGate_->tryReserve(insertTenant_)) {
+                stats_.stat("quotaRejects")++;
+                stats_.stat("mnu")++;
+                return {McacheOutcome::Mnu, -1};
+            }
             l.tag = sig;
             l.validTag = true;
             std::fill(l.validData.begin(), l.validData.end(), false);
+            l.epoch = epoch_;
+            l.tenant = insertTenant_;
             stats_.stat("mau")++;
             stats_.stat("inserts")++;
             ++insertBacklog_[static_cast<size_t>(set)];
@@ -143,8 +151,13 @@ void
 MCache::clear()
 {
     for (auto &l : lines_) {
+        if (l.validTag && quotaGate_)
+            quotaGate_->release(l.tenant);
         l.validTag = false;
         std::fill(l.validData.begin(), l.validData.end(), false);
+        l.epoch = 0;
+        l.tenant = -1;
+        l.pins = 0;
     }
     std::fill(insertBacklog_.begin(), insertBacklog_.end(), 0);
     stats_.stat("clears")++;
@@ -169,6 +182,134 @@ MCache::maxInsertBacklog() const
     for (uint64_t b : insertBacklog_)
         mx = std::max(mx, b);
     return mx;
+}
+
+void
+MCache::resetInsertBacklog()
+{
+    std::fill(insertBacklog_.begin(), insertBacklog_.end(), 0);
+}
+
+uint64_t
+MCache::entryEpoch(int64_t entry_id) const
+{
+    return line(entry_id).epoch;
+}
+
+int
+MCache::entryTenant(int64_t entry_id) const
+{
+    return line(entry_id).tenant;
+}
+
+bool
+MCache::tagValid(int64_t entry_id) const
+{
+    return line(entry_id).validTag;
+}
+
+const Signature &
+MCache::tagOf(int64_t entry_id) const
+{
+    const Line &l = line(entry_id);
+    if (!l.validTag)
+        panic("MCACHE tag read of an invalid line: entry ", entry_id);
+    return l.tag;
+}
+
+int64_t
+MCache::tenantEntries(int tenant) const
+{
+    int64_t n = 0;
+    for (const auto &l : lines_)
+        n += (l.validTag && l.tenant == tenant);
+    return n;
+}
+
+void
+MCache::pin(int64_t entry_id)
+{
+    Line &l = line(entry_id);
+    if (!l.validTag)
+        panic("MCACHE pin of an invalid line: entry ", entry_id);
+    ++l.pins;
+}
+
+void
+MCache::unpin(int64_t entry_id)
+{
+    Line &l = line(entry_id);
+    if (l.pins == 0)
+        panic("MCACHE unpin of an unpinned line: entry ", entry_id);
+    --l.pins;
+}
+
+uint32_t
+MCache::pinCount(int64_t entry_id) const
+{
+    return line(entry_id).pins;
+}
+
+void
+MCache::evictLine(Line &l)
+{
+    if (quotaGate_)
+        quotaGate_->release(l.tenant);
+    l.validTag = false;
+    std::fill(l.validData.begin(), l.validData.end(), false);
+    l.epoch = 0;
+    l.tenant = -1;
+    stats_.stat("evictions")++;
+}
+
+int64_t
+MCache::evictOlderThan(uint64_t min_epoch)
+{
+    int64_t evicted = 0;
+    for (auto &l : lines_) {
+        if (!l.validTag || l.epoch >= min_epoch)
+            continue;
+        if (l.pins > 0) {
+            stats_.stat("evictionPinSkips")++;
+            continue;
+        }
+        evictLine(l);
+        ++evicted;
+    }
+    return evicted;
+}
+
+int64_t
+MCache::evictTenant(int tenant)
+{
+    int64_t evicted = 0;
+    for (auto &l : lines_) {
+        if (!l.validTag || l.tenant != tenant)
+            continue;
+        if (l.pins > 0) {
+            stats_.stat("evictionPinSkips")++;
+            continue;
+        }
+        evictLine(l);
+        ++evicted;
+    }
+    return evicted;
+}
+
+void
+MCache::restoreLine(int64_t entry_id, const Signature &sig,
+                    uint64_t epoch, int tenant)
+{
+    Line &l = line(entry_id);
+    if (l.validTag)
+        panic("MCACHE restore into an occupied line: entry ", entry_id);
+    l.tag = sig;
+    l.validTag = true;
+    std::fill(l.validData.begin(), l.validData.end(), false);
+    l.epoch = epoch;
+    l.tenant = tenant;
+    l.pins = 0;
+    stats_.stat("restores")++;
 }
 
 } // namespace mercury

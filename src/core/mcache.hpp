@@ -48,6 +48,23 @@ struct McacheResult
     int64_t entryId = -1; ///< dense id (set * ways + way), -1 for MNU
 };
 
+/**
+ * Capacity gate consulted before a tag insert claims a line for a
+ * tenant (serving layer: per-tenant quota over a shared cache). A
+ * rejected reservation turns the insert into MNU. Implementations
+ * must pair every successful tryReserve with exactly one release when
+ * the line is evicted or cleared.
+ */
+class McacheQuotaGate
+{
+  public:
+    virtual ~McacheQuotaGate() = default;
+    /** Reserve one line for `tenant`; false rejects the insert. */
+    virtual bool tryReserve(int tenant) = 0;
+    /** Return one line previously reserved for `tenant`. */
+    virtual void release(int tenant) = 0;
+};
+
 /** The MERCURY result cache. */
 class MCache
 {
@@ -110,6 +127,75 @@ class MCache
      */
     uint64_t maxInsertBacklog() const;
 
+    /**
+     * Reset the insert-queue model without touching tags. Persistent
+     * passes (serving layer) call this at each pass boundary, where
+     * the non-persistent path would have called clear(), so the §V
+     * drain cost stays a per-pass quantity.
+     */
+    void resetInsertBacklog();
+
+    // ---- Lifecycle metadata (serving layer) -------------------------
+    //
+    // Every line carries a last-touch epoch (stamped on insert,
+    // refreshed on HIT), an owning tenant (stamped on insert), and a
+    // pin count. Eviction sweeps remove valid lines by epoch age or by
+    // tenant but never remove a pinned line, so a client holding a
+    // HIT's entry id across an eviction sweep pins it first (see
+    // docs/ARCHITECTURE.md, "Serving layer").
+
+    /** Epoch stamped on inserts and refreshed on HITs from now on. */
+    void setEpoch(uint64_t epoch) { epoch_ = epoch; }
+    uint64_t epoch() const { return epoch_; }
+
+    /** Tenant stamped on inserts from now on (-1 = unowned). */
+    void setInsertTenant(int tenant) { insertTenant_ = tenant; }
+    int insertTenant() const { return insertTenant_; }
+
+    /** Gate consulted before each insert; nullptr admits everything. */
+    void setQuotaGate(McacheQuotaGate *gate) { quotaGate_ = gate; }
+
+    /** Last-touch epoch of a line (insert-stamped, HIT-refreshed). */
+    uint64_t entryEpoch(int64_t entry_id) const;
+
+    /** Owning tenant of a line (-1 when inserted unowned). */
+    int entryTenant(int64_t entry_id) const;
+
+    /** True if the line holds a valid tag. */
+    bool tagValid(int64_t entry_id) const;
+
+    /** Tag of a valid line; panics on an invalid line. */
+    const Signature &tagOf(int64_t entry_id) const;
+
+    /** Valid lines currently stamped with `tenant`. */
+    int64_t tenantEntries(int tenant) const;
+
+    /** Pin a valid line against eviction / unpin it again. */
+    void pin(int64_t entry_id);
+    void unpin(int64_t entry_id);
+    uint32_t pinCount(int64_t entry_id) const;
+
+    /**
+     * Evict valid, unpinned lines last touched before `min_epoch`
+     * (epoch-tag aging: oldest lines go first as the floor rises).
+     * Returns the number of lines evicted; pinned survivors are
+     * counted in the "evictionPinSkips" stat.
+     */
+    int64_t evictOlderThan(uint64_t min_epoch);
+
+    /** Evict every valid, unpinned line stamped with `tenant`. */
+    int64_t evictTenant(int tenant);
+
+    /**
+     * Snapshot restore: install a tag plus lifecycle metadata into an
+     * empty line (panics if the line already holds a valid tag — the
+     * restore target must be cleared first). Data versions start
+     * invalid; the quota gate is bypassed, callers recount
+     * reservations afterwards (ShardedMCache::recountTenantReservations).
+     */
+    void restoreLine(int64_t entry_id, const Signature &sig,
+                     uint64_t epoch, int tenant);
+
     /** Lifetime statistics: hits, mau, mnu, inserts, dataReads, ... */
     const StatGroup &stats() const { return stats_; }
     StatGroup &stats() { return stats_; }
@@ -121,6 +207,9 @@ class MCache
         bool validTag = false;
         std::vector<float> data;
         std::vector<bool> validData;
+        uint64_t epoch = 0;  ///< last-touch epoch (insert / HIT)
+        int tenant = -1;     ///< owning tenant (-1 = unowned)
+        uint32_t pins = 0;   ///< eviction pins (in-flight HITs)
     };
 
     int sets_;
@@ -128,11 +217,15 @@ class MCache
     int versions_;
     std::vector<Line> lines_;
     std::vector<uint64_t> insertBacklog_;
+    uint64_t epoch_ = 0;
+    int insertTenant_ = -1;
+    McacheQuotaGate *quotaGate_ = nullptr;
     /// Mutable: read paths (e.g. readData) count accesses too.
     mutable StatGroup stats_;
 
     Line &line(int64_t entry_id);
     const Line &line(int64_t entry_id) const;
+    void evictLine(Line &l);
 };
 
 } // namespace mercury

@@ -85,6 +85,12 @@ class Signature
     /** Deterministic 64-bit hash (stable across platforms/runs). */
     uint64_t hash() const;
 
+    /**
+     * Packed word w of the fromWords layout (bit i lives at
+     * words[i/64] bit i%64) — the serialization inverse of fromWords.
+     */
+    uint64_t packedWord(int w) const { return word(w); }
+
     /** Bit string, most significant first, e.g. "10110". */
     std::string str() const;
 

@@ -40,6 +40,7 @@ MercuryContext::setPipeline(const PipelineConfig &pipe)
 {
     pipeline_ = pipe;
     frontends_.clear();
+    perLayer_.clear();
     shared_.reset();
     pool_.reset();
 }
@@ -52,6 +53,90 @@ MercuryContext::sharedCache()
             sets_, ways_, versions_, pipeline_.resolvedShards());
     }
     return *shared_;
+}
+
+ShardedMCache &
+MercuryContext::cacheForLayer(uint64_t layer_id)
+{
+    if (cacheProvider_)
+        return cacheProvider_(layer_id);
+    if (!pipeline_.persistent)
+        return sharedCache();
+    // Persistent mode: tags now survive across passes, so layers can
+    // no longer time-share one cache (each hashes with its own
+    // projection). Every layer gets a private cache carrying the
+    // context's lifecycle state.
+    auto it = perLayer_.find(layer_id);
+    if (it == perLayer_.end()) {
+        auto cache = std::make_unique<ShardedMCache>(
+            sets_, ways_, versions_, pipeline_.resolvedShards());
+        cache->setEpoch(epoch_);
+        cache->setInsertTenant(tenant_);
+        it = perLayer_.emplace(layer_id, std::move(cache)).first;
+    }
+    return *it->second;
+}
+
+void
+MercuryContext::setLayerCacheProvider(LayerCacheProvider provider)
+{
+    cacheProvider_ = std::move(provider);
+    frontends_.clear();
+    perLayer_.clear();
+}
+
+void
+MercuryContext::setTenant(int tenant)
+{
+    tenant_ = tenant;
+    for (auto &kv : perLayer_)
+        kv.second->setInsertTenant(tenant);
+}
+
+void
+MercuryContext::setEpoch(uint64_t epoch)
+{
+    epoch_ = epoch;
+    for (auto &kv : perLayer_)
+        kv.second->setEpoch(epoch);
+}
+
+int64_t
+MercuryContext::evictOlderThan(uint64_t min_epoch)
+{
+    int64_t evicted = 0;
+    for (auto &kv : perLayer_)
+        evicted += kv.second->evictOlderThan(min_epoch);
+    return evicted;
+}
+
+void
+MercuryContext::clearCaches()
+{
+    for (auto &kv : perLayer_)
+        kv.second->clear();
+    if (shared_)
+        shared_->clear();
+}
+
+std::vector<uint64_t>
+MercuryContext::persistentCacheIds() const
+{
+    std::vector<uint64_t> ids;
+    ids.reserve(perLayer_.size());
+    for (const auto &kv : perLayer_)
+        ids.push_back(kv.first);
+    return ids;
+}
+
+ShardedMCache &
+MercuryContext::persistentCache(uint64_t layer_id)
+{
+    auto it = perLayer_.find(layer_id);
+    if (it == perLayer_.end())
+        panic("no persistent cache for layer ", layer_id,
+              " (no pass has run through it yet)");
+    return *it->second;
 }
 
 ThreadPool *
@@ -74,9 +159,11 @@ MercuryContext::frontendFor(uint64_t layer_id)
     // every layer (not a view of cache_), so the shards knob actually
     // parallelizes the probe stage without an MCACHE allocation per
     // layer; identical results either way, as each detection pass
-    // clears the cache.
+    // clears the cache. Persistent mode swaps in per-layer (or
+    // provider-owned) caches instead — see cacheForLayer.
     auto frontend = std::make_unique<DetectionFrontend>(
-        sharedCache(), max_bits, layerSeed(layer_id), pipeline_);
+        cacheForLayer(layer_id), max_bits, layerSeed(layer_id),
+        pipeline_);
     frontend->setSharedPool(sharedPool());
     DetectionFrontend &ref = *frontend;
     frontends_[layer_id] = std::move(frontend);

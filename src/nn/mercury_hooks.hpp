@@ -24,8 +24,10 @@
 #define MERCURY_NN_MERCURY_HOOKS_HPP
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
+#include <vector>
 
 #include "core/conv_reuse_engine.hpp"
 #include "core/mcache.hpp"
@@ -92,6 +94,57 @@ class MercuryContext
 
     /** Per-layer deterministic projection seed. */
     uint64_t layerSeed(uint64_t layer_id) const;
+
+    // ---- Persistent-cache lifecycle (serving layer) -----------------
+    //
+    // With `pipeline().persistent` set, detection passes stop clearing
+    // MCACHE, so the cross-layer shared cache of the default mode is
+    // no longer sound (different layers hash with different
+    // projections). The context then gives every layer its own
+    // private ShardedMCache — unless an external provider is
+    // installed, in which case the caller (MercuryServer) owns the
+    // per-layer caches and may share them across contexts/tenants.
+
+    /**
+     * Externally owned per-layer caches: when set, frontendFor binds
+     * each layer's frontend to `provider(layer_id)` instead of a
+     * context-owned cache. The provided caches must outlive this
+     * context's frontends (i.e. the context, or the next
+     * setLayerCacheProvider / setPipeline call, whichever is first).
+     * Installing a provider discards the cached frontends; installing
+     * nullptr reverts to context-owned caches.
+     */
+    using LayerCacheProvider = std::function<ShardedMCache &(uint64_t)>;
+    void setLayerCacheProvider(LayerCacheProvider provider);
+
+    /**
+     * Stamp subsequent MCACHE inserts of every context-owned cache
+     * (current and future) with `tenant` (quota/eviction accounting;
+     * -1 = unowned).
+     */
+    void setTenant(int tenant);
+    int tenant() const { return tenant_; }
+
+    /**
+     * Move the context-owned caches to `epoch`: inserts and HIT
+     * refreshes from now on stamp it. No-op for provider-owned caches
+     * (their owner drives the epoch).
+     */
+    void setEpoch(uint64_t epoch);
+    uint64_t epoch() const { return epoch_; }
+
+    /** Evict unpinned lines older than `min_epoch` from every
+     *  context-owned cache; returns lines evicted. */
+    int64_t evictOlderThan(uint64_t min_epoch);
+
+    /** Drop every valid tag in every context-owned cache (cold start). */
+    void clearCaches();
+
+    /** Layer ids with a context-owned persistent cache (snapshotting). */
+    std::vector<uint64_t> persistentCacheIds() const;
+
+    /** A layer's context-owned persistent cache; panics if absent. */
+    ShardedMCache &persistentCache(uint64_t layer_id);
 
     /**
      * Reuse saved signatures in the backward pass (§III-C2): when
@@ -161,6 +214,12 @@ class MercuryContext
     // them (members destroy in reverse declaration order).
     std::unique_ptr<ThreadPool> pool_;         // shared by all frontends
     std::unique_ptr<ShardedMCache> shared_;    // shared by all frontends
+    /// Per-layer private caches of persistent mode (see
+    /// setLayerCacheProvider); must outlive frontends_ too.
+    std::map<uint64_t, std::unique_ptr<ShardedMCache>> perLayer_;
+    LayerCacheProvider cacheProvider_;
+    int tenant_ = -1;
+    uint64_t epoch_ = 0;
     std::map<uint64_t, std::unique_ptr<DetectionFrontend>> frontends_;
     ReuseStats totals_;
     ReuseStats backwardTotals_;
@@ -168,6 +227,7 @@ class MercuryContext
 
     ThreadPool *sharedPool();
     ShardedMCache &sharedCache();
+    ShardedMCache &cacheForLayer(uint64_t layer_id);
 };
 
 } // namespace mercury

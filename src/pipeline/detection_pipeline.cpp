@@ -20,6 +20,7 @@ PipelineConfig::fromConfig(const AcceleratorConfig &cfg)
     pipe.shards = cfg.pipelineShards;
     pipe.threads = cfg.pipelineThreads;
     pipe.overlap = cfg.overlapDetection;
+    pipe.persistent = cfg.persistentCache;
     return pipe;
 }
 
@@ -68,7 +69,10 @@ DetectionPipeline::run(const Tensor &rows) const
     if (rows.rank() != 2 || rows.dim(1) != rpq_.vectorDim())
         panic("detect expects (n, ", rpq_.vectorDim(), ") got ",
               rows.shapeStr());
-    cache_.clear();
+    if (cfg_.persistent)
+        cache_.resetInsertBacklog(); // keep the §V drain cost per-pass
+    else
+        cache_.clear();
     const int64_t n = rows.dim(0);
     DetectionResult res;
     res.hitmap.reset(n);
@@ -224,7 +228,10 @@ DetectionPipeline::finishStreaming(DetectionHashJob &job,
 {
     if (&job.cache_ != &cache_)
         panic("hash job finished on a different cache than it began on");
-    cache_.clear();
+    if (cfg_.persistent)
+        cache_.resetInsertBacklog(); // keep the §V drain cost per-pass
+    else
+        cache_.clear();
     const int64_t n = job.n_;
     DetectionResult res;
     res.hitmap.reset(n);

@@ -101,6 +101,20 @@ struct PipelineConfig
      */
     bool overlap = false;
 
+    /**
+     * Persistent MCACHE (serving layer): when true, passes do NOT
+     * clear the cache first — tags survive across passes, so rows
+     * similar to a *previous* request HIT instead of re-inserting.
+     * Correctness is unchanged: result forwarding is strictly
+     * within-pass (the engines compute a cross-pass HIT exactly, via
+     * their per-pass owner bookkeeping / pass-local data planes), so
+     * persistence trades only which rows count as hits. The §V
+     * insert-backlog model is still reset per pass. Lifecycle
+     * (eviction, epochs, quota) is driven by the cache owner; see
+     * docs/ARCHITECTURE.md, "Serving layer".
+     */
+    bool persistent = false;
+
     /** Lift the pipeline knobs out of an accelerator configuration. */
     static PipelineConfig fromConfig(const AcceleratorConfig &cfg);
 

@@ -170,6 +170,232 @@ ShardedMCache::maxInsertBacklog() const
     return mx;
 }
 
+void
+ShardedMCache::resetInsertBacklog()
+{
+    for (size_t s = 0; s < shards_.size(); ++s) {
+        std::lock_guard<std::mutex> lock(shardLocks_[s]);
+        shards_[s]->resetInsertBacklog();
+    }
+}
+
+std::unique_lock<std::mutex>
+ShardedMCache::passGuard() const
+{
+    return std::unique_lock<std::mutex>(passMutex_);
+}
+
+void
+ShardedMCache::setEpoch(uint64_t epoch)
+{
+    for (size_t s = 0; s < shards_.size(); ++s) {
+        std::lock_guard<std::mutex> lock(shardLocks_[s]);
+        shards_[s]->setEpoch(epoch);
+    }
+}
+
+uint64_t
+ShardedMCache::epoch() const
+{
+    return shards_[0]->epoch();
+}
+
+void
+ShardedMCache::setInsertTenant(int tenant)
+{
+    for (size_t s = 0; s < shards_.size(); ++s) {
+        std::lock_guard<std::mutex> lock(shardLocks_[s]);
+        shards_[s]->setInsertTenant(tenant);
+    }
+}
+
+ShardedMCache::TenantQuotaGate::TenantQuotaGate(int64_t quota,
+                                                int max_tenants)
+    : quota_(quota), maxTenants_(max_tenants)
+{
+    counts_ = std::make_unique<std::atomic<int64_t>[]>(
+        static_cast<size_t>(max_tenants));
+    reset();
+}
+
+void
+ShardedMCache::TenantQuotaGate::reset()
+{
+    for (int t = 0; t < maxTenants_; ++t)
+        counts_[static_cast<size_t>(t)].store(0,
+                                              std::memory_order_relaxed);
+}
+
+bool
+ShardedMCache::TenantQuotaGate::tryReserve(int tenant)
+{
+    if (tenant < 0)
+        return true; // unowned inserts are never gated
+    if (tenant >= maxTenants_)
+        panic("tenant id ", tenant, " out of quota-gate range 0..",
+              maxTenants_ - 1);
+    // Reserve-then-check: bump first so two racing inserts cannot
+    // both observe quota - 1 and sneak past the limit.
+    const int64_t now = counts_[static_cast<size_t>(tenant)].fetch_add(
+                            1, std::memory_order_relaxed) +
+                        1;
+    if (now > quota_) {
+        counts_[static_cast<size_t>(tenant)].fetch_sub(
+            1, std::memory_order_relaxed);
+        return false;
+    }
+    return true;
+}
+
+void
+ShardedMCache::TenantQuotaGate::release(int tenant)
+{
+    if (tenant < 0 || tenant >= maxTenants_)
+        return; // unowned lines never reserved
+    counts_[static_cast<size_t>(tenant)].fetch_sub(
+        1, std::memory_order_relaxed);
+}
+
+int64_t
+ShardedMCache::TenantQuotaGate::reserved(int tenant) const
+{
+    if (tenant < 0 || tenant >= maxTenants_)
+        return 0;
+    return counts_[static_cast<size_t>(tenant)].load(
+        std::memory_order_relaxed);
+}
+
+void
+ShardedMCache::setTenantQuota(int64_t entries, int max_tenants)
+{
+    quotaEntries_ = entries > 0 ? entries : 0;
+    if (quotaEntries_ == 0) {
+        quotaGate_.reset();
+    } else {
+        quotaGate_ =
+            std::make_unique<TenantQuotaGate>(quotaEntries_, max_tenants);
+    }
+    for (size_t s = 0; s < shards_.size(); ++s) {
+        std::lock_guard<std::mutex> lock(shardLocks_[s]);
+        shards_[s]->setQuotaGate(quotaGate_.get());
+    }
+    if (quotaGate_)
+        recountTenantReservations();
+}
+
+int64_t
+ShardedMCache::tenantReserved(int tenant) const
+{
+    return quotaGate_ ? quotaGate_->reserved(tenant) : 0;
+}
+
+void
+ShardedMCache::recountTenantReservations()
+{
+    if (!quotaGate_)
+        return;
+    quotaGate_->reset();
+    for (size_t s = 0; s < shards_.size(); ++s) {
+        std::lock_guard<std::mutex> lock(shardLocks_[s]);
+        MCache &shard = *shards_[s];
+        for (int64_t e = 0; e < shard.entries(); ++e) {
+            if (!shard.tagValid(e))
+                continue;
+            const int tenant = shard.entryTenant(e);
+            if (tenant >= 0 && !quotaGate_->tryReserve(tenant))
+                panic("snapshot contents exceed the tenant quota for "
+                      "tenant ",
+                      tenant);
+        }
+    }
+}
+
+int64_t
+ShardedMCache::evictOlderThan(uint64_t min_epoch)
+{
+    int64_t evicted = 0;
+    for (size_t s = 0; s < shards_.size(); ++s) {
+        std::lock_guard<std::mutex> lock(shardLocks_[s]);
+        evicted += shards_[s]->evictOlderThan(min_epoch);
+    }
+    return evicted;
+}
+
+int64_t
+ShardedMCache::evictTenant(int tenant)
+{
+    int64_t evicted = 0;
+    for (size_t s = 0; s < shards_.size(); ++s) {
+        std::lock_guard<std::mutex> lock(shardLocks_[s]);
+        evicted += shards_[s]->evictTenant(tenant);
+    }
+    return evicted;
+}
+
+void
+ShardedMCache::pin(int64_t entry_id)
+{
+    const Ref ref = refOf(entry_id);
+    std::lock_guard<std::mutex> lock(
+        shardLocks_[static_cast<size_t>(ref.shard)]);
+    ref.cache->pin(ref.localId);
+}
+
+void
+ShardedMCache::unpin(int64_t entry_id)
+{
+    const Ref ref = refOf(entry_id);
+    std::lock_guard<std::mutex> lock(
+        shardLocks_[static_cast<size_t>(ref.shard)]);
+    ref.cache->unpin(ref.localId);
+}
+
+bool
+ShardedMCache::tagValid(int64_t entry_id) const
+{
+    const Ref ref = refOf(entry_id);
+    std::lock_guard<std::mutex> lock(
+        shardLocks_[static_cast<size_t>(ref.shard)]);
+    return ref.cache->tagValid(ref.localId);
+}
+
+uint64_t
+ShardedMCache::entryEpoch(int64_t entry_id) const
+{
+    const Ref ref = refOf(entry_id);
+    std::lock_guard<std::mutex> lock(
+        shardLocks_[static_cast<size_t>(ref.shard)]);
+    return ref.cache->entryEpoch(ref.localId);
+}
+
+int
+ShardedMCache::entryTenant(int64_t entry_id) const
+{
+    const Ref ref = refOf(entry_id);
+    std::lock_guard<std::mutex> lock(
+        shardLocks_[static_cast<size_t>(ref.shard)]);
+    return ref.cache->entryTenant(ref.localId);
+}
+
+Signature
+ShardedMCache::tagAt(int64_t entry_id) const
+{
+    const Ref ref = refOf(entry_id);
+    std::lock_guard<std::mutex> lock(
+        shardLocks_[static_cast<size_t>(ref.shard)]);
+    return ref.cache->tagOf(ref.localId);
+}
+
+void
+ShardedMCache::restoreLine(int64_t entry_id, const Signature &sig,
+                           uint64_t epoch, int tenant)
+{
+    const Ref ref = refOf(entry_id);
+    std::lock_guard<std::mutex> lock(
+        shardLocks_[static_cast<size_t>(ref.shard)]);
+    ref.cache->restoreLine(ref.localId, sig, epoch, tenant);
+}
+
 HitMix
 ShardedMCache::lookupMix() const
 {

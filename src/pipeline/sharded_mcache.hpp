@@ -140,6 +140,71 @@ class ShardedMCache
     /** Largest per-set insert backlog across all shards (§V). */
     uint64_t maxInsertBacklog() const;
 
+    /** Reset the §V insert-queue model at a persistent pass boundary. */
+    void resetInsertBacklog();
+
+    // ---- Serving-layer lifecycle (see docs/ARCHITECTURE.md) ---------
+
+    /**
+     * Pass guard for shared serving: a session that shares this cache
+     * with other sessions holds the returned lock for the duration of
+     * its cache-touching job, serializing whole passes (and eviction /
+     * epoch maintenance) across sessions. The per-shard locks above
+     * still cover the intra-pass worker threads of whichever session
+     * holds the guard. Single-session users never need it.
+     */
+    std::unique_lock<std::mutex> passGuard() const;
+
+    /** Stamp subsequent inserts/HIT-refreshes with `epoch` (all shards). */
+    void setEpoch(uint64_t epoch);
+    uint64_t epoch() const;
+
+    /** Stamp subsequent inserts with `tenant` (all shards). */
+    void setInsertTenant(int tenant);
+
+    /**
+     * Enable a per-tenant line quota: once a tenant holds `entries`
+     * valid lines, further inserts for it become MNU until eviction
+     * frees lines. Reservation is atomic (reserve-then-check), so the
+     * quota is never exceeded even under concurrent interleaved
+     * inserts. `entries` <= 0 disables the gate. Tenants are ids in
+     * [0, max_tenants); id -1 (unowned) is never gated.
+     */
+    void setTenantQuota(int64_t entries, int max_tenants = 64);
+    int64_t tenantQuota() const { return quotaEntries_; }
+
+    /** Lines currently reserved for `tenant` by the quota gate. */
+    int64_t tenantReserved(int tenant) const;
+
+    /**
+     * Recompute the quota-gate reservations from the actual cache
+     * contents (after a snapshot restore, which bypasses the gate).
+     * Quiescent only.
+     */
+    void recountTenantReservations();
+
+    /** Evict unpinned lines last touched before `min_epoch` (all shards). */
+    int64_t evictOlderThan(uint64_t min_epoch);
+
+    /** Evict every unpinned line stamped with `tenant` (all shards). */
+    int64_t evictTenant(int tenant);
+
+    /** Pin/unpin a line against eviction (global entry id). */
+    void pin(int64_t entry_id);
+    void unpin(int64_t entry_id);
+
+    /** Lifecycle metadata of a line (global entry id). */
+    bool tagValid(int64_t entry_id) const;
+    uint64_t entryEpoch(int64_t entry_id) const;
+    int entryTenant(int64_t entry_id) const;
+
+    /** Copy of a valid line's tag (snapshot serialization). */
+    Signature tagAt(int64_t entry_id) const;
+
+    /** Snapshot restore of one line (global entry id; quiescent only). */
+    void restoreLine(int64_t entry_id, const Signature &sig,
+                     uint64_t epoch, int tenant);
+
     /** Per-shard lifetime stats merged into one HitMix. */
     HitMix lookupMix() const;
 
@@ -148,6 +213,27 @@ class ShardedMCache
     const MCache &shard(int s) const;
 
   private:
+    /**
+     * Atomic per-tenant line counter behind McacheQuotaGate: reserve
+     * first, then check — an over-quota reservation is rolled back, so
+     * concurrent inserts can never push a tenant past its quota.
+     */
+    class TenantQuotaGate : public McacheQuotaGate
+    {
+      public:
+        TenantQuotaGate(int64_t quota, int max_tenants);
+        bool tryReserve(int tenant) override;
+        void release(int tenant) override;
+        int64_t reserved(int tenant) const;
+        int maxTenants() const { return maxTenants_; }
+        void reset();
+
+      private:
+        int64_t quota_;
+        int maxTenants_;
+        std::unique_ptr<std::atomic<int64_t>[]> counts_;
+    };
+
     std::vector<std::unique_ptr<MCache>> owned_;
     std::vector<MCache *> shards_;
     std::vector<int> shardBaseSet_; ///< first global set of each shard
@@ -159,6 +245,11 @@ class ShardedMCache
     /// workers may read it while the driver thread owns toggling;
     /// toggles only happen on a quiescent cache.
     std::atomic<bool> concurrent_{true};
+    /// Serializes whole passes from concurrent sessions (passGuard).
+    /// Mutable: read-mostly sessions (stats sweeps) guard too.
+    mutable std::mutex passMutex_;
+    std::unique_ptr<TenantQuotaGate> quotaGate_;
+    int64_t quotaEntries_ = 0;
     int sets_;
     int ways_;
     int versions_;

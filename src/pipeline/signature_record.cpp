@@ -64,6 +64,18 @@ SignatureRecord::clear()
 }
 
 void
+SignatureRecord::restore(std::vector<Pass> passes, int data_versions,
+                         int64_t entries)
+{
+    if (data_versions <= 0 || entries <= 0)
+        panic("record restore needs positive versions/entries, got ",
+              data_versions, "/", entries);
+    passes_ = std::move(passes);
+    dataVersions_ = data_versions;
+    entries_ = entries;
+}
+
+void
 SignatureRecord::capturePass(const DetectionResult &det, int bits,
                              int data_versions, int64_t entries)
 {

@@ -133,6 +133,14 @@ class SignatureRecord
     /** Bytes this record would spill to memory between passes. */
     uint64_t storageBytes() const;
 
+    /**
+     * Snapshot hook (serve/snapshot.cpp): replace the contents with
+     * externally restored passes. The passes must share one cache
+     * organization, exactly as capturePass enforces.
+     */
+    void restore(std::vector<Pass> passes, int data_versions,
+                 int64_t entries);
+
   private:
     std::vector<Pass> passes_;
     int dataVersions_ = 0;

@@ -157,4 +157,103 @@ prototypeVectors(int64_t n, int64_t dim, int64_t uniques, float eps,
     return rows;
 }
 
+namespace {
+
+/** SplitMix-style spread, as MercuryContext::layerSeed. */
+uint64_t
+mixSeed(uint64_t seed, uint64_t salt)
+{
+    uint64_t z = seed + 0x9E3779B97F4A7C15ull * (salt + 1);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    return z ^ (z >> 31);
+}
+
+} // namespace
+
+TrafficGenerator::TrafficGenerator(const TrafficConfig &cfg) : cfg_(cfg)
+{
+    if (cfg.tenants <= 0 || cfg.batch <= 0 || cfg.dim <= 0 ||
+        cfg.classes <= 0)
+        panic("TrafficGenerator needs positive tenants/batch/dim/"
+              "classes, got ",
+              cfg.tenants, "/", cfg.batch, "/", cfg.dim, "/",
+              cfg.classes);
+    // Prototypes are shared across tenants: different clients sending
+    // near-identical content is the cross-tenant dedup opportunity of
+    // the shared-cache serving modes.
+    Rng proto_rng(mixSeed(cfg.seed, 0xA11CE));
+    protos_ = Tensor({cfg.classes, cfg.dim});
+    protos_.fillNormal(proto_rng);
+
+    zipfCdf_.resize(static_cast<size_t>(cfg.classes));
+    double acc = 0.0;
+    for (int c = 0; c < cfg.classes; ++c) {
+        acc += cfg.zipf > 0.0 ? 1.0 / std::pow(static_cast<double>(c + 1),
+                                               cfg.zipf)
+                              : 1.0;
+        zipfCdf_[static_cast<size_t>(c)] = acc;
+    }
+    reset();
+}
+
+void
+TrafficGenerator::reset()
+{
+    tenants_.assign(static_cast<size_t>(cfg_.tenants), TenantState());
+    for (int t = 0; t < cfg_.tenants; ++t)
+        tenants_[static_cast<size_t>(t)].rng.seed(
+            mixSeed(cfg_.seed, static_cast<uint64_t>(t) + 1));
+}
+
+int
+TrafficGenerator::pickClass(Rng &rng) const
+{
+    const double u = rng.uniform() * zipfCdf_.back();
+    const auto it =
+        std::lower_bound(zipfCdf_.begin(), zipfCdf_.end(), u);
+    return std::min(static_cast<int>(it - zipfCdf_.begin()),
+                    cfg_.classes - 1);
+}
+
+TrafficRequest
+TrafficGenerator::next(int tenant)
+{
+    if (tenant < 0 || tenant >= cfg_.tenants)
+        panic("tenant ", tenant, " out of range 0..", cfg_.tenants - 1);
+    TenantState &st = tenants_[static_cast<size_t>(tenant)];
+
+    TrafficRequest req;
+    req.tenant = tenant;
+    req.index = st.nextIndex++;
+    req.rows = Tensor({cfg_.batch, cfg_.dim});
+    req.labels.resize(static_cast<size_t>(cfg_.batch));
+    req.correlated =
+        req.index > 0 && st.rng.bernoulli(cfg_.temporalCorr);
+
+    if (req.correlated) {
+        // Near-duplicate of the previous request: the same rows with
+        // a small drift, the regime where a persistent MCACHE turns
+        // cross-request similarity into HITs.
+        for (int64_t i = 0; i < cfg_.batch; ++i)
+            for (int64_t j = 0; j < cfg_.dim; ++j)
+                req.rows.at2(i, j) =
+                    st.prev.at2(i, j) +
+                    cfg_.driftNoise *
+                        static_cast<float>(st.rng.normal());
+        req.labels = st.prevLabels;
+    } else {
+        for (int64_t i = 0; i < cfg_.batch; ++i) {
+            const int c = pickClass(st.rng);
+            req.labels[static_cast<size_t>(i)] = c;
+            for (int64_t j = 0; j < cfg_.dim; ++j)
+                req.rows.at2(i, j) =
+                    protos_.at2(c, j) +
+                    cfg_.noise * static_cast<float>(st.rng.normal());
+        }
+    }
+    st.prev = req.rows;
+    st.prevLabels = req.labels;
+    return req;
+}
+
 } // namespace mercury

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "tensor/tensor.hpp"
+#include "util/rng.hpp"
 
 namespace mercury {
 
@@ -69,6 +70,87 @@ Dataset makeTokenDataset(int64_t n, int classes, int64_t seq_len,
  */
 Tensor prototypeVectors(int64_t n, int64_t dim, int64_t uniques,
                         float eps, uint64_t seed, double zipf = 0.0);
+
+/**
+ * Knobs of the synthetic many-client traffic source shared by the
+ * serving bench (bench/serve_traffic) and the serving tests
+ * (tests/test_serve) — one deterministic definition of "traffic", so
+ * the bench measures exactly the distribution the tests verify.
+ */
+struct TrafficConfig
+{
+    int tenants = 4;               ///< concurrent clients
+    int64_t requestsPerTenant = 8; ///< stream length per client
+    int64_t batch = 32;            ///< rows per request
+    int64_t dim = 64;              ///< feature dimension per row
+    int classes = 8;               ///< shared class prototypes
+    float noise = 0.02f;           ///< fresh-draw per-element noise
+    float driftNoise = 0.004f;     ///< correlated-request perturbation
+    /**
+     * Temporal correlation across a client's stream: with this
+     * probability the next request is the previous one plus
+     * driftNoise-scale perturbation (near-duplicate rows — the
+     * cross-request similarity regime a persistent MCACHE exploits);
+     * otherwise it is a fresh draw from the shared class prototypes.
+     */
+    double temporalCorr = 0.7;
+    double zipf = 1.0;             ///< prototype popularity skew
+    uint64_t seed = 1234;
+};
+
+/** One generated request: a row matrix plus per-row class labels. */
+struct TrafficRequest
+{
+    int tenant = 0;
+    int64_t index = 0; ///< per-tenant sequence number, from 0
+    Tensor rows;       ///< (batch, dim)
+    std::vector<int> labels;
+    bool correlated = false; ///< drawn as a near-duplicate of index-1
+};
+
+/**
+ * Deterministic per-tenant request streams with temporal correlation.
+ *
+ * Each tenant's stream is an independent random process derived from
+ * (config.seed, tenant) alone, so two generators with equal configs
+ * produce bit-identical streams regardless of the interleaving in
+ * which tenants are pulled — the property that lets concurrent served
+ * traffic be replayed serially for the golden-equivalence tests.
+ * Within one tenant, requests must be pulled in sequence order
+ * (next() advances the stream; the correlated draws depend on the
+ * previous request).
+ */
+class TrafficGenerator
+{
+  public:
+    explicit TrafficGenerator(const TrafficConfig &cfg);
+
+    const TrafficConfig &config() const { return cfg_; }
+
+    /** The next request of `tenant`'s stream. */
+    TrafficRequest next(int tenant);
+
+    /** Rewind every tenant stream to request 0. */
+    void reset();
+
+  private:
+    struct TenantState
+    {
+        Rng rng;
+        int64_t nextIndex = 0;
+        Tensor prev;
+        std::vector<int> prevLabels;
+
+        TenantState() : rng(0) {}
+    };
+
+    TrafficConfig cfg_;
+    Tensor protos_; ///< (classes, dim), shared across tenants
+    std::vector<double> zipfCdf_;
+    std::vector<TenantState> tenants_;
+
+    int pickClass(Rng &rng) const;
+};
 
 } // namespace mercury
 

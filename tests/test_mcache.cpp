@@ -7,7 +7,12 @@
 
 #include <gtest/gtest.h>
 
+#include <map>
+#include <thread>
+#include <vector>
+
 #include "core/mcache.hpp"
+#include "pipeline/sharded_mcache.hpp"
 
 namespace mercury {
 namespace {
@@ -202,6 +207,252 @@ INSTANTIATE_TEST_SUITE_P(
     Organizations, McacheOrgTest,
     ::testing::Values(std::make_tuple(16, 2), std::make_tuple(32, 8),
                       std::make_tuple(64, 16), std::make_tuple(128, 8)));
+
+// ---- Serving-layer lifecycle: epochs, eviction, quota, pins ---------
+
+TEST(McacheLifecycle, InsertStampsEpochAndTenant)
+{
+    MCache c(16, 4, 1);
+    c.setEpoch(7);
+    c.setInsertTenant(3);
+    const auto r = c.lookupOrInsert(sigOf(0xABC));
+    ASSERT_EQ(r.outcome, McacheOutcome::Mau);
+    EXPECT_EQ(c.entryEpoch(r.entryId), 7u);
+    EXPECT_EQ(c.entryTenant(r.entryId), 3);
+    EXPECT_EQ(c.tenantEntries(3), 1);
+}
+
+TEST(McacheLifecycle, HitRefreshesEpoch)
+{
+    MCache c(16, 4, 1);
+    c.setEpoch(1);
+    const auto r = c.lookupOrInsert(sigOf(0xABC));
+    c.setEpoch(9);
+    const auto again = c.lookupOrInsert(sigOf(0xABC));
+    ASSERT_EQ(again.outcome, McacheOutcome::Hit);
+    EXPECT_EQ(c.entryEpoch(r.entryId), 9u);
+}
+
+TEST(McacheLifecycle, EvictOlderThanAgesOldestFirst)
+{
+    // Three lines touched at epochs 1, 2, 3; raising the eviction
+    // floor removes strictly the lines below it, oldest first.
+    MCache c(16, 8, 1);
+    c.setEpoch(1);
+    const auto a = c.lookupOrInsert(sigOf(1));
+    c.setEpoch(2);
+    const auto b = c.lookupOrInsert(sigOf(2));
+    c.setEpoch(3);
+    const auto d = c.lookupOrInsert(sigOf(3));
+    EXPECT_EQ(c.evictOlderThan(2), 1); // only epoch-1 goes
+    EXPECT_FALSE(c.tagValid(a.entryId));
+    EXPECT_TRUE(c.tagValid(b.entryId));
+    EXPECT_TRUE(c.tagValid(d.entryId));
+    EXPECT_EQ(c.evictOlderThan(4), 2); // the rest
+    EXPECT_FALSE(c.tagValid(b.entryId));
+    EXPECT_FALSE(c.tagValid(d.entryId));
+}
+
+TEST(McacheLifecycle, HitRefreshSavesLineFromEviction)
+{
+    MCache c(16, 8, 1);
+    c.setEpoch(1);
+    const auto a = c.lookupOrInsert(sigOf(1));
+    (void)c.lookupOrInsert(sigOf(2));
+    c.setEpoch(5);
+    (void)c.lookupOrInsert(sigOf(1)); // HIT refreshes to epoch 5
+    EXPECT_EQ(c.evictOlderThan(5), 1); // sigOf(2) only
+    EXPECT_TRUE(c.tagValid(a.entryId));
+}
+
+TEST(McacheLifecycle, EvictionFreesTheWayForReinsert)
+{
+    MCache c(1, 1, 1);
+    c.setEpoch(1);
+    (void)c.lookupOrInsert(sigOf(1));
+    EXPECT_EQ(c.lookupOrInsert(sigOf(2)).outcome, McacheOutcome::Mnu);
+    c.setEpoch(2);
+    EXPECT_EQ(c.evictOlderThan(2), 1);
+    EXPECT_EQ(c.lookupOrInsert(sigOf(2)).outcome, McacheOutcome::Mau);
+}
+
+TEST(McacheLifecycle, EvictTenantRemovesOnlyThatTenant)
+{
+    MCache c(16, 8, 1);
+    c.setInsertTenant(0);
+    const auto a = c.lookupOrInsert(sigOf(1));
+    c.setInsertTenant(1);
+    const auto b = c.lookupOrInsert(sigOf(2));
+    EXPECT_EQ(c.evictTenant(0), 1);
+    EXPECT_FALSE(c.tagValid(a.entryId));
+    EXPECT_TRUE(c.tagValid(b.entryId));
+    EXPECT_EQ(c.tenantEntries(1), 1);
+}
+
+TEST(McacheLifecycle, PinnedLineSurvivesEviction)
+{
+    // The in-flight-HIT contract: a pinned line is never evicted, so
+    // an entry id handed out by a probe stays valid across any
+    // eviction sweep that runs while the client holds the pin.
+    MCache c(16, 8, 1);
+    c.setEpoch(1);
+    const auto a = c.lookupOrInsert(sigOf(1));
+    c.pin(a.entryId);
+    c.setEpoch(10);
+    EXPECT_EQ(c.evictOlderThan(10), 0);
+    EXPECT_TRUE(c.tagValid(a.entryId));
+    EXPECT_EQ(c.pinCount(a.entryId), 1u);
+    c.unpin(a.entryId);
+    EXPECT_EQ(c.evictOlderThan(10), 1); // unpinned: now evictable
+}
+
+TEST(McacheLifecycle, PinIsCountedNotBoolean)
+{
+    MCache c(16, 8, 1);
+    const auto a = c.lookupOrInsert(sigOf(1));
+    c.pin(a.entryId);
+    c.pin(a.entryId);
+    c.unpin(a.entryId);
+    c.setEpoch(10);
+    EXPECT_EQ(c.evictOlderThan(10), 0); // one pin still held
+    c.unpin(a.entryId);
+    EXPECT_EQ(c.evictOlderThan(10), 1);
+}
+
+TEST(McacheLifecycle, UnpinWithoutPinPanics)
+{
+    MCache c(16, 8, 1);
+    const auto a = c.lookupOrInsert(sigOf(1));
+    EXPECT_DEATH(c.unpin(a.entryId), "unpin");
+}
+
+TEST(McacheLifecycle, RestoreLineReinstallsTagAndMetadata)
+{
+    MCache c(16, 4, 2);
+    const auto orig = c.lookupOrInsert(sigOf(0xF00D));
+    c.writeData(orig.entryId, 0, 1.5f);
+    const Signature tag = c.tagOf(orig.entryId);
+    c.clear();
+    c.restoreLine(orig.entryId, tag, 42, 5);
+    // Same tag in the same way: the probe HITs with the original id.
+    const auto again = c.lookupOrInsert(sigOf(0xF00D));
+    EXPECT_EQ(again.outcome, McacheOutcome::Hit);
+    EXPECT_EQ(again.entryId, orig.entryId);
+    EXPECT_EQ(c.entryTenant(orig.entryId), 5);
+    // Data versions do not survive a restore.
+    EXPECT_FALSE(c.dataValid(orig.entryId, 0));
+}
+
+TEST(McacheLifecycle, RestoreIntoOccupiedLinePanics)
+{
+    MCache c(16, 4, 1);
+    const auto a = c.lookupOrInsert(sigOf(1));
+    EXPECT_DEATH(c.restoreLine(a.entryId, sigOf(2), 0, -1),
+                 "occupied");
+}
+
+namespace {
+
+/** Quota gate that admits `limit` reservations per tenant (serial). */
+class CountingGate : public McacheQuotaGate
+{
+  public:
+    explicit CountingGate(int64_t limit) : limit_(limit) {}
+    bool tryReserve(int tenant) override
+    {
+        if (tenant < 0)
+            return true;
+        if (counts_[tenant] >= limit_)
+            return false;
+        ++counts_[tenant];
+        return true;
+    }
+    void release(int tenant) override
+    {
+        if (tenant >= 0)
+            --counts_[tenant];
+    }
+    int64_t count(int tenant) const
+    {
+        const auto it = counts_.find(tenant);
+        return it == counts_.end() ? 0 : it->second;
+    }
+
+  private:
+    int64_t limit_;
+    std::map<int, int64_t> counts_;
+};
+
+} // namespace
+
+TEST(McacheLifecycle, QuotaGateTurnsInsertsIntoMnu)
+{
+    MCache c(64, 8, 1);
+    CountingGate gate(2);
+    c.setQuotaGate(&gate);
+    c.setInsertTenant(0);
+    EXPECT_EQ(c.lookupOrInsert(sigOf(1)).outcome, McacheOutcome::Mau);
+    EXPECT_EQ(c.lookupOrInsert(sigOf(2)).outcome, McacheOutcome::Mau);
+    // Third insert: plenty of free ways, but the quota says MNU.
+    EXPECT_EQ(c.lookupOrInsert(sigOf(3)).outcome, McacheOutcome::Mnu);
+    // HITs are not inserts and stay unaffected.
+    EXPECT_EQ(c.lookupOrInsert(sigOf(1)).outcome, McacheOutcome::Hit);
+}
+
+TEST(ShardedLifecycle, QuotaNeverExceededUnderConcurrentInserts)
+{
+    // Hammer one quota'd shared cache from several threads inserting
+    // for the same tenant (the insert-tenant stamp is cache-global,
+    // so concurrency happens within one tenant — exactly how the
+    // server's intra-pass worker threads hit the gate). The
+    // reserve-then-check gate must keep the tenant at or below quota
+    // at every instant, regardless of interleaving.
+    constexpr int kTenant = 2;
+    constexpr int64_t kQuota = 24;
+    ShardedMCache cache(/*sets=*/256, /*ways=*/8, /*data_versions=*/1,
+                        /*shards=*/4);
+    cache.setTenantQuota(kQuota, /*max_tenants=*/4);
+    cache.setInsertTenant(kTenant);
+
+    std::vector<std::thread> threads;
+    for (int w = 0; w < 4; ++w) {
+        threads.emplace_back([&cache, w, kTenant, kQuota] {
+            for (int i = 0; i < 400; ++i) {
+                const uint64_t pattern =
+                    (static_cast<uint64_t>(w) << 32) ^
+                    (static_cast<uint64_t>(i) * 0x9E3779B97F4A7C15ull);
+                (void)cache.lookupOrInsert(sigOf(pattern, 44));
+                EXPECT_LE(cache.tenantReserved(kTenant), kQuota);
+            }
+        });
+    }
+    for (auto &th : threads)
+        th.join();
+
+    // The reservation count and the actual valid-line count agree,
+    // and both respect the quota.
+    EXPECT_EQ(cache.tenantReserved(kTenant), kQuota);
+    int64_t held = 0;
+    for (int s = 0; s < cache.shardCount(); ++s)
+        held += cache.shard(s).tenantEntries(kTenant);
+    EXPECT_EQ(held, kQuota);
+}
+
+TEST(McacheLifecycle, EvictionReleasesQuota)
+{
+    MCache c(64, 8, 1);
+    CountingGate gate(1);
+    c.setQuotaGate(&gate);
+    c.setInsertTenant(0);
+    c.setEpoch(1);
+    const auto a = c.lookupOrInsert(sigOf(1));
+    ASSERT_EQ(a.outcome, McacheOutcome::Mau);
+    EXPECT_EQ(c.lookupOrInsert(sigOf(2)).outcome, McacheOutcome::Mnu);
+    c.setEpoch(2);
+    EXPECT_EQ(c.evictOlderThan(2), 1);
+    EXPECT_EQ(gate.count(0), 0);
+    EXPECT_EQ(c.lookupOrInsert(sigOf(2)).outcome, McacheOutcome::Mau);
+}
 
 } // namespace
 } // namespace mercury
