@@ -1,0 +1,314 @@
+/**
+ * @file
+ * RuntimePlanner bench (core/runtime_planner.hpp): what does
+ * compiling the step's pass graph once buy a multi-layer training
+ * step?
+ *
+ * Four measurements:
+ *  - Bit-identity self-check (FATAL on divergence): planned training
+ *    — threaded, overlap on, backward + weight-gradient replay — must
+ *    reproduce the unplanned losses, logits, and reuse statistics
+ *    exactly. Planning is a schedule, never a result.
+ *  - Per-step setup: a cold plan bind (compile + execution-slot
+ *    build — the schedule work an unplanned step re-derives every
+ *    step) vs a warm bind (the steady-state key-match replay).
+ *    `*_setup_ms` keys; check_bench gates them as ceilings. Full mode
+ *    FATALs unless warm is >= 5x cheaper than cold.
+ *  - End-to-end wall: planned vs unplanned training step on the conv
+ *    stack, threaded + overlapped. `wall*` keys, never gated.
+ *  - Modeled multi-layer step (sim/plan_model.hpp) on the VGG-13 and
+ *    MobileNetV2 stacks: per-layer-barrier baseline vs planned
+ *    schedule with setup amortized and fused conv→conv edges hiding
+ *    successor signature time under the predecessor's trailing
+ *    drain. `model_*_step_speedup` keys, gated at the usual 5%.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "nn/layers.hpp"
+#include "nn/network.hpp"
+#include "sim/plan_model.hpp"
+#include "core/kernels/kernels.hpp"
+#include "workloads/synthetic.hpp"
+
+namespace mercury {
+namespace bench {
+namespace {
+
+struct Shape
+{
+    int64_t n;
+    int64_t hw;
+    int64_t c1, c2;
+    int classes;
+    int steps;
+};
+
+Shape
+shapeFor(bool smoke_mode)
+{
+    if (smoke_mode)
+        return {4, 8, 8, 12, 3, 2};
+    return {8, 12, 16, 32, 4, 3};
+}
+
+/** VGG-flavored conv stack: conv-relu-conv-relu-pool twice, then a
+ *  dense head. Plain layers, so every edge is plannable. */
+std::unique_ptr<Network>
+convStack(const Shape &sh, Rng &rng)
+{
+    auto net = std::make_unique<Network>();
+    net->add(std::make_unique<Conv2dLayer>(3, sh.c1, 3, 1, 1, rng, 1));
+    net->add(std::make_unique<ReluLayer>());
+    net->add(std::make_unique<Conv2dLayer>(sh.c1, sh.c1, 3, 1, 1, rng,
+                                           2));
+    net->add(std::make_unique<ReluLayer>());
+    net->add(std::make_unique<MaxPoolLayer>());
+    net->add(std::make_unique<Conv2dLayer>(sh.c1, sh.c2, 3, 1, 1, rng,
+                                           3));
+    net->add(std::make_unique<ReluLayer>());
+    net->add(std::make_unique<Conv2dLayer>(sh.c2, sh.c2, 3, 1, 1, rng,
+                                           4));
+    net->add(std::make_unique<MaxPoolLayer>());
+    net->add(std::make_unique<GlobalAvgPoolLayer>());
+    net->add(std::make_unique<DenseLayer>(sh.c2, sh.classes, rng, 5));
+    return net;
+}
+
+void
+configureContext(MercuryContext &ctx, bool planned, int threads)
+{
+    PipelineConfig pipe;
+    pipe.threads = threads;
+    pipe.overlap = threads > 1;
+    ctx.setPipeline(pipe);
+    ctx.setBackwardReuse(true);
+    ctx.setWeightGradReuse(true);
+    ctx.setPlanExecution(planned);
+}
+
+struct Trace
+{
+    std::vector<float> losses;
+    Tensor out;
+    ReuseStats fwd, bwd, wgrad;
+};
+
+Trace
+runTrace(const Shape &sh, const Dataset &ds, bool planned, int threads)
+{
+    Rng rng(777);
+    std::unique_ptr<Network> net = convStack(sh, rng);
+    MercuryContext ctx(14, 64, 8, 2, 0xFEED);
+    configureContext(ctx, planned, threads);
+    Trace tr;
+    for (int s = 0; s < sh.steps; ++s)
+        tr.losses.push_back(
+            net->trainBatch(ds.inputs, ds.labels, 0.05f, &ctx));
+    tr.out = net->forward(ds.inputs, &ctx);
+    tr.fwd = ctx.totals();
+    tr.bwd = ctx.backwardTotals();
+    tr.wgrad = ctx.weightGradTotals();
+    return tr;
+}
+
+bool
+statsEq(const ReuseStats &a, const ReuseStats &b)
+{
+    return a.mix.vectors == b.mix.vectors && a.mix.hit == b.mix.hit &&
+           a.mix.mau == b.mix.mau && a.mix.mnu == b.mix.mnu &&
+           a.macsTotal == b.macsTotal &&
+           a.macsSkipped == b.macsSkipped &&
+           a.channelPasses == b.channelPasses;
+}
+
+bool
+tracesEq(const Trace &a, const Trace &b)
+{
+    if (a.losses != b.losses || a.out.numel() != b.out.numel())
+        return false;
+    for (int64_t i = 0; i < a.out.numel(); ++i)
+        if (a.out[i] != b.out[i])
+            return false;
+    return statsEq(a.fwd, b.fwd) && statsEq(a.bwd, b.bwd) &&
+           statsEq(a.wgrad, b.wgrad);
+}
+
+/** Per-bind milliseconds of `bind`, amortized over a timed loop. */
+template <typename Fn>
+double
+perBindMs(Fn &&bind, int iters)
+{
+    const double s = bestSeconds([&] {
+        for (int i = 0; i < iters; ++i)
+            bind();
+    });
+    return s * 1000.0 / iters;
+}
+
+/** One modeled stack entry: full-step speedup planned vs barriered. */
+PlannedStepModel
+modelStack(const ModelConfig &model, int64_t batch, int sig_bits)
+{
+    AcceleratorConfig cfg;
+    cfg.backwardReuse = true;
+    cfg.weightGradReuse = true;
+    cfg.planExecution = true;
+    std::vector<HitMix> mixes;
+    for (const LayerShape &shape : model.layers)
+        mixes.push_back(
+            HitMix::fromFractions(shape.vectorsPerChannel(), 0.4));
+    return modelPlannedStep(cfg, model.layers, mixes, batch, sig_bits);
+}
+
+int
+run()
+{
+    const bool smoke_mode = smoke();
+    const Shape sh = shapeFor(smoke_mode);
+    const Dataset ds =
+        makeImageDataset(sh.n, sh.classes, 3, sh.hw, 9090, 0.03f);
+
+    banner("micro_planner: ahead-of-time pass-graph compilation",
+           "planned steps replay a compiled schedule — setup "
+           "amortized, conv->conv edges overlapped across layers, "
+           "results bit-identical");
+
+    // ---- Phase 1: bit-identity self-check -------------------------
+    const Trace plain = runTrace(sh, ds, false, 4);
+    const Trace planned = runTrace(sh, ds, true, 4);
+    if (!tracesEq(plain, planned)) {
+        std::printf("FAIL: planned training diverged from the "
+                    "unplanned path\n");
+        return 1;
+    }
+    std::printf("bit-identity: %d planned steps (threads 4, overlap, "
+                "dX+dW replay) match unplanned exactly\n\n",
+                sh.steps);
+
+    // ---- Phase 2: per-step setup, cold bind vs warm bind ----------
+    Rng rng(778);
+    std::unique_ptr<Network> net = convStack(sh, rng);
+    MercuryContext ctx(14, 64, 8, 2, 0xFEED);
+    configureContext(ctx, true, 1);
+    const int iters = smoke_mode ? 4 : 64;
+    const double cold_ms = perBindMs(
+        [&] {
+            ctx.resetPlanState();
+            net->planStep(ds.inputs, &ctx);
+        },
+        iters);
+    net->planStep(ds.inputs, &ctx); // ensure bound
+    const double warm_ms =
+        perBindMs([&] { net->planStep(ds.inputs, &ctx); }, iters * 8);
+    const double setup_speedup = warm_ms > 0.0 ? cold_ms / warm_ms : 0.0;
+    std::printf("plan bind: cold %.4f ms (compile + slot build), warm "
+                "%.4f ms (key-match replay), %.1fx\n",
+                cold_ms, warm_ms, setup_speedup);
+    if (!smoke_mode && setup_speedup < 5.0) {
+        std::printf("FAIL: warm bind only %.1fx cheaper than cold "
+                    "(want >= 5x)\n",
+                    setup_speedup);
+        return 1;
+    }
+
+    // ---- Phase 3: end-to-end step wall time -----------------------
+    double planned_step_s = 0.0, unplanned_step_s = 0.0;
+    {
+        Rng rng_w(779);
+        std::unique_ptr<Network> net_w = convStack(sh, rng_w);
+        MercuryContext cx(14, 64, 8, 2, 0xFEED);
+        configureContext(cx, false, 4);
+        net_w->trainBatch(ds.inputs, ds.labels, 0.0f, &cx); // warm pools
+        unplanned_step_s = bestSeconds([&] {
+            net_w->trainBatch(ds.inputs, ds.labels, 0.0f, &cx);
+        });
+    }
+    {
+        Rng rng_w(779);
+        std::unique_ptr<Network> net_w = convStack(sh, rng_w);
+        MercuryContext cx(14, 64, 8, 2, 0xFEED);
+        configureContext(cx, true, 4);
+        net_w->trainBatch(ds.inputs, ds.labels, 0.0f, &cx); // bind plan
+        planned_step_s = bestSeconds([&] {
+            net_w->trainBatch(ds.inputs, ds.labels, 0.0f, &cx);
+        });
+    }
+    const double wall_speedup = planned_step_s > 0.0
+                                    ? unplanned_step_s / planned_step_s
+                                    : 0.0;
+    std::printf("step wall: unplanned %.3f ms, planned %.3f ms, "
+                "%.3fx (host-dependent, not gated)\n\n",
+                unplanned_step_s * 1e3, planned_step_s * 1e3,
+                wall_speedup);
+
+    // ---- Phase 4: modeled multi-layer step ------------------------
+    const int64_t model_batch = smoke_mode ? 2 : 8;
+    const PlannedStepModel vgg = modelStack(vgg13(), model_batch, 20);
+    const PlannedStepModel mob =
+        modelStack(mobilenetV2(), model_batch, 20);
+    for (const auto &entry :
+         {std::pair<const char *, const PlannedStepModel &>{"vgg13",
+                                                            vgg},
+          {"mobilenet_v2", mob}}) {
+        const PlannedStepModel &m = entry.second;
+        std::printf("%s: barrier %llu cycles -> planned %llu "
+                    "(%.3fx; %d fused edges hide %llu signature "
+                    "cycles, %llu setup cycles amortized)\n",
+                    entry.first,
+                    static_cast<unsigned long long>(m.barrierCycles),
+                    static_cast<unsigned long long>(m.plannedCycles),
+                    m.speedup(), m.fusedEdges,
+                    static_cast<unsigned long long>(m.hiddenSignature),
+                    static_cast<unsigned long long>(m.setupCycles));
+        if (m.speedup() <= 1.0 || m.fusedEdges <= 0 ||
+            m.hiddenSignature == 0) {
+            std::printf("FAIL: %s planned schedule does not beat the "
+                        "per-layer-barrier baseline\n",
+                        entry.first);
+            return 1;
+        }
+    }
+
+    ResultLine line("BENCH_planner.json", "micro_planner");
+    line.speedups(vgg.speedup(),
+                  std::isfinite(wall_speedup)
+                      ? wall_speedup
+                      : std::numeric_limits<double>::quiet_NaN());
+    line.num("model_vgg13_step_speedup", vgg.speedup(), 3);
+    line.num("model_mobilenet_step_speedup", mob.speedup(), 3);
+    line.integer("vgg13_fused_edges", vgg.fusedEdges);
+    line.integer("mobilenet_fused_edges", mob.fusedEdges);
+    // Only the cold bind is check_bench-gated (`_setup_ms` ceiling):
+    // the warm bind is sub-microsecond, below a wall gate's noise
+    // floor — the >= 5x FATAL above enforces it on every full run.
+    line.num("plan_cold_setup_ms", cold_ms, 4);
+    line.num("wall_plan_warm_setup_ms", warm_ms, 5);
+    line.num("wall_setup_speedup", setup_speedup, 1);
+    line.num("wall_step_unplanned_ms", unplanned_step_s * 1e3, 3);
+    line.num("wall_step_planned_ms", planned_step_s * 1e3, 3);
+    line.num("wall_step_speedup", wall_speedup, 3);
+    line.config("batch", sh.n);
+    line.config("hw", sh.hw);
+    line.config("steps", sh.steps);
+    line.config("model_batch", model_batch);
+    line.config("bits", 14);
+    line.config("cpu", kernels::avx2Ops() ? "avx2" : "scalar");
+    line.config("smoke", smoke_mode ? 1 : 0);
+    line.print();
+    return 0;
+}
+
+} // namespace
+} // namespace bench
+} // namespace mercury
+
+int
+main()
+{
+    return mercury::bench::run();
+}

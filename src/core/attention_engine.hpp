@@ -25,6 +25,7 @@
 
 #include "core/mcache.hpp"
 #include "core/reuse_runtime.hpp" // ReuseStats
+#include "core/runtime_planner.hpp" // RowPlanSlot
 #include "pipeline/detection_frontend.hpp"
 #include "tensor/tensor.hpp"
 
@@ -58,9 +59,13 @@ class AttentionEngine
      *        appended for the backward replay (§III-C2). The caller
      *        clears the record once per forward invocation (the layer
      *        runs one engine pass per sample into one record).
+     * @param plan planned execution state (persistent runtime and
+     *        owner buffers) from the RuntimePlanner; null runs the
+     *        unplanned path. Bit-identical either way.
      */
     Tensor forward(const Tensor &x, ReuseStats &stats,
-                   SignatureRecord *record = nullptr);
+                   SignatureRecord *record = nullptr,
+                   RowPlanSlot *plan = nullptr);
 
     /**
      * Input-gradient pass with replayed reuse (§III-C2): computes
@@ -79,7 +84,8 @@ class AttentionEngine
      */
     Tensor backward(const Tensor &x, const Tensor &g,
                     const SignatureRecord &record, int64_t pass_index,
-                    ReuseStats &stats, const Tensor *xtx = nullptr);
+                    ReuseStats &stats, const Tensor *xtx = nullptr,
+                    RowPlanSlot *plan = nullptr);
 
     /**
      * Projection-gradient factor with replayed reuse (§III-C2 applied
@@ -95,7 +101,8 @@ class AttentionEngine
      */
     Tensor backwardProjection(const Tensor &x,
                               const SignatureRecord &record,
-                              int64_t pass_index, ReuseStats &stats);
+                              int64_t pass_index, ReuseStats &stats,
+                              RowPlanSlot *plan = nullptr);
 
     /** Signature length this engine detects with. */
     int signatureBits() const { return frontend_.signatureBits(); }

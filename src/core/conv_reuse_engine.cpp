@@ -1,6 +1,7 @@
 #include "core/conv_reuse_engine.hpp"
 
 #include <algorithm>
+#include <optional>
 
 #include "core/kernels/kernels.hpp"
 #include "core/span_batcher.hpp"
@@ -58,35 +59,6 @@ filterSegment(PassDataPlane &plane, const Tensor &rows,
         out_base[i] += val;
     }
     return skipped;
-}
-
-/**
- * Extract the (v, k*k) patch rows of one (image, channel) pass — the
- * Fig. 7a vector extraction shared by the forward detection pass and
- * the weight-gradient replay (which needs the owner patches back).
- */
-void
-extractChannelPatches(const Tensor &input, const ConvSpec &spec, int64_t b,
-                      int64_t c, int64_t oh, int64_t ow, Tensor &rows)
-{
-    const int64_t k = spec.kernelH;
-    int64_t r = 0;
-    for (int64_t y = 0; y < oh; ++y) {
-        for (int64_t x = 0; x < ow; ++x, ++r) {
-            int64_t e = 0;
-            for (int64_t ky = 0; ky < k; ++ky) {
-                for (int64_t kx = 0; kx < k; ++kx, ++e) {
-                    const int64_t iy = y * spec.stride - spec.pad + ky;
-                    const int64_t ix = x * spec.stride - spec.pad + kx;
-                    const bool inside = iy >= 0 && ix >= 0 &&
-                                        iy < input.dim(2) &&
-                                        ix < input.dim(3);
-                    rows.at2(r, e) =
-                        inside ? input.at4(b, c, iy, ix) : 0.0f;
-                }
-            }
-        }
-    }
 }
 
 /**
@@ -159,10 +131,37 @@ weightGradSumSegment(const std::vector<int64_t> &owner, const float *go,
 
 } // namespace
 
+// Declared in the header (shared with the planner's cross-layer
+// prefetch): the Fig. 7a per-channel vector extraction.
+void
+extractChannelPatches(const Tensor &input, const ConvSpec &spec, int64_t b,
+                      int64_t c, int64_t oh, int64_t ow, Tensor &rows)
+{
+    const int64_t k = spec.kernelH;
+    int64_t r = 0;
+    for (int64_t y = 0; y < oh; ++y) {
+        for (int64_t x = 0; x < ow; ++x, ++r) {
+            int64_t e = 0;
+            for (int64_t ky = 0; ky < k; ++ky) {
+                for (int64_t kx = 0; kx < k; ++kx, ++e) {
+                    const int64_t iy = y * spec.stride - spec.pad + ky;
+                    const int64_t ix = x * spec.stride - spec.pad + kx;
+                    const bool inside = iy >= 0 && ix >= 0 &&
+                                        iy < input.dim(2) &&
+                                        ix < input.dim(3);
+                    rows.at2(r, e) =
+                        inside ? input.at4(b, c, iy, ix) : 0.0f;
+                }
+            }
+        }
+    }
+}
+
 Tensor
 ConvReuseEngine::forward(const Tensor &input, const Tensor &weight,
                          const Tensor &bias, const ConvSpec &spec,
-                         ReuseStats &stats, SignatureRecord *record)
+                         ReuseStats &stats, SignatureRecord *record,
+                         ConvPlanSlot *plan)
 {
     if (input.rank() != 4 || weight.rank() != 4)
         panic("ConvReuseEngine expects rank-4 input and weight");
@@ -185,10 +184,27 @@ ConvReuseEngine::forward(const Tensor &input, const Tensor &weight,
                     out[out.offset4(b, oc, 0, 0) + i] = bias[oc];
     }
 
-    ReuseRuntime rt(*frontend_, frontend_.signatureBits());
+    // A bound plan slot provides the persistent runtime, the prebuilt
+    // pass order, and the preallocated double buffer; a slot whose
+    // compiled geometry does not match this call runs unplanned (the
+    // schedule is the only thing planning changes).
+    if (plan && (!plan->runtime || !plan->plan || plan->plan->rows != v ||
+                 plan->plan->vecDim != d ||
+                 static_cast<int64_t>(plan->order.size()) !=
+                     n * spec.groups * cin_g))
+        plan = nullptr;
+
+    std::optional<ReuseRuntime> local_rt;
+    ReuseRuntime &rt =
+        plan ? *plan->runtime
+             : local_rt.emplace(*frontend_, frontend_.signatureBits());
     const bool overlapped = rt.overlapped();
-    if (record)
+    if (record) {
         record->clear();
+        if (plan)
+            record->reservePasses(
+                static_cast<int64_t>(plan->order.size()));
+    }
 
     // HIT forwarding runs on the runtime's arena-backed data plane
     // instead of the locked MCACHE data plane: same validity
@@ -214,26 +230,31 @@ ConvReuseEngine::forward(const Tensor &input, const Tensor &weight,
     // Channel passes in execution order (also the record's pass
     // order, which the backward replays re-walk). Grouped / depthwise
     // convolutions enumerate (group, channel-within-group) pairs; the
-    // per-pass descriptor below is the same for every grouping.
-    struct PassId
-    {
-        int64_t b, g, ic;
-    };
-    std::vector<PassId> order;
-    order.reserve(static_cast<size_t>(n * spec.groups * cin_g));
-    for (int64_t b = 0; b < n; ++b)
-        for (int64_t g = 0; g < spec.groups; ++g)
-            for (int64_t ic = 0; ic < cin_g; ++ic)
-                order.push_back({b, g, ic});
+    // per-pass descriptor below is the same for every grouping. A
+    // plan slot carries the order prebuilt.
+    using PassId = ConvPlanSlot::PassId;
+    std::vector<PassId> local_order;
+    if (!plan) {
+        local_order.reserve(static_cast<size_t>(n * spec.groups * cin_g));
+        for (int64_t b = 0; b < n; ++b)
+            for (int64_t g = 0; g < spec.groups; ++g)
+                for (int64_t ic = 0; ic < cin_g; ++ic)
+                    local_order.push_back({b, g, ic});
+    }
+    const std::vector<PassId> &order = plan ? plan->order : local_order;
 
     // Double-buffered extraction tensors (cross-channel overlap): the
     // overlapped path extracts and hashes pass p+1 into the other
     // buffer while pass p's trailing filter groups drain. The
-    // run-then-filter path reuses one buffer for every pass.
-    Tensor bufs[2];
-    bufs[0] = Tensor({v, d});
-    if (overlapped)
-        bufs[1] = Tensor({v, d});
+    // run-then-filter path reuses one buffer for every pass. A plan
+    // slot carries both buffers preallocated.
+    Tensor local_bufs[2];
+    Tensor *bufs = plan ? plan->bufs : local_bufs;
+    if (!plan) {
+        bufs[0] = Tensor({v, d});
+        if (overlapped)
+            bufs[1] = Tensor({v, d});
+    }
     const auto extract = [&](const PassId &p, Tensor &rows) {
         extractChannelPatches(input, spec, p.b, p.g * cin_g + p.ic, oh,
                               ow, rows);
@@ -241,17 +262,38 @@ ConvReuseEngine::forward(const Tensor &input, const Tensor &weight,
 
     stats = ReuseStats{};
     std::unique_ptr<DetectionHashJob> job;
+    const Tensor *rows0 = &bufs[0];
     if (overlapped && !order.empty()) {
-        extract(order[0], bufs[0]);
-        job = frontend_->beginHashStream(bufs[0],
-                                         frontend_.signatureBits());
+        if (plan && plan->prefetched && plan->prefetched->rowCount() == v &&
+            plan->prefetched->vectorDim() == d &&
+            plan->prefetched->signatureBits() ==
+                frontend_.signatureBits()) {
+            // Cross-layer overlap (planned path): the predecessor
+            // layer already extracted and hashed this layer's first
+            // channel pass while its trailing filter ranges drained —
+            // consume the in-flight job as pass 0. The rows it hashed
+            // live in the slot's prefetch buffer.
+            job = std::move(plan->prefetched);
+            rows0 = &plan->prefetchRows;
+        } else {
+            if (plan)
+                plan->prefetched.reset();
+            extract(order[0], bufs[0]);
+            job = frontend_->beginHashStream(bufs[0],
+                                             frontend_.signatureBits());
+        }
     }
 
     for (size_t pi = 0; pi < order.size(); ++pi) {
         const PassId p = order[pi];
-        Tensor &rows = bufs[overlapped ? (pi & 1) : 0];
-        if (!overlapped)
-            extract(p, rows); // Fig. 7a extraction, single buffer pace
+        const Tensor *rows_p;
+        if (!overlapped) {
+            extract(p, bufs[0]); // Fig. 7a extraction, single buffer
+            rows_p = &bufs[0];
+        } else {
+            rows_p = (pi == 0) ? rows0 : &bufs[pi & 1];
+        }
+        const Tensor &rows = *rows_p;
 
         // Pass-start clear of the data plane (the MCACHE tag plane is
         // cleared by the detection pass itself). Driving thread, no
@@ -289,6 +331,20 @@ ConvReuseEngine::forward(const Tensor &input, const Tensor &weight,
                 }
             };
         }
+        // Cross-layer overlap (planned path, producing side): on the
+        // pass that completes output channel 0 of image 0 — (image 0,
+        // group 0, last input channel) — the first drained chain
+        // covers filter 0, so the successor layer's first channel
+        // pass can extract and hash while this pass's remaining
+        // chains (and all later images') still drain.
+        if (plan && plan->prefetchNext &&
+            static_cast<int64_t>(pi) == plan->prefetchAfterPass) {
+            set.onChainDrained = [&](int64_t f0, int64_t f1) {
+                (void)f1;
+                if (f0 == 0)
+                    plan->prefetchNext(out);
+            };
+        }
 
         rt.runFilterPasses(
             overlapped ? ReuseRuntime::StreamSource::hashed(*job, record)
@@ -308,7 +364,7 @@ Tensor
 ConvReuseEngine::backwardInput(const Tensor &gradOut, const Tensor &weight,
                                const ConvSpec &spec, int64_t in_h,
                                int64_t in_w, const SignatureRecord &record,
-                               ReuseStats &stats)
+                               ReuseStats &stats, ConvPlanSlot *plan)
 {
     if (gradOut.rank() != 4 || weight.rank() != 4)
         panic("ConvReuseEngine expects rank-4 gradient and weight");
@@ -332,7 +388,20 @@ ConvReuseEngine::backwardInput(const Tensor &gradOut, const Tensor &weight,
         std::max<int64_t>(1, std::min<int64_t>(record.dataVersions(),
                                                cout_g));
 
-    ReuseRuntime rt(*frontend_, frontend_.signatureBits());
+    // Planned execution: persistent runtime plus preallocated
+    // grad-column slots and owner scratch (bind time sized them to
+    // this geometry; anything off runs unplanned).
+    if (plan && (!plan->runtime || !plan->plan || plan->plan->rows != v ||
+                 plan->plan->vecDim != d ||
+                 static_cast<int64_t>(plan->cols.size()) != slots ||
+                 (slots > 0 && plan->cols[0].size() !=
+                                   static_cast<size_t>(v * d))))
+        plan = nullptr;
+
+    std::optional<ReuseRuntime> local_rt;
+    ReuseRuntime &rt =
+        plan ? *plan->runtime
+             : local_rt.emplace(*frontend_, frontend_.signatureBits());
     Tensor grad_in({n, spec.inChannels, in_h, in_w});
     stats = ReuseStats{};
 
@@ -341,10 +410,15 @@ ConvReuseEngine::backwardInput(const Tensor &gradOut, const Tensor &weight,
         return weight.data() + ((oc * cin_g + ic) * k) * k;
     };
 
-    std::vector<int64_t> owner;
-    std::vector<std::vector<float>> cols(static_cast<size_t>(slots));
-    for (auto &c : cols)
-        c.resize(static_cast<size_t>(v * d));
+    std::vector<int64_t> local_owner;
+    std::vector<int64_t> &owner = plan ? plan->owner : local_owner;
+    std::vector<std::vector<float>> local_cols;
+    if (!plan) {
+        local_cols.resize(static_cast<size_t>(slots));
+        for (auto &c : local_cols)
+            c.resize(static_cast<size_t>(v * d));
+    }
+    std::vector<std::vector<float>> &cols = plan ? plan->cols : local_cols;
 
     int64_t pass_idx = 0;
     for (int64_t b = 0; b < n; ++b) {
@@ -435,7 +509,7 @@ Tensor
 ConvReuseEngine::backwardWeights(const Tensor &input, const Tensor &gradOut,
                                  const ConvSpec &spec,
                                  const SignatureRecord &record,
-                                 ReuseStats &stats)
+                                 ReuseStats &stats, ConvPlanSlot *plan)
 {
     if (input.rank() != 4 || gradOut.rank() != 4)
         panic("ConvReuseEngine expects rank-4 input and gradient");
@@ -459,15 +533,37 @@ ConvReuseEngine::backwardWeights(const Tensor &input, const Tensor &gradOut,
         std::max<int64_t>(1, std::min<int64_t>(record.dataVersions(),
                                                cout_g));
 
-    ReuseRuntime rt(*frontend_, frontend_.signatureBits());
+    // Planned execution: persistent runtime plus the preallocated
+    // patch buffer and group-sum slots (see backwardInput).
+    if (plan && (!plan->runtime || !plan->plan || plan->plan->rows != v ||
+                 plan->plan->vecDim != d ||
+                 plan->dwRows.numel() != v * d ||
+                 static_cast<int64_t>(plan->gcols.size()) != slots ||
+                 (slots > 0 &&
+                  plan->gcols[0].size() != static_cast<size_t>(v))))
+        plan = nullptr;
+
+    std::optional<ReuseRuntime> local_rt;
+    ReuseRuntime &rt =
+        plan ? *plan->runtime
+             : local_rt.emplace(*frontend_, frontend_.signatureBits());
     Tensor grad_w({spec.outChannels, cin_g, k, k});
     stats = ReuseStats{};
 
-    Tensor rows({v, d});
-    std::vector<int64_t> owner;
-    std::vector<std::vector<float>> gcols(static_cast<size_t>(slots));
-    for (auto &c : gcols)
-        c.resize(static_cast<size_t>(v));
+    Tensor local_rows;
+    if (!plan)
+        local_rows = Tensor({v, d});
+    Tensor &rows = plan ? plan->dwRows : local_rows;
+    std::vector<int64_t> local_owner;
+    std::vector<int64_t> &owner = plan ? plan->owner : local_owner;
+    std::vector<std::vector<float>> local_gcols;
+    if (!plan) {
+        local_gcols.resize(static_cast<size_t>(slots));
+        for (auto &c : local_gcols)
+            c.resize(static_cast<size_t>(v));
+    }
+    std::vector<std::vector<float>> &gcols =
+        plan ? plan->gcols : local_gcols;
 
     int64_t pass_idx = 0;
     for (int64_t b = 0; b < n; ++b) {

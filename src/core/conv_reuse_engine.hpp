@@ -79,6 +79,7 @@
 
 #include "core/mcache.hpp"
 #include "core/reuse_runtime.hpp"
+#include "core/runtime_planner.hpp"
 #include "core/similarity_detector.hpp"
 #include "pipeline/detection_frontend.hpp"
 #include "sim/dataflow.hpp"
@@ -86,6 +87,18 @@
 #include "tensor/tensor.hpp"
 
 namespace mercury {
+
+/**
+ * Extract the (oh*ow, k*k) patch rows of one (image, channel) pass —
+ * the Fig. 7a vector extraction shared by the forward detection pass,
+ * the weight-gradient replay (which needs the owner patches back),
+ * and the planner's cross-layer prefetch (which extracts the
+ * successor's first channel while the predecessor drains). Reads
+ * input.at4(b, c, ...) only, so any tensor holding the channel works.
+ */
+void extractChannelPatches(const Tensor &input, const ConvSpec &spec,
+                           int64_t b, int64_t c, int64_t oh, int64_t ow,
+                           Tensor &rows);
 
 /** Functional conv-layer engine with MERCURY computation reuse. */
 class ConvReuseEngine
@@ -117,10 +130,18 @@ class ConvReuseEngine
      * @param record when non-null, cleared and then filled with one
      *        captured pass per (image, channel) in execution order,
      *        for the backward replay (§III-C2)
+     * @param plan   planned execution state (core/runtime_planner.hpp):
+     *        when non-null the pass reuses the slot's persistent
+     *        ReuseRuntime and preallocated buffers instead of
+     *        rebuilding them, consumes a cross-layer prefetched hash
+     *        job as its first pass when one is armed, and fires the
+     *        slot's own prefetch edge for the successor layer.
+     *        Outputs and statistics are bit-identical either way.
      */
     Tensor forward(const Tensor &input, const Tensor &weight,
                    const Tensor &bias, const ConvSpec &spec,
-                   ReuseStats &stats, SignatureRecord *record = nullptr);
+                   ReuseStats &stats, SignatureRecord *record = nullptr,
+                   ConvPlanSlot *plan = nullptr);
 
     /**
      * Input-gradient pass with replayed reuse (§III-C2): consumes the
@@ -135,11 +156,12 @@ class ConvReuseEngine
      * @param in_w    input width
      * @param record  the forward pass's captured record
      * @param stats   filled with the backward reuse statistics
+     * @param plan    planned execution state (see forward())
      */
     Tensor backwardInput(const Tensor &gradOut, const Tensor &weight,
                          const ConvSpec &spec, int64_t in_h, int64_t in_w,
-                         const SignatureRecord &record,
-                         ReuseStats &stats);
+                         const SignatureRecord &record, ReuseStats &stats,
+                         ConvPlanSlot *plan = nullptr);
 
     /**
      * Weight-gradient pass with replayed reuse (§III-C2, Eq. 1):
@@ -154,11 +176,13 @@ class ConvReuseEngine
      * @param gradOut (N, Cout, outH, outW) output gradient
      * @param record  the forward pass's captured record
      * @param stats   filled with the dW-pass reuse statistics
+     * @param plan    planned execution state (see forward())
      */
     Tensor backwardWeights(const Tensor &input, const Tensor &gradOut,
                            const ConvSpec &spec,
                            const SignatureRecord &record,
-                           ReuseStats &stats);
+                           ReuseStats &stats,
+                           ConvPlanSlot *plan = nullptr);
 
     /** Signature length this engine detects with. */
     int signatureBits() const { return frontend_.signatureBits(); }

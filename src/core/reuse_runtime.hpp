@@ -211,6 +211,14 @@ class ReuseRuntime
      * but before the in-flight chains are joined: the cross-channel
      * overlap window, where the conv engine extracts and begins
      * hashing the next channel while this one's chains drain.
+     *
+     * `onChainDrained(f0, f1)` runs on the driving thread after each
+     * streamed consumer chain joins (overlapped path only, ascending
+     * chain order): filters [f0, f1) are final for every row while
+     * later chains still drain — the cross-LAYER overlap window,
+     * where the planner's dependency edge launches the successor
+     * layer's detection hash (see core/runtime_planner.hpp). Serial
+     * execution never fires it (there is no drain to overlap with).
      */
     struct FilterPassSet
     {
@@ -221,6 +229,7 @@ class ReuseRuntime
         std::function<void(int64_t f0, int64_t f1)> beforeGroup;
         std::function<void(int64_t f0, int64_t f1)> afterGroup;
         std::function<void()> onStreamDelivered;
+        std::function<void(int64_t f0, int64_t f1)> onChainDrained;
     };
 
     /**

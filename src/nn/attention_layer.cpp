@@ -35,7 +35,8 @@ SelfAttentionLayer::forward(const Tensor &x, MercuryContext *ctx)
             AttentionEngine engine(ctx->frontendFor(layerId_),
                                    ctx->signatureBits());
             ReuseStats stats;
-            yi = engine.forward(xi, stats, capture ? &record_ : nullptr);
+            yi = engine.forward(xi, stats, capture ? &record_ : nullptr,
+                                ctx->rowPlanFor(layerId_));
             ctx->accumulate(stats);
         } else {
             Tensor w = matmulTransposeB(xi, xi);
@@ -74,7 +75,8 @@ SelfAttentionLayer::backwardImpl(const Tensor &grad, MercuryContext *ctx)
             AttentionEngine engine(ctx->frontendFor(layerId_),
                                    ctx->signatureBits());
             ReuseStats wstats;
-            xtx = engine.backwardProjection(xi, record_, s, wstats);
+            xtx = engine.backwardProjection(xi, record_, s, wstats,
+                                            ctx->rowPlanFor(layerId_));
             ctx->accumulateWeightGrad(wstats);
         }
         if (replay) {
@@ -84,7 +86,8 @@ SelfAttentionLayer::backwardImpl(const Tensor &grad, MercuryContext *ctx)
                                    ctx->signatureBits());
             ReuseStats stats;
             Tensor gx = engine.backward(xi, gi, record_, s, stats,
-                                        proj ? &xtx : nullptr);
+                                        proj ? &xtx : nullptr,
+                                        ctx->rowPlanFor(layerId_));
             ctx->accumulateBackward(stats);
             for (int64_t i = 0; i < gx.numel(); ++i)
                 out[s * gx.numel() + i] = gx[i];

@@ -22,6 +22,10 @@ class SelfAttentionLayer : public Layer
                        uint64_t layer_id, float scale = 1.0f);
 
     Tensor forward(const Tensor &x, MercuryContext *ctx) override;
+    void describeStep(StepDescBuilder &b) const override
+    {
+        b.attention(layerId_, seqLen_, embedDim_);
+    }
     std::string name() const override { return "self-attention"; }
 
   protected:

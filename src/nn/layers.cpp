@@ -41,8 +41,8 @@ Conv2dLayer::forward(const Tensor &x, MercuryContext *ctx)
         ReuseStats stats;
         SignatureRecord *capture =
             ctx->capturesRecords() ? &record_ : nullptr;
-        Tensor out =
-            engine.forward(x, weight_, bias_, spec_, stats, capture);
+        Tensor out = engine.forward(x, weight_, bias_, spec_, stats,
+                                    capture, ctx->convPlanFor(layerId_));
         ctx->accumulate(stats);
         recordValid_ = capture != nullptr;
         return out;
@@ -60,8 +60,9 @@ Conv2dLayer::backwardImpl(const Tensor &grad, MercuryContext *ctx)
         ConvReuseEngine engine(ctx->frontendFor(layerId_),
                                ctx->signatureBits());
         ReuseStats wstats;
-        gradWeight_ = engine.backwardWeights(lastInput_, grad, spec_,
-                                             record_, wstats);
+        gradWeight_ =
+            engine.backwardWeights(lastInput_, grad, spec_, record_,
+                                   wstats, ctx->convPlanFor(layerId_));
         ctx->accumulateWeightGrad(wstats);
     } else {
         gradWeight_ = conv2dBackwardWeight(lastInput_, grad, spec_);
@@ -77,7 +78,8 @@ Conv2dLayer::backwardImpl(const Tensor &grad, MercuryContext *ctx)
         Tensor gin = engine.backwardInput(grad, weight_, spec_,
                                           lastInput_.dim(2),
                                           lastInput_.dim(3), record_,
-                                          stats);
+                                          stats,
+                                          ctx->convPlanFor(layerId_));
         ctx->accumulateBackward(stats);
         return gin;
     }
@@ -130,7 +132,8 @@ DenseLayer::forward(const Tensor &x, MercuryContext *ctx)
         ReuseStats stats;
         SignatureRecord *capture =
             ctx->capturesRecords() ? &record_ : nullptr;
-        out = engine.forward(x, weight_, stats, nullptr, capture);
+        out = engine.forward(x, weight_, stats, nullptr, capture,
+                             ctx->rowPlanFor(layerId_));
         ctx->accumulate(stats);
         recordValid_ = capture != nullptr;
     } else {
@@ -153,7 +156,8 @@ DenseLayer::backwardImpl(const Tensor &grad, MercuryContext *ctx)
                         ctx->signatureBits());
         ReuseStats wstats;
         gradWeight_ =
-            engine.backwardWeights(lastInput_, grad, record_, wstats);
+            engine.backwardWeights(lastInput_, grad, record_, wstats,
+                                   ctx->rowPlanFor(layerId_));
         ctx->accumulateWeightGrad(wstats);
     } else {
         gradWeight_ = matmul(transpose2d(lastInput_), grad);
@@ -169,7 +173,8 @@ DenseLayer::backwardImpl(const Tensor &grad, MercuryContext *ctx)
         FcEngine engine(ctx->frontendFor(layerId_),
                         ctx->signatureBits());
         ReuseStats stats;
-        Tensor gin = engine.backwardInput(grad, weight_, record_, stats);
+        Tensor gin = engine.backwardInput(grad, weight_, record_, stats,
+                                          ctx->rowPlanFor(layerId_));
         ctx->accumulateBackward(stats);
         return gin;
     }

@@ -64,6 +64,17 @@ class Layer
     /** SGD parameter update (no-op for stateless layers). */
     virtual void step(float lr) { (void)lr; }
 
+    /**
+     * Contribute this layer's op to a step description
+     * (core/runtime_planner.hpp): reuse-capable layers describe their
+     * shape, channelwise transforms describe their kind (they keep
+     * conv→conv fusion edges alive), and everything else reports
+     * opaque — the planner then stops shape tracking there and any
+     * later conv runs unplanned. Opaque is always a safe default:
+     * planning changes only the schedule, never the results.
+     */
+    virtual void describeStep(StepDescBuilder &b) const { b.opaque(); }
+
     virtual std::string name() const = 0;
 
     /** Number of trainable parameters. */
@@ -88,6 +99,10 @@ class Conv2dLayer : public Layer
 
     Tensor forward(const Tensor &x, MercuryContext *ctx) override;
     void step(float lr) override;
+    void describeStep(StepDescBuilder &b) const override
+    {
+        b.conv(layerId_, spec_);
+    }
     std::string name() const override { return "conv2d"; }
     uint64_t paramCount() const override;
 
@@ -121,6 +136,10 @@ class DenseLayer : public Layer
 
     Tensor forward(const Tensor &x, MercuryContext *ctx) override;
     void step(float lr) override;
+    void describeStep(StepDescBuilder &b) const override
+    {
+        b.dense(layerId_, weight_.dim(0), weight_.dim(1));
+    }
     std::string name() const override { return "dense"; }
     uint64_t paramCount() const override;
 
@@ -148,6 +167,7 @@ class ReluLayer : public Layer
 {
   public:
     Tensor forward(const Tensor &x, MercuryContext *ctx) override;
+    void describeStep(StepDescBuilder &b) const override { b.relu(); }
     std::string name() const override { return "relu"; }
 
   protected:
@@ -163,6 +183,10 @@ class MaxPoolLayer : public Layer
 {
   public:
     Tensor forward(const Tensor &x, MercuryContext *ctx) override;
+    void describeStep(StepDescBuilder &b) const override
+    {
+        b.maxPool2x2();
+    }
     std::string name() const override { return "maxpool2x2"; }
 
   protected:

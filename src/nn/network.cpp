@@ -24,10 +24,23 @@ Network::forward(const Tensor &x, MercuryContext *ctx)
 {
     if (layers_.empty())
         panic("forward through an empty network");
+    if (ctx && ctx->planExecution())
+        planStep(x, ctx);
     Tensor y = x;
     for (auto &l : layers_)
         y = l->forward(y, ctx);
     return y;
+}
+
+void
+Network::planStep(const Tensor &x, MercuryContext *ctx)
+{
+    if (!ctx)
+        return;
+    StepDescBuilder b(x.shape());
+    for (const auto &l : layers_)
+        l->describeStep(b);
+    ctx->bindStepPlan(b);
 }
 
 float

@@ -34,6 +34,15 @@ class Network
     Tensor forward(const Tensor &x, MercuryContext *ctx = nullptr);
 
     /**
+     * Describe the step for input `x` and bind its compiled plan in
+     * `ctx` (core/runtime_planner.hpp). forward() calls this whenever
+     * ctx->planExecution() is set — after the first call per (shape,
+     * config) it is a key-match fast path; exposed so tests and
+     * benches can exercise the bind in isolation.
+     */
+    void planStep(const Tensor &x, MercuryContext *ctx);
+
+    /**
      * One SGD step on a minibatch; returns the mean loss. Gradients
      * are exact gradients of the (possibly reuse-perturbed) forward.
      */

@@ -66,6 +66,17 @@ DetectionFrontend::poolFor()
     return ThreadPool::forKnob(pipe_.threads, pool_);
 }
 
+const PipelineConfig &
+DetectionFrontend::resolvedPipeFor(int64_t rows)
+{
+    auto it = resolvedByRows_.find(rows);
+    if (it == resolvedByRows_.end()) {
+        ++knobResolutions_;
+        it = resolvedByRows_.emplace(rows, pipe_.resolvedFor(rows)).first;
+    }
+    return it->second;
+}
+
 DetectionResult
 DetectionFrontend::detect(const Tensor &rows, int bits,
                           SignatureRecord *capture)
@@ -82,7 +93,7 @@ DetectionFrontend::detect(const Tensor &rows, int bits,
     // drives a frontend's passes.
     cache_->setConcurrent(pipe_.overlap && pool != nullptr);
     DetectionPipeline pipeline(rpqFor(rows.dim(1)), *cache_, bits,
-                               pipe_.resolvedFor(rows.dim(0)), pool);
+                               resolvedPipeFor(rows.dim(0)), pool);
     DetectionResult det = pipeline.run(rows);
     if (capture)
         capture->capturePass(det, bits, cache_->dataVersions(),
@@ -106,7 +117,7 @@ DetectionFrontend::beginHashStream(const Tensor &rows, int bits)
         panic("detect expects a (n, d) matrix, got ", rows.shapeStr());
     ThreadPool *pool = poolFor();
     DetectionPipeline pipeline(rpqFor(rows.dim(1)), *cache_, bits,
-                               pipe_.resolvedFor(rows.dim(0)), pool);
+                               resolvedPipeFor(rows.dim(0)), pool);
     return pipeline.beginHash(rows);
 }
 
@@ -126,7 +137,7 @@ DetectionFrontend::finishStream(DetectionHashJob &job,
     cache_->setConcurrent(pool != nullptr);
     DetectionPipeline pipeline(rpqFor(job.vectorDim()), *cache_,
                                job.signatureBits(),
-                               pipe_.resolvedFor(job.rowCount()), pool);
+                               resolvedPipeFor(job.rowCount()), pool);
     DetectionResult det = pipeline.finishStreaming(job, on_block);
     if (capture)
         capture->capturePass(det, job.signatureBits(),
@@ -142,7 +153,7 @@ DetectionFrontend::replayStream(const SignatureRecord::Pass &pass,
     // Replay never provisions an RPQ engine or touches the cache: the
     // recorded pass carries everything the consumer needs.
     DetectionPipeline::replayStreaming(
-        pass, pipe_.resolvedFor(pass.rows).blockRows, on_block,
+        pass, resolvedPipeFor(pass.rows).blockRows, on_block,
         with_signatures);
 }
 

@@ -160,6 +160,23 @@ class DetectionFrontend
     bool overlapEnabled() { return pipe_.overlap && poolFor() != nullptr; }
 
     /**
+     * Memoized per-pass-size pipeline knobs: the auto knobs
+     * (blockRows == 0 → tunedPipelineFor) are a pure function of the
+     * pass size, yet every pass construction used to re-resolve them.
+     * Resolution now happens once per distinct row count — at plan
+     * bind (core/runtime_planner.hpp primes the memo) or on the first
+     * unplanned pass of a shape — and knobResolutions() makes the
+     * once-per-shape property assertable. `pipe_` is immutable after
+     * construction, so memoized entries never go stale. Driving
+     * thread only, like every pass entry point. (resolvedShards is
+     * already resolved once, at cache construction.)
+     */
+    const PipelineConfig &resolvedPipeFor(int64_t rows);
+
+    /** Knob resolutions performed (once per distinct pass size). */
+    int64_t knobResolutions() const { return knobResolutions_; }
+
+    /**
      * Statistical form for big layers: detect over at most
      * `max_sample` evenly strided rows and scale the mix back to the
      * full population. Exercises the identical pipeline path.
@@ -206,6 +223,8 @@ class DetectionFrontend
     std::map<int64_t, std::unique_ptr<RPQEngine>> rpqByDim_;
     std::unique_ptr<ThreadPool> pool_; // created lazily for threads > 1
     ThreadPool *sharedPool_ = nullptr; // externally owned override
+    std::map<int64_t, PipelineConfig> resolvedByRows_; // knob memo
+    int64_t knobResolutions_ = 0;
 
     RPQEngine &rpqFor(int64_t dim);
     ThreadPool *poolFor();

@@ -217,8 +217,10 @@ DetectionPipeline::beginHash(const Tensor &rows) const
     };
     const int64_t seeds = std::min<int64_t>(
         j->blocks_, static_cast<int64_t>(pool_->workers()) + 1);
-    for (int64_t s = 0; s < seeds; ++s)
-        j->hashers_->run(j->hashOne_);
+    // Seed the self-replenishing chain as one batch: one lock and one
+    // wakeup for the whole dependent group instead of a notify per
+    // seed (ThreadPool::submitBatch).
+    j->hashers_->runBatch(seeds, j->hashOne_);
     return job;
 }
 

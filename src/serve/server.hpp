@@ -125,6 +125,16 @@ struct ServeConfig
     PipelineConfig pipeline;
 
     /**
+     * Planned execution (core/runtime_planner.hpp) for every leased
+     * context. Plans are immutable and keyed on shapes + config, so
+     * the server shares one PlanCache across sessions: same-shape
+     * jobs of different tenants reuse one compilation (per-session
+     * execution slots stay private). Results are bit-identical with
+     * the knob on or off.
+     */
+    bool planExecution = false;
+
+    /**
      * Builds each session's model when a tenant connects. Must be
      * deterministic in the tenant id for the equivalence guarantees
      * to mean anything. Required.
@@ -156,6 +166,10 @@ struct JobResult
     ReuseStats backward;    ///< this job's backward-replay delta
     ReuseStats weightGrad;  ///< this job's dW-replay delta
     uint64_t epochAfter = 0; ///< the job's scope epoch on completion
+    /** Plan binds this job performed / satisfied without a compile
+     *  (ServeConfig::planExecution; both zero with the knob off). */
+    int64_t planLookups = 0;
+    int64_t planHits = 0;
 };
 
 /** Completion handle of one accepted job. */
@@ -296,6 +310,10 @@ class MercuryServer
     /// Serializes cache-touching jobs across sessions in the shared
     /// modes (the pass-guard discipline, see docs/ARCHITECTURE.md).
     std::mutex sharedJobMutex_;
+
+    /// Compiled step plans shared across sessions (thread-safe;
+    /// declared before sessions_ so it outlives their contexts).
+    PlanCache planCache_;
 
     mutable std::mutex sessionsMutex_;
     std::map<int, std::shared_ptr<SessionHandle::Session>> sessions_;

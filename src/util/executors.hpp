@@ -61,6 +61,14 @@ class TaskGroup
     /** Submit one task (inline when the pool is null). */
     void run(std::function<void()> task);
 
+    /**
+     * Submit `count` copies of one task as a single batch
+     * (ThreadPool::submitBatch): one lock round-trip and one wakeup
+     * for the whole dependent group. The streaming pipeline seeds its
+     * self-replenishing hash chains this way.
+     */
+    void runBatch(int64_t count, const std::function<void()> &task);
+
     /** Block until every task submitted so far has completed. */
     void wait();
 

@@ -52,6 +52,29 @@ ThreadPool::submit(std::function<void()> task)
 }
 
 void
+ThreadPool::submitBatch(std::vector<std::function<void()>> tasks)
+{
+    if (tasks.empty())
+        return;
+    if (threads_.empty()) {
+        for (auto &task : tasks)
+            task();
+        return;
+    }
+    bool wake;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        for (auto &task : tasks)
+            queue_.push_back(std::move(task));
+        // Same elision as submit(): with every worker awake the batch
+        // is seen without a wakeup.
+        wake = idleWorkers_ > 0;
+    }
+    if (wake)
+        ready_.notify_all();
+}
+
+void
 ThreadPool::workerLoop()
 {
     for (;;) {

@@ -49,6 +49,17 @@ class ThreadPool
     void submit(std::function<void()> task);
 
     /**
+     * Enqueue a dependent group of tasks under one queue lock. A
+     * caller that knows its next wave of work up front (the planned
+     * execution path; DetectionHashJob's seed tasks) hands it over in
+     * one push instead of paying a lock/notify round-trip per task —
+     * and, unlike draining the queue between waves, the batch lands
+     * while earlier tasks may still be running. With no workers the
+     * tasks run inline, in order, exactly like repeated submit().
+     */
+    void submitBatch(std::vector<std::function<void()>> tasks);
+
+    /**
      * Run fn(0) .. fn(items - 1) across the pool and the calling
      * thread, returning when every item completed. Indices are
      * dynamically scheduled; fn must not assume any ordering. Safe to

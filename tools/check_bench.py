@@ -113,6 +113,11 @@ def key_class(key):
         return ("perf", "floor")
     if key.endswith("_cycles_per_row"):
         return ("perf", "ceiling")
+    if key.endswith("_setup_ms"):
+        # Plan-bind setup cost (bench/micro_planner.cpp): smaller is
+        # better, so the fresh value must stay under the committed
+        # ceiling.
+        return ("perf", "ceiling")
     return None
 
 
