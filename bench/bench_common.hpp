@@ -20,6 +20,7 @@
 #include "core/mercury_accelerator.hpp"
 #include "models/model_zoo.hpp"
 #include "sim/config.hpp"
+#include "sim/cost_model.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
 #include "workloads/profiles.hpp"
@@ -174,6 +175,30 @@ class ResultLine
     std::string fields_;
     std::string configFields_;
 };
+
+/**
+ * Standard trailing `config` knobs every bench records: the active
+ * sim::CostModel backend (SimConfig::backend after the
+ * MERCURY_SIM_BACKEND override — so recorded artifacts say which
+ * timing model produced them) and the smoke switch. Call last, after
+ * the bench-specific knobs.
+ */
+inline ResultLine &
+stdConfig(ResultLine &line, const AcceleratorConfig &cfg)
+{
+    return line.config("sim_backend", sim::resolvedBackendName(cfg))
+        .config("smoke", smoke() ? 1 : 0);
+}
+
+/** stdConfig under the default accelerator configuration — benches
+ *  whose measurement has no AcceleratorConfig in scope (the backend
+ *  still reflects MERCURY_SIM_BACKEND). */
+inline ResultLine &
+stdConfig(ResultLine &line)
+{
+    const AcceleratorConfig cfg;
+    return stdConfig(line, cfg);
+}
 
 /** Simulation knobs shared by the speedup experiments. */
 struct RunParams

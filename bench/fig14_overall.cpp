@@ -17,6 +17,8 @@ main()
                   "of cycles; bigger networks save more");
 
     AcceleratorConfig cfg; // row-stationary, 1024-entry 16-way MCACHE
+    std::printf("timing backend: %s (MERCURY_SIM_BACKEND)\n\n",
+                sim::resolvedBackendName(cfg));
     bench::RunParams params;
 
     Table a("Fig. 14a: similarity detection on/off per model");

@@ -15,6 +15,12 @@ main()
                   "1024-entry 16-way is the sweet spot (2048 adds "
                   "little)");
 
+    {
+        const AcceleratorConfig cfg;
+        std::printf("timing backend: %s (MERCURY_SIM_BACKEND)\n\n",
+                    sim::resolvedBackendName(cfg));
+    }
+
     bench::RunParams params;
     params.batches = 2;
     params.warmup = 4;

@@ -22,6 +22,8 @@ main()
                       DataflowKind::WeightStationary}) {
         AcceleratorConfig cfg;
         cfg.dataflow = kind;
+        std::printf("timing backend: %s (MERCURY_SIM_BACKEND)\n\n",
+                    sim::resolvedBackendName(cfg));
         Table t(std::string("Fig. 18: speedup, ") + dataflowName(kind));
         t.header({"model", "speedup"});
         std::vector<double> speedups;

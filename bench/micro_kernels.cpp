@@ -213,12 +213,12 @@ main()
         // (and gated) for them.
         .num("spancopy_gbps", spancopy.gbps, 3)
         .num("scatter_gbps", scatter.gbps, 3)
-        .config("smoke", smoke ? 1 : 0)
         .config("cpu", ax ? "avx2" : "scalar")
         .config("rows", nrows)
         .config("d", d)
         .config("bits", bits)
         .config("span", span);
+    bench::stdConfig(line);
     line.print();
     return 0;
 }

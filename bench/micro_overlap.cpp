@@ -336,8 +336,8 @@ main()
         .config("bits", kBits)
         .config("threads", threads)
         .config("blockRows", base_pipe.blockRows)
-        .config("shards", base_pipe.shards)
-        .config("smoke", smoke ? 1 : 0);
+        .config("shards", base_pipe.shards);
+    bench::stdConfig(line);
     line.print();
     return 0;
 }

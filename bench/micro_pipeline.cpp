@@ -122,8 +122,8 @@ main()
         .config("bits", 16)
         .config("blockRows", 64)
         .config("shards", 4)
-        .config("threads", ThreadPool::resolveThreads(0))
-        .config("smoke", bench::smoke() ? 1 : 0);
+        .config("threads", ThreadPool::resolveThreads(0));
+    bench::stdConfig(line);
     line.print();
     return 0;
 }

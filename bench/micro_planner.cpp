@@ -31,6 +31,7 @@
 #include "bench_common.hpp"
 #include "nn/layers.hpp"
 #include "nn/network.hpp"
+#include "sim/cost_model.hpp"
 #include "sim/plan_model.hpp"
 #include "core/kernels/kernels.hpp"
 #include "workloads/synthetic.hpp"
@@ -150,19 +151,23 @@ perBindMs(Fn &&bind, int iters)
     return s * 1000.0 / iters;
 }
 
-/** One modeled stack entry: full-step speedup planned vs barriered. */
-PlannedStepModel
+/** One modeled stack entry: full-step speedup planned vs barriered,
+ *  through the sim::CostModel facade (backend picked by name, so
+ *  MERCURY_SIM_BACKEND=event re-runs this phase on the event sim). */
+sim::CostBreakdown
 modelStack(const ModelConfig &model, int64_t batch, int sig_bits)
 {
     AcceleratorConfig cfg;
     cfg.backwardReuse = true;
     cfg.weightGradReuse = true;
     cfg.planExecution = true;
+    const std::unique_ptr<sim::CostModel> cost =
+        sim::CostModel::create(cfg);
     std::vector<HitMix> mixes;
     for (const LayerShape &shape : model.layers)
         mixes.push_back(
             HitMix::fromFractions(shape.vectorsPerChannel(), 0.4));
-    return modelPlannedStep(cfg, model.layers, mixes, batch, sig_bits);
+    return cost->stepCost(model.layers, mixes, batch, sig_bits);
 }
 
 int
@@ -248,24 +253,24 @@ run()
 
     // ---- Phase 4: modeled multi-layer step ------------------------
     const int64_t model_batch = smoke_mode ? 2 : 8;
-    const PlannedStepModel vgg = modelStack(vgg13(), model_batch, 20);
-    const PlannedStepModel mob =
+    const sim::CostBreakdown vgg = modelStack(vgg13(), model_batch, 20);
+    const sim::CostBreakdown mob =
         modelStack(mobilenetV2(), model_batch, 20);
     for (const auto &entry :
-         {std::pair<const char *, const PlannedStepModel &>{"vgg13",
-                                                            vgg},
+         {std::pair<const char *, const sim::CostBreakdown &>{"vgg13",
+                                                              vgg},
           {"mobilenet_v2", mob}}) {
-        const PlannedStepModel &m = entry.second;
+        const sim::CostBreakdown &m = entry.second;
         std::printf("%s: barrier %llu cycles -> planned %llu "
                     "(%.3fx; %d fused edges hide %llu signature "
                     "cycles, %llu setup cycles amortized)\n",
                     entry.first,
                     static_cast<unsigned long long>(m.barrierCycles),
                     static_cast<unsigned long long>(m.plannedCycles),
-                    m.speedup(), m.fusedEdges,
+                    m.stepSpeedup(), m.fusedEdges,
                     static_cast<unsigned long long>(m.hiddenSignature),
                     static_cast<unsigned long long>(m.setupCycles));
-        if (m.speedup() <= 1.0 || m.fusedEdges <= 0 ||
+        if (m.stepSpeedup() <= 1.0 || m.fusedEdges <= 0 ||
             m.hiddenSignature == 0) {
             std::printf("FAIL: %s planned schedule does not beat the "
                         "per-layer-barrier baseline\n",
@@ -275,12 +280,12 @@ run()
     }
 
     ResultLine line("BENCH_planner.json", "micro_planner");
-    line.speedups(vgg.speedup(),
+    line.speedups(vgg.stepSpeedup(),
                   std::isfinite(wall_speedup)
                       ? wall_speedup
                       : std::numeric_limits<double>::quiet_NaN());
-    line.num("model_vgg13_step_speedup", vgg.speedup(), 3);
-    line.num("model_mobilenet_step_speedup", mob.speedup(), 3);
+    line.num("model_vgg13_step_speedup", vgg.stepSpeedup(), 3);
+    line.num("model_mobilenet_step_speedup", mob.stepSpeedup(), 3);
     line.integer("vgg13_fused_edges", vgg.fusedEdges);
     line.integer("mobilenet_fused_edges", mob.fusedEdges);
     // Only the cold bind is check_bench-gated (`_setup_ms` ceiling):
@@ -298,7 +303,7 @@ run()
     line.config("model_batch", model_batch);
     line.config("bits", 14);
     line.config("cpu", kernels::avx2Ops() ? "avx2" : "scalar");
-    line.config("smoke", smoke_mode ? 1 : 0);
+    stdConfig(line);
     line.print();
     return 0;
 }

@@ -185,6 +185,8 @@ struct ReplayTotals
     uint64_t macsSkipped = 0;
     int64_t planLookups = 0;
     int64_t planHits = 0;
+    uint64_t modeledBaseline = 0; ///< JobResult::modeledBaselineCycles
+    uint64_t modeledMercury = 0;  ///< JobResult::modeledMercuryCycles
 
     void add(const ReuseStats &s)
     {
@@ -216,6 +218,15 @@ struct ReplayTotals
                               static_cast<double>(kept)
                         : 1.0;
     }
+
+    /** Baseline / MERCURY cycles of the jobs' modeled steps, under
+     *  the server's sim::CostModel backend (ServeConfig::sim). */
+    double jobStepSpeedup() const
+    {
+        return modeledMercury > 0 ? static_cast<double>(modeledBaseline) /
+                                        static_cast<double>(modeledMercury)
+                                  : 1.0;
+    }
 };
 
 /** The next `n` requests of every tenant's stream, as jobs. */
@@ -245,6 +256,8 @@ playSegment(MercuryServer &server,
             totals.add(r.weightGrad);
             totals.planLookups += r.planLookups;
             totals.planHits += r.planHits;
+            totals.modeledBaseline += r.modeledBaselineCycles;
+            totals.modeledMercury += r.modeledMercuryCycles;
         }
         session.disconnect();
     }
@@ -376,6 +389,7 @@ run()
     line.num("model_warm_speedup", warm.modelSpeedup(), 3);
     line.num("model_warm_over_cold_speedup",
              warm.modelSpeedup() / cold.modelSpeedup(), 3);
+    line.num("model_job_step_speedup", warm.jobStepSpeedup(), 3);
     line.num("wall_p50_ms", percentileMs(latencies_us, 0.50), 3);
     line.num("wall_p95_ms", percentileMs(latencies_us, 0.95), 3);
     line.num("wall_p99_ms", percentileMs(latencies_us, 0.99), 3);
@@ -390,7 +404,7 @@ run()
     line.config("dim", tc.dim);
     line.config("bits", cfg.signatureBits);
     line.config("mode", "per-tenant");
-    line.config("smoke", smoke_mode ? 1 : 0);
+    stdConfig(line);
     line.print();
     return 0;
 }

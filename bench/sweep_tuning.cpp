@@ -153,8 +153,8 @@ main()
         .config("blockRows", headline_block)
         .config("shards", headline_shards)
         .config("threads", threads)
-        .config("bits", kBits)
-        .config("smoke", smoke ? 1 : 0);
+        .config("bits", kBits);
+    bench::stdConfig(line);
     line.print();
     return 0;
 }

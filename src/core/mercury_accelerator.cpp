@@ -19,7 +19,7 @@ TrainingReport::signatureFraction() const
 MercuryAccelerator::MercuryAccelerator(const AcceleratorConfig &cfg,
                                        std::vector<LayerShape> model)
     : config_(cfg), model_(std::move(model)),
-      dataflow_(Dataflow::create(cfg))
+      cost_(sim::CostModel::create(cfg))
 {
     if (model_.empty())
         fatal("MercuryAccelerator needs at least one layer");
@@ -58,7 +58,7 @@ MercuryAccelerator::baselineBatchCycles(int64_t batch) const
     uint64_t total = 0;
     for (size_t l = 0; l < model_.size(); ++l) {
         const LayerShape &shape = model_[l];
-        const uint64_t fwd = dataflow_->baselineLayerCycles(shape, batch);
+        const uint64_t fwd = cost_->baselineCycles(shape, batch);
         total += fwd;
         if (!shape.reusable())
             continue;
@@ -119,14 +119,13 @@ MercuryAccelerator::train(SimilaritySource &source, int batches,
             const LayerShape &shape = model_[l];
             LayerReport &lr = report.layers[static_cast<size_t>(l)];
             const uint64_t base_fwd =
-                dataflow_->baselineLayerCycles(shape, batch);
+                cost_->baselineCycles(shape, batch);
 
             LayerCycles layer_batch; // this layer, this batch
             const bool reuse_on =
                 shape.reusable() && adaptive.layerOn(static_cast<int>(l));
             if (!warm && holds_records && reuse_on) {
-                held[l] = dataflow_->recordSpillBytes(shape, batch,
-                                                      sig_bits);
+                held[l] = cost_->recordBytes(shape, batch, sig_bits);
                 record_buffer.holdRecord(held[l]);
             }
 
@@ -134,7 +133,7 @@ MercuryAccelerator::train(SimilaritySource &source, int batches,
             if (reuse_on) {
                 const HitMix fwd_mix =
                     source.channelMix(shape, sig_bits, Phase::Forward);
-                layer_batch += dataflow_->mercuryLayerCycles(
+                layer_batch += cost_->layerCost(
                     shape, batch, fwd_mix, sig_bits, false);
                 lr.lastForwardMix = fwd_mix;
             } else {
@@ -151,12 +150,12 @@ MercuryAccelerator::train(SimilaritySource &source, int batches,
                 // the forward mix); otherwise gradient vectors are
                 // hashed anew every time.
                 if (reuse_on && config_.weightGradReuse) {
-                    layer_batch += dataflow_->weightGradLayerCycles(
+                    layer_batch += cost_->weightGradCost(
                         shape, batch, lr.lastForwardMix, sig_bits);
                 } else if (reuse_on) {
                     const HitMix dw_mix = source.channelMix(
                         shape, sig_bits, Phase::BackwardWeight);
-                    layer_batch += dataflow_->mercuryLayerCycles(
+                    layer_batch += cost_->layerCost(
                         shape, batch, dw_mix, sig_bits, false);
                 } else {
                     LayerCycles c;
@@ -171,7 +170,7 @@ MercuryAccelerator::train(SimilaritySource &source, int batches,
                     if (reuse_on) {
                         const HitMix dx_mix = source.channelMix(
                             shape, sig_bits, Phase::BackwardInput);
-                        layer_batch += dataflow_->mercuryLayerCycles(
+                        layer_batch += cost_->layerCost(
                             shape, batch, dx_mix, sig_bits,
                             backwardReusesSignatures(l));
                     } else {

@@ -33,6 +33,7 @@
 
 #include "core/adaptive.hpp"
 #include "sim/config.hpp"
+#include "sim/cost_model.hpp"
 #include "sim/dataflow.hpp"
 #include "sim/layer_shape.hpp"
 
@@ -111,6 +112,9 @@ class MercuryAccelerator
 
     const std::vector<LayerShape> &model() const { return model_; }
 
+    /** Active timing backend (sim::CostModel::create selection). */
+    const sim::CostModel &costModel() const { return *cost_; }
+
     /**
      * Simulate training.
      *
@@ -142,7 +146,7 @@ class MercuryAccelerator
   private:
     AcceleratorConfig config_;
     std::vector<LayerShape> model_;
-    std::unique_ptr<Dataflow> dataflow_;
+    std::unique_ptr<sim::CostModel> cost_; ///< backend by name
 
     /** True when layer l+1 lets layer l reuse forward signatures. */
     bool backwardReusesSignatures(size_t l) const;

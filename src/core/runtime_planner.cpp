@@ -1,6 +1,7 @@
 #include "core/runtime_planner.hpp"
 
 #include <algorithm>
+#include <string>
 
 #include "core/conv_reuse_engine.hpp"
 #include "util/logging.hpp"
@@ -307,6 +308,171 @@ RuntimePlanner::compile(const StepDescBuilder &desc,
         plan->stepBarriers =
             static_cast<int>(plan->layers.size()) - 1 - plan->fusedEdges;
     return plan;
+}
+
+std::vector<PassDescriptor>
+exportPassDescriptors(const StepPlan &plan)
+{
+    std::vector<PassDescriptor> out;
+    if (!plan.plannable)
+        return out;
+    out.reserve(plan.layers.size());
+    for (const LayerPlan &lp : plan.layers) {
+        PassDescriptor d;
+        d.layerId = lp.desc.layerId;
+        d.kind = lp.desc.kind;
+        d.rows = lp.rows;
+        d.vecDim = lp.vecDim;
+        d.passes = lp.passes;
+        d.inFlight = lp.inFlight;
+        switch (lp.desc.kind) {
+        case StepOpKind::Conv:
+            // One channel plane per pass — patch extraction runs
+            // on-chip over the streamed plane, so the raw activation
+            // bytes (not the k*k-redundant patch bytes) hit the
+            // hierarchy.
+            d.inputBytesPerPass = lp.desc.inH * lp.desc.inW * 4;
+            d.inputTensorBytes = plan.batch * lp.desc.conv.inChannels *
+                                 lp.desc.inH * lp.desc.inW * 4;
+            break;
+        case StepOpKind::Attention:
+            d.inputBytesPerPass = lp.rows * lp.vecDim * 4;
+            d.inputTensorBytes = plan.batch * d.inputBytesPerPass;
+            break;
+        default: // Dense: the whole minibatch is one row pass
+            d.inputBytesPerPass = lp.rows * lp.vecDim * 4;
+            d.inputTensorBytes = d.inputBytesPerPass;
+            break;
+        }
+        d.recordBytes = lp.recordBytes;
+        d.holdRecord = lp.holdRecord;
+        d.prevConv = lp.prevConv;
+        d.nextConv = lp.nextConv;
+        out.push_back(d);
+    }
+    return out;
+}
+
+StepDescBuilder
+describeShapeStack(const std::vector<LayerShape> &stack, int64_t batch)
+{
+    std::vector<int64_t> input_shape{batch};
+    const bool leads4d =
+        !stack.empty() && (stack[0].type == LayerType::Conv ||
+                           stack[0].type == LayerType::Pool);
+    if (leads4d)
+        input_shape = {batch, stack[0].inChannels, stack[0].inH,
+                       stack[0].inW};
+    StepDescBuilder b(input_shape);
+    // Parallel activation track mirroring the builder's: a layer whose
+    // recorded input disagrees with the track is a branch point the
+    // sequential walk cannot follow — degrade to opaque, the same
+    // verdict a live walk of such a topology would reach.
+    bool tracked = leads4d;
+    int64_t c = tracked ? stack[0].inChannels : 0;
+    int64_t h = tracked ? stack[0].inH : 0;
+    int64_t w = tracked ? stack[0].inW : 0;
+    for (size_t i = 0; i < stack.size(); ++i) {
+        const LayerShape &s = stack[i];
+        const uint64_t id = static_cast<uint64_t>(i);
+        switch (s.type) {
+        case LayerType::Conv: {
+            if (!tracked || c != s.inChannels || h != s.inH ||
+                w != s.inW) {
+                b.opaque();
+                tracked = false;
+            }
+            ConvSpec spec;
+            spec.inChannels = s.inChannels;
+            spec.outChannels = s.outChannels;
+            spec.kernelH = s.kernel;
+            spec.kernelW = s.kernel;
+            spec.stride = s.stride;
+            spec.pad = s.pad;
+            spec.groups = s.groups;
+            b.conv(id, spec);
+            if (tracked) {
+                c = s.outChannels;
+                h = s.outH();
+                w = s.outW();
+            }
+            break;
+        }
+        case LayerType::Pool:
+            // Only the 2x2/s2 pool is a tracked channelwise op of the
+            // step description; other pool geometry drops tracking
+            // (floor halving matches outH() for 2x2/s2, odd or even).
+            if (tracked && s.kernel == 2 && s.stride == 2 &&
+                c == s.inChannels && h == s.inH && w == s.inW) {
+                b.maxPool2x2();
+                h /= 2;
+                w /= 2;
+            } else {
+                b.opaque();
+                tracked = false;
+            }
+            break;
+        case LayerType::FullyConnected:
+            b.dense(id, s.inFeatures, s.outFeatures);
+            tracked = false;
+            break;
+        case LayerType::Attention:
+            b.attention(id, s.seqLen, s.embedDim);
+            tracked = false;
+            break;
+        }
+    }
+    return b;
+}
+
+std::vector<LayerShape>
+shapesFromStepDesc(const StepDescBuilder &desc)
+{
+    std::vector<LayerShape> out;
+    // Activation track for pool reconstruction: valid after any conv
+    // with resolved dims, kept by ReLU, dropped by everything else.
+    bool tracked = false;
+    int64_t c = 0, h = 0, w = 0;
+    for (const LayerStepDesc &op : desc.ops()) {
+        const std::string name = "op" + std::to_string(out.size());
+        switch (op.kind) {
+        case StepOpKind::Conv: {
+            const ConvSpec &s = op.conv;
+            out.push_back(LayerShape::conv(name, s.inChannels,
+                                           s.outChannels, op.inH, op.inW,
+                                           s.kernelH, s.stride, s.pad,
+                                           s.groups));
+            tracked = op.inH > 0;
+            c = s.outChannels;
+            h = s.outH(op.inH);
+            w = s.outW(op.inW);
+            break;
+        }
+        case StepOpKind::Dense:
+            out.push_back(
+                LayerShape::fc(name, op.inFeatures, op.outFeatures));
+            tracked = false;
+            break;
+        case StepOpKind::Attention:
+            out.push_back(
+                LayerShape::attention(name, op.seqLen, op.embedDim));
+            tracked = false;
+            break;
+        case StepOpKind::MaxPool2x2:
+            if (tracked) {
+                out.push_back(LayerShape::pool(name, c, h, w, 2, 2));
+                h /= 2;
+                w /= 2;
+            }
+            break;
+        case StepOpKind::Relu:
+            break; // channelwise, no cycles of its own
+        default:
+            tracked = false;
+            break;
+        }
+    }
+    return out;
 }
 
 std::shared_ptr<const StepPlan>

@@ -66,6 +66,7 @@
 
 #include "core/reuse_runtime.hpp"
 #include "pipeline/detection_frontend.hpp"
+#include "sim/layer_shape.hpp"
 #include "tensor/ops.hpp"
 #include "tensor/tensor.hpp"
 
@@ -303,6 +304,72 @@ struct PlanExec
     ConvPlanSlot *convSlot(uint64_t layer_id);
     RowPlanSlot *rowSlot(uint64_t layer_id);
 };
+
+/**
+ * Backend-neutral replay record of one layer's detection passes,
+ * exported from a compiled StepPlan for consumers that model (rather
+ * than execute) the step — the event-model backend replays these
+ * through its memory hierarchy, so the timing study and the
+ * functional executor share one workload definition (ROADMAP
+ * "plan-driven multi-backend dispatch").
+ */
+struct PassDescriptor
+{
+    uint64_t layerId = 0;
+    StepOpKind kind = StepOpKind::Opaque;
+
+    // Pass geometry (LayerPlan fields, verbatim).
+    int64_t rows = 0;     ///< vectors per detection pass
+    int64_t vecDim = 0;   ///< extracted vector dimensionality
+    int64_t passes = 0;   ///< detection passes per step
+    int64_t inFlight = 0; ///< filters in flight per pass
+
+    /**
+     * Raw activation bytes one pass streams from its input tensor
+     * (conv: one channel plane — patch extraction runs on-chip over
+     * the streamed plane; dense / attention: the whole row block).
+     */
+    int64_t inputBytesPerPass = 0;
+    /** Whole input tensor bytes (GlobalBuffer residency decision). */
+    int64_t inputTensorBytes = 0;
+
+    /** SignatureRecord bytes held between forward and the gradient
+     *  passes, and the plan-time hold (true) vs spill (false) call. */
+    uint64_t recordBytes = 0;
+    bool holdRecord = true;
+
+    /** Fused conv→conv edge indices into the descriptor vector
+     *  (-1 = none): the successor's first hash overlaps the
+     *  predecessor's trailing drain. */
+    int prevConv = -1;
+    int nextConv = -1;
+};
+
+/** Export one PassDescriptor per plan layer, in forward order.
+ *  Empty when the plan is not plannable. */
+std::vector<PassDescriptor> exportPassDescriptors(const StepPlan &plan);
+
+/**
+ * Describe a model-zoo layer stack as a step description, so shape
+ * stacks compile through RuntimePlanner::compile exactly like a live
+ * Network walk (sim::CostModel drives both entry points through one
+ * planner). Sequential stacks with chain-consistent geometry (VGG,
+ * MobileNet) come out plannable; branching stacks (inception /
+ * residual tables, whose listed convs do not chain) and pools other
+ * than 2x2/s2 degrade to opaque ops — unplannable, the same verdict a
+ * live walk of such a topology would reach.
+ */
+StepDescBuilder describeShapeStack(const std::vector<LayerShape> &stack,
+                                   int64_t batch);
+
+/**
+ * Reconstruct the timing-model layer stack of a step description:
+ * one LayerShape per reuse op plus one per tracked 2x2 max pool
+ * (ReLU / opaque ops carry no cycles). The inverse of
+ * describeShapeStack up to layer names; feeds a compiled plan back
+ * into the closed-form step model.
+ */
+std::vector<LayerShape> shapesFromStepDesc(const StepDescBuilder &desc);
 
 /**
  * Build the execution state of a compiled plan: persistent runtimes

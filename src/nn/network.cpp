@@ -37,10 +37,17 @@ Network::planStep(const Tensor &x, MercuryContext *ctx)
 {
     if (!ctx)
         return;
+    StepDescBuilder b = describeStep(x);
+    ctx->bindStepPlan(b);
+}
+
+StepDescBuilder
+Network::describeStep(const Tensor &x) const
+{
     StepDescBuilder b(x.shape());
     for (const auto &l : layers_)
         l->describeStep(b);
-    ctx->bindStepPlan(b);
+    return b;
 }
 
 float

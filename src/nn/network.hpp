@@ -43,6 +43,14 @@ class Network
     void planStep(const Tensor &x, MercuryContext *ctx);
 
     /**
+     * The step descriptor stack forward(x) would execute — the same
+     * workload definition planStep compiles and sim::CostModel
+     * backends replay. Lets consumers cost a network without a
+     * MercuryContext (e.g. the server's modeled-cycle stats).
+     */
+    StepDescBuilder describeStep(const Tensor &x) const;
+
+    /**
      * One SGD step on a minibatch; returns the mean loss. Gradients
      * are exact gradients of the (possibly reuse-perturbed) forward.
      */

@@ -4,6 +4,7 @@
 #include <chrono>
 #include <utility>
 
+#include "core/runtime_planner.hpp"
 #include "util/logging.hpp"
 
 namespace mercury {
@@ -150,6 +151,25 @@ MercuryServer::MercuryServer(const ServeConfig &cfg)
     pipe_.persistent = true;
     const int threads = ThreadPool::resolveThreads(cfg_.sessionThreads);
     pool_ = std::make_unique<ThreadPool>(std::max(1, threads));
+
+    // Timing backends of the per-job modeled-cycle stats, mirroring
+    // the serving configuration (ServeConfig::sim picks the backend).
+    AcceleratorConfig acfg;
+    acfg.sim = cfg_.sim;
+    acfg.mcacheSets = cfg_.sets;
+    acfg.mcacheWays = cfg_.ways;
+    acfg.mcacheDataVersions = cfg_.dataVersions;
+    acfg.initialSignatureBits = cfg_.signatureBits;
+    acfg.pipelineBlockRows = pipe_.blockRows;
+    acfg.pipelineShards = pipe_.shards;
+    acfg.pipelineThreads = pipe_.threads;
+    acfg.overlapDetection = pipe_.overlap;
+    acfg.persistentCache = true;
+    acfg.planExecution = cfg_.planExecution;
+    costFwd_ = sim::CostModel::create(acfg);
+    acfg.backwardReuse = true;
+    acfg.weightGradReuse = true;
+    costTrain_ = sim::CostModel::create(acfg);
 }
 
 MercuryServer::~MercuryServer()
@@ -267,6 +287,43 @@ MercuryServer::runJob(SessionHandle::Session &s, JobRequest &req,
     out.weightGrad = statsDelta(s.ctx.weightGradTotals(), w0);
     out.planLookups = s.ctx.planLookups() - pl0;
     out.planHits = s.ctx.planHits() - ph0;
+
+    // Modeled accelerator cycles of this job's step under the
+    // configured sim::CostModel backend, from the measured forward
+    // mix — the stack is the same descriptor chain planStep compiles.
+    {
+        const sim::CostModel &model = req.kind == JobRequest::Kind::Train
+                                          ? *costTrain_
+                                          : *costFwd_;
+        const std::vector<LayerShape> stack =
+            shapesFromStepDesc(s.model->describeStep(req.rows));
+        const HitMix &m = out.forward.mix;
+        const double hit_frac =
+            m.vectors > 0
+                ? static_cast<double>(m.hit) /
+                      static_cast<double>(m.vectors)
+                : 0.0;
+        const double mnu_frac =
+            m.vectors > 0
+                ? static_cast<double>(m.mnu) /
+                      static_cast<double>(m.vectors)
+                : 0.0;
+        std::vector<HitMix> mixes(stack.size());
+        bool any_reusable = false;
+        for (size_t i = 0; i < stack.size(); ++i) {
+            if (!stack[i].reusable())
+                continue;
+            mixes[i] = HitMix::fromFractions(
+                stack[i].vectorsPerChannel(), hit_frac, mnu_frac);
+            any_reusable = true;
+        }
+        if (any_reusable) {
+            const sim::CostBreakdown cost = model.stepCost(
+                stack, mixes, req.rows.dim(0), cfg_.signatureBits);
+            out.modeledBaselineCycles = cost.cycles.baseline;
+            out.modeledMercuryCycles = cost.cycles.mercuryTotal();
+        }
+    }
 
     // Aging: job-count-driven (never wall-clock), so a serial replay
     // of the same streams reproduces every eviction decision.

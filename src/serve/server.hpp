@@ -70,6 +70,8 @@
 #include "nn/mercury_hooks.hpp"
 #include "nn/network.hpp"
 #include "serve/snapshot.hpp"
+#include "sim/cost_model.hpp"
+#include "sim/sim_config.hpp"
 #include "util/executors.hpp"
 #include "util/thread_pool.hpp"
 
@@ -135,6 +137,14 @@ struct ServeConfig
     bool planExecution = false;
 
     /**
+     * Timing backend of the per-job modeled-cycle stats
+     * (JobResult::modeledBaselineCycles / modeledMercuryCycles):
+     * sim.backend / MERCURY_SIM_BACKEND picks analytic or event, the
+     * same sim::CostModel selection every bench uses.
+     */
+    SimConfig sim;
+
+    /**
      * Builds each session's model when a tenant connects. Must be
      * deterministic in the tenant id for the equivalence guarantees
      * to mean anything. Required.
@@ -170,6 +180,13 @@ struct JobResult
      *  (ServeConfig::planExecution; both zero with the knob off). */
     int64_t planLookups = 0;
     int64_t planHits = 0;
+    /** Modeled accelerator cycles of this job's step under the
+     *  configured sim::CostModel backend (ServeConfig::sim), from the
+     *  job's measured forward hit mix. Inference jobs model the
+     *  forward sweep; Train jobs add the reuse-enabled gradient
+     *  passes. Zero when the job's stack has no reusable layer. */
+    uint64_t modeledBaselineCycles = 0;
+    uint64_t modeledMercuryCycles = 0;
 };
 
 /** Completion handle of one accepted job. */
@@ -314,6 +331,12 @@ class MercuryServer
     /// Compiled step plans shared across sessions (thread-safe;
     /// declared before sessions_ so it outlives their contexts).
     PlanCache planCache_;
+
+    /// Timing backends of the modeled-cycle job stats (stateless
+    /// stepCost — safe to share across concurrent PerTenant jobs).
+    /// costTrain_ adds the reuse-enabled gradient passes.
+    std::unique_ptr<sim::CostModel> costFwd_;
+    std::unique_ptr<sim::CostModel> costTrain_;
 
     mutable std::mutex sessionsMutex_;
     std::map<int, std::shared_ptr<SessionHandle::Session>> sessions_;

@@ -14,6 +14,8 @@
 #include <algorithm>
 #include <cstdint>
 
+#include "sim/sim_config.hpp"
+
 namespace mercury {
 
 /** Which spatial dataflow the accelerator implements (§II-B, §IV). */
@@ -45,14 +47,12 @@ struct AcceleratorConfig
     /** Shared filter-buffer slots M available to the async design. */
     int filterBufferSlots = 4;
 
-    /** Cycles to fetch a computed result from MCACHE by entry id. */
-    int cacheReadCycles = 1;
-
-    /** Per-insert serialization cost of a set's queue controller (§V). */
-    int cacheInsertCycles = 1;
-
-    /** Cycles for an earlier PE to forward one FC result (§III-C3). */
-    int resultSendCycles = 1;
+    /**
+     * Cycle-accounting knobs — backend selection, the MCACHE/PE
+     * service constants, and the event-model memory hierarchy — all
+     * grouped in sim/sim_config.hpp with defaults documented there.
+     */
+    SimConfig sim;
 
     /** MCACHE organization: sets x ways entries in total. */
     int mcacheSets = 64;

@@ -1,0 +1,251 @@
+#include "sim/cost_model.hpp"
+
+#include <cstdio>
+
+#include "core/runtime_planner.hpp"
+#include "sim/event_model/event_model.hpp"
+
+namespace mercury {
+namespace sim {
+
+ComponentStats &
+ComponentStats::operator+=(const ComponentStats &other)
+{
+    dram.requests += other.dram.requests;
+    dram.bytes += other.dram.bytes;
+    dram.rowHits += other.dram.rowHits;
+    dram.rowMisses += other.dram.rowMisses;
+    dram.bankConflictCycles += other.dram.bankConflictCycles;
+    dram.busyCycles += other.dram.busyCycles;
+    gbuf.accesses += other.gbuf.accesses;
+    gbuf.bytes += other.gbuf.bytes;
+    gbuf.bankConflictCycles += other.gbuf.bankConflictCycles;
+    gbuf.fills += other.gbuf.fills;
+    gbuf.pendingStallCycles += other.gbuf.pendingStallCycles;
+    gbuf.spillBytes += other.gbuf.spillBytes;
+    mcache.probes += other.mcache.probes;
+    mcache.hits += other.mcache.hits;
+    mcache.inserts += other.mcache.inserts;
+    mcache.insertSerialCycles += other.mcache.insertSerialCycles;
+    pe.passes += other.pe.passes;
+    pe.busyCycles += other.pe.busyCycles;
+    pe.memStallCycles += other.pe.memStallCycles;
+    return *this;
+}
+
+void
+ComponentStats::print(uint64_t total_cycles) const
+{
+    const double t = total_cycles > 0
+                         ? static_cast<double>(total_cycles) / 100.0
+                         : 1.0;
+    std::printf("  dram:   %llu reqs, %llu B, row hit %llu / miss %llu, "
+                "bank-conflict %llu cyc, occupancy %.1f%%\n",
+                (unsigned long long)dram.requests,
+                (unsigned long long)dram.bytes,
+                (unsigned long long)dram.rowHits,
+                (unsigned long long)dram.rowMisses,
+                (unsigned long long)dram.bankConflictCycles,
+                static_cast<double>(dram.busyCycles) / t);
+    std::printf("  gbuf:   %llu accesses, %llu B, %llu fills, "
+                "bank-conflict %llu cyc, pending-stall %llu cyc, "
+                "spill %llu B\n",
+                (unsigned long long)gbuf.accesses,
+                (unsigned long long)gbuf.bytes,
+                (unsigned long long)gbuf.fills,
+                (unsigned long long)gbuf.bankConflictCycles,
+                (unsigned long long)gbuf.pendingStallCycles,
+                (unsigned long long)gbuf.spillBytes);
+    std::printf("  mcache: %llu probes (%llu hit), %llu inserts, "
+                "insert-serial %llu cyc\n",
+                (unsigned long long)mcache.probes,
+                (unsigned long long)mcache.hits,
+                (unsigned long long)mcache.inserts,
+                (unsigned long long)mcache.insertSerialCycles);
+    std::printf("  pe:     %llu passes, occupancy %.1f%%, mem-stall "
+                "%llu cyc\n",
+                (unsigned long long)pe.passes,
+                static_cast<double>(pe.busyCycles) / t,
+                (unsigned long long)pe.memStallCycles);
+}
+
+CostModel::CostModel(const AcceleratorConfig &cfg)
+    : cfg_(cfg), flow_(Dataflow::create(cfg))
+{
+}
+
+std::unique_ptr<CostModel>
+CostModel::create(const AcceleratorConfig &cfg)
+{
+    switch (resolvedSimBackend(cfg.sim.backend)) {
+    case SimBackend::Event:
+        return std::make_unique<EventModel>(cfg);
+    case SimBackend::Analytic:
+        break;
+    }
+    return std::make_unique<AnalyticModel>(cfg);
+}
+
+const char *
+resolvedBackendName(const AcceleratorConfig &cfg)
+{
+    return simBackendName(resolvedSimBackend(cfg.sim.backend));
+}
+
+uint64_t
+CostModel::baselineCycles(const LayerShape &shape, int64_t batch) const
+{
+    return flow_->baselineLayerCycles(shape, batch);
+}
+
+LayerCycles
+CostModel::layerCost(const LayerShape &shape, int64_t batch,
+                     const HitMix &channel_mix, int sig_bits,
+                     bool saved_signatures) const
+{
+    return flow_->mercuryLayerCycles(shape, batch, channel_mix, sig_bits,
+                                     saved_signatures);
+}
+
+LayerCycles
+CostModel::backwardCost(const LayerShape &shape, int64_t batch,
+                        const HitMix &channel_mix, int sig_bits,
+                        bool include_weight_grad) const
+{
+    return flow_->backwardLayerCycles(shape, batch, channel_mix, sig_bits,
+                                      include_weight_grad);
+}
+
+LayerCycles
+CostModel::weightGradCost(const LayerShape &shape, int64_t batch,
+                          const HitMix &channel_mix, int sig_bits) const
+{
+    return flow_->weightGradLayerCycles(shape, batch, channel_mix,
+                                        sig_bits);
+}
+
+uint64_t
+CostModel::recordBytes(const LayerShape &shape, int64_t batch,
+                       int sig_bits) const
+{
+    return flow_->recordSpillBytes(shape, batch, sig_bits);
+}
+
+namespace {
+
+/** One reconstructed timing shape per plan layer. */
+LayerShape
+shapeFromLayerDesc(const LayerStepDesc &op, size_t index)
+{
+    const std::string name = "plan" + std::to_string(index);
+    switch (op.kind) {
+    case StepOpKind::Conv:
+        return LayerShape::conv(name, op.conv.inChannels,
+                                op.conv.outChannels, op.inH, op.inW,
+                                op.conv.kernelH, op.conv.stride,
+                                op.conv.pad, op.conv.groups);
+    case StepOpKind::Dense:
+        return LayerShape::fc(name, op.inFeatures, op.outFeatures);
+    case StepOpKind::Attention:
+        return LayerShape::attention(name, op.seqLen, op.embedDim);
+    default:
+        break;
+    }
+    return LayerShape{};
+}
+
+} // namespace
+
+std::vector<LayerShape>
+planLayerStack(const StepPlan &plan, std::vector<size_t> *reuse_index)
+{
+    std::vector<LayerShape> out;
+    if (reuse_index)
+        reuse_index->clear();
+    for (size_t j = 0; j < plan.layers.size(); ++j) {
+        const LayerPlan &lp = plan.layers[j];
+        if (reuse_index)
+            reuse_index->push_back(out.size());
+        out.push_back(shapeFromLayerDesc(lp.desc, j));
+        // Pools riding a fused edge come back as stack entries so the
+        // closed-form step model fuses the same conv→conv pairs the
+        // plan did (trailing pools outside any edge are not in the
+        // plan and stay absent — schedule glue without a descriptor).
+        if (lp.nextConv >= 0 && lp.desc.kind == StepOpKind::Conv) {
+            int64_t c = lp.desc.conv.outChannels;
+            int64_t h = lp.outH;
+            int64_t w = lp.outW;
+            for (StepOpKind t : lp.edgeTransforms) {
+                if (t != StepOpKind::MaxPool2x2)
+                    continue;
+                out.push_back(LayerShape::pool(
+                    "plan" + std::to_string(j) + ".pool", c, h, w, 2, 2));
+                h /= 2;
+                w /= 2;
+            }
+        }
+    }
+    return out;
+}
+
+AnalyticModel::AnalyticModel(const AcceleratorConfig &cfg) : CostModel(cfg)
+{
+}
+
+LayerCycles
+aggregateStepCycles(const CostModel &model,
+                    const std::vector<LayerShape> &stack,
+                    const std::vector<HitMix> &mixes, int64_t batch,
+                    int sig_bits)
+{
+    const AcceleratorConfig &cfg = model.config();
+    LayerCycles total;
+    for (size_t i = 0; i < stack.size(); ++i) {
+        const LayerShape &shape = stack[i];
+        if (!shape.reusable()) {
+            const uint64_t pool = model.baselineCycles(shape, batch);
+            total.baseline += pool;
+            total.computation += pool;
+            continue;
+        }
+        total += model.layerCost(shape, batch, mixes[i], sig_bits);
+        if (cfg.backwardReuse || cfg.weightGradReuse)
+            total += model.backwardCost(shape, batch, mixes[i], sig_bits,
+                                        cfg.weightGradReuse);
+    }
+    return total;
+}
+
+CostBreakdown
+AnalyticModel::stepCost(const std::vector<LayerShape> &stack,
+                        const std::vector<HitMix> &mixes, int64_t batch,
+                        int sig_bits) const
+{
+    CostBreakdown out;
+    out.cycles = aggregateStepCycles(*this, stack, mixes, batch, sig_bits);
+    const PlannedStepModel m =
+        modelPlannedStep(cfg_, stack, mixes, batch, sig_bits);
+    out.barrierCycles = m.barrierCycles;
+    out.plannedCycles = m.plannedCycles;
+    out.setupCycles = m.setupCycles;
+    out.hiddenSignature = m.hiddenSignature;
+    out.fusedEdges = m.fusedEdges;
+    return out;
+}
+
+CostBreakdown
+AnalyticModel::stepCost(const StepPlan &plan,
+                        const std::vector<HitMix> &mixes,
+                        int sig_bits) const
+{
+    std::vector<size_t> reuse_index;
+    const std::vector<LayerShape> stack =
+        planLayerStack(plan, &reuse_index);
+    std::vector<HitMix> full(stack.size());
+    for (size_t j = 0; j < reuse_index.size() && j < mixes.size(); ++j)
+        full[reuse_index[j]] = mixes[j];
+    return stepCost(stack, full, plan.batch, sig_bits);
+}
+
+} // namespace sim
+} // namespace mercury

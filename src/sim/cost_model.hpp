@@ -1,0 +1,256 @@
+/**
+ * @file
+ * sim::CostModel — the unified entry API of the timing layer.
+ *
+ * Every consumer of cycle estimates (the MercuryAccelerator training
+ * driver, the fig/bench binaries, the MercuryServer stat path) asks
+ * one interface:
+ *
+ *   auto model = sim::CostModel::create(cfg);       // backend by name
+ *   LayerCycles c = model->layerCost(shape, ...);   // one layer
+ *   CostBreakdown s = model->stepCost(stack, ...);  // a whole step
+ *
+ * and the backend — AnalyticModel (the closed-form Dataflow
+ * arithmetic plus sim/plan_model.hpp) or EventModel (the
+ * discrete-event memory-hierarchy replay in src/sim/event_model/) —
+ * is picked by SimConfig::backend / MERCURY_SIM_BACKEND, never by a
+ * hard call into a concrete class.
+ *
+ * Both stepCost entry points consume ONE workload definition: the
+ * shape-stack overload compiles the stack through RuntimePlanner
+ * (core/runtime_planner.hpp: describeShapeStack → compile), and the
+ * StepPlan overload replays an already-compiled plan — so the event
+ * model runs the same pass descriptors the ReuseRuntime executes,
+ * with no second model of the step.
+ *
+ * Contract: under the default (compute-bound) SimConfig the two
+ * backends agree on the pinned VGG13/MobileNetV2 validation points
+ * (asserted in tests/test_eventsim.cpp); the event backend adds
+ * memory-hierarchy stalls only where contention is real (small
+ * buffers, few banks, record-replay thrash).
+ */
+
+#ifndef MERCURY_SIM_COST_MODEL_HPP
+#define MERCURY_SIM_COST_MODEL_HPP
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "sim/config.hpp"
+#include "sim/dataflow.hpp"
+#include "sim/layer_shape.hpp"
+#include "sim/plan_model.hpp"
+
+namespace mercury {
+
+struct StepPlan; // core/runtime_planner.hpp
+
+namespace sim {
+
+/** Per-component counters of one event-model run (zero under the
+ *  analytic backend). Printed by EventModel consumers per component:
+ *  occupancy, bank conflicts, stalls by cause. */
+struct ComponentStats
+{
+    struct DramStats
+    {
+        uint64_t requests = 0;
+        uint64_t bytes = 0;
+        uint64_t rowHits = 0;
+        uint64_t rowMisses = 0;
+        uint64_t bankConflictCycles = 0;
+        uint64_t busyCycles = 0;
+    } dram;
+
+    struct GlobalBufferStats
+    {
+        uint64_t accesses = 0;
+        uint64_t bytes = 0;
+        uint64_t bankConflictCycles = 0;
+        uint64_t fills = 0;         ///< DRAM fills (buffer misses)
+        uint64_t pendingStallCycles = 0; ///< MSHR slots exhausted
+        uint64_t spillBytes = 0;    ///< record bytes past capacity
+    } gbuf;
+
+    struct McacheStats
+    {
+        uint64_t probes = 0;
+        uint64_t hits = 0;
+        uint64_t inserts = 0;
+        uint64_t insertSerialCycles = 0;
+    } mcache;
+
+    struct PeStats
+    {
+        uint64_t passes = 0;
+        uint64_t busyCycles = 0;
+        uint64_t memStallCycles = 0; ///< waiting on GB/DRAM streams
+    } pe;
+
+    ComponentStats &operator+=(const ComponentStats &other);
+
+    /** One line per component into stdout (bench reporting). */
+    void print(uint64_t total_cycles) const;
+};
+
+/** Cycle totals of one multi-layer training step under a backend. */
+struct CostBreakdown
+{
+    /** Aggregate per-layer decomposition (fwd + gradient passes per
+     *  the config's reuse knobs). Under the event backend, exposed
+     *  memory stalls are folded into `cycles.computation`. */
+    LayerCycles cycles;
+
+    /** Per-layer-barrier step reference (setup re-derived per step). */
+    uint64_t barrierCycles = 0;
+    /** Planned-schedule step (setup amortized, fused edges hidden). */
+    uint64_t plannedCycles = 0;
+
+    uint64_t setupCycles = 0;
+    uint64_t hiddenSignature = 0;
+    int fusedEdges = 0;
+
+    /** Event backend: critical-path cycles lost to the memory
+     *  hierarchy (zero analytic / uncontended). */
+    uint64_t memoryStallCycles = 0;
+
+    /** Event backend: per-component counters. */
+    ComponentStats components;
+
+    /** Baseline / MERCURY speedup of the aggregate cycles. */
+    double speedup() const { return cycles.speedup(); }
+
+    /** Barriered / planned step speedup (plan_model semantics). */
+    double stepSpeedup() const
+    {
+        return plannedCycles > 0 ? static_cast<double>(barrierCycles) /
+                                       static_cast<double>(plannedCycles)
+                                 : 1.0;
+    }
+};
+
+/** Abstract timing backend (see file header). */
+class CostModel
+{
+  public:
+    virtual ~CostModel() = default;
+
+    /**
+     * Factory keyed on cfg.sim.backend, after the MERCURY_SIM_BACKEND
+     * environment override (resolvedSimBackend).
+     */
+    static std::unique_ptr<CostModel> create(const AcceleratorConfig &cfg);
+
+    virtual SimBackend backend() const = 0;
+    const char *name() const { return simBackendName(backend()); }
+
+    const AcceleratorConfig &config() const { return cfg_; }
+
+    /** Baseline machine cycles for a whole layer over a batch. */
+    virtual uint64_t baselineCycles(const LayerShape &shape,
+                                    int64_t batch) const;
+
+    /** MERCURY forward cycles of a layer (Dataflow::mercuryLayerCycles
+     *  semantics; the event backend folds memory stalls into
+     *  computation). */
+    virtual LayerCycles layerCost(const LayerShape &shape, int64_t batch,
+                                  const HitMix &channel_mix, int sig_bits,
+                                  bool saved_signatures = false) const;
+
+    /** Input-gradient pass cycles (Dataflow::backwardLayerCycles). */
+    virtual LayerCycles backwardCost(const LayerShape &shape,
+                                     int64_t batch,
+                                     const HitMix &channel_mix,
+                                     int sig_bits,
+                                     bool include_weight_grad
+                                     = false) const;
+
+    /** Weight-gradient pass cycles (Dataflow::weightGradLayerCycles). */
+    virtual LayerCycles weightGradCost(const LayerShape &shape,
+                                       int64_t batch,
+                                       const HitMix &channel_mix,
+                                       int sig_bits) const;
+
+    /** SignatureRecord bytes held between forward and backward. */
+    virtual uint64_t recordBytes(const LayerShape &shape, int64_t batch,
+                                 int sig_bits) const;
+
+    /**
+     * Whole-step cost over a layer stack: one channel-pass mix per
+     * layer (non-reusable entries ignored), forward plus the gradient
+     * passes the config's reuse knobs enable, with the plan-level
+     * barrier/planned view (setup amortization, fused conv→conv
+     * edges).
+     */
+    virtual CostBreakdown stepCost(const std::vector<LayerShape> &stack,
+                                   const std::vector<HitMix> &mixes,
+                                   int64_t batch, int sig_bits) const = 0;
+
+    /**
+     * Whole-step cost of a compiled StepPlan: the same accounting
+     * driven by the plan's own pass descriptors
+     * (RuntimePlanner::compile → exportPassDescriptors) — one
+     * workload definition shared with the functional executor.
+     */
+    virtual CostBreakdown stepCost(const StepPlan &plan,
+                                   const std::vector<HitMix> &mixes,
+                                   int sig_bits) const = 0;
+
+  protected:
+    explicit CostModel(const AcceleratorConfig &cfg);
+
+    AcceleratorConfig cfg_;
+    std::unique_ptr<Dataflow> flow_; ///< the one model of compute
+};
+
+/** The closed-form backend: Dataflow + sim/plan_model.hpp, verbatim —
+ *  every gated BENCH_*.json modeled number reproduces through it. */
+class AnalyticModel : public CostModel
+{
+  public:
+    explicit AnalyticModel(const AcceleratorConfig &cfg);
+
+    SimBackend backend() const override { return SimBackend::Analytic; }
+
+    CostBreakdown stepCost(const std::vector<LayerShape> &stack,
+                           const std::vector<HitMix> &mixes,
+                           int64_t batch, int sig_bits) const override;
+
+    CostBreakdown stepCost(const StepPlan &plan,
+                           const std::vector<HitMix> &mixes,
+                           int sig_bits) const override;
+};
+
+/**
+ * The active backend name an AcceleratorConfig resolves to (factory
+ * selection without constructing a model) — what benches record as
+ * `config.sim_backend` in every ResultLine.
+ */
+const char *resolvedBackendName(const AcceleratorConfig &cfg);
+
+/**
+ * Aggregate per-layer closed-form cycles of one step over a stack:
+ * forward (plus the gradient passes the config's reuse knobs enable)
+ * for reuse layers, baseline for pools. Shared by both backends —
+ * the event backend reuses these totals as its compute service times.
+ */
+LayerCycles aggregateStepCycles(const CostModel &model,
+                                const std::vector<LayerShape> &stack,
+                                const std::vector<HitMix> &mixes,
+                                int64_t batch, int sig_bits);
+
+/**
+ * Reconstructed timing stack of a compiled plan: one LayerShape per
+ * plan layer plus the 2x2 pools riding its fused edges. When
+ * `reuse_index` is given, `(*reuse_index)[j]` is the stack position
+ * of plan layer j (for aligning per-plan-layer mixes).
+ */
+std::vector<LayerShape>
+planLayerStack(const StepPlan &plan,
+               std::vector<size_t> *reuse_index = nullptr);
+
+} // namespace sim
+} // namespace mercury
+
+#endif // MERCURY_SIM_COST_MODEL_HPP

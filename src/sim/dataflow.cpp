@@ -114,7 +114,7 @@ Dataflow::insertOverhead(const HitMix &mix) const
     // largest per-set backlog, approximated by the mean backlog.
     const uint64_t inserts = static_cast<uint64_t>(std::max<int64_t>(
         mix.mau, 0));
-    return static_cast<uint64_t>(config_.cacheInsertCycles) *
+    return static_cast<uint64_t>(config_.sim.cacheInsertCycles) *
            ceilDiv(inserts, static_cast<uint64_t>(
                                 std::max(config_.mcacheSets, 1)));
 }
@@ -357,7 +357,7 @@ Dataflow::fcMercury(const LayerShape &shape, int64_t batch,
         static_cast<uint64_t>(full.misses()) * m * broadcastDotCycles(d);
     const uint64_t hit_work =
         static_cast<uint64_t>(full.hit) * m *
-        static_cast<uint64_t>(config_.resultSendCycles);
+        static_cast<uint64_t>(config_.sim.resultSendCycles);
     c.computation = ceilDiv(miss_work + hit_work, p);
 
     if (!saved_signatures) {
@@ -464,7 +464,7 @@ RowStationaryDataflow::convChannelMercury(const LayerShape &shape,
         const uint64_t filter_cost = std::max(
             pipelinedPassCycles(static_cast<uint64_t>(m.misses()), x),
             static_cast<uint64_t>(m.hit) *
-                static_cast<uint64_t>(config_.cacheReadCycles));
+                static_cast<uint64_t>(config_.sim.cacheReadCycles));
         max_filter_cost = std::max(max_filter_cost, filter_cost);
         sum_filter_cost += filter_cost;
         const uint64_t sig_cost =
@@ -581,7 +581,7 @@ WeightStationaryDataflow::convChannelMercury(const LayerShape &shape,
     c.computation =
         groups * wsPassCycles(static_cast<uint64_t>(m.misses()), d) +
         static_cast<uint64_t>(m.hit) *
-            static_cast<uint64_t>(config_.cacheReadCycles);
+            static_cast<uint64_t>(config_.sim.cacheReadCycles);
     c.cacheOverhead = insertOverhead(m);
     return c;
 }
@@ -662,7 +662,7 @@ InputStationaryDataflow::convChannelMercury(const LayerShape &shape,
     c.computation =
         miss_rounds * isRoundCycles(cout, d) +
         static_cast<uint64_t>(m.hit) *
-            static_cast<uint64_t>(config_.cacheReadCycles);
+            static_cast<uint64_t>(config_.sim.cacheReadCycles);
     c.cacheOverhead = insertOverhead(m);
     return c;
 }

@@ -21,6 +21,14 @@
  * smoothed across passes, so a long run costs the *average* set time,
  * plus a one-off drain. With a single filter slot the async design
  * degenerates to the synchronous one.
+ *
+ * DEPRECATION NOTE: calling Dataflow::create / the per-layer cycle
+ * methods directly pins a consumer to the closed-form backend. New
+ * consumers should go through sim::CostModel (sim/cost_model.hpp) —
+ * the same arithmetic under the analytic backend, with the
+ * discrete-event memory-hierarchy backend selectable by
+ * SimConfig::backend / MERCURY_SIM_BACKEND. This header stays as the
+ * compute model both backends share.
  */
 
 #ifndef MERCURY_SIM_DATAFLOW_HPP

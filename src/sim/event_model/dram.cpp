@@ -1,0 +1,57 @@
+#include "sim/event_model/dram.hpp"
+
+#include <algorithm>
+
+#include "sim/cycle_model.hpp"
+
+namespace mercury {
+namespace sim {
+
+DramSim::DramSim(const SimConfig &sim) : sim_(sim)
+{
+    banks_.resize(static_cast<size_t>(std::max(1, sim_.dramBanks)));
+}
+
+uint64_t
+DramSim::access(uint64_t start, uint64_t addr, int64_t bytes)
+{
+    if (bytes <= 0)
+        return start;
+    ++stats_.requests;
+    stats_.bytes += static_cast<uint64_t>(bytes);
+
+    uint64_t done = start;
+    int64_t remaining = bytes;
+    uint64_t a = addr;
+    const int64_t row_bytes = std::max<int64_t>(1, sim_.dramRowBytes);
+    while (remaining > 0) {
+        const int64_t row = static_cast<int64_t>(a) / row_bytes;
+        const int64_t in_row =
+            std::min(remaining, row_bytes - static_cast<int64_t>(a) %
+                                                row_bytes);
+        Bank &bank = banks_[static_cast<size_t>(
+            row % static_cast<int64_t>(banks_.size()))];
+
+        const uint64_t t0 = std::max(start, bank.busyUntil);
+        stats_.bankConflictCycles += t0 - start;
+        const bool hit = bank.openRow == row;
+        hit ? ++stats_.rowHits : ++stats_.rowMisses;
+        const uint64_t latency =
+            static_cast<uint64_t>(hit ? sim_.dramRowHitCycles
+                                      : sim_.dramRowMissCycles) +
+            ceilDiv(static_cast<uint64_t>(in_row),
+                    static_cast<uint64_t>(
+                        std::max(1, sim_.dramBusBytesPerCycle)));
+        bank.busyUntil = t0 + latency;
+        bank.openRow = row;
+        stats_.busyCycles += latency;
+        done = std::max(done, bank.busyUntil);
+
+        a += static_cast<uint64_t>(in_row);
+        remaining -= in_row;
+    }
+    return done;
+}
+
+} // namespace sim
+} // namespace mercury

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Banked DRAM with an open-row policy: addresses map to rows of
+ * SimConfig::dramRowBytes, rows interleave across dramBanks, and each
+ * bank keeps one row open. An access to the open row pays
+ * dramRowHitCycles (CAS only); any other row pays dramRowMissCycles
+ * (precharge + activate + CAS). On top of the fixed latency the bank
+ * occupies itself for the transfer (bytes / dramBusBytesPerCycle).
+ *
+ * One access may span several rows; the row chunks issue in parallel
+ * across their banks (bank-level parallelism) and the access
+ * completes when the slowest chunk does. Time a chunk waits on a
+ * still-busy bank is charged to bankConflictCycles — the counter the
+ * bank-conflict unit test and the sweep's stall-by-cause report read.
+ */
+
+#ifndef MERCURY_SIM_EVENT_MODEL_DRAM_HPP
+#define MERCURY_SIM_EVENT_MODEL_DRAM_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/cost_model.hpp"
+#include "sim/sim_config.hpp"
+
+namespace mercury {
+namespace sim {
+
+class DramSim
+{
+  public:
+    explicit DramSim(const SimConfig &sim);
+
+    /**
+     * Stream `bytes` starting at `addr`, issued at cycle `start`.
+     * Returns the completion cycle.
+     */
+    uint64_t access(uint64_t start, uint64_t addr, int64_t bytes);
+
+    const ComponentStats::DramStats &stats() const { return stats_; }
+
+  private:
+    struct Bank
+    {
+        uint64_t busyUntil = 0;
+        int64_t openRow = -1;
+    };
+
+    SimConfig sim_;
+    std::vector<Bank> banks_;
+    ComponentStats::DramStats stats_;
+};
+
+} // namespace sim
+} // namespace mercury
+
+#endif // MERCURY_SIM_EVENT_MODEL_DRAM_HPP

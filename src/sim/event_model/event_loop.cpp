@@ -1,0 +1,29 @@
+#include "sim/event_model/event_loop.hpp"
+
+#include <utility>
+
+namespace mercury {
+namespace sim {
+
+void
+EventLoop::schedule(uint64_t cycle, Callback cb)
+{
+    queue_.push(Event{cycle, seq_++, std::move(cb)});
+    ++scheduled_;
+}
+
+void
+EventLoop::run()
+{
+    while (!queue_.empty()) {
+        // The callback may schedule; moving it out first keeps the
+        // queue mutable under it.
+        Event ev = queue_.top();
+        queue_.pop();
+        now_ = ev.cycle;
+        ev.cb();
+    }
+}
+
+} // namespace sim
+} // namespace mercury

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * The discrete-event core of the event-model backend: a single
+ * priority queue of (cycle, callback) events ticking every component
+ * (DRAM, GlobalBuffer, MCACHE, PE array) of one simulation.
+ *
+ * Determinism contract: events pop in (cycle, insertion-seq) order —
+ * two events at the same cycle run in the order they were scheduled,
+ * so a simulation is a pure function of its inputs (asserted in
+ * tests/test_eventsim.cpp).
+ *
+ * The loop is phase-friendly: run() drains the current queue, after
+ * which the driver may schedule more events — including at absolute
+ * cycles earlier than the last pop (a fused layer starting inside its
+ * predecessor's drain window). Components keep their own absolute
+ * busy-until state, so correctness never depends on global pop order
+ * across phases.
+ */
+
+#ifndef MERCURY_SIM_EVENT_MODEL_EVENT_LOOP_HPP
+#define MERCURY_SIM_EVENT_MODEL_EVENT_LOOP_HPP
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace mercury {
+namespace sim {
+
+class EventLoop
+{
+  public:
+    using Callback = std::function<void()>;
+
+    /** Enqueue `cb` to fire at absolute `cycle`. */
+    void schedule(uint64_t cycle, Callback cb);
+
+    /** Drain the queue; each callback may schedule further events. */
+    void run();
+
+    /** Cycle of the event currently (or last) fired. */
+    uint64_t now() const { return now_; }
+
+    /** Events scheduled over the loop's lifetime. */
+    uint64_t scheduledEvents() const { return scheduled_; }
+
+    bool empty() const { return queue_.empty(); }
+
+  private:
+    struct Event
+    {
+        uint64_t cycle;
+        uint64_t seq;
+        Callback cb;
+    };
+    struct After
+    {
+        bool operator()(const Event &a, const Event &b) const
+        {
+            if (a.cycle != b.cycle)
+                return a.cycle > b.cycle;
+            return a.seq > b.seq;
+        }
+    };
+
+    std::priority_queue<Event, std::vector<Event>, After> queue_;
+    uint64_t now_ = 0;
+    uint64_t seq_ = 0;
+    uint64_t scheduled_ = 0;
+};
+
+} // namespace sim
+} // namespace mercury
+
+#endif // MERCURY_SIM_EVENT_MODEL_EVENT_LOOP_HPP

@@ -1,0 +1,71 @@
+#include "sim/event_model/global_buffer_sim.hpp"
+
+#include <algorithm>
+
+#include "sim/cycle_model.hpp"
+
+namespace mercury {
+namespace sim {
+
+GlobalBufferSim::GlobalBufferSim(const SimConfig &sim, DramSim &dram)
+    : sim_(sim), dram_(dram)
+{
+    bankBusy_.resize(static_cast<size_t>(std::max(1, sim_.gbBanks)), 0);
+    slotFree_.resize(static_cast<size_t>(std::max(1, sim_.gbPendingSlots)),
+                     0);
+}
+
+uint64_t
+GlobalBufferSim::stream(uint64_t start, uint64_t addr, int64_t bytes,
+                        bool resident, int chunks)
+{
+    if (bytes <= 0)
+        return start;
+    ++stats_.accesses;
+    stats_.bytes += static_cast<uint64_t>(bytes);
+
+    const int n = std::max(
+        1, std::min<int>(chunks, static_cast<int>(std::min<int64_t>(
+                                     bytes, 1 << 20))));
+    const int64_t chunk = static_cast<int64_t>(
+        ceilDiv(static_cast<uint64_t>(bytes), static_cast<uint64_t>(n)));
+    const int64_t line = std::max<int64_t>(1, sim_.gbLineBytes);
+
+    uint64_t done = start;
+    int64_t remaining = bytes;
+    uint64_t a = addr;
+    for (int i = 0; i < n && remaining > 0; ++i) {
+        const int64_t sz = std::min(remaining, chunk);
+        if (resident) {
+            // Served by the bank the chunk's leading line maps to.
+            uint64_t &bank = bankBusy_[static_cast<size_t>(
+                (static_cast<int64_t>(a) / line) %
+                static_cast<int64_t>(bankBusy_.size()))];
+            const uint64_t t0 = std::max(start, bank);
+            stats_.bankConflictCycles += t0 - start;
+            const uint64_t latency = ceilDiv(
+                static_cast<uint64_t>(sz),
+                static_cast<uint64_t>(
+                    std::max(1, sim_.gbBytesPerBankCycle)));
+            bank = t0 + latency;
+            done = std::max(done, bank);
+        } else {
+            // Miss: take the earliest-free pending slot, then fill
+            // from DRAM. A full MSHR is the stall the unit test pins.
+            auto slot = std::min_element(slotFree_.begin(),
+                                         slotFree_.end());
+            const uint64_t t0 = std::max(start, *slot);
+            stats_.pendingStallCycles += t0 - start;
+            ++stats_.fills;
+            const uint64_t end = dram_.access(t0, a, sz);
+            *slot = end;
+            done = std::max(done, end);
+        }
+        a += static_cast<uint64_t>(sz);
+        remaining -= sz;
+    }
+    return done;
+}
+
+} // namespace sim
+} // namespace mercury

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Banked GlobalBuffer with MSHR-style pending slots. Resident data
+ * streams from the banks (chunks interleave across gbBanks, each
+ * serving gbBytesPerBankCycle); non-resident chunks each occupy one
+ * of gbPendingSlots while their DRAM fill is outstanding — when all
+ * slots are busy the next miss waits for the earliest one to free,
+ * charged to pendingStallCycles (the counter the pending-slot unit
+ * test and the stall-by-cause report read).
+ *
+ * Residency itself is the caller's call (the event model applies the
+ * double-buffered working-set rule: a pass's input plane is resident
+ * iff two of them fit in gbCapacityBytes — the producing layer left
+ * it on-chip). This component models *port and fill* behavior, not
+ * allocation.
+ */
+
+#ifndef MERCURY_SIM_EVENT_MODEL_GLOBAL_BUFFER_SIM_HPP
+#define MERCURY_SIM_EVENT_MODEL_GLOBAL_BUFFER_SIM_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/cost_model.hpp"
+#include "sim/event_model/dram.hpp"
+#include "sim/sim_config.hpp"
+
+namespace mercury {
+namespace sim {
+
+class GlobalBufferSim
+{
+  public:
+    GlobalBufferSim(const SimConfig &sim, DramSim &dram);
+
+    /**
+     * Stream `bytes` at `addr` issued at cycle `start`, split into at
+     * most `chunks` requests. Resident data is served by the banks;
+     * non-resident data fills from DRAM through the pending slots.
+     * Returns the completion cycle.
+     */
+    uint64_t stream(uint64_t start, uint64_t addr, int64_t bytes,
+                    bool resident, int chunks);
+
+    /** Double-buffered working-set residency rule (see file header). */
+    bool resident(int64_t bytes_per_pass) const
+    {
+        return bytes_per_pass > 0 &&
+               2 * static_cast<uint64_t>(bytes_per_pass) <=
+                   sim_.gbCapacityBytes;
+    }
+
+    const ComponentStats::GlobalBufferStats &stats() const
+    {
+        return stats_;
+    }
+
+    /** Record bytes the step spilled past the hold budget (reported,
+     *  not a stall source of its own — the DRAM traffic is). */
+    void noteSpill(uint64_t bytes) { stats_.spillBytes += bytes; }
+
+  private:
+    SimConfig sim_;
+    DramSim &dram_;
+    std::vector<uint64_t> bankBusy_;
+    std::vector<uint64_t> slotFree_;
+    ComponentStats::GlobalBufferStats stats_;
+};
+
+} // namespace sim
+} // namespace mercury
+
+#endif // MERCURY_SIM_EVENT_MODEL_GLOBAL_BUFFER_SIM_HPP

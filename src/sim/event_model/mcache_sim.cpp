@@ -1,0 +1,52 @@
+#include "sim/event_model/mcache_sim.hpp"
+
+#include <algorithm>
+
+#include "sim/cycle_model.hpp"
+
+namespace mercury {
+namespace sim {
+
+McacheSim::McacheSim(const SimConfig &sim, int sets)
+    : sim_(sim), sets_(std::max(1, sets))
+{
+}
+
+void
+McacheSim::probes(int64_t rows, int64_t hits)
+{
+    stats_.probes += static_cast<uint64_t>(std::max<int64_t>(0, rows));
+    stats_.hits += static_cast<uint64_t>(std::max<int64_t>(0, hits));
+}
+
+uint64_t
+McacheSim::inserts(uint64_t start, int64_t mau)
+{
+    if (mau <= 0)
+        return start;
+    stats_.inserts += static_cast<uint64_t>(mau);
+    const uint64_t serial =
+        static_cast<uint64_t>(std::max(0, sim_.cacheInsertCycles)) *
+        ceilDiv(static_cast<uint64_t>(mau),
+                static_cast<uint64_t>(sets_));
+    const uint64_t t0 = std::max(start, queueFree_);
+    queueFree_ = t0 + serial;
+    stats_.insertSerialCycles += serial;
+    return queueFree_;
+}
+
+uint64_t
+McacheSim::drain(uint64_t start, int64_t mau, uint64_t serial_cycles)
+{
+    if (mau <= 0 && serial_cycles == 0)
+        return start;
+    if (mau > 0)
+        stats_.inserts += static_cast<uint64_t>(mau);
+    const uint64_t t0 = std::max(start, queueFree_);
+    queueFree_ = t0 + serial_cycles;
+    stats_.insertSerialCycles += serial_cycles;
+    return queueFree_;
+}
+
+} // namespace sim
+} // namespace mercury

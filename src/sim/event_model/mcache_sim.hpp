@@ -1,0 +1,62 @@
+/**
+ * @file
+ * MCACHE traffic model of the event backend: probe counting plus the
+ * per-set insert-queue serialization of §V. Probes are fully
+ * pipelined through the set ports (their latency is part of the
+ * signature/compute service the Dataflow closed forms already
+ * charge), so this component adds time only where the analytic model
+ * does: MAU inserts serialize through their set queues at
+ * cacheInsertCycles per insert, sim.cacheInsertCycles * ceil(mau /
+ * sets) per pass — the identical arithmetic to
+ * Dataflow::insertOverhead, which is what keeps the two backends in
+ * agreement on compute-bound points.
+ */
+
+#ifndef MERCURY_SIM_EVENT_MODEL_MCACHE_SIM_HPP
+#define MERCURY_SIM_EVENT_MODEL_MCACHE_SIM_HPP
+
+#include <cstdint>
+
+#include "sim/cost_model.hpp"
+#include "sim/sim_config.hpp"
+
+namespace mercury {
+namespace sim {
+
+class McacheSim
+{
+  public:
+    McacheSim(const SimConfig &sim, int sets);
+
+    /** Count one pass's probes (latency lives in the compute service). */
+    void probes(int64_t rows, int64_t hits);
+
+    /**
+     * Serialize `mau` inserts through the per-set queues starting at
+     * `start`; returns the cycle the last queue drains. Back-to-back
+     * passes queue behind each other's unfinished inserts.
+     */
+    uint64_t inserts(uint64_t start, int64_t mau);
+
+    /**
+     * Like inserts(), but with the serialization cycles supplied by
+     * the caller — the event model hands in the Dataflow-derived
+     * per-pass insert overhead (which splits the MAU population
+     * across PE sets before the per-set ceil), so the queue drains in
+     * exactly the cycles the analytic backend charges.
+     */
+    uint64_t drain(uint64_t start, int64_t mau, uint64_t serial_cycles);
+
+    const ComponentStats::McacheStats &stats() const { return stats_; }
+
+  private:
+    SimConfig sim_;
+    int sets_;
+    uint64_t queueFree_ = 0;
+    ComponentStats::McacheStats stats_;
+};
+
+} // namespace sim
+} // namespace mercury
+
+#endif // MERCURY_SIM_EVENT_MODEL_MCACHE_SIM_HPP

@@ -83,6 +83,13 @@ struct PlannedStepModel
  * cfg.weightGradReuse add the gradient passes with their usual
  * accounting. Conv layers separated only by Pool entries fuse, like
  * the functional planner's channelwise-edge rule.
+ *
+ * DEPRECATION NOTE: prefer sim::CostModel::stepCost
+ * (sim/cost_model.hpp) — identical numbers under the analytic
+ * backend, and the same call runs on the event-driven
+ * memory-hierarchy sim when SimConfig::backend /
+ * MERCURY_SIM_BACKEND selects it. This free function remains as the
+ * analytic backend's step arithmetic.
  */
 PlannedStepModel modelPlannedStep(const AcceleratorConfig &cfg,
                                   const std::vector<LayerShape> &stack,

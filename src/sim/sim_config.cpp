@@ -1,0 +1,48 @@
+#include "sim/sim_config.hpp"
+
+#include <cstdlib>
+#include <cstring>
+
+#include "util/logging.hpp"
+
+namespace mercury {
+
+const char *
+simBackendName(SimBackend backend)
+{
+    switch (backend) {
+      case SimBackend::Analytic:
+        return "analytic";
+      case SimBackend::Event:
+        return "event";
+    }
+    return "?";
+}
+
+const char *
+simFidelityName(SimFidelity fidelity)
+{
+    switch (fidelity) {
+      case SimFidelity::PerPass:
+        return "per-pass";
+      case SimFidelity::Sampled:
+        return "sampled";
+    }
+    return "?";
+}
+
+SimBackend
+resolvedSimBackend(SimBackend configured)
+{
+    const char *env = std::getenv("MERCURY_SIM_BACKEND");
+    if (env == nullptr || env[0] == '\0')
+        return configured;
+    if (std::strcmp(env, "analytic") == 0)
+        return SimBackend::Analytic;
+    if (std::strcmp(env, "event") == 0)
+        return SimBackend::Event;
+    fatal("MERCURY_SIM_BACKEND must be 'analytic' or 'event', got '",
+          env, "'");
+}
+
+} // namespace mercury

@@ -12,9 +12,11 @@ baselines at the repository root:
    smoke entries; full runs against full entries. A fresh line with no
    committed counterpart of the same mode is reported but not gated
    (there is nothing meaningful to compare across modes).
- - Deterministic keys are always gated: ``modeled_speedup`` and every
-   ``model_*_speedup`` key present in both lines. Wall-clock keys
-   vary by host and are never gated.
+ - Deterministic keys are always gated: ``modeled_speedup``, every
+   ``model_*_speedup`` key, the event-backend ``event_*_speedup``
+   keys, and the ``*_agreement_dev`` ceilings (analytic-vs-event
+   deviation, bench/sweep_eventsim.cpp) present in both lines.
+   Wall-clock keys vary by host and are never gated.
  - Kernel-performance keys (``*_gbps``, ``*_cycles_per_row``, and the
    remaining non-``wall*`` ``*_speedup`` keys, from
    bench/micro_kernels.cpp) are gated at 3x the tolerance (TSC and
@@ -107,6 +109,17 @@ def key_class(key):
         key.startswith("model_") and key.endswith("_speedup")
     ):
         return ("model", "floor")
+    if key.startswith("event_") and key.endswith("_speedup"):
+        # Event-backend speedups (bench/sweep_eventsim.cpp) come from
+        # the deterministic discrete-event replay — integer cycle
+        # arithmetic, no wall clock — so they gate tight like the
+        # closed-form modeled keys.
+        return ("model", "floor")
+    if key.endswith("_agreement_dev"):
+        # Analytic-vs-event deviation on the pinned validation points:
+        # smaller is better, and a rise past tolerance above the
+        # committed value means the two backends drifted apart.
+        return ("model", "ceiling")
     if key.startswith("wall"):
         return None
     if key.endswith("_gbps") or key.endswith("_speedup"):
