@@ -59,15 +59,69 @@ reducedReps()
 }
 
 /**
- * Best-of-reps wall time of one invocation, in seconds: repeat until
- * both `min_reps` runs and `min_total` seconds have accumulated, and
- * report the fastest. Smoke mode clamps both so CI runs in seconds —
- * one shared definition, so the timing methodology behind every
- * recorded BENCH_*.json stays comparable across benches.
+ * Thread-count override for wall measurements
+ * (MERCURY_BENCH_THREADS=N): the CI smoke-bench steps pin the pool
+ * size so auto-overlap resolution is reproducible across runners.
+ * Returns 0 when unset (the bench picks its own count).
+ */
+inline int
+benchThreads()
+{
+    const char *env = std::getenv("MERCURY_BENCH_THREADS");
+    if (env == nullptr || env[0] == '\0')
+        return 0;
+    const int threads = std::atoi(env);
+    return threads > 0 ? threads : 0;
+}
+
+/**
+ * Overlap-policy override (MERCURY_BENCH_OVERLAP=off|on|auto) for the
+ * measured "overlapped" configuration. Defaults to `fallback` when
+ * unset or unparseable — the recording benches pass
+ * OverlapMode::Auto so committed wall numbers reflect the policy a
+ * real run would use on the recording host (the resolved decision is
+ * in the `config` block); pass `on` to force the streaming path, and
+ * CI's threads=2 smoke step passes `auto` to prove the resolver
+ * picks serial there.
+ */
+inline OverlapMode
+benchOverlap(OverlapMode fallback)
+{
+    const char *env = std::getenv("MERCURY_BENCH_OVERLAP");
+    if (env == nullptr || env[0] == '\0')
+        return fallback;
+    const std::string v(env);
+    if (v == "off")
+        return OverlapMode::Off;
+    if (v == "on")
+        return OverlapMode::On;
+    if (v == "auto")
+        return OverlapMode::Auto;
+    return fallback;
+}
+
+/** Wall-time measurement over repetitions (seconds). */
+struct WallTime
+{
+    double best = 0.0;   ///< fastest repetition
+    double median = 0.0; ///< median repetition
+    int reps = 0;        ///< repetitions measured
+};
+
+/**
+ * Wall time of one invocation over repetitions: repeat until both
+ * `min_reps` runs and `min_total` seconds have accumulated, and
+ * report the fastest AND the median rep. The fastest is the
+ * least-noise estimate the recorded speedups use; the median is
+ * printed next to it so a wall line where best and median disagree
+ * badly is visibly noisy. Smoke mode clamps both knobs so CI runs in
+ * seconds; MERCURY_BENCH_REPS=N caps the rep count — one shared
+ * definition, so the timing methodology behind every recorded
+ * BENCH_*.json stays comparable across benches.
  */
 template <typename Fn>
-double
-bestSeconds(Fn &&fn, double min_total = 0.4, int min_reps = 3)
+WallTime
+wallSeconds(Fn &&fn, double min_total = 0.4, int min_reps = 3)
 {
     if (smoke()) {
         min_total = 0.01;
@@ -77,17 +131,30 @@ bestSeconds(Fn &&fn, double min_total = 0.4, int min_reps = 3)
         min_reps = reps;
     }
     using clock = std::chrono::steady_clock;
-    double best = 1e30, total = 0.0;
-    int reps = 0;
-    while (reps < min_reps || total < min_total) {
+    std::vector<double> samples;
+    double total = 0.0;
+    while (static_cast<int>(samples.size()) < min_reps ||
+           total < min_total) {
         const auto t0 = clock::now();
         fn();
         const std::chrono::duration<double> dt = clock::now() - t0;
-        best = std::min(best, dt.count());
+        samples.push_back(dt.count());
         total += dt.count();
-        ++reps;
     }
-    return best;
+    std::sort(samples.begin(), samples.end());
+    WallTime wt;
+    wt.best = samples.front();
+    wt.median = samples[samples.size() / 2];
+    wt.reps = static_cast<int>(samples.size());
+    return wt;
+}
+
+/** Best-of-reps wall time in seconds (see wallSeconds). */
+template <typename Fn>
+double
+bestSeconds(Fn &&fn, double min_total = 0.4, int min_reps = 3)
+{
+    return wallSeconds(std::forward<Fn>(fn), min_total, min_reps).best;
 }
 
 /**

@@ -54,9 +54,9 @@ main()
     // conv layers (the overlapDetection knob).
     AcceleratorConfig serial_cfg;
     AcceleratorConfig overlap_cfg;
-    overlap_cfg.overlapDetection = true;
-    const auto serial = Dataflow::create(serial_cfg);
-    const auto overlapped = Dataflow::create(overlap_cfg);
+    overlap_cfg.overlapDetection = OverlapMode::On;
+    const auto serial = sim::CostModel::create(serial_cfg);
+    const auto overlapped = sim::CostModel::create(overlap_cfg);
 
     Table ot("overlapped signature accounting (row-stationary, "
              "40% hits)");
@@ -74,10 +74,8 @@ main()
             LayerShape::conv(s.name, s.cin, s.cout, s.hw, s.hw, 3);
         const HitMix mix =
             HitMix::fromFractions(shape.vectorsPerChannel(), 0.4);
-        const LayerCycles sc =
-            serial->mercuryLayerCycles(shape, 1, mix, 20);
-        const LayerCycles oc =
-            overlapped->mercuryLayerCycles(shape, 1, mix, 20);
+        const LayerCycles sc = serial->layerCost(shape, 1, mix, 20);
+        const LayerCycles oc = overlapped->layerCost(shape, 1, mix, 20);
         ot.row({s.name, std::to_string(sc.signature),
                 std::to_string(oc.signature),
                 Table::num(static_cast<double>(sc.mercuryTotal()) /

@@ -21,7 +21,7 @@ main()
     const ModelConfig model = vgg13();
     AcceleratorConfig cfg;
     SyntheticSimilaritySource source(model, cfg, 42);
-    auto dataflow = Dataflow::create(cfg);
+    const auto cost = sim::CostModel::create(cfg);
 
     Table a("Fig. 15a: MCACHE access type (%)");
     a.header({"layer", "HIT", "MAU", "MNU"});
@@ -44,8 +44,8 @@ main()
                Table::num(100.0 * mix.mau / v, 1),
                Table::num(100.0 * mix.mnu / v, 1)});
 
-        const LayerCycles cyc = dataflow->mercuryLayerCycles(
-            layer, 1, mix, cfg.initialSignatureBits);
+        const LayerCycles cyc =
+            cost->layerCost(layer, 1, mix, cfg.initialSignatureBits);
         b.row({name,
                Table::num(static_cast<double>(cyc.baseline) / 1e6, 1),
                Table::num(static_cast<double>(cyc.signature) / 1e6, 1),

@@ -85,7 +85,7 @@ configureContext(MercuryContext &ctx, bool planned, int threads)
 {
     PipelineConfig pipe;
     pipe.threads = threads;
-    pipe.overlap = threads > 1;
+    pipe.overlap = threads > 1 ? OverlapMode::On : OverlapMode::Off;
     ctx.setPipeline(pipe);
     ctx.setBackwardReuse(true);
     ctx.setWeightGradReuse(true);

@@ -11,7 +11,7 @@
 #include <cstdio>
 
 #include "core/conv_reuse_engine.hpp"
-#include "sim/dataflow.hpp"
+#include "sim/cost_model.hpp"
 #include "util/rng.hpp"
 #include "workloads/synthetic.hpp"
 
@@ -59,10 +59,9 @@ main()
 
     // What is that worth on the row-stationary machine?
     AcceleratorConfig cfg;
-    auto dataflow = Dataflow::create(cfg);
+    const auto cost = sim::CostModel::create(cfg);
     LayerShape shape = LayerShape::conv("demo", 8, 128, 16, 16, 3, 1, 1);
-    const LayerCycles cycles =
-        dataflow->mercuryLayerCycles(shape, 1, stats.mix, 20);
+    const LayerCycles cycles = cost->layerCost(shape, 1, stats.mix, 20);
     std::printf("cycles: baseline %llu -> mercury %llu  (%.2fx)\n",
                 static_cast<unsigned long long>(cycles.baseline),
                 static_cast<unsigned long long>(cycles.mercuryTotal()),

@@ -42,6 +42,12 @@ filterSegment(PassDataPlane &plane, const Tensor &rows,
     uint64_t skipped = 0;
     for (int64_t i = r0; i < r1; ++i) {
         const McacheResult &mr = row_results[static_cast<size_t>(i)];
+        // Hide the next row's data-plane latency behind this row's
+        // dot product (entry ids jump around the arena, so the
+        // hardware stride prefetcher cannot see this pattern).
+        if (i + 1 < r1)
+            plane.prefetch(row_results[static_cast<size_t>(i + 1)].entryId,
+                           ver);
         float val;
         if (mr.outcome == McacheOutcome::Hit &&
             plane.readIfValid(mr.entryId, ver, val)) {
@@ -132,29 +138,26 @@ weightGradSumSegment(const std::vector<int64_t> &owner, const float *go,
 } // namespace
 
 // Declared in the header (shared with the planner's cross-layer
-// prefetch): the Fig. 7a per-channel vector extraction.
+// prefetch and the pipeline's fused extraction): the Fig. 7a
+// per-channel vector extraction, routed through the extractPatches
+// kernel (span-clipped copies — bit-identical to the elementwise
+// loop it replaced, since extraction moves values without arithmetic).
+void
+extractChannelPatchRows(const Tensor &input, const ConvSpec &spec,
+                        int64_t b, int64_t c, int64_t ow, int64_t r0,
+                        int64_t r1, Tensor &rows)
+{
+    kernels::ops().extractPatches(
+        input.data() + input.offset4(b, c, 0, 0), input.dim(2),
+        input.dim(3), ow, spec.stride, spec.pad, spec.kernelH, r0, r1,
+        rows.data());
+}
+
 void
 extractChannelPatches(const Tensor &input, const ConvSpec &spec, int64_t b,
                       int64_t c, int64_t oh, int64_t ow, Tensor &rows)
 {
-    const int64_t k = spec.kernelH;
-    int64_t r = 0;
-    for (int64_t y = 0; y < oh; ++y) {
-        for (int64_t x = 0; x < ow; ++x, ++r) {
-            int64_t e = 0;
-            for (int64_t ky = 0; ky < k; ++ky) {
-                for (int64_t kx = 0; kx < k; ++kx, ++e) {
-                    const int64_t iy = y * spec.stride - spec.pad + ky;
-                    const int64_t ix = x * spec.stride - spec.pad + kx;
-                    const bool inside = iy >= 0 && ix >= 0 &&
-                                        iy < input.dim(2) &&
-                                        ix < input.dim(3);
-                    rows.at2(r, e) =
-                        inside ? input.at4(b, c, iy, ix) : 0.0f;
-                }
-            }
-        }
-    }
+    extractChannelPatchRows(input, spec, b, c, ow, 0, oh * ow, rows);
 }
 
 Tensor
@@ -198,7 +201,10 @@ ConvReuseEngine::forward(const Tensor &input, const Tensor &weight,
     ReuseRuntime &rt =
         plan ? *plan->runtime
              : local_rt.emplace(*frontend_, frontend_.signatureBits());
-    const bool overlapped = rt.overlapped();
+    // Every channel pass of this layer has v rows, so the overlap
+    // decision (Auto resolves from threads x rows) is one call,
+    // matching what the runtime will resolve per pass internally.
+    const bool overlapped = rt.overlappedFor(v);
     if (record) {
         record->clear();
         if (plan)
@@ -255,9 +261,19 @@ ConvReuseEngine::forward(const Tensor &input, const Tensor &weight,
         if (overlapped)
             bufs[1] = Tensor({v, d});
     }
-    const auto extract = [&](const PassId &p, Tensor &rows) {
-        extractChannelPatches(input, spec, p.b, p.g * cin_g + p.ic, oh,
-                              ow, rows);
+    // Single-touch fusion: a pass's extraction rides the detection
+    // pipeline as a RowFiller — each projection block extracts its
+    // row range immediately before hashing it, so a block's patches
+    // are still cache-hot when the RPQ projection reads them (and the
+    // filler fans out with the hash blocks instead of running as a
+    // serial pre-pass on the driving thread).
+    const auto filler = [&input, &spec, cin_g, ow](const PassId &p,
+                                                   Tensor &rows) {
+        return RowFiller([&input, &spec, &rows, cin_g, ow,
+                          p](int64_t r0, int64_t r1) {
+            extractChannelPatchRows(input, spec, p.b, p.g * cin_g + p.ic,
+                                    ow, r0, r1, rows);
+        });
     };
 
     stats = ReuseStats{};
@@ -278,21 +294,18 @@ ConvReuseEngine::forward(const Tensor &input, const Tensor &weight,
         } else {
             if (plan)
                 plan->prefetched.reset();
-            extract(order[0], bufs[0]);
             job = frontend_->beginHashStream(bufs[0],
-                                             frontend_.signatureBits());
+                                             frontend_.signatureBits(),
+                                             filler(order[0], bufs[0]));
         }
     }
 
     for (size_t pi = 0; pi < order.size(); ++pi) {
         const PassId p = order[pi];
-        const Tensor *rows_p;
-        if (!overlapped) {
-            extract(p, bufs[0]); // Fig. 7a extraction, single buffer
-            rows_p = &bufs[0];
-        } else {
-            rows_p = (pi == 0) ? rows0 : &bufs[pi & 1];
-        }
+        // Serial path: single buffer, filled blockwise by the fused
+        // filler as the pass hashes it (no eager extraction pass).
+        const Tensor *rows_p =
+            overlapped ? (pi == 0 ? rows0 : &bufs[pi & 1]) : &bufs[0];
         const Tensor &rows = *rows_p;
 
         // Pass-start clear of the data plane (the MCACHE tag plane is
@@ -316,18 +329,21 @@ ConvReuseEngine::forward(const Tensor &input, const Tensor &weight,
                 static_cast<int>(f), r0, r1, d,
                 out.data() + out.offset4(p.b, p.g * cout_g + f, 0, 0));
         };
-        // Cross-channel overlap: extract and hash the next pass into
-        // the other buffer while this channel's chains drain —
-        // hashing touches no MCACHE state, so it is safe beside the
+        // Cross-channel overlap: begin hashing the next pass into the
+        // other buffer while this channel's chains drain — the fused
+        // filler extracts each block right before it hashes, on the
+        // pool, so the driving thread no longer pays a serial
+        // whole-channel extraction inside the overlap window. Hashing
+        // touches no MCACHE state, so it is safe beside the
         // data-plane traffic of the in-flight filters.
         std::unique_ptr<DetectionHashJob> next_job;
         if (overlapped) {
             set.onStreamDelivered = [&] {
                 if (pi + 1 < order.size()) {
                     Tensor &next = bufs[(pi + 1) & 1];
-                    extract(order[pi + 1], next);
                     next_job = frontend_->beginHashStream(
-                        next, frontend_.signatureBits());
+                        next, frontend_.signatureBits(),
+                        filler(order[pi + 1], next));
                 }
             };
         }
@@ -347,8 +363,10 @@ ConvReuseEngine::forward(const Tensor &input, const Tensor &weight,
         }
 
         rt.runFilterPasses(
-            overlapped ? ReuseRuntime::StreamSource::hashed(*job, record)
-                       : ReuseRuntime::StreamSource::live(rows, record),
+            overlapped
+                ? ReuseRuntime::StreamSource::hashed(*job, record)
+                : ReuseRuntime::StreamSource::live(rows, record,
+                                                   filler(p, bufs[0])),
             set, stats);
         if (overlapped)
             job = std::move(next_job);
@@ -462,38 +480,64 @@ ConvReuseEngine::backwardInput(const Tensor &gradOut, const Tensor &weight,
                 // runs as one addSpan per (position, kernel row) —
                 // elementwise adds, each cell accumulated in the
                 // same order as the per-element loop it replaces.
+                //
+                // The scatter fans out in BANDS of input rows: every
+                // gradient cell lives on exactly one input row iy, so
+                // a worker that owns iy in [a, z) executes precisely
+                // the adds landing in its band — writes are disjoint
+                // across workers, and each cell still receives its
+                // adds in (f, y, x, ky) order (filtering a sequence
+                // never reorders it), keeping the result bit-exact
+                // regardless of scheduling.
                 set.afterGroup = [&](int64_t f0, int64_t f1) {
                     const kernels::KernelOps &kn = kernels::ops();
                     float *gin_base =
                         grad_in.data() +
                         grad_in.offset4(b, g * cin_g + ic, 0, 0);
-                    for (int64_t f = f0; f < f1; ++f) {
-                        const float *col =
-                            cols[static_cast<size_t>(f % slots)].data();
-                        int64_t r = 0;
-                        for (int64_t y = 0; y < oh; ++y) {
-                            for (int64_t x = 0; x < ow; ++x, ++r) {
-                                const float *src = col + r * d;
-                                const KxSpan kxs = kxSpan(
-                                    x, spec.stride, spec.pad, k, in_w);
-                                if (kxs.kx0 >= kxs.kx1)
+                    ThreadPool *sp = rt.pool();
+                    const int64_t nbands =
+                        sp ? std::min<int64_t>(
+                                 in_h,
+                                 static_cast<int64_t>(sp->workers()) + 1)
+                           : 1;
+                    rt.parallelChains(nbands, [&](int64_t bi) {
+                        const int64_t a = bi * in_h / nbands;
+                        const int64_t z = (bi + 1) * in_h / nbands;
+                        for (int64_t f = f0; f < f1; ++f) {
+                            const float *col =
+                                cols[static_cast<size_t>(f % slots)]
+                                    .data();
+                            int64_t r = 0;
+                            for (int64_t y = 0; y < oh; ++y) {
+                                const int64_t iy0 =
+                                    y * spec.stride - spec.pad;
+                                if (iy0 >= z || iy0 + k <= a) {
+                                    r += ow; // window misses the band
                                     continue;
-                                const int64_t ix0 =
-                                    x * spec.stride - spec.pad +
-                                    kxs.kx0;
-                                for (int64_t ky = 0; ky < k; ++ky) {
-                                    const int64_t iy =
-                                        y * spec.stride - spec.pad + ky;
-                                    if (iy < 0 || iy >= in_h)
+                                }
+                                for (int64_t x = 0; x < ow; ++x, ++r) {
+                                    const float *src = col + r * d;
+                                    const KxSpan kxs = kxSpan(
+                                        x, spec.stride, spec.pad, k,
+                                        in_w);
+                                    if (kxs.kx0 >= kxs.kx1)
                                         continue;
-                                    kn.addSpan(
-                                        gin_base + iy * in_w + ix0,
-                                        src + ky * k + kxs.kx0,
-                                        kxs.kx1 - kxs.kx0);
+                                    const int64_t ix0 =
+                                        x * spec.stride - spec.pad +
+                                        kxs.kx0;
+                                    for (int64_t ky = 0; ky < k; ++ky) {
+                                        const int64_t iy = iy0 + ky;
+                                        if (iy < a || iy >= z)
+                                            continue;
+                                        kn.addSpan(
+                                            gin_base + iy * in_w + ix0,
+                                            src + ky * k + kxs.kx0,
+                                            kxs.kx1 - kxs.kx0);
+                                    }
                                 }
                             }
                         }
-                    }
+                    });
                 };
 
                 rt.runFilterPasses(
@@ -576,9 +620,24 @@ ConvReuseEngine::backwardWeights(const Tensor &input, const Tensor &gradOut,
                           " rows, gradient has ", v);
                 record.ownersOf(pass, owner);
                 // The owners' patches are the single representative
-                // each hit-group multiplies through.
-                extractChannelPatches(input, spec, b, g * cin_g + ic,
-                                      oh, ow, rows);
+                // each hit-group multiplies through. Replay streams
+                // never hash, so there is no pipeline to fuse the
+                // extraction into — instead it fans out over the
+                // worker pool in disjoint row bands (pure span
+                // copies, bit-identical in any order) rather than
+                // running as a serial pre-pass on the driving thread.
+                if (ThreadPool *xp = frontend_->workerPool()) {
+                    const int64_t nb = std::min<int64_t>(
+                        v, static_cast<int64_t>(xp->workers()) + 1);
+                    xp->parallelFor(nb, [&](int64_t bi) {
+                        extractChannelPatchRows(
+                            input, spec, b, g * cin_g + ic, ow,
+                            bi * v / nb, (bi + 1) * v / nb, rows);
+                    });
+                } else {
+                    extractChannelPatches(input, spec, b,
+                                          g * cin_g + ic, oh, ow, rows);
+                }
 
                 stats.macsTotal += static_cast<uint64_t>(v) *
                                    static_cast<uint64_t>(cout_g) *

@@ -100,6 +100,21 @@ void extractChannelPatches(const Tensor &input, const ConvSpec &spec,
                            int64_t b, int64_t c, int64_t oh, int64_t ow,
                            Tensor &rows);
 
+/**
+ * Ranged form of extractChannelPatches: fill rows [r0, r1) only (row
+ * r is output position (r / ow, r % ow); absolute indexing, so the
+ * destination range is rows.data() + r0 * k * k onward). This is the
+ * single-touch fusion entry: a detection pass hands it to the
+ * pipeline as a RowFiller so each block's patches are extracted
+ * immediately before they are hashed — one L2-sized walk instead of
+ * an extract-everything pass followed by a hash-everything pass.
+ * Disjoint ranges may run concurrently (pure span copies/zeros via
+ * the extractPatches kernel; no shared mutable state).
+ */
+void extractChannelPatchRows(const Tensor &input, const ConvSpec &spec,
+                             int64_t b, int64_t c, int64_t ow, int64_t r0,
+                             int64_t r1, Tensor &rows);
+
 /** Functional conv-layer engine with MERCURY computation reuse. */
 class ConvReuseEngine
 {

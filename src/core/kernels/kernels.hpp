@@ -72,6 +72,21 @@ struct KernelOps
 
     /** dst[e] += a * src[e] for e in [0, n) — mul+add, no FMA. */
     void (*axpy)(float *dst, float a, const float *src, int64_t n);
+
+    /**
+     * Extract im2col patch rows [r0, r1) of one (in_h, in_w) input
+     * plane into a row-major (rows, k*k) tensor at `rows` (indexed by
+     * absolute row: row r starts at rows + r*k*k). Row r covers
+     * output position (y, x) = (r / ow, r % ow); element ky*k + kx
+     * reads plane[y*stride - pad + ky][x*stride - pad + kx], or 0.0f
+     * outside the plane. Both bodies are span-clipped copies/zero
+     * fills, so bit-identity is structural — there is no arithmetic
+     * to reorder. Disjoint row ranges may be filled concurrently
+     * (the fused detection blocks extract their own rows in place).
+     */
+    void (*extractPatches)(const float *plane, int64_t in_h, int64_t in_w,
+                           int64_t ow, int64_t stride, int64_t pad,
+                           int64_t k, int64_t r0, int64_t r1, float *rows);
 };
 
 /** The scalar reference table (always available). */

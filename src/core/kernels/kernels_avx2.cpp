@@ -185,6 +185,53 @@ axpyAvx2(float *dst, float a, const float *src, int64_t n)
         dst[e] += a * src[e];
 }
 
+void
+extractPatchesAvx2(const float *plane, int64_t in_h, int64_t in_w,
+                   int64_t ow, int64_t stride, int64_t pad, int64_t k,
+                   int64_t r0, int64_t r1, float *rows)
+{
+    // Patch extraction is pure data movement (clipped memcpy spans of
+    // typically k <= 7 floats), so there is nothing to widen: the
+    // AVX2 table only adds a software prefetch of the next position's
+    // first source row, hiding the strided plane walk of the fused
+    // block path. The copy/zero structure matches the scalar body
+    // exactly, so the outputs are identical by construction.
+    const int64_t d = k * k;
+    for (int64_t r = r0; r < r1; ++r) {
+        const int64_t iy0 = (r / ow) * stride - pad;
+        const int64_t ix0 = (r % ow) * stride - pad;
+        if (r + 1 < r1) {
+            const int64_t py = ((r + 1) / ow) * stride - pad;
+            const int64_t px = ((r + 1) % ow) * stride - pad;
+            if (py >= 0 && py < in_h)
+                _mm_prefetch(reinterpret_cast<const char *>(
+                                 plane + py * in_w + (px < 0 ? 0 : px)),
+                             _MM_HINT_T0);
+        }
+        int64_t kx0 = ix0 < 0 ? -ix0 : 0;
+        int64_t kx1 = in_w - ix0 < k ? in_w - ix0 : k;
+        if (kx1 < kx0)
+            kx1 = kx0;
+        float *dst = rows + r * d;
+        for (int64_t ky = 0; ky < k; ++ky, dst += k) {
+            const int64_t iy = iy0 + ky;
+            if (iy < 0 || iy >= in_h) {
+                std::memset(dst, 0, static_cast<size_t>(k) * sizeof(float));
+                continue;
+            }
+            if (kx0 > 0)
+                std::memset(dst, 0,
+                            static_cast<size_t>(kx0) * sizeof(float));
+            if (kx1 > kx0)
+                std::memcpy(dst + kx0, plane + iy * in_w + ix0 + kx0,
+                            static_cast<size_t>(kx1 - kx0) * sizeof(float));
+            if (kx1 < k)
+                std::memset(dst + kx1, 0,
+                            static_cast<size_t>(k - kx1) * sizeof(float));
+        }
+    }
+}
+
 const KernelOps kAvx2Ops = {
     "avx2",          // name
     true,            // wantsInterleaved
@@ -194,6 +241,7 @@ const KernelOps kAvx2Ops = {
     addSpanAvx2,     // addSpan
     scaleSpanAvx2,   // scaleSpan
     axpyAvx2,        // axpy
+    extractPatchesAvx2, // extractPatches
 };
 
 bool

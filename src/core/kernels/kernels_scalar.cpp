@@ -77,6 +77,41 @@ axpyScalar(float *dst, float a, const float *src, int64_t n)
         dst[e] += a * src[e];
 }
 
+void
+extractPatchesScalar(const float *plane, int64_t in_h, int64_t in_w,
+                     int64_t ow, int64_t stride, int64_t pad, int64_t k,
+                     int64_t r0, int64_t r1, float *rows)
+{
+    const int64_t d = k * k;
+    for (int64_t r = r0; r < r1; ++r) {
+        const int64_t iy0 = (r / ow) * stride - pad;
+        const int64_t ix0 = (r % ow) * stride - pad;
+        // The in-bounds kx window is the same for every kernel row of
+        // this position; clip it once.
+        int64_t kx0 = ix0 < 0 ? -ix0 : 0;
+        int64_t kx1 = in_w - ix0 < k ? in_w - ix0 : k;
+        if (kx1 < kx0)
+            kx1 = kx0;
+        float *dst = rows + r * d;
+        for (int64_t ky = 0; ky < k; ++ky, dst += k) {
+            const int64_t iy = iy0 + ky;
+            if (iy < 0 || iy >= in_h) {
+                std::memset(dst, 0, static_cast<size_t>(k) * sizeof(float));
+                continue;
+            }
+            if (kx0 > 0)
+                std::memset(dst, 0,
+                            static_cast<size_t>(kx0) * sizeof(float));
+            if (kx1 > kx0)
+                std::memcpy(dst + kx0, plane + iy * in_w + ix0 + kx0,
+                            static_cast<size_t>(kx1 - kx0) * sizeof(float));
+            if (kx1 < k)
+                std::memset(dst + kx1, 0,
+                            static_cast<size_t>(k - kx1) * sizeof(float));
+        }
+    }
+}
+
 const KernelOps kScalarOps = {
     "scalar",          // name
     false,             // wantsInterleaved
@@ -84,8 +119,9 @@ const KernelOps kScalarOps = {
     signPackScalar,    // signPack
     copySpanScalar,    // copySpan
     addSpanScalar,     // addSpan
-    scaleSpanScalar,   // scaleSpan
-    axpyScalar,        // axpy
+    scaleSpanScalar,     // scaleSpan
+    axpyScalar,          // axpy
+    extractPatchesScalar, // extractPatches
 };
 
 } // namespace

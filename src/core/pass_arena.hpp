@@ -49,6 +49,8 @@
 #include <new>
 #include <vector>
 
+#include "util/prefetch.hpp"
+
 namespace mercury {
 
 /** Cache-aligned bump arena; storage persists across reset(). */
@@ -168,6 +170,20 @@ class PassDataPlane
         const size_t c = cell(entry, version);
         values_[c] = value;
         valid_[c] = 1;
+    }
+
+    /**
+     * Hint a future readIfValid(entry, version) into cache (the
+     * filter-segment walk prefetches row i+1's slot while row i's dot
+     * product runs). Out-of-range entries (MNU rows carry -1) no-op.
+     */
+    void prefetch(int64_t entry, int version) const
+    {
+        if (entry < 0 || entry >= entries_)
+            return;
+        const size_t c = cell(entry, version);
+        prefetchRead(&values_[c]);
+        prefetchRead(&valid_[c]);
     }
 
     int64_t entries() const { return entries_; }

@@ -17,7 +17,8 @@ ReuseRuntime::deliver(const StreamSource &src, const BlockConsumer &cb)
     }
     if (src.job_)
         return fe_.finishStream(*src.job_, cb, src.capture_);
-    return fe_.detectStream(*src.rows_, bits_, cb, src.capture_);
+    return fe_.detectStream(*src.rows_, bits_, cb, src.capture_,
+                            src.fill_);
 }
 
 void
@@ -42,7 +43,7 @@ ReuseRuntime::consumeSerial(const StreamSource &src)
         det = fe_.finishStream(
             *src.job_, [](const DetectionBlock &) {}, src.capture_);
     } else {
-        det = fe_.detect(*src.rows_, bits_, src.capture_);
+        det = fe_.detect(*src.rows_, bits_, src.capture_, src.fill_);
     }
     const int64_t n = det.hitmap.size();
     for (int64_t i = 0; i < n; ++i) {
@@ -78,8 +79,10 @@ ReuseRuntime::runFilterPasses(const StreamSource &src,
 {
     DetectionResult det;
     int64_t f_done = 0;
+    passPool_ =
+        overlappedFor(src.rowCount()) ? fe_.workerPool() : nullptr;
 
-    if (overlapped()) {
+    if (ThreadPool *p = passPool_) {
         // The first in-flight group consumes the stream. Each serial
         // chain owns a contiguous RANGE of the group's filters: every
         // block of a filter flows through one chain in delivery order
@@ -89,58 +92,84 @@ ReuseRuntime::runFilterPasses(const StreamSource &src,
         // executors cannot add parallelism, only task churn (the
         // in-flight group can be as wide as every filter of the pass
         // when the engine's per-filter state allows it).
-        ThreadPool *p = pool();
         const int64_t group0 =
             std::min<int64_t>(set.inFlight, set.filters);
         const int64_t nchains = std::min<int64_t>(
             group0, static_cast<int64_t>(p->workers()) + 1);
-        // The consumer chains are runtime members reused across
-        // channel passes; a drained SerialExecutor is safely
-        // re-armed by its next run().
-        while (static_cast<int64_t>(chains_.size()) < nchains)
-            chains_.push_back(std::make_unique<SerialExecutor>(p));
-        std::vector<uint64_t> skipped(static_cast<size_t>(nchains), 0);
-
         const bool live = !src.isReplay();
         sizeRowResults(src);
-        det = deliver(src, [&](const DetectionBlock &blk) {
-            if (live) {
-                // The block's result pointers die with the callback;
-                // copy into runtime-owned storage the chains can read
-                // asynchronously.
-                std::copy(blk.results, blk.results + blk.rows(),
-                          rowResults_.begin() + blk.row0);
-            }
-            for (int64_t c = 0; c < nchains; ++c) {
-                const int64_t f0 = c * group0 / nchains;
-                const int64_t f1 = (c + 1) * group0 / nchains;
-                chains_[static_cast<size_t>(c)]->run(
-                    [&set, &skipped, c, f0, f1, r0 = blk.row0,
-                     r1 = blk.row1] {
-                        uint64_t s = 0;
-                        for (int64_t f = f0; f < f1; ++f)
-                            s += set.segment(f, r0, r1);
-                        skipped[static_cast<size_t>(c)] += s;
-                    });
-            }
-        });
-        // Cross-channel overlap window: the stream has delivered but
-        // the chains may still be draining.
-        if (set.onStreamDelivered)
-            set.onStreamDelivered();
-        for (int64_t c = 0; c < nchains; ++c) {
-            chains_[static_cast<size_t>(c)]->wait();
-            // Chain c's filter range [f0, f1) is final for every row
-            // of the pass: earlier chains have joined and within the
-            // chain segments ran in delivery order. The planner's
-            // cross-layer edge fires here — the successor layer's
-            // hash launches while chains c+1.. still drain.
-            if (set.onChainDrained)
-                set.onChainDrained(c * group0 / nchains,
-                                   (c + 1) * group0 / nchains);
-        }
-        for (const uint64_t s : skipped)
+
+        if (nchains == 1) {
+            // A single consumer chain cannot run in parallel with
+            // itself: its tasks would execute the same segments in
+            // the same delivery order the callback runs in, so
+            // chaining buys nothing and pays a task hand-off per
+            // block (the depthwise-dW wall collapse: 1 filter group
+            // per pass, every block a round trip through the pool).
+            // Run the range inline in the delivery callback —
+            // identical segment order, zero scheduling.
+            uint64_t s = 0;
+            det = deliver(src, [&](const DetectionBlock &blk) {
+                if (live) {
+                    std::copy(blk.results, blk.results + blk.rows(),
+                              rowResults_.begin() + blk.row0);
+                }
+                for (int64_t f = 0; f < group0; ++f)
+                    s += set.segment(f, blk.row0, blk.row1);
+            });
             stats.macsSkipped += s;
+            if (set.onStreamDelivered)
+                set.onStreamDelivered();
+            if (set.onChainDrained)
+                set.onChainDrained(0, group0);
+        } else {
+            // The consumer chains are runtime members reused across
+            // channel passes; a drained SerialExecutor is safely
+            // re-armed by its next run().
+            while (static_cast<int64_t>(chains_.size()) < nchains)
+                chains_.push_back(std::make_unique<SerialExecutor>(p));
+            std::vector<uint64_t> skipped(static_cast<size_t>(nchains),
+                                          0);
+            det = deliver(src, [&](const DetectionBlock &blk) {
+                if (live) {
+                    // The block's result pointers die with the
+                    // callback; copy into runtime-owned storage the
+                    // chains can read asynchronously.
+                    std::copy(blk.results, blk.results + blk.rows(),
+                              rowResults_.begin() + blk.row0);
+                }
+                for (int64_t c = 0; c < nchains; ++c) {
+                    const int64_t f0 = c * group0 / nchains;
+                    const int64_t f1 = (c + 1) * group0 / nchains;
+                    chains_[static_cast<size_t>(c)]->run(
+                        [&set, &skipped, c, f0, f1, r0 = blk.row0,
+                         r1 = blk.row1] {
+                            uint64_t s = 0;
+                            for (int64_t f = f0; f < f1; ++f)
+                                s += set.segment(f, r0, r1);
+                            skipped[static_cast<size_t>(c)] += s;
+                        });
+                }
+            });
+            // Cross-channel overlap window: the stream has delivered
+            // but the chains may still be draining.
+            if (set.onStreamDelivered)
+                set.onStreamDelivered();
+            for (int64_t c = 0; c < nchains; ++c) {
+                chains_[static_cast<size_t>(c)]->wait();
+                // Chain c's filter range [f0, f1) is final for every
+                // row of the pass: earlier chains have joined and
+                // within the chain segments ran in delivery order.
+                // The planner's cross-layer edge fires here — the
+                // successor layer's hash launches while chains c+1..
+                // still drain.
+                if (set.onChainDrained)
+                    set.onChainDrained(c * group0 / nchains,
+                                       (c + 1) * group0 / nchains);
+            }
+            for (const uint64_t s : skipped)
+                stats.macsSkipped += s;
+        }
         if (set.afterGroup)
             set.afterGroup(0, group0);
         f_done = group0;
@@ -179,8 +208,10 @@ ReuseRuntime::runRows(const StreamSource &src, const RowPass &pass,
                       ReuseStats &stats)
 {
     DetectionResult det;
+    passPool_ =
+        overlappedFor(src.rowCount()) ? fe_.workerPool() : nullptr;
 
-    if (overlapped()) {
+    if (ThreadPool *p = passPool_) {
         // Computed rows of each delivered block fan out to the pool
         // while later blocks hash; forwarded rows are copied after
         // the joins (owners are always computed rows, so forwarding
@@ -189,7 +220,6 @@ ReuseRuntime::runRows(const StreamSource &src, const RowPass &pass,
         // the computed slab is indexed by block start (each block's
         // batch is a stable slice the fanned-out task reads), and the
         // forward lists grow only on this thread.
-        ThreadPool *p = pool();
         arena_.reset();
         const int64_t n = src.rowCount();
         int64_t *fwd_rows = arena_.indices(n);
@@ -268,8 +298,10 @@ ReuseRuntime::runScan(const StreamSource &src, const ScanPass &pass,
                       ReuseStats &stats)
 {
     DetectionResult det;
+    passPool_ =
+        overlappedFor(src.rowCount()) ? fe_.workerPool() : nullptr;
 
-    if (overlapped()) {
+    if (ThreadPool *p = passPool_) {
         // The scan consumes the hand-off on the driving thread — no
         // block is independent of the ones before it — then the
         // finish items fan out, one disjoint slice per task.
@@ -277,7 +309,7 @@ ReuseRuntime::runScan(const StreamSource &src, const ScanPass &pass,
             pass.scan(blk.row0, blk.row1);
         });
         if (pass.finishItems > 0)
-            pool()->parallelFor(pass.finishItems, pass.finishItem);
+            p->parallelFor(pass.finishItems, pass.finishItem);
     } else {
         det = consumeSerial(src);
         pass.scan(0, src.rowCount());

@@ -137,13 +137,21 @@ class ReuseRuntime
     class StreamSource
     {
       public:
-        /** Fresh detection pass over `rows`, optionally captured. */
+        /**
+         * Fresh detection pass over `rows`, optionally captured. With
+         * a RowFiller, `rows` is materialized block by block right
+         * before each block is hashed (single-touch fused extraction;
+         * see pipeline/detection_pipeline.hpp) — the tensor is fully
+         * filled by the time any segment reads it.
+         */
         static StreamSource live(const Tensor &rows,
-                                 SignatureRecord *capture = nullptr)
+                                 SignatureRecord *capture = nullptr,
+                                 RowFiller fill = {})
         {
             StreamSource s;
             s.rows_ = &rows;
             s.capture_ = capture;
+            s.fill_ = std::move(fill);
             return s;
         }
 
@@ -185,6 +193,7 @@ class ReuseRuntime
         DetectionHashJob *job_ = nullptr;
         const SignatureRecord::Pass *pass_ = nullptr;
         SignatureRecord *capture_ = nullptr;
+        RowFiller fill_; ///< fused extraction of live sources
     };
 
     /**
@@ -280,14 +289,28 @@ class ReuseRuntime
         std::function<void(int64_t item)> finishItem;
     };
 
-    /** True when passes run against the streaming hand-off. */
+    /**
+     * Resolved overlap decision for a pass of `rows` vectors: the
+     * frontend's mode (Auto resolves from threads x rows) gated on a
+     * pool existing. The engines consult this per pass shape to pick
+     * the stream source they build; the run* entry points make the
+     * same call internally, so both sides always agree.
+     */
+    bool overlappedFor(int64_t rows)
+    {
+        return fe_.overlapEnabledFor(rows);
+    }
+
+    /** True when some pass size may run against the hand-off. */
     bool overlapped() { return fe_.overlapEnabled(); }
 
-    /** Worker pool of overlapped passes (null when serial). */
-    ThreadPool *pool()
-    {
-        return overlapped() ? fe_.workerPool() : nullptr;
-    }
+    /**
+     * Worker pool of the pass currently in flight (null when that
+     * pass resolved to serial). Set at every run* entry from the
+     * pass's row count, so parallelChains calls from afterGroup
+     * callbacks follow the same overlap decision as the stream.
+     */
+    ThreadPool *pool() { return passPool_; }
 
     /**
      * Per-row outcomes of the pass's live detection, filled before
@@ -344,6 +367,8 @@ class ReuseRuntime
   private:
     DetectionFrontend &fe_;
     int bits_;
+    /// Pool of the pass in flight (run* entry resolves it per rows).
+    ThreadPool *passPool_ = nullptr;
     std::vector<McacheResult> rowResults_;
     PassArena arena_;   ///< runtime bookkeeping; reset at run* entry
     PassArena scratch_; ///< engine scratch; engine-owned reset cadence

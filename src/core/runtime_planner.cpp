@@ -172,7 +172,9 @@ RuntimePlanner::planKey(const StepDescBuilder &desc,
     h = mix(h, static_cast<uint64_t>(cfg.pipe.blockRows));
     h = mix(h, static_cast<uint64_t>(cfg.pipe.shards));
     h = mix(h, static_cast<uint64_t>(cfg.pipe.threads));
-    h = mix(h, cfg.pipe.overlap ? 1 : 0);
+    // Off/On keep their historic 0/1 key bits; Auto keys distinctly
+    // (its resolution depends on row counts already mixed in above).
+    h = mix(h, static_cast<uint64_t>(cfg.pipe.overlap));
     h = mix(h, cfg.pipe.persistent ? 1 : 0);
     h = mix(h, cfg.backwardReuse ? 1 : 0);
     h = mix(h, cfg.weightGradReuse ? 1 : 0);
@@ -538,32 +540,43 @@ fireConvPrefetch(const Tensor &out, const LayerPlan &pred,
                  const LayerPlan &succ, ConvPlanSlot &succ_slot,
                  DetectionFrontend &succ_fe, int bits)
 {
+    // An unconsumed job from an aborted step may still have hash
+    // tasks reading the staging tensors overwritten below; drop it
+    // first (the destructor joins its tasks).
+    succ_slot.prefetched.reset();
+
     // Channel 0 of image 0 is the leading outH*outW block of the
     // (N, C, H, W) output.
     const int64_t plane = pred.outH * pred.outW;
     std::copy(out.data(), out.data() + plane, succ_slot.edgeSlice.data());
 
     const Tensor *cur = &succ_slot.edgeSlice;
-    Tensor tmp;
     for (StepOpKind t : pred.edgeTransforms) {
         if (t == StepOpKind::Relu) {
-            tmp = reluForward(*cur);
+            succ_slot.edgePlane = reluForward(*cur);
         } else {
             std::vector<int32_t> argmax;
-            tmp = maxPool2x2Forward(*cur, argmax);
+            succ_slot.edgePlane = maxPool2x2Forward(*cur, argmax);
         }
-        cur = &tmp;
+        cur = &succ_slot.edgePlane;
     }
     if (cur->dim(2) != succ.desc.inH || cur->dim(3) != succ.desc.inW)
         return; // edge geometry drifted; the plain path takes over
 
-    extractChannelPatches(*cur, succ.desc.conv, 0, 0, succ.outH,
-                          succ.outW, succ_slot.prefetchRows);
-    // An unconsumed job from an aborted step would alias stale rows;
-    // drop it (the destructor joins its hash tasks) before arming.
-    succ_slot.prefetched.reset();
-    succ_slot.prefetched =
-        succ_fe.beginHashStream(succ_slot.prefetchRows, bits);
+    // Fused extraction: each hash block extracts its own row range
+    // from the staged plane right before hashing it (single touch,
+    // on the pool). The plane and row buffer are slot members that
+    // outlive the job; the spec lives in the immutable StepPlan.
+    const Tensor *src = cur;
+    const ConvSpec *cspec = &succ.desc.conv;
+    Tensor *rows = &succ_slot.prefetchRows;
+    const int64_t sow = succ.outW;
+    succ_slot.prefetched = succ_fe.beginHashStream(
+        succ_slot.prefetchRows, bits,
+        [src, cspec, rows, sow](int64_t r0, int64_t r1) {
+            extractChannelPatchRows(*src, *cspec, 0, 0, sow, r0, r1,
+                                    *rows);
+        });
 }
 
 } // namespace
@@ -650,7 +663,12 @@ buildPlanExec(
             continue;
         DetectionFrontend &pred_fe = frontend_for(lp.desc.layerId);
         DetectionFrontend &succ_fe = frontend_for(sp.desc.layerId);
-        if (!pred_fe.overlapEnabled() || !succ_fe.overlapEnabled())
+        // Gate on the RESOLVED per-pass decisions (Auto resolves from
+        // threads x rows): the predecessor only fires onChainDrained
+        // when its own passes stream, and the successor only consumes
+        // a prefetched job on its overlapped path.
+        if (!pred_fe.overlapEnabledFor(lp.rows) ||
+            !succ_fe.overlapEnabledFor(sp.rows))
             continue; // serial execution: no window to hide the hash in
         pred->prefetchAfterPass =
             lp.desc.conv.inChannels / lp.desc.conv.groups - 1;

@@ -167,7 +167,10 @@ struct LayerPlan
 
     /** Pipeline knobs resolved once per shape (satellite: the
      *  per-pass tunedPipelineFor / resolvedShards churn is hoisted
-     *  here and to DetectionFrontend::resolvedPipeFor). */
+     *  here and to DetectionFrontend::resolvedPipeFor). Includes the
+     *  resolved overlap decision — pipe.overlap is On or Off here,
+     *  never Auto (PipelineConfig::resolvedOverlapFor applied to this
+     *  layer's rows at compile time). */
     PipelineConfig pipe;
 
     /** Planned buffer high-water in floats (extraction double-buffer,
@@ -279,9 +282,13 @@ struct ConvPlanSlot
     int64_t prefetchAfterPass = -1;
 
     /** Consuming side: the successor's planned row buffer and the
-     *  in-flight hash job its forward consumes as pass 0. */
+     *  in-flight hash job its forward consumes as pass 0. The staging
+     *  tensors are slot members (not fireConvPrefetch locals) because
+     *  the job's fused extraction reads them from pool workers until
+     *  the job is consumed or reset. */
     Tensor prefetchRows;
     Tensor edgeSlice; ///< channel-0 staging of the predecessor output
+    Tensor edgePlane; ///< edge-transform result the filler reads
     std::unique_ptr<DetectionHashJob> prefetched;
 };
 

@@ -79,22 +79,24 @@ DetectionFrontend::resolvedPipeFor(int64_t rows)
 
 DetectionResult
 DetectionFrontend::detect(const Tensor &rows, int bits,
-                          SignatureRecord *capture)
+                          SignatureRecord *capture, const RowFiller &fill)
 {
     if (rows.rank() != 2)
         panic("detect expects a (n, d) matrix, got ", rows.shapeStr());
     ThreadPool *pool = poolFor();
+    const PipelineConfig &rp = resolvedPipeFor(rows.dim(0));
     // Shard locks are only needed when filter tasks will touch the
-    // data plane while probes are in flight — i.e. overlapped mode.
-    // The batch pass itself is lock-free by construction even on a
-    // pool (stage-1 blocks write disjoint ranges, stage 2 runs one
-    // prober per shard), and without overlap the filter loops that
-    // follow run on this thread only. Quiescent here: one thread
-    // drives a frontend's passes.
-    cache_->setConcurrent(pipe_.overlap && pool != nullptr);
-    DetectionPipeline pipeline(rpqFor(rows.dim(1)), *cache_, bits,
-                               resolvedPipeFor(rows.dim(0)), pool);
-    DetectionResult det = pipeline.run(rows);
+    // data plane while probes are in flight — i.e. overlapped mode
+    // (after Auto resolution for this pass size). The batch pass
+    // itself is lock-free by construction even on a pool (stage-1
+    // blocks write disjoint ranges, stage 2 runs one prober per
+    // shard), and without overlap the filter loops that follow run on
+    // this thread only. Quiescent here: one thread drives a
+    // frontend's passes.
+    cache_->setConcurrent(rp.overlap == OverlapMode::On && pool != nullptr);
+    DetectionPipeline pipeline(rpqFor(rows.dim(1)), *cache_, bits, rp,
+                               pool);
+    DetectionResult det = pipeline.run(rows, fill);
     if (capture)
         capture->capturePass(det, bits, cache_->dataVersions(),
                              cache_->entries());
@@ -104,21 +106,23 @@ DetectionFrontend::detect(const Tensor &rows, int bits,
 DetectionResult
 DetectionFrontend::detectStream(const Tensor &rows, int bits,
                                 const BlockConsumer &on_block,
-                                SignatureRecord *capture)
+                                SignatureRecord *capture, RowFiller fill)
 {
-    std::unique_ptr<DetectionHashJob> job = beginHashStream(rows, bits);
+    std::unique_ptr<DetectionHashJob> job =
+        beginHashStream(rows, bits, std::move(fill));
     return finishStream(*job, on_block, capture);
 }
 
 std::unique_ptr<DetectionHashJob>
-DetectionFrontend::beginHashStream(const Tensor &rows, int bits)
+DetectionFrontend::beginHashStream(const Tensor &rows, int bits,
+                                   RowFiller fill)
 {
     if (rows.rank() != 2)
         panic("detect expects a (n, d) matrix, got ", rows.shapeStr());
     ThreadPool *pool = poolFor();
     DetectionPipeline pipeline(rpqFor(rows.dim(1)), *cache_, bits,
                                resolvedPipeFor(rows.dim(0)), pool);
-    return pipeline.beginHash(rows);
+    return pipeline.beginHash(rows, std::move(fill));
 }
 
 DetectionResult

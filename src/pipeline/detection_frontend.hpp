@@ -100,10 +100,13 @@ class DetectionFrontend
      * given signature length. Clears the cache first; the RPQEngine
      * for dimension d is created on first use and reused afterwards.
      * When `capture` is non-null the pass is appended to the record
-     * for later backward replay (§III-C2).
+     * for later backward replay (§III-C2). A `fill` callback makes
+     * the pass single-touch: each projection block fills its row
+     * range of `rows` immediately before hashing it (see RowFiller).
      */
     DetectionResult detect(const Tensor &rows, int bits,
-                           SignatureRecord *capture = nullptr);
+                           SignatureRecord *capture = nullptr,
+                           const RowFiller &fill = {});
 
     /**
      * Streaming form of detect(): identical result, but completed
@@ -115,7 +118,8 @@ class DetectionFrontend
      */
     DetectionResult detectStream(const Tensor &rows, int bits,
                                  const BlockConsumer &on_block,
-                                 SignatureRecord *capture = nullptr);
+                                 SignatureRecord *capture = nullptr,
+                                 RowFiller fill = {});
 
     /**
      * Start the hashing half of a streaming pass (see
@@ -124,9 +128,12 @@ class DetectionFrontend
      * are still draining — the cross-channel overlap. `rows` must
      * outlive the job; consume the job with finishStream exactly
      * once. One thread drives begin/finish, like every other pass.
+     * With a `fill`, `rows` is scratch the filler populates blockwise
+     * (fused extraction — the filler's writes must cover every row).
      */
     std::unique_ptr<DetectionHashJob> beginHashStream(const Tensor &rows,
-                                                      int bits);
+                                                      int bits,
+                                                      RowFiller fill = {});
 
     /** Probe-and-deliver half of a pass begun with beginHashStream. */
     DetectionResult finishStream(DetectionHashJob &job,
@@ -156,8 +163,28 @@ class DetectionFrontend
      */
     ThreadPool *workerPool() { return poolFor(); }
 
-    /** True when this frontend should run the overlapped hand-off. */
-    bool overlapEnabled() { return pipe_.overlap && poolFor() != nullptr; }
+    /**
+     * True when some pass of this frontend may run the overlapped
+     * hand-off (mode Off rules it out; On/Auto need a pool). Use
+     * overlapEnabledFor() for the per-pass resolved decision.
+     */
+    bool overlapEnabled()
+    {
+        return pipe_.overlap != OverlapMode::Off && poolFor() != nullptr;
+    }
+
+    /**
+     * Resolved overlap decision for a pass of `rows` vectors: true
+     * iff a worker pool exists and the configured mode resolves to On
+     * for this pass size (Auto applies the threads x rows policy of
+     * PipelineConfig::resolvedOverlapFor). Engines branch on this to
+     * pick the streamed or serial path per pass.
+     */
+    bool overlapEnabledFor(int64_t rows)
+    {
+        return poolFor() != nullptr &&
+               resolvedPipeFor(rows).overlap == OverlapMode::On;
+    }
 
     /**
      * Memoized per-pass-size pipeline knobs: the auto knobs

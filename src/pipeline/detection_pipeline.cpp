@@ -36,16 +36,33 @@ PipelineConfig::resolvedShards() const
         .shards;
 }
 
+OverlapMode
+PipelineConfig::resolvedOverlapFor(int64_t rows) const
+{
+    if (overlap != OverlapMode::Auto)
+        return overlap;
+    // Overlap needs real parallelism to pay, so the host's usable
+    // concurrency (resolveThreads(0) = hardware, clamped) caps the
+    // count the policy sees: requesting 8 threads on a 1-core
+    // container still resolves serial. Explicit On is untouched —
+    // the cap is part of the Auto policy only.
+    const int t = std::min(ThreadPool::resolveThreads(threads),
+                           ThreadPool::resolveThreads(0));
+    return (t >= 3 && rows >= kAutoOverlapMinRows) ? OverlapMode::On
+                                                   : OverlapMode::Off;
+}
+
 PipelineConfig
 PipelineConfig::resolvedFor(int64_t rows) const
 {
-    if (blockRows != 0)
-        return *this;
     PipelineConfig resolved = *this;
-    resolved.blockRows =
-        tunedPipelineFor(std::max<int64_t>(rows, 1),
-                         ThreadPool::resolveThreads(threads))
-            .blockRows;
+    resolved.overlap = resolvedOverlapFor(rows);
+    if (blockRows == 0) {
+        resolved.blockRows =
+            tunedPipelineFor(std::max<int64_t>(rows, 1),
+                             ThreadPool::resolveThreads(threads))
+                .blockRows;
+    }
     return resolved;
 }
 
@@ -64,7 +81,7 @@ DetectionPipeline::DetectionPipeline(const RPQEngine &rpq,
 }
 
 DetectionResult
-DetectionPipeline::run(const Tensor &rows) const
+DetectionPipeline::run(const Tensor &rows, const RowFiller &fill) const
 {
     if (rows.rank() != 2 || rows.dim(1) != rpq_.vectorDim())
         panic("detect expects (n, ", rpq_.vectorDim(), ") got ",
@@ -90,6 +107,8 @@ DetectionPipeline::run(const Tensor &rows) const
     const auto project_block = [&](int64_t b) {
         const int64_t r0 = b * block;
         const int64_t r1 = std::min(n, r0 + block);
+        if (fill)
+            fill(r0, r1); // fused extraction: fill, then project, hot
         rpq_.signatureBlock(rows, r0, r1, bits_,
                             sigs.data() + static_cast<size_t>(r0));
         for (int64_t i = r0; i < r1; ++i)
@@ -143,9 +162,9 @@ DetectionPipeline::run(const Tensor &rows) const
 
 DetectionHashJob::DetectionHashJob(const Tensor &rows, const RPQEngine &rpq,
                                    const ShardedMCache &cache, int bits,
-                                   int64_t block_rows)
-    : rows_(rows), rpq_(rpq), cache_(cache), bits_(bits),
-      blockRows_(block_rows), n_(rows.dim(0)),
+                                   int64_t block_rows, RowFiller fill)
+    : rows_(rows), fill_(std::move(fill)), rpq_(rpq), cache_(cache),
+      bits_(bits), blockRows_(block_rows), n_(rows.dim(0)),
       blocks_((n_ + block_rows - 1) / block_rows),
       sigs_(static_cast<size_t>(n_)), setOf_(static_cast<size_t>(n_)),
       results_(static_cast<size_t>(n_)),
@@ -165,8 +184,12 @@ DetectionHashJob::projectBlock(int64_t b)
     // Stage 1: hash one block, precompute its set indices. Safe on
     // any thread and concurrently with filter traffic of a previous
     // pass — it reads only the row tensor and the cache geometry.
+    // With a filler, the block's rows are extracted here first (the
+    // single-touch fused walk: fill, project, sign-pack while hot).
     const int64_t r0 = b * blockRows_;
     const int64_t r1 = std::min(n_, r0 + blockRows_);
+    if (fill_)
+        fill_(r0, r1);
     rpq_.signatureBlock(rows_, r0, r1, bits_,
                         sigs_.data() + static_cast<size_t>(r0));
     for (int64_t i = r0; i < r1; ++i)
@@ -175,13 +198,14 @@ DetectionHashJob::projectBlock(int64_t b)
 }
 
 std::unique_ptr<DetectionHashJob>
-DetectionPipeline::beginHash(const Tensor &rows) const
+DetectionPipeline::beginHash(const Tensor &rows, RowFiller fill) const
 {
     if (rows.rank() != 2 || rows.dim(1) != rpq_.vectorDim())
         panic("detect expects (n, ", rpq_.vectorDim(), ") got ",
               rows.shapeStr());
     std::unique_ptr<DetectionHashJob> job(
-        new DetectionHashJob(rows, rpq_, cache_, bits_, cfg_.blockRows));
+        new DetectionHashJob(rows, rpq_, cache_, bits_, cfg_.blockRows,
+                             std::move(fill)));
     if (job->n_ == 0 || !pool_ || pool_->workers() <= 0)
         return job; // hash inline when finishStreaming drives the pass
 
@@ -193,11 +217,14 @@ DetectionPipeline::beginHash(const Tensor &rows) const
     //
     // Hash tasks are self-replenishing (each one grabs the next
     // unhashed block and resubmits) rather than enqueued all
-    // up-front: the pool's queue is FIFO, so pre-queueing every hash
-    // task would park the consumer's filter tasks behind the whole
-    // hashing phase and the overlap would never materialize on a
-    // saturated pool. With a window of ~workers in flight, hash and
-    // filter tasks interleave.
+    // up-front: with only ~workers in flight, hash and filter tasks
+    // interleave instead of the hashing phase monopolizing the pool.
+    // Under the work-stealing pool the resubmit lands in the hashing
+    // worker's own deque (LIFO — it just touched the row tensor, so
+    // the next block is cache-warm for it), idle workers steal from
+    // the cold end, and the consumer's filter chains live in other
+    // deques — the two phases share the machine without convoying on
+    // a global queue.
     DetectionHashJob *j = job.get();
     j->hashers_ = std::make_unique<TaskGroup>(pool_);
     j->hashOne_ = [j] {
@@ -247,6 +274,12 @@ DetectionPipeline::finishStreaming(DetectionHashJob &job,
         const int64_t r0 = b * job.blockRows_;
         const int64_t r1 = std::min(n, r0 + job.blockRows_);
         for (int64_t i = r0; i < r1; ++i) {
+            // Pull row i+1's set into cache while row i's tag
+            // compares run; the probe stream hops sets pseudo-
+            // randomly, so the hardware prefetcher cannot help here.
+            if (i + 1 < r1)
+                cache_.prefetchSet(
+                    job.setOf_[static_cast<size_t>(i + 1)]);
             job.results_[static_cast<size_t>(i)] =
                 cache_.lookupOrInsertInSet(
                     job.setOf_[static_cast<size_t>(i)],
@@ -293,9 +326,11 @@ DetectionPipeline::finishStreaming(DetectionHashJob &job,
 
 DetectionResult
 DetectionPipeline::runStreaming(const Tensor &rows,
-                                const BlockConsumer &on_block) const
+                                const BlockConsumer &on_block,
+                                RowFiller fill) const
 {
-    const std::unique_ptr<DetectionHashJob> job = beginHash(rows);
+    const std::unique_ptr<DetectionHashJob> job =
+        beginHash(rows, std::move(fill));
     return finishStreaming(*job, on_block);
 }
 

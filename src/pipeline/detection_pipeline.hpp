@@ -91,15 +91,35 @@ struct PipelineConfig
     int threads = 1;
 
     /**
-     * Overlap detection with compute (§III-B, Fig. 8): when true, the
+     * Overlap detection with compute (§III-B, Fig. 8): when On, the
      * reuse engines consume the streaming block hand-off and run
      * their filter passes on the worker pool while later blocks are
      * still hashing, instead of waiting for the full detection pass.
      * Results stay bit-identical; the knob trades only wall time.
      * Ignored (legacy run-then-filter) when no pool is available,
-     * i.e. when the resolved thread count is 1.
+     * i.e. when the resolved thread count is 1. Auto resolves per
+     * pass from threads x rows (resolvedOverlapFor): streaming pays a
+     * fixed scheduling tax, so small passes and 1–2-thread hosts run
+     * serial.
      */
-    bool overlap = false;
+    OverlapMode overlap = OverlapMode::Off;
+
+    /**
+     * Rows below which Auto overlap resolves to Off: under ~4 blocks
+     * of hashing there is no stream to hide the filter work behind,
+     * and the chain/hand-off tax dominates.
+     */
+    static constexpr int64_t kAutoOverlapMinRows = 256;
+
+    /**
+     * The Auto policy, applied by resolvedFor(): Off/On pass through;
+     * Auto becomes On iff the resolved thread count — capped by the
+     * host's usable concurrency, so an oversubscribed knob on a
+     * 1–2-core host still runs serial — is >= 3 (two workers minimum:
+     * one hashing ahead while another filters, besides the driving
+     * thread) and the pass has at least kAutoOverlapMinRows rows.
+     */
+    OverlapMode resolvedOverlapFor(int64_t rows) const;
 
     /**
      * Persistent MCACHE (serving layer): when true, passes do NOT
@@ -121,7 +141,8 @@ struct PipelineConfig
     /**
      * Effective knobs for a pass over `rows` vectors: blockRows == 0
      * (auto) resolves to the sweep-tuned block size for the pass
-     * size; explicit values pass through untouched.
+     * size, and overlap == Auto resolves to On/Off via
+     * resolvedOverlapFor; explicit values pass through untouched.
      */
     PipelineConfig resolvedFor(int64_t rows) const;
 
@@ -156,6 +177,21 @@ struct DetectionBlock
 
 /** Consumer of the streaming per-block hand-off. */
 using BlockConsumer = std::function<void(const DetectionBlock &)>;
+
+/**
+ * Producer of the rows being detected (single-touch fused blocks):
+ * when a pass is given a RowFiller, rows [row0, row1) of the row
+ * tensor are materialized by calling it immediately before that
+ * range is projected — extraction, projection, and sign-pack then
+ * walk the block once while it is cache-hot, instead of extraction
+ * streaming the whole tensor first. Fillers must write only their
+ * [row0, row1) range (disjoint ranges run concurrently on the pool)
+ * and must be callable from worker threads. Every row of the tensor
+ * is filled exactly once per pass, so the tensor is fully
+ * materialized by the time the pass's results are delivered —
+ * downstream filter passes read it as if it had been pre-extracted.
+ */
+using RowFiller = std::function<void(int64_t row0, int64_t row1)>;
 
 /**
  * In-flight stage-1 (hashing) half of a streaming detection pass,
@@ -193,11 +229,12 @@ class DetectionHashJob
 
     DetectionHashJob(const Tensor &rows, const RPQEngine &rpq,
                      const ShardedMCache &cache, int bits,
-                     int64_t block_rows);
+                     int64_t block_rows, RowFiller fill);
 
     void projectBlock(int64_t b);
 
     const Tensor &rows_;
+    RowFiller fill_; ///< fused extraction; empty = rows pre-filled
     const RPQEngine &rpq_;
     const ShardedMCache &cache_; // geometry reads only while hashing
     int bits_;
@@ -238,9 +275,12 @@ class DetectionPipeline
      * Detect similarity over the rows of a (num_vectors, d) matrix.
      * Clears the cache first (a new set of input vectors arrived,
      * §III-B3) and fills the hitmap and signature table in vector
-     * order, exactly as SimilarityDetector::detect does.
+     * order, exactly as SimilarityDetector::detect does. With a
+     * RowFiller, each block's rows are materialized right before they
+     * are projected (single-touch fused blocks).
      */
-    DetectionResult run(const Tensor &rows) const;
+    DetectionResult run(const Tensor &rows,
+                        const RowFiller &fill = {}) const;
 
     /**
      * Streaming form of run(): identical result, but completed blocks
@@ -262,7 +302,8 @@ class DetectionPipeline
      * on that work from inside the callback.
      */
     DetectionResult runStreaming(const Tensor &rows,
-                                 const BlockConsumer &on_block) const;
+                                 const BlockConsumer &on_block,
+                                 RowFiller fill = {}) const;
 
     /**
      * Start stage 1 (hashing) of a streaming pass without touching
@@ -273,9 +314,13 @@ class DetectionPipeline
      * call while filter tasks of a *previous* pass still run against
      * the cache — this is the cross-channel overlap (ROADMAP):
      * channel c+1 extracts and hashes while channel c's trailing
-     * filter groups drain.
+     * filter groups drain. With a RowFiller the hash tasks also
+     * *extract* their block right before projecting it, which both
+     * fuses the two walks and moves extraction off the driving
+     * thread.
      */
-    std::unique_ptr<DetectionHashJob> beginHash(const Tensor &rows) const;
+    std::unique_ptr<DetectionHashJob> beginHash(const Tensor &rows,
+                                                RowFiller fill = {}) const;
 
     /**
      * Second half of a streaming pass: clears the cache (the new

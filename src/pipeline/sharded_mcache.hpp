@@ -103,6 +103,19 @@ class ShardedMCache
     McacheResult lookupOrInsertInSet(int set, const Signature &sig);
 
     /**
+     * Software-prefetch a global set's lines ahead of a probe (see
+     * MCache::prefetchSet). Lock-free by design — a prefetch of a
+     * line another thread is writing is harmless, the probe itself
+     * still goes through the shard lock.
+     */
+    void prefetchSet(int set) const
+    {
+        const int s = shardOfSet(set);
+        shards_[static_cast<size_t>(s)]->prefetchSet(
+            set - shardBaseSet_[static_cast<size_t>(s)]);
+    }
+
+    /**
      * Entry-id data plane, global ids as in the monolithic cache.
      * Each call locks the entry's shard, so concurrent HIT forwarding
      * and MAU deposits from filter tasks are safe while other threads

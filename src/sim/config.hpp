@@ -29,6 +29,29 @@ enum class DataflowKind
 /** Printable name of a dataflow. */
 const char *dataflowName(DataflowKind kind);
 
+/**
+ * Detection/compute overlap policy (§III-B, Fig. 8). `Auto` defers
+ * the decision to pass-resolution time (PipelineConfig::resolvedFor /
+ * RuntimePlanner): overlap pays a fixed scheduling tax (chain tasks,
+ * hand-off queue, pool wakeups), so it only wins when there are
+ * enough worker threads and enough rows per pass to hide that tax —
+ * small layers and 1–2-thread hosts resolve to Off (serial
+ * run-then-filter), everything else to On. The resolution is a pure
+ * function of (threads, rows): it is recorded in the StepPlan by the
+ * planner and surfaced in bench `config` blocks. Outcomes are
+ * bit-identical across all three values; the knob trades only wall
+ * time.
+ */
+enum class OverlapMode
+{
+    Off,  ///< serial run-then-filter
+    On,   ///< always stream (needs a worker pool to take effect)
+    Auto, ///< resolved per pass from threads x rows
+};
+
+/** Printable name of an overlap mode ("off" / "on" / "auto"). */
+const char *overlapModeName(OverlapMode mode);
+
 /** Static hardware configuration of the simulated accelerator. */
 struct AcceleratorConfig
 {
@@ -105,8 +128,12 @@ struct AcceleratorConfig
      * the portion of signature generation that exceeds the layer's
      * compute time stays on the critical path. Hit/skip decisions and
      * outputs are bit-identical with the knob on or off.
+     *
+     * OverlapMode::Auto resolves per pass from threads x rows (see
+     * the enum): wide passes on multi-core hosts stream, small passes
+     * and 1–2-thread hosts fall back to serial.
      */
-    bool overlapDetection = false;
+    OverlapMode overlapDetection = OverlapMode::Off;
 
     /**
      * Plan execution (core/runtime_planner.hpp): compile the step's

@@ -215,6 +215,82 @@ TEST(Kernels, SpanKernelsBitIdentity)
     }
 }
 
+TEST(Kernels, ExtractPatchesMatchesNaiveIm2colEverywhere)
+{
+    // The fused single-touch patch extractor must agree element for
+    // element with the textbook im2col loop on every geometry the
+    // conv engines use — interior positions, zero-padded borders,
+    // strided grids — and on partial [r0, r1) row ranges (the block
+    // schedule extracts one detection block at a time).
+    struct Geometry
+    {
+        int64_t h, w, k, stride, pad;
+    };
+    const Geometry cases[] = {
+        {8, 8, 3, 1, 1},  // same-pad 3x3, borders clipped on all sides
+        {8, 8, 3, 1, 0},  // valid conv, no padding path at all
+        {9, 7, 3, 2, 1},  // strided + odd extent, ragged right edge
+        {6, 6, 5, 1, 2},  // kernel wider than the pad on both sides
+        {5, 5, 1, 1, 0},  // 1x1: pure row gather
+        {7, 4, 3, 2, 2},  // pad >= stride: leading all-zero columns
+    };
+    const KernelOps *ax = kernels::avx2Ops();
+    for (const Geometry &g : cases) {
+        const int64_t oh = (g.h + 2 * g.pad - g.k) / g.stride + 1;
+        const int64_t ow = (g.w + 2 * g.pad - g.k) / g.stride + 1;
+        const int64_t n_rows = oh * ow;
+        const int64_t d = g.k * g.k;
+        const std::vector<float> plane = randomFloats(
+            g.h * g.w, 500 + static_cast<uint64_t>(g.h * g.w * g.k));
+
+        // Naive reference: per-element bounds-checked gather.
+        std::vector<float> ref(static_cast<size_t>(n_rows * d), 0.0f);
+        for (int64_t r = 0; r < n_rows; ++r)
+            for (int64_t ky = 0; ky < g.k; ++ky)
+                for (int64_t kx = 0; kx < g.k; ++kx) {
+                    const int64_t iy = (r / ow) * g.stride - g.pad + ky;
+                    const int64_t ix = (r % ow) * g.stride - g.pad + kx;
+                    if (iy < 0 || iy >= g.h || ix < 0 || ix >= g.w)
+                        continue;
+                    ref[static_cast<size_t>(r * d + ky * g.k + kx)] =
+                        plane[static_cast<size_t>(iy * g.w + ix)];
+                }
+
+        // Partial ranges too: full pass, a mid-pass block, and the
+        // final ragged block.
+        const int64_t splits[][2] = {
+            {0, n_rows}, {n_rows / 3, 2 * n_rows / 3}, {n_rows - 1, n_rows}};
+        for (const auto &s : splits) {
+            std::vector<float> got(static_cast<size_t>(n_rows * d),
+                                   -7.0f);
+            kernels::scalarOps().extractPatches(
+                plane.data(), g.h, g.w, ow, g.stride, g.pad, g.k, s[0],
+                s[1], got.data());
+            for (int64_t r = s[0]; r < s[1]; ++r)
+                for (int64_t e = 0; e < d; ++e)
+                    ASSERT_EQ(got[static_cast<size_t>(r * d + e)],
+                              ref[static_cast<size_t>(r * d + e)])
+                        << "scalar h=" << g.h << " w=" << g.w
+                        << " k=" << g.k << " stride=" << g.stride
+                        << " pad=" << g.pad << " row " << r << " elem "
+                        << e;
+            if (!ax)
+                continue;
+            std::vector<float> got_ax(static_cast<size_t>(n_rows * d),
+                                      -7.0f);
+            ax->extractPatches(plane.data(), g.h, g.w, ow, g.stride,
+                               g.pad, g.k, s[0], s[1], got_ax.data());
+            ASSERT_EQ(0, std::memcmp(got.data() + s[0] * d,
+                                     got_ax.data() + s[0] * d,
+                                     static_cast<size_t>((s[1] - s[0]) *
+                                                         d) *
+                                         sizeof(float)))
+                << "avx2 h=" << g.h << " w=" << g.w << " k=" << g.k
+                << " stride=" << g.stride << " pad=" << g.pad;
+        }
+    }
+}
+
 TEST(Kernels, ProjectBlockMatchesPerRowProject)
 {
     // The engine's blocked front end must agree bit-for-bit with the

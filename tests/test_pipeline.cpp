@@ -210,7 +210,7 @@ TEST(ShardedMCache, FrontendEngagesLocksOnlyForOverlappedPasses)
     EXPECT_TRUE(pooled_fe.cache().concurrent()); // streaming: locked
 
     PipelineConfig overlap_pipe = pooled_pipe;
-    overlap_pipe.overlap = true;
+    overlap_pipe.overlap = OverlapMode::On;
     DetectionFrontend overlap_fe(kSets, kWays, 1, kMaxBits, kSeed,
                                  overlap_pipe);
     overlap_fe.detect(rows, kBits);
@@ -479,7 +479,7 @@ TEST(Overlap, ConvEngineBitIdenticalToRunThenFilter)
         serial.forward(ds.inputs, w, Tensor(), spec, serial_stats);
 
     PipelineConfig pipe = serial_pipe;
-    pipe.overlap = true;
+    pipe.overlap = OverlapMode::On;
     DetectionFrontend fe(kSets, kWays, 2, 16, kSeed, pipe);
     ConvReuseEngine overlapped(fe, 16);
     ReuseStats stats;
@@ -512,7 +512,7 @@ TEST(Overlap, FcEngineBitIdenticalToRunThenFilter)
     pipe.blockRows = 16;
     pipe.shards = 4;
     pipe.threads = 3;
-    pipe.overlap = true;
+    pipe.overlap = OverlapMode::On;
     DetectionFrontend fe(kSets, kWays, 1, 24, kSeed, pipe);
     FcEngine overlapped(fe, 24);
     ReuseStats stats;
@@ -538,7 +538,7 @@ TEST(Overlap, AttentionEngineBitIdenticalToRunThenFilter)
     pipe.blockRows = 8;
     pipe.shards = 4;
     pipe.threads = 4;
-    pipe.overlap = true;
+    pipe.overlap = OverlapMode::On;
     DetectionFrontend fe(kSets, kWays, 1, 20, kSeed, pipe);
     AttentionEngine overlapped(fe, 20);
     ReuseStats stats;
@@ -553,10 +553,10 @@ TEST(Overlap, AttentionEngineBitIdenticalToRunThenFilter)
 TEST(Overlap, KnobLiftsFromAcceleratorConfig)
 {
     AcceleratorConfig cfg;
-    EXPECT_FALSE(PipelineConfig::fromConfig(cfg).overlap);
-    cfg.overlapDetection = true;
+    EXPECT_EQ(PipelineConfig::fromConfig(cfg).overlap, OverlapMode::Off);
+    cfg.overlapDetection = OverlapMode::On;
     cfg.pipelineThreads = 4;
-    EXPECT_TRUE(PipelineConfig::fromConfig(cfg).overlap);
+    EXPECT_EQ(PipelineConfig::fromConfig(cfg).overlap, OverlapMode::On);
 
     // overlapEnabled needs both the knob and a pool: threads = 1
     // resolves to inline execution, so overlap falls back to serial.

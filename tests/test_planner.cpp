@@ -150,7 +150,7 @@ pipeOf(int threads, bool overlap)
 {
     PipelineConfig pipe;
     pipe.threads = threads;
-    pipe.overlap = overlap;
+    pipe.overlap = overlap ? OverlapMode::On : OverlapMode::Off;
     return pipe;
 }
 
@@ -471,7 +471,7 @@ TEST(PlannerCompile, GeometryAndEdges)
     cfg2.sigBits = 16;
     EXPECT_NE(RuntimePlanner::planKey(b, cfg2), plan->key);
     PlanKeyConfig cfg3 = cfg;
-    cfg3.pipe.overlap = true;
+    cfg3.pipe.overlap = OverlapMode::On;
     EXPECT_NE(RuntimePlanner::planKey(b, cfg3), plan->key);
 }
 

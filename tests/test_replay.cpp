@@ -290,7 +290,7 @@ TEST(ConvBackward, OverlappedReplayBitIdenticalToSerial)
 
     PipelineConfig overlap_pipe = serial_pipe;
     overlap_pipe.threads = 4;
-    overlap_pipe.overlap = true;
+    overlap_pipe.overlap = OverlapMode::On;
     DetectionFrontend overlap_fe(kSets, kWays, kVersions, 32, kSeed,
                                  overlap_pipe);
     ConvReuseEngine overlapped(overlap_fe, 16);
@@ -386,7 +386,7 @@ TEST(FcBackward, OverlappedReplayBitIdenticalToSerial)
 
     PipelineConfig overlap_pipe = serial_pipe;
     overlap_pipe.threads = 4;
-    overlap_pipe.overlap = true;
+    overlap_pipe.overlap = OverlapMode::On;
     DetectionFrontend overlap_fe(kSets, kWays, kVersions, 32, kSeed,
                                  overlap_pipe);
     FcEngine overlapped(overlap_fe, 24);
@@ -487,7 +487,7 @@ TEST(AttentionBackward, OverlappedReplayBitIdenticalToSerial)
 
     PipelineConfig overlap_pipe = serial_pipe;
     overlap_pipe.threads = 4;
-    overlap_pipe.overlap = true;
+    overlap_pipe.overlap = OverlapMode::On;
     DetectionFrontend overlap_fe(kSets, kWays, kVersions, 32, kSeed,
                                  overlap_pipe);
     AttentionEngine overlapped(overlap_fe, 24);
@@ -620,7 +620,7 @@ TEST(ConvWeightGrad, OverlappedReplayBitIdenticalToSerial)
 
     PipelineConfig overlap_pipe = serial_pipe;
     overlap_pipe.threads = 4;
-    overlap_pipe.overlap = true;
+    overlap_pipe.overlap = OverlapMode::On;
     DetectionFrontend overlap_fe(kSets, kWays, kVersions, 32, kSeed,
                                  overlap_pipe);
     ConvReuseEngine overlapped(overlap_fe, 16);
@@ -741,7 +741,7 @@ TEST(FcWeightGrad, OverlappedReplayBitIdenticalToSerial)
 
     PipelineConfig overlap_pipe = serial_pipe;
     overlap_pipe.threads = 4;
-    overlap_pipe.overlap = true;
+    overlap_pipe.overlap = OverlapMode::On;
     DetectionFrontend overlap_fe(kSets, kWays, kVersions, 32, kSeed,
                                  overlap_pipe);
     FcEngine overlapped(overlap_fe, 24);
@@ -825,7 +825,7 @@ TEST(AttentionWeightGrad, OverlappedProjectionBitIdenticalToSerial)
 
     PipelineConfig overlap_pipe = serial_pipe;
     overlap_pipe.threads = 4;
-    overlap_pipe.overlap = true;
+    overlap_pipe.overlap = OverlapMode::On;
     DetectionFrontend overlap_fe(kSets, kWays, kVersions, 32, kSeed,
                                  overlap_pipe);
     AttentionEngine overlapped(overlap_fe, 24);
@@ -1117,7 +1117,7 @@ TEST(ReplayStress, ConcurrentConsumersOnSharedPool)
     PipelineConfig pipe;
     pipe.blockRows = 8; // many blocks -> many chained segments
     pipe.threads = 4;
-    pipe.overlap = true;
+    pipe.overlap = OverlapMode::On;
     DetectionFrontend fe(kSets, kWays, kVersions, 32, kSeed, pipe);
     ConvReuseEngine engine(fe, 16);
 
@@ -1154,7 +1154,7 @@ TEST(ReplayStress, ConcurrentWeightGradConsumersOnSharedPool)
     PipelineConfig pipe;
     pipe.blockRows = 8; // many blocks -> many chained segments
     pipe.threads = 4;
-    pipe.overlap = true;
+    pipe.overlap = OverlapMode::On;
     DetectionFrontend fe(kSets, kWays, kVersions, 32, kSeed, pipe);
     ConvReuseEngine engine(fe, 16);
 

@@ -61,7 +61,7 @@ overlapPipe()
 {
     PipelineConfig pipe = serialPipe();
     pipe.threads = 4;
-    pipe.overlap = true;
+    pipe.overlap = OverlapMode::On;
     return pipe;
 }
 
@@ -600,6 +600,87 @@ TEST(RuntimeStress, OverlappedPassesBackToBack)
         (void)y;
     }
     SUCCEED();
+}
+
+TEST(RuntimeStress, SerialEqualsOverlappedUnderForcedStealing)
+{
+    // Forced-stealing configuration: more worker threads than the
+    // host has cores and tiny blocks, so the streaming schedule
+    // floods the work-stealing deques and thieves migrate blocks on
+    // every pass. Outputs AND statistics must stay bit-identical to
+    // the serial schedule no matter which worker ran which block —
+    // the TSan CI job runs this with stealing instrumented.
+    PipelineConfig steal_pipe = serialPipe();
+    steal_pipe.blockRows = 4; // many small blocks per pass
+    steal_pipe.threads = 8;   // oversubscribes every CI host
+    steal_pipe.overlap = OverlapMode::On;
+
+    const ConvSpec spec = convSpec(4, 8, 3, 1, 1, 1);
+    Tensor in = similarInput(2, 4, 12, 12, 0.02f, kSeed + 80);
+    Rng rng(kSeed + 81);
+    Tensor w({8, 4, 3, 3});
+    w.fillNormal(rng);
+    Tensor grad({2, 8, 12, 12});
+    grad.fillNormal(rng);
+    Tensor fc_in = duplicateRows(96, 12, 6, kSeed + 82);
+    Tensor fc_w({12, 10});
+    fc_w.fillNormal(rng);
+    Tensor fc_grad({96, 10});
+    fc_grad.fillNormal(rng);
+
+    DetectionFrontend serial_fe(kSets, kWays, kVersions, 20, kSeed,
+                                serialPipe());
+    DetectionFrontend steal_fe(kSets, kWays, kVersions, 20, kSeed,
+                               steal_pipe);
+    ConvReuseEngine serial_conv(serial_fe, 16);
+    ConvReuseEngine steal_conv(steal_fe, 16);
+    FcEngine serial_fc(serial_fe, 16);
+    FcEngine steal_fc(steal_fe, 16);
+
+    for (int iter = 0; iter < 4; ++iter) {
+        ReuseStats sf, of;
+        SignatureRecord srec, orec;
+        Tensor ys = serial_conv.forward(in, w, Tensor(), spec, sf, &srec);
+        Tensor yo = steal_conv.forward(in, w, Tensor(), spec, of, &orec);
+        ASSERT_TRUE(ys == yo) << "iter " << iter
+                              << " conv forward, max diff "
+                              << ys.maxAbsDiff(yo);
+        expectStatsEqual(sf, of, "stealing conv forward");
+        ASSERT_GT(sf.mix.hit, 0) << "reuse must engage for the stress";
+
+        ReuseStats sb, ob;
+        Tensor gs =
+            serial_conv.backwardInput(grad, w, spec, 12, 12, srec, sb);
+        Tensor go =
+            steal_conv.backwardInput(grad, w, spec, 12, 12, orec, ob);
+        ASSERT_TRUE(gs == go) << "iter " << iter
+                              << " conv backwardInput, max diff "
+                              << gs.maxAbsDiff(go);
+        expectStatsEqual(sb, ob, "stealing conv backwardInput");
+
+        ReuseStats sw, ow_;
+        Tensor dws = serial_conv.backwardWeights(in, grad, spec, srec, sw);
+        Tensor dwo = steal_conv.backwardWeights(in, grad, spec, orec, ow_);
+        ASSERT_TRUE(dws == dwo) << "iter " << iter
+                                << " conv backwardWeights, max diff "
+                                << dws.maxAbsDiff(dwo);
+        expectStatsEqual(sw, ow_, "stealing conv backwardWeights");
+
+        ReuseStats sfc, ofc;
+        SignatureRecord sfrec, ofrec;
+        Tensor fys = serial_fc.forward(fc_in, fc_w, sfc, nullptr, &sfrec);
+        Tensor fyo = steal_fc.forward(fc_in, fc_w, ofc, nullptr, &ofrec);
+        ASSERT_TRUE(fys == fyo) << "iter " << iter << " fc forward";
+        expectStatsEqual(sfc, ofc, "stealing fc forward");
+
+        ReuseStats sfw, ofw;
+        Tensor fdws =
+            serial_fc.backwardWeights(fc_in, fc_grad, sfrec, sfw);
+        Tensor fdwo = steal_fc.backwardWeights(fc_in, fc_grad, ofrec, ofw);
+        ASSERT_TRUE(fdws == fdwo) << "iter " << iter
+                                  << " fc backwardWeights";
+        expectStatsEqual(sfw, ofw, "stealing fc backwardWeights");
+    }
 }
 
 } // namespace

@@ -9,7 +9,12 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cmath>
+#include <condition_variable>
+#include <functional>
+#include <memory>
+#include <mutex>
 #include <set>
 #include <thread>
 #include <vector>
@@ -381,6 +386,135 @@ TEST(TaskGroup, SubmitFromInsideATaskIsJoined)
     });
     group.wait();
     EXPECT_EQ(ran.load(), 3);
+}
+
+// ---------------------------------------------------------------------
+// ThreadPool (util/thread_pool.hpp): the work-stealing substrate's
+// scheduler contracts. Stealing may reorder a pool's tasks freely but
+// must never break a SerialExecutor chain's submission order; inline
+// execution is worker-only and depth-bounded; park/wake must survive
+// repeated idle/burst cycles without losing tasks.
+// ---------------------------------------------------------------------
+
+TEST(ThreadPool, StealingRedistributesWorkWithoutBreakingChainOrder)
+{
+    // Fan a noise wave out from inside one worker task so the whole
+    // wave lands in that worker's own deque and the other workers have
+    // to steal it, while a SerialExecutor chain runs alongside. The
+    // chain contract must hold no matter which worker a stolen pump
+    // lands on.
+    ThreadPool pool(3);
+    SerialExecutor chain(&pool);
+    TaskGroup noise(&pool);
+    std::vector<int> order;
+    std::atomic<int> noise_ran{0};
+    int blocks = 0;
+    for (int round = 0; round < 50; ++round) {
+        noise.run([&] {
+            for (int i = 0; i < 64; ++i)
+                noise.run([&] {
+                    noise_ran.fetch_add(1);
+                    std::this_thread::yield();
+                });
+        });
+        for (int b = 0; b < 16; ++b, ++blocks)
+            chain.run([&order, blocks] { order.push_back(blocks); });
+        noise.wait();
+        chain.wait();
+        if (pool.stealCount() > 0 && round >= 4)
+            break;
+    }
+    EXPECT_GT(pool.stealCount(), 0); // the sweep actually migrated work
+    ASSERT_EQ(order.size(), static_cast<size_t>(blocks));
+    for (int b = 0; b < blocks; ++b)
+        EXPECT_EQ(order[static_cast<size_t>(b)], b);
+    EXPECT_EQ(noise_ran.load() % 64, 0);
+}
+
+TEST(ThreadPool, InlineExecutionIsDepthBounded)
+{
+    // A self-replenishing chain on a 1-worker pool: every nested
+    // submit sees zero idle peers, so the worker runs it inline until
+    // the per-thread depth budget is spent, then queues. The observed
+    // nesting must stay at (outer frame + kMaxInlineDepth) and the
+    // whole chain must still complete.
+    ThreadPool pool(1);
+    TaskGroup group(&pool);
+    std::atomic<int> depth{0};
+    std::atomic<int> max_depth{0};
+    std::atomic<int> remaining{64};
+    std::function<void()> task = [&] {
+        const int d = depth.fetch_add(1) + 1;
+        int seen = max_depth.load();
+        while (d > seen && !max_depth.compare_exchange_weak(seen, d)) {
+        }
+        if (remaining.fetch_sub(1) > 1)
+            group.run(task);
+        depth.fetch_sub(1);
+    };
+    group.run(task);
+    group.wait();
+    EXPECT_EQ(remaining.load(), 0);
+    EXPECT_GT(max_depth.load(), 1); // inlining did engage
+    EXPECT_LE(max_depth.load(), 1 + ThreadPool::kMaxInlineDepth);
+    EXPECT_GT(pool.inlineRuns(), 0);
+}
+
+TEST(ThreadPool, NonWorkerSubmitIsAsynchronousEvenWhenSaturated)
+{
+    // The serve-backpressure contract: an outside thread's submit()
+    // must return before the task executes even when every worker is
+    // busy — SessionHandle's bounded queue and SerialExecutor::run
+    // both rely on it. Block the sole worker, submit from the test
+    // thread, and verify nothing ran inline here.
+    ThreadPool pool(1);
+    std::mutex m;
+    std::condition_variable cv;
+    bool release = false;
+    std::atomic<bool> blocked{false};
+    pool.submit([&] {
+        blocked.store(true);
+        std::unique_lock<std::mutex> lock(m);
+        cv.wait(lock, [&] { return release; });
+    });
+    while (!blocked.load())
+        std::this_thread::yield();
+    std::atomic<int> ran{0};
+    for (int i = 0; i < 8; ++i)
+        pool.submit([&] { ran.fetch_add(1); });
+    EXPECT_EQ(ran.load(), 0); // queued behind the blocked worker
+    EXPECT_EQ(pool.inlineRuns(), 0);
+    {
+        std::lock_guard<std::mutex> lock(m);
+        release = true;
+    }
+    cv.notify_all();
+    for (int spin = 0; ran.load() != 8 && spin < 20000; ++spin)
+        std::this_thread::sleep_for(std::chrono::microseconds(100));
+    EXPECT_EQ(ran.load(), 8);
+}
+
+TEST(ThreadPool, ParkWakeSurvivesRepeatedIdleBurstCycles)
+{
+    // Alternate idle gaps (long enough for workers to park) with
+    // submitBatch bursts; every burst must be fully delivered — the
+    // Dekker park/submit handshake may never strand a wave on a
+    // parked pool.
+    ThreadPool pool(3);
+    std::atomic<int> ran{0};
+    constexpr int kRounds = 12;
+    constexpr int kBurst = 48;
+    for (int round = 0; round < kRounds; ++round) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+        std::vector<std::function<void()>> batch;
+        for (int i = 0; i < kBurst; ++i)
+            batch.push_back([&] { ran.fetch_add(1); });
+        pool.submitBatch(std::move(batch));
+        const int expected = (round + 1) * kBurst;
+        for (int spin = 0; ran.load() < expected && spin < 20000; ++spin)
+            std::this_thread::sleep_for(std::chrono::microseconds(100));
+        ASSERT_EQ(ran.load(), expected) << "burst lost in round " << round;
+    }
 }
 
 } // namespace

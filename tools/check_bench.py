@@ -16,7 +16,9 @@ baselines at the repository root:
    ``model_*_speedup`` key, the event-backend ``event_*_speedup``
    keys, and the ``*_agreement_dev`` ceilings (analytic-vs-event
    deviation, bench/sweep_eventsim.cpp) present in both lines.
-   Wall-clock keys vary by host and are never gated.
+   Wall-clock keys vary by host and are never gated; ``wall*`` keys
+   present in both lines still print an info-only delta line so the
+   CI log shows wall drift without failing on it.
  - Kernel-performance keys (``*_gbps``, ``*_cycles_per_row``, and the
    remaining non-``wall*`` ``*_speedup`` keys, from
    bench/micro_kernels.cpp) are gated at 3x the tolerance (TSC and
@@ -211,6 +213,23 @@ def main():
                     f"(re-record the baseline from the fresh artifact)"
                 )
                 continue
+            # Wall-clock keys: info-only deltas, never gated (host-
+            # dependent), printed so wall drift is visible in CI logs.
+            for key in sorted(set(entry) & set(base)):
+                if not key.startswith("wall"):
+                    continue
+                if not isinstance(entry[key], (int, float)) or not isinstance(
+                    base[key], (int, float)
+                ):
+                    continue
+                delta = (
+                    (entry[key] / base[key] - 1.0) * 100.0 if base[key] else 0.0
+                )
+                print(
+                    f"{artifact} [{mode[0]} smoke={mode[1]}] {key}: "
+                    f"fresh {entry[key]:.3f} vs committed {base[key]:.3f} "
+                    f"({delta:+.1f}%) -> info only (wall clock)"
+                )
             keys = gated_keys(entry, base)
             if not keys:
                 print(f"{artifact} [{mode[0]}]: no gateable keys")
